@@ -1,0 +1,29 @@
+// Command alltoall regenerates the paper's Figure 8: MPI_Alltoall
+// average bandwidth for 4 and 8 processors on every simulated network.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+)
+
+import "nektar/internal/bench"
+
+func main() {
+	procs := flag.Int("p", 0, "processor count (0 = both 4 and 8, as in the paper)")
+	flag.Parse()
+	ps := []int{4, 8}
+	if *procs > 0 {
+		ps = []int{*procs}
+	}
+	for _, p := range ps {
+		fig, err := bench.Fig8Alltoall(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fig.Write(os.Stdout)
+		fmt.Println()
+	}
+}

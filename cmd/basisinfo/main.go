@@ -1,0 +1,62 @@
+// Command basisinfo prints the method illustrations of the paper's
+// Figures 9 and 10: the boundary-first modal ordering of the
+// triangular and quadrilateral expansions and the sparsity structure
+// of the elemental Laplacian.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+
+	"nektar/internal/basis"
+	"nektar/internal/mesh"
+)
+
+func main() {
+	order := flag.Int("order", 4, "polynomial order")
+	sparsity := flag.Bool("sparsity", false, "print the Figure 10 Laplacian sparsity patterns")
+	flag.Parse()
+
+	for _, shape := range []basis.Shape{basis.Tri, basis.Quad} {
+		ref := basis.NewRef(shape, *order)
+		fmt.Printf("Figure 9: %s expansion ordering at order %d (%d modes, %d boundary)\n",
+			shape, *order, ref.NModes, ref.NBnd)
+		for mi, m := range ref.Modes {
+			fmt.Printf("  mode %2d: (p,q)=(%d,%d) %-8s entity %d\n", mi, m.P, m.Q, m.Type, m.Entity)
+		}
+		fmt.Println()
+	}
+	if !*sparsity {
+		return
+	}
+	for _, gen := range []struct {
+		name  string
+		verts [][3]float64
+		shape basis.Shape
+		conn  []int
+	}{
+		{"triangular", [][3]float64{{0, 0, 0}, {1, 0, 0}, {0, 1, 0}}, basis.Tri, []int{0, 1, 2}},
+		{"quadrilateral", [][3]float64{{0, 0, 0}, {1, 0, 0}, {1, 1, 0}, {0, 1, 0}}, basis.Quad, []int{0, 1, 2, 3}},
+	} {
+		m, err := mesh.New(*order, gen.verts, []mesh.ElemSpec{{Shape: gen.shape, Verts: gen.conn}})
+		if err != nil {
+			panic(err)
+		}
+		lap := m.Elems[0].Laplacian()
+		n := m.Elems[0].Ref.NModes
+		fmt.Printf("Figure 10: elemental Laplacian structure, standard modal %s expansion, order %d\n", gen.name, *order)
+		fmt.Printf("(boundary modes first; '#' nonzero, '.' zero)\n")
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if math.Abs(lap[i*n+j]) > 1e-10 {
+					fmt.Print("#")
+				} else {
+					fmt.Print(".")
+				}
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+}

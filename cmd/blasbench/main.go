@@ -1,0 +1,113 @@
+// Command blasbench regenerates the paper's kernel-level CPU figures
+// (Figures 1-6): BLAS routine performance against working-set size on
+// every modeled machine. With -native it instead measures the pure-Go
+// BLAS of this repository on the host, playing the paper's "PC" role.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"nektar/internal/bench"
+	"nektar/internal/blas"
+	"nektar/internal/report"
+)
+
+func main() {
+	kernel := flag.String("kernel", "all", "dcopy|daxpy|ddot|dgemv|dgemm|all")
+	small := flag.Bool("small", false, "dgemm small-matrix regime (Figure 6)")
+	native := flag.Bool("native", false, "measure the host natively instead of the models")
+	flag.Parse()
+
+	if *native {
+		nativeBench(*kernel)
+		return
+	}
+	figs := map[string]func() *report.Figure{
+		"dcopy": bench.Fig1Dcopy,
+		"daxpy": bench.Fig2Daxpy,
+		"ddot":  bench.Fig3Ddot,
+		"dgemv": bench.Fig4Dgemv,
+		"dgemm": func() *report.Figure {
+			if *small {
+				return bench.Fig6DgemmSmall()
+			}
+			return bench.Fig5Dgemm()
+		},
+	}
+	if *kernel == "all" {
+		for _, k := range []string{"dcopy", "daxpy", "ddot", "dgemv", "dgemm"} {
+			figs[k]().Write(os.Stdout)
+			fmt.Println()
+		}
+		bench.Fig6DgemmSmall().Write(os.Stdout)
+		return
+	}
+	f, ok := figs[*kernel]
+	if !ok {
+		log.Fatalf("unknown kernel %q", *kernel)
+	}
+	f().Write(os.Stdout)
+}
+
+// nativeBench times the repository's own BLAS on the host.
+func nativeBench(kernel string) {
+	fmt.Printf("# native host measurements (this machine plays the paper's PC role)\n")
+	fmt.Printf("# kernel: %s\n", kernel)
+	sizes := []int{512, 2048, 8192, 32768, 131072, 524288, 2097152}
+	timeIt := func(f func(), minDur time.Duration) float64 {
+		reps := 1
+		for {
+			t0 := time.Now()
+			for i := 0; i < reps; i++ {
+				f()
+			}
+			d := time.Since(t0)
+			if d >= minDur {
+				return d.Seconds() / float64(reps)
+			}
+			reps *= 4
+		}
+	}
+	for _, bytes := range sizes {
+		n := bytes / 8
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = float64(i%7) + 0.5
+		}
+		switch kernel {
+		case "dcopy", "all":
+			t := timeIt(func() { blas.Dcopy(n, x, 1, y, 1) }, 20*time.Millisecond)
+			fmt.Printf("dcopy %8d bytes: %8.1f MB/s\n", bytes, float64(16*n)/t/1e6)
+		}
+		switch kernel {
+		case "daxpy", "all":
+			t := timeIt(func() { blas.Daxpy(n, 1.0001, x, 1, y, 1) }, 20*time.Millisecond)
+			fmt.Printf("daxpy %8d bytes: %8.1f MFlop/s\n", bytes, float64(2*n)/t/1e6)
+		}
+		switch kernel {
+		case "ddot", "all":
+			t := timeIt(func() { _ = blas.Ddot(n, x, 1, y, 1) }, 20*time.Millisecond)
+			fmt.Printf("ddot  %8d bytes: %8.1f MFlop/s\n", bytes, float64(2*n)/t/1e6)
+		}
+	}
+	if kernel == "dgemm" || kernel == "all" {
+		for _, n := range []int{4, 8, 16, 32, 64, 128, 256} {
+			a := make([]float64, n*n)
+			b := make([]float64, n*n)
+			c := make([]float64, n*n)
+			for i := range a {
+				a[i] = float64(i%5) + 0.25
+				b[i] = float64(i%3) + 0.75
+			}
+			t := timeIt(func() {
+				blas.Dgemm(blas.NoTrans, blas.NoTrans, n, n, n, 1, a, n, b, n, 0, c, n)
+			}, 20*time.Millisecond)
+			fmt.Printf("dgemm n=%4d: %8.1f MFlop/s\n", n, float64(2*n*n*n)/t/1e6)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+// Command nektarale regenerates the paper's Table 3 (Nektar-ALE 3D
+// flapping-wing CPU/wall-clock per step) and Figures 15-16 (region
+// breakdowns a/b/c).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"nektar/internal/bench"
+)
+
+func main() {
+	machines := flag.String("machines", strings.Join(bench.PaperALE.Machines, ","), "comma-separated machine list")
+	procs := flag.String("procs", "16,32,64,128", "comma-separated processor counts")
+	stages := flag.Bool("stages", false, "print Figures 15-16 region breakdowns")
+	flag.Parse()
+
+	cfg := bench.PaperALE
+	cfg.Machines = strings.Split(*machines, ",")
+	cfg.Procs = nil
+	for _, p := range strings.Split(*procs, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Procs = append(cfg.Procs, v)
+	}
+	res, err := bench.RunALE(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bench.Table3(res, cfg.Procs, cfg.Machines).Write(os.Stdout)
+	if *stages {
+		for _, cell := range []struct {
+			m string
+			p int
+		}{{"NCSA", 16}, {"RoadRunner-myr", 16}, {"NCSA", 64}, {"RoadRunner-myr", 64}} {
+			out, err := bench.Fig1516(res, cell.m, cell.p)
+			if err != nil {
+				continue
+			}
+			fmt.Println()
+			fmt.Print(out)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+// Command nektarf regenerates the paper's Table 2 (Nektar-F
+// CPU/wall-clock per step across machines and processor counts) and
+// Figures 13-14 (per-stage CPU vs wall-clock breakdowns).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"nektar/internal/bench"
+)
+
+func main() {
+	machines := flag.String("machines", strings.Join(bench.PaperFourier.Machines, ","), "comma-separated machine list")
+	procs := flag.String("procs", "2,4,8,16,32,64,128", "comma-separated processor counts")
+	steps := flag.Int("steps", bench.PaperFourier.Steps, "measured steps")
+	stages := flag.Bool("stages", false, "print Figures 13-14 stage breakdowns")
+	flag.Parse()
+
+	cfg := bench.PaperFourier
+	cfg.Machines = strings.Split(*machines, ",")
+	cfg.Steps = *steps
+	cfg.Procs = nil
+	for _, p := range strings.Split(*procs, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Procs = append(cfg.Procs, v)
+	}
+	res, err := bench.RunFourier(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bench.Table2(res, cfg.Procs, cfg.Machines).Write(os.Stdout)
+	if *stages {
+		for _, cell := range [][2]interface{}{
+			{"NCSA", 4}, {"SP2-Silver", 4}, {"RoadRunner-eth", 4}, {"RoadRunner-myr", 4},
+		} {
+			out, err := bench.Fig1314(res, cell[0].(string), cell[1].(int))
+			if err != nil {
+				continue // machine not in this run
+			}
+			fmt.Println()
+			fmt.Print(out)
+		}
+	}
+}

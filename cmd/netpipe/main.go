@@ -1,0 +1,23 @@
+// Command netpipe regenerates the paper's Figure 7: NetPIPE-style
+// ping-pong latency and bandwidth curves on every simulated network.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"nektar/internal/bench"
+)
+
+func main() {
+	flag.Parse()
+	lat, bw, err := bench.Fig7PingPong()
+	if err != nil {
+		log.Fatal(err)
+	}
+	lat.Write(os.Stdout)
+	fmt.Println()
+	bw.Write(os.Stdout)
+}

@@ -1,0 +1,144 @@
+// Command repro runs the complete reproduction: every table and figure
+// of the paper's evaluation section, written to stdout (or a directory
+// with -outdir). Budget-limited modes skip the largest processor
+// counts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"nektar/internal/bench"
+)
+
+func main() {
+	outdir := flag.String("outdir", "", "write per-experiment files to this directory instead of stdout")
+	quick := flag.Bool("quick", false, "limit processor counts and steps for a fast pass")
+	flag.Parse()
+
+	out := func(name string) (io.WriteCloser, error) {
+		if *outdir == "" {
+			fmt.Printf("\n===== %s =====\n", name)
+			return nopCloser{os.Stdout}, nil
+		}
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			return nil, err
+		}
+		return os.Create(filepath.Join(*outdir, name+".txt"))
+	}
+	section := func(name string, f func(w io.Writer) error) {
+		t0 := time.Now()
+		w, err := out(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := f(w); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		w.Close()
+		log.Printf("%s done in %v", name, time.Since(t0).Round(time.Millisecond))
+	}
+
+	section("fig1-6_kernels", func(w io.Writer) error {
+		bench.Fig1Dcopy().Write(w)
+		bench.Fig2Daxpy().Write(w)
+		bench.Fig3Ddot().Write(w)
+		bench.Fig4Dgemv().Write(w)
+		bench.Fig5Dgemm().Write(w)
+		bench.Fig6DgemmSmall().Write(w)
+		return nil
+	})
+	section("fig7_pingpong", func(w io.Writer) error {
+		lat, bw, err := bench.Fig7PingPong()
+		if err != nil {
+			return err
+		}
+		lat.Write(w)
+		bw.Write(w)
+		return nil
+	})
+	section("fig8_alltoall", func(w io.Writer) error {
+		for _, p := range []int{4, 8} {
+			fig, err := bench.Fig8Alltoall(p)
+			if err != nil {
+				return err
+			}
+			fig.Write(w)
+		}
+		return nil
+	})
+	section("table1_fig12_serial", func(w io.Writer) error {
+		cfg := bench.PaperSerial
+		if *quick {
+			cfg = bench.SerialConfig{Nt: 24, Nr: 6, Order: 6, Steps: 1}
+		}
+		res, _, err := bench.RunSerial(cfg)
+		if err != nil {
+			return err
+		}
+		bench.Table1(res).Write(w)
+		txt, err := bench.Fig12(res, "Onyx2", "Muses")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		fmt.Fprint(w, txt)
+		return nil
+	})
+	section("table2_fig13-14_nektarf", func(w io.Writer) error {
+		cfg := bench.PaperFourier
+		if *quick {
+			cfg.Procs = []int{2, 4, 8, 16}
+			cfg.Steps = 1
+		}
+		res, err := bench.RunFourier(cfg)
+		if err != nil {
+			return err
+		}
+		bench.Table2(res, cfg.Procs, cfg.Machines).Write(w)
+		for _, cell := range []struct {
+			m string
+			p int
+		}{{"NCSA", 4}, {"SP2-Silver", 4}, {"RoadRunner-eth", 4}, {"RoadRunner-myr", 4}} {
+			txt, err := bench.Fig1314(res, cell.m, cell.p)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+			fmt.Fprint(w, txt)
+		}
+		return nil
+	})
+	section("table3_fig15-16_nektarale", func(w io.Writer) error {
+		cfg := bench.PaperALE
+		if *quick {
+			cfg.Procs = []int{16, 32}
+		}
+		res, err := bench.RunALE(cfg)
+		if err != nil {
+			return err
+		}
+		bench.Table3(res, cfg.Procs, cfg.Machines).Write(w)
+		for _, cell := range []struct {
+			m string
+			p int
+		}{{"NCSA", 16}, {"RoadRunner-myr", 16}, {"NCSA", 64}, {"RoadRunner-myr", 64}} {
+			txt, err := bench.Fig1516(res, cell.m, cell.p)
+			if err != nil {
+				continue // quick mode may not include 64
+			}
+			fmt.Fprintln(w)
+			fmt.Fprint(w, txt)
+		}
+		return nil
+	})
+}
+
+type nopCloser struct{ io.Writer }
+
+func (nopCloser) Close() error { return nil }

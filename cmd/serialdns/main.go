@@ -1,0 +1,36 @@
+// Command serialdns regenerates the paper's Table 1 (serial bluff-body
+// CPU time per step on every machine) and Figure 12 (per-stage
+// breakdown within one time step).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"nektar/internal/bench"
+)
+
+func main() {
+	nt := flag.Int("nt", bench.PaperSerial.Nt, "O-grid sectors")
+	nr := flag.Int("nr", bench.PaperSerial.Nr, "O-grid rings")
+	order := flag.Int("order", bench.PaperSerial.Order, "polynomial order")
+	steps := flag.Int("steps", bench.PaperSerial.Steps, "measured steps")
+	stages := flag.Bool("stages", false, "print Figure 12 stage breakdowns")
+	flag.Parse()
+
+	res, _, err := bench.RunSerial(bench.SerialConfig{Nt: *nt, Nr: *nr, Order: *order, Steps: *steps})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bench.Table1(res).Write(os.Stdout)
+	if *stages {
+		out, err := bench.Fig12(res, "Onyx2", "Muses")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		fmt.Print(out)
+	}
+}

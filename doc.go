@@ -1,0 +1,28 @@
+// Package nektar is a pure-Go reproduction of "Direct Numerical
+// Simulation of Turbulence with a PC/Linux Cluster: Fact or Fiction?"
+// (Karamanos, Evangelinos, Boes, Kirby & Karniadakis, SC '99).
+//
+// The repository contains, from scratch:
+//
+//   - a BLAS/LAPACK subset (internal/blas, internal/lapack) including
+//     the banded Cholesky solvers the paper's DNS spends 60% of its
+//     time in;
+//   - the spectral/hp element method of Karniadakis & Sherwin
+//     (internal/jacobi, internal/basis, internal/mesh,
+//     internal/solver) with modal bases on triangles, quadrilaterals
+//     and hexahedra, static condensation, and sum-factorized
+//     transforms;
+//   - a deterministic discrete-event cluster simulator with an MPI
+//     layer (internal/simnet, internal/mpi) standing in for the
+//     paper's ten machines, whose calibrated models live in
+//     internal/machine;
+//   - the Nektar solvers (internal/core): the serial 2D Navier-Stokes
+//     benchmark, the Fourier-parallel Nektar-F, and the moving-mesh
+//     Nektar-ALE with METIS-style partitioning (internal/partition)
+//     and the Tufo-Fischer gather-scatter library (internal/gs);
+//   - harnesses regenerating every table and figure of the paper's
+//     evaluation (internal/netpipe, internal/bench, cmd/...).
+//
+// See README.md for the layout, DESIGN.md for the system inventory and
+// substitutions, and EXPERIMENTS.md for paper-vs-measured results.
+package nektar

@@ -1,0 +1,76 @@
+// Flappingwing: the paper's Nektar-ALE configuration — a heaving
+// NACA 4420 wing section in a 3D domain, with the mesh deforming every
+// step (arbitrary Lagrangian-Eulerian formulation), domain-decomposed
+// over a simulated 4-processor cluster with gather-scatter
+// communication and diagonally preconditioned conjugate gradient
+// solves.
+//
+//	go run ./examples/flappingwing
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"nektar/internal/core"
+	"nektar/internal/machine"
+	"nektar/internal/mesh"
+	"nektar/internal/mpi"
+	"nektar/internal/simnet"
+)
+
+func main() {
+	mach, err := machine.ByName("NCSA")
+	if err != nil {
+		log.Fatal(err)
+	}
+	const procs = 4
+	fmt.Printf("Nektar-ALE on simulated %s, %d processors\n\n", mach.Name, procs)
+
+	_, _, err = simnet.Run(procs, mach.Net, func(n *simnet.Node) {
+		comm := mpi.World(n)
+		m2, err := mesh.WingSection(2, 16, 3)
+		if err != nil {
+			panic(err)
+		}
+		m3, err := mesh.ExtrudeQuads(m2, 2, 2, 0, 1)
+		if err != nil {
+			panic(err)
+		}
+		ns, err := core.NewNSALE(m3, core.ALEConfig{
+			Nu: 0.02, Dt: 5e-3, Order: 2,
+			FarfieldVel: [3]float64{1, 0, 0},
+			WallVelocity: func(t float64) [3]float64 {
+				return [3]float64{0, 0.4 * math.Cos(4*math.Pi*t), 0}
+			},
+			MoveMesh: true,
+		}, comm, &mach.CPU)
+		if err != nil {
+			panic(err)
+		}
+		if comm.Rank() == 0 {
+			fmt.Printf("wing mesh: %d hex elements, order %d; my rank owns %d\n\n",
+				len(m3.Elems), m3.Order, len(ns.Own))
+			fmt.Println(" step     t     KE        PCG iters (p/v)   wing y    drag      lift")
+		}
+		ns.SetUniformInitial(1, 0, 0)
+		for i := 1; i <= 8; i++ {
+			ns.Step()
+			ke := ns.KineticEnergy()
+			f := ns.Forces()
+			if comm.Rank() == 0 {
+				fmt.Printf("%5d  %5.3f  %8.4f   %5d / %-5d   %+.4f  %8.4f  %+8.4f\n",
+					i, ns.Time(), ke, ns.ItersPressure, ns.ItersViscous,
+					ns.M.Verts[0][1], f[0], f[1])
+			}
+		}
+		if comm.Rank() == 0 {
+			fmt.Println("\nThe wing vertices heave with the prescribed motion while the")
+			fmt.Println("flow adjusts; every step re-tabulates the moved mesh geometry.")
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

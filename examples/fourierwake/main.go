@@ -1,0 +1,71 @@
+// Fourierwake: the paper's Nektar-F configuration — a 3D wake with one
+// homogeneous (spanwise) direction run on a simulated 4-processor
+// Myrinet cluster, one complex Fourier mode per processor. A small 3D
+// disturbance is seeded and its modal energy tracked; the simulated
+// MPI_Wtime/clock() gap shows the communication cost of the Alltoall
+// transposes.
+//
+//	go run ./examples/fourierwake
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nektar/internal/core"
+	"nektar/internal/machine"
+	"nektar/internal/mesh"
+	"nektar/internal/mpi"
+	"nektar/internal/simnet"
+)
+
+func main() {
+	mach, err := machine.ByName("RoadRunner-myr")
+	if err != nil {
+		log.Fatal(err)
+	}
+	const procs = 4
+	fmt.Printf("Nektar-F on simulated %s, %d processors (%d Fourier planes)\n\n",
+		mach.Name, procs, 2*procs)
+
+	energies := make([][]float64, procs)
+	wall, cpu, err := simnet.Run(procs, mach.Net, func(n *simnet.Node) {
+		comm := mpi.World(n)
+		m, err := mesh.BluffBody(4, 16, 4)
+		if err != nil {
+			panic(err)
+		}
+		ns, err := core.NewNSF(m, core.NSFConfig{
+			Nu: 0.01, Dt: 4e-3, Order: 2, Lz: 6.283185307179586,
+			VelDirichlet: map[string]core.VelBC{
+				"wall":   core.ConstantVel(0, 0),
+				"inflow": core.ConstantVel(1, 0),
+				"side":   core.ConstantVel(1, 0),
+			},
+			PresDirichlet: map[string]bool{"outflow": true},
+		}, comm, &mach.CPU)
+		if err != nil {
+			panic(err)
+		}
+		ns.SetUniformInitial(1, 0)
+		ns.PerturbMode(1e-3)
+		var hist []float64
+		for i := 0; i < 10; i++ {
+			ns.Step()
+			hist = append(hist, ns.ModeEnergy())
+		}
+		energies[comm.Rank()] = hist
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("mode-energy history per Fourier mode (rank k holds mode k):")
+	for k, hist := range energies {
+		fmt.Printf("  mode %d: %9.3e -> %9.3e\n", k, hist[0], hist[len(hist)-1])
+	}
+	fmt.Println("\nsimulated timings per rank (the paper's clock vs MPI_Wtime):")
+	for r := range wall {
+		fmt.Printf("  rank %d: cpu %6.3fs  wall %6.3fs  (idle %4.1f%%)\n",
+			r, cpu[r], wall[r], 100*(wall[r]-cpu[r])/wall[r])
+	}
+}

@@ -1,0 +1,3 @@
+module nektar
+
+go 1.22

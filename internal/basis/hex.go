@@ -1,0 +1,140 @@
+package basis
+
+// Hexahedron local conventions (reference cube [-1,1]^3). Vertex
+// numbering follows the usual counter-clockwise bottom then top order:
+//
+//	v0=(-1,-1,-1) v1=(1,-1,-1) v2=(1,1,-1) v3=(-1,1,-1)
+//	v4=(-1,-1,1)  v5=(1,-1,1)  v6=(1,1,1)  v7=(-1,1,1)
+//
+// Edges 0-3 run in x, 4-7 in y, 8-11 in z; faces are numbered
+// bottom(0)/top(1)/front(2)/back(3)/left(4)/right(5).
+
+// HexEdgeVerts maps a local hex edge to its (start, end) local
+// vertices; the edge parameter runs start -> end.
+var HexEdgeVerts = [12][2]int{
+	{0, 1}, {3, 2}, {4, 5}, {7, 6}, // x-direction
+	{0, 3}, {1, 2}, {4, 7}, {5, 6}, // y-direction
+	{0, 4}, {1, 5}, {2, 6}, {3, 7}, // z-direction
+}
+
+// HexFaceVerts lists the four corner vertices of each face, ordered so
+// that the first two local face axes match the tensor axes used for
+// face-mode indices (lower global axis first).
+var HexFaceVerts = [6][4]int{
+	{0, 1, 2, 3}, // z = -1 (axes x, y)
+	{4, 5, 6, 7}, // z = +1 (axes x, y)
+	{0, 1, 5, 4}, // y = -1 (axes x, z)
+	{3, 2, 6, 7}, // y = +1 (axes x, z)
+	{0, 3, 7, 4}, // x = -1 (axes y, z)
+	{1, 2, 6, 5}, // x = +1 (axes y, z)
+}
+
+// hexVertexID maps binary tensor coordinates (p, q, r in {0,1}) to the
+// local vertex id.
+func hexVertexID(p, q, r int) int {
+	base := [2][2]int{{0, 1}, {3, 2}} // [q][p] on the bottom face
+	v := base[q][p]
+	if r == 1 {
+		v += 4
+	}
+	return v
+}
+
+// hexEdgeID returns the local edge id for a mode with exactly one
+// tensor index >= 2 (in direction dir) and the other two binary.
+func hexEdgeID(dir, a, b int) int {
+	// a, b are the binary indices of the two fixed directions in
+	// increasing axis order.
+	switch dir {
+	case 0: // x-edge, fixed (q, r) = (a, b)
+		return [2][2]int{{0, 2}, {1, 3}}[a][b]
+	case 1: // y-edge, fixed (p, r)
+		return [2][2]int{{4, 6}, {5, 7}}[a][b]
+	default: // z-edge, fixed (p, q)
+		return [2][2]int{{8, 11}, {9, 10}}[a][b]
+	}
+}
+
+// hexFaceID returns the face id for a mode with exactly one binary
+// tensor index (in direction dir with value v).
+func hexFaceID(dir, v int) int {
+	switch dir {
+	case 0: // x fixed: left/right
+		return 4 + v
+	case 1: // y fixed: front/back
+		return 2 + v
+	default: // z fixed: bottom/top
+		return v
+	}
+}
+
+func newHex(p int) *Ref {
+	q := p + 2
+	rule := lobattoRule(q)
+	r := &Ref{
+		Shape: Hex,
+		P:     p,
+		QDim:  [3]int{q, q, q},
+	}
+	r.Pts[0], r.Pts[1], r.Pts[2] = rule.Points, rule.Points, rule.Points
+	r.NQuad = q * q * q
+	r.W = make([]float64, r.NQuad)
+	for i := 0; i < q; i++ {
+		for j := 0; j < q; j++ {
+			for k := 0; k < q; k++ {
+				r.W[r.qidx(i, j, k)] = rule.Weight[i] * rule.Weight[j] * rule.Weight[k]
+			}
+		}
+	}
+
+	var modes []Mode
+	for pp := 0; pp <= p; pp++ {
+		for qq := 0; qq <= p; qq++ {
+			for rr := 0; rr <= p; rr++ {
+				m := Mode{P: pp, Q: qq, R: rr}
+				pB, qB, rB := pp <= 1, qq <= 1, rr <= 1
+				switch {
+				case pB && qB && rB:
+					m.Type = VertexMode
+					m.Entity = hexVertexID(pp, qq, rr)
+				case !pB && qB && rB:
+					m.Type, m.Entity, m.Index = EdgeMode, hexEdgeID(0, qq, rr), pp-2
+				case pB && !qB && rB:
+					m.Type, m.Entity, m.Index = EdgeMode, hexEdgeID(1, pp, rr), qq-2
+				case pB && qB && !rB:
+					m.Type, m.Entity, m.Index = EdgeMode, hexEdgeID(2, pp, qq), rr-2
+				case pB && !qB && !rB:
+					m.Type, m.Entity, m.Index, m.Index2 = FaceMode, hexFaceID(0, pp), qq-2, rr-2
+				case !pB && qB && !rB:
+					m.Type, m.Entity, m.Index, m.Index2 = FaceMode, hexFaceID(1, qq), pp-2, rr-2
+				case !pB && !qB && rB:
+					m.Type, m.Entity, m.Index, m.Index2 = FaceMode, hexFaceID(2, rr), pp-2, qq-2
+				default:
+					m.Type, m.Entity = InteriorMode, -1
+				}
+				modes = append(modes, m)
+			}
+		}
+	}
+	r.NModes = len(modes)
+	r.sortModes(modes)
+
+	av := make([][]float64, p+1)
+	ad := make([][]float64, p+1)
+	for k := 0; k <= p; k++ {
+		av[k] = make([]float64, q)
+		ad[k] = make([]float64, q)
+		for i, z := range rule.Points {
+			av[k][i] = ModifiedA(k, z)
+			ad[k][i] = ModifiedADeriv(k, z)
+		}
+	}
+	r.tabulate(func(m Mode, i, j, k int) (v, d1, d2, d3 float64) {
+		v = av[m.P][i] * av[m.Q][j] * av[m.R][k]
+		d1 = ad[m.P][i] * av[m.Q][j] * av[m.R][k]
+		d2 = av[m.P][i] * ad[m.Q][j] * av[m.R][k]
+		d3 = av[m.P][i] * av[m.Q][j] * ad[m.R][k]
+		return v, d1, d2, d3
+	})
+	return r
+}

@@ -1,0 +1,91 @@
+// Package basis implements the modal spectral/hp expansion bases of
+// Karniadakis & Sherwin (1999) used by the paper's Nektar code:
+// the 1D "modified" (p-type) basis, tensor-product quadrilateral and
+// hexahedral bases, and the collapsed-coordinate triangular basis.
+//
+// Modes are ordered boundary-first — vertices, then edges (then faces
+// in 3D), then interior ("bubble") modes — exactly the ordering the
+// paper illustrates in Figure 9, which produces the
+// boundary/interior block structure of the elemental Laplacian shown
+// in Figure 10.
+package basis
+
+import "nektar/internal/jacobi"
+
+// ModifiedA evaluates the p-th 1D modified basis function at z in
+// [-1, 1]:
+//
+//	A_0(z) = (1-z)/2                     left vertex mode
+//	A_1(z) = (1+z)/2                     right vertex mode
+//	A_p(z) = (1-z)/2 (1+z)/2 P^{1,1}_{p-2}(z)   interior modes, p >= 2
+func ModifiedA(p int, z float64) float64 {
+	switch p {
+	case 0:
+		return 0.5 * (1 - z)
+	case 1:
+		return 0.5 * (1 + z)
+	default:
+		return 0.25 * (1 - z) * (1 + z) * jacobi.P(p-2, 1, 1, z)
+	}
+}
+
+// ModifiedADeriv evaluates d/dz A_p(z).
+func ModifiedADeriv(p int, z float64) float64 {
+	switch p {
+	case 0:
+		return -0.5
+	case 1:
+		return 0.5
+	default:
+		return -0.5*z*jacobi.P(p-2, 1, 1, z) + 0.25*(1-z)*(1+z)*jacobi.Deriv(p-2, 1, 1, z)
+	}
+}
+
+// ModifiedB evaluates the (p,q) principal function of the triangular
+// collapsed-coordinate basis at z in [-1, 1]:
+//
+//	B_{0q}(z) = A_q(z)
+//	B_{p0}(z) = ((1-z)/2)^p                          p >= 1
+//	B_{pq}(z) = ((1-z)/2)^p (1+z)/2 P^{2p-1,1}_{q-1}(z)   p, q >= 1
+func ModifiedB(p, q int, z float64) float64 {
+	if p == 0 {
+		return ModifiedA(q, z)
+	}
+	f := pow(0.5*(1-z), p)
+	if q == 0 {
+		return f
+	}
+	return f * 0.5 * (1 + z) * jacobi.P(q-1, 2*float64(p)-1, 1, z)
+}
+
+// ModifiedBDeriv evaluates d/dz B_{pq}(z).
+func ModifiedBDeriv(p, q int, z float64) float64 {
+	if p == 0 {
+		return ModifiedADeriv(q, z)
+	}
+	f := pow(0.5*(1-z), p)
+	df := -0.5 * float64(p) * pow(0.5*(1-z), p-1)
+	if q == 0 {
+		return df
+	}
+	a := 2*float64(p) - 1
+	pj := jacobi.P(q-1, a, 1, z)
+	dpj := jacobi.Deriv(q-1, a, 1, z)
+	g := 0.5 * (1 + z) * pj
+	dg := 0.5*pj + 0.5*(1+z)*dpj
+	return df*g + f*dg
+}
+
+// pow is integer exponentiation by squaring for small non-negative
+// exponents.
+func pow(x float64, n int) float64 {
+	r := 1.0
+	for n > 0 {
+		if n&1 == 1 {
+			r *= x
+		}
+		x *= x
+		n >>= 1
+	}
+	return r
+}

@@ -1,0 +1,93 @@
+package basis
+
+// Quadrilateral local conventions (reference square [-1,1]^2):
+//
+//	v3 --e2-- v2        vertices: v0=(-1,-1) v1=(1,-1) v2=(1,1) v3=(-1,1)
+//	|          |        edges:    e0 bottom (v0->v1), e1 right (v1->v2),
+//	e3        e1                  e2 top (v3->v2),    e3 left (v0->v3)
+//	|          |
+//	v0 --e0-- v1
+//
+// The edge parameter always runs from the first to the second vertex
+// of the pair, so the edge trace of edge mode k is A_{k+2} in that
+// parameter.
+
+// QuadEdgeVerts maps a local quad edge to its (start, end) local
+// vertices in the direction of increasing edge parameter.
+var QuadEdgeVerts = [4][2]int{{0, 1}, {1, 2}, {3, 2}, {0, 3}}
+
+func newQuad(p int) *Ref {
+	q := p + 2
+	rule := lobattoRule(q)
+	r := &Ref{
+		Shape: Quad,
+		P:     p,
+		QDim:  [3]int{q, q, 1},
+	}
+	r.Pts[0] = rule.Points
+	r.Pts[1] = rule.Points
+	r.NQuad = q * q
+	r.W = make([]float64, r.NQuad)
+	for i := 0; i < q; i++ {
+		for j := 0; j < q; j++ {
+			r.W[r.qidx(i, j, 0)] = rule.Weight[i] * rule.Weight[j]
+		}
+	}
+
+	// Enumerate and classify modes (pp, qq) in 0..p.
+	var modes []Mode
+	vertexID := func(pp, qq int) int {
+		switch {
+		case pp == 0 && qq == 0:
+			return 0
+		case pp == 1 && qq == 0:
+			return 1
+		case pp == 1 && qq == 1:
+			return 2
+		default:
+			return 3
+		}
+	}
+	for pp := 0; pp <= p; pp++ {
+		for qq := 0; qq <= p; qq++ {
+			m := Mode{P: pp, Q: qq}
+			switch {
+			case pp <= 1 && qq <= 1:
+				m.Type = VertexMode
+				m.Entity = vertexID(pp, qq)
+			case qq == 0: // bottom edge
+				m.Type, m.Entity, m.Index = EdgeMode, 0, pp-2
+			case pp == 1 && qq >= 2: // right edge
+				m.Type, m.Entity, m.Index = EdgeMode, 1, qq-2
+			case qq == 1: // top edge
+				m.Type, m.Entity, m.Index = EdgeMode, 2, pp-2
+			case pp == 0 && qq >= 2: // left edge
+				m.Type, m.Entity, m.Index = EdgeMode, 3, qq-2
+			default:
+				m.Type, m.Entity = InteriorMode, -1
+			}
+			modes = append(modes, m)
+		}
+	}
+	r.NModes = len(modes)
+	r.sortModes(modes)
+
+	// Pre-tabulate the 1D basis and its derivative at the rule points.
+	av := make([][]float64, p+1)
+	ad := make([][]float64, p+1)
+	for k := 0; k <= p; k++ {
+		av[k] = make([]float64, q)
+		ad[k] = make([]float64, q)
+		for i, z := range rule.Points {
+			av[k][i] = ModifiedA(k, z)
+			ad[k][i] = ModifiedADeriv(k, z)
+		}
+	}
+	r.tabulate(func(m Mode, i, j, _ int) (v, d1, d2, d3 float64) {
+		v = av[m.P][i] * av[m.Q][j]
+		d1 = ad[m.P][i] * av[m.Q][j]
+		d2 = av[m.P][i] * ad[m.Q][j]
+		return v, d1, d2, 0
+	})
+	return r
+}

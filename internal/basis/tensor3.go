@@ -1,0 +1,105 @@
+package basis
+
+import "nektar/internal/blas"
+
+// 3D sum-factorization for hexahedra: the backward transform,
+// parametric derivatives and inner products factor into three dgemm
+// sweeps, reducing the per-element cost from O(P^3 * Q^3) to
+// O(P * Q * (P^2 + Q^2)) per direction.
+type tensorOps3 struct {
+	p1         int // modes per direction
+	q1, q2, q3 int
+	a, da      [3][]float64 // a[d][p*qd+i] = A_p at direction-d point i
+	perm       []int        // perm[(p*p1+q)*p1+r] = boundary-first index
+}
+
+func (r *Ref) initTensor3() {
+	p1 := r.P + 1
+	t := &tensorOps3{p1: p1, q1: r.QDim[0], q2: r.QDim[1], q3: r.QDim[2]}
+	for d := 0; d < 3; d++ {
+		qd := r.QDim[d]
+		t.a[d] = make([]float64, p1*qd)
+		t.da[d] = make([]float64, p1*qd)
+		for p := 0; p < p1; p++ {
+			for i, z := range r.Pts[d] {
+				t.a[d][p*qd+i] = ModifiedA(p, z)
+				t.da[d][p*qd+i] = ModifiedADeriv(p, z)
+			}
+		}
+	}
+	t.perm = make([]int, p1*p1*p1)
+	for mi, m := range r.Modes {
+		t.perm[(m.P*p1+m.Q)*p1+m.R] = mi
+	}
+	r.tensor3 = t
+}
+
+func (t *tensorOps3) gather(coef, ct []float64) {
+	for k, mi := range t.perm {
+		ct[k] = coef[mi]
+	}
+}
+
+func (t *tensorOps3) scatter(ct, coef []float64, acc bool) {
+	if acc {
+		for k, mi := range t.perm {
+			coef[mi] += ct[k]
+		}
+		return
+	}
+	for k, mi := range t.perm {
+		coef[mi] = ct[k]
+	}
+}
+
+// bwd evaluates phys[i][j][k] = sum_pqr ct[p][q][r] m1[p][i] m2[q][j]
+// m3[r][k] via three factorized sweeps.
+func (t *tensorOps3) bwd(m1, m2, m3, ct, phys []float64) {
+	p1 := t.p1
+	// Sweep 3: T1[(p,q)][k] = sum_r ct[(p,q)][r] m3[r][k].
+	t1 := make([]float64, p1*p1*t.q3)
+	blas.Dgemm(blas.NoTrans, blas.NoTrans, p1*p1, t.q3, p1, 1, ct, p1, m3, t.q3, 0, t1, t.q3)
+	// Sweep 2, per p-slab: T2[p][j][k] = sum_q m2[q][j] T1[p][q][k].
+	t2 := make([]float64, p1*t.q2*t.q3)
+	for p := 0; p < p1; p++ {
+		blas.Dgemm(blas.Trans, blas.NoTrans, t.q2, t.q3, p1, 1,
+			m2, t.q2, t1[p*p1*t.q3:], t.q3, 0, t2[p*t.q2*t.q3:], t.q3)
+	}
+	// Sweep 1: phys[i][(j,k)] = sum_p m1[p][i] T2[p][(j,k)].
+	blas.Dgemm(blas.Trans, blas.NoTrans, t.q1, t.q2*t.q3, p1, 1,
+		m1, t.q1, t2, t.q2*t.q3, 0, phys, t.q2*t.q3)
+}
+
+// iprod computes out[(p,q)][r] = sum_ijk m1[p][i] m2[q][j] m3[r][k]
+// f[i][j][k] (the adjoint of bwd).
+func (t *tensorOps3) iprod(m1, m2, m3, f, out []float64) {
+	p1 := t.p1
+	// S1[p][(j,k)] = sum_i m1[p][i] f[i][(j,k)].
+	s1 := make([]float64, p1*t.q2*t.q3)
+	blas.Dgemm(blas.NoTrans, blas.NoTrans, p1, t.q2*t.q3, t.q1, 1,
+		m1, t.q1, f, t.q2*t.q3, 0, s1, t.q2*t.q3)
+	// S2[p][q][k] = sum_j m2[q][j] S1[p][j][k], per p-slab.
+	s2 := make([]float64, p1*p1*t.q3)
+	for p := 0; p < p1; p++ {
+		blas.Dgemm(blas.NoTrans, blas.NoTrans, p1, t.q3, t.q2, 1,
+			m2, t.q2, s1[p*t.q2*t.q3:], t.q3, 0, s2[p*p1*t.q3:], t.q3)
+	}
+	// out[(p,q)][r] = sum_k S2[(p,q)][k] m3[r][k].
+	blas.Dgemm(blas.NoTrans, blas.Trans, p1*p1, p1, t.q3, 1,
+		s2, t.q3, m3, t.q3, 0, out, p1)
+}
+
+// tables returns the per-direction basis tables, substituting the
+// derivative table in direction d (-1 means none).
+func (t *tensorOps3) tables(d int) (m1, m2, m3 []float64) {
+	m1, m2, m3 = t.a[0], t.a[1], t.a[2]
+	switch d {
+	case 0:
+		m1 = t.da[0]
+	case 1:
+		m2 = t.da[1]
+	case 2:
+		m3 = t.da[2]
+	}
+	return
+}

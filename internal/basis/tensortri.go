@@ -1,0 +1,145 @@
+package basis
+
+import "nektar/internal/blas"
+
+// Sum-factorization for the collapsed triangular basis. The triangle's
+// modes phi_pq(eta1, eta2) = A_p(eta1) * B_pq(eta2) factor per p-row:
+//
+//	u(i, j) = sum_p A_p(eta1_i) * [ sum_q ct[p][q] B_pq(eta2_j) ]
+//
+// The inner contraction runs over a p-dependent q range (the
+// triangular index space), the outer one is a single dgemm — reducing
+// the elemental transform from O(P^2 Q^2) to O(P Q^2 + P^2 Q), the
+// Karniadakis & Sherwin triangular sum-factorization.
+type tensorTri struct {
+	p1     int // P + 1
+	q1, q2 int
+	a, da  []float64 // A_p at eta1 points: [p*q1+i]
+	// b[p] holds B_pq at eta2 points for this p's q-range:
+	// b[p][q*q2+j]; db its derivative. qlen[p] is the number of q
+	// modes for row p.
+	b, db [][]float64
+	qlen  []int
+	// perm[p][q] = boundary-first mode index.
+	perm [][]int
+}
+
+func (r *Ref) initTensorTri() {
+	p1 := r.P + 1
+	t := &tensorTri{p1: p1, q1: r.QDim[0], q2: r.QDim[1]}
+	t.a = make([]float64, p1*t.q1)
+	t.da = make([]float64, p1*t.q1)
+	for p := 0; p < p1; p++ {
+		for i, z := range r.Pts[0] {
+			t.a[p*t.q1+i] = ModifiedA(p, z)
+			t.da[p*t.q1+i] = ModifiedADeriv(p, z)
+		}
+	}
+	t.b = make([][]float64, p1)
+	t.db = make([][]float64, p1)
+	t.qlen = make([]int, p1)
+	t.perm = make([][]int, p1)
+	for _, m := range r.Modes {
+		if m.Q+1 > t.qlen[m.P] {
+			t.qlen[m.P] = m.Q + 1
+		}
+	}
+	for p := 0; p < p1; p++ {
+		ql := t.qlen[p]
+		t.b[p] = make([]float64, ql*t.q2)
+		t.db[p] = make([]float64, ql*t.q2)
+		t.perm[p] = make([]int, ql)
+		for q := 0; q < ql; q++ {
+			for j, z := range r.Pts[1] {
+				if p == 0 && q == 1 {
+					// Collapsed top-vertex mode: (1+eta2)/2 alone.
+					t.b[p][q*t.q2+j] = 0.5 * (1 + z)
+					t.db[p][q*t.q2+j] = 0.5
+				} else {
+					t.b[p][q*t.q2+j] = ModifiedB(p, q, z)
+					t.db[p][q*t.q2+j] = ModifiedBDeriv(p, q, z)
+				}
+			}
+		}
+	}
+	for mi, m := range r.Modes {
+		t.perm[m.P][m.Q] = mi
+	}
+	r.tensorT = t
+}
+
+// vertexException reports whether mode (p, q) is the special top
+// vertex, whose eta1 factor is constant 1 instead of A_0.
+func vertexException(p, q int) bool { return p == 0 && q == 1 }
+
+// bwd evaluates phys[i][j] = sum_pq ct A~_p(eta1_i) B_pq(eta2_j),
+// where A~ is the given eta1 table (values or derivatives) except for
+// the top-vertex mode, whose eta1 factor is 1 (or 0 for derivatives).
+func (t *tensorTri) bwd(coef []float64, aTab []float64, useDB bool, deriv1 bool, phys []float64) {
+	p1, q1, q2 := t.p1, t.q1, t.q2
+	// Inner contraction per p-row: tmp[p][j].
+	tmp := make([]float64, p1*q2)
+	special := make([]float64, q2) // top-vertex contribution handled separately
+	for p := 0; p < p1; p++ {
+		bt := t.b[p]
+		if useDB {
+			bt = t.db[p]
+		}
+		row := tmp[p*q2 : (p+1)*q2]
+		for q := 0; q < t.qlen[p]; q++ {
+			c := coef[t.perm[p][q]]
+			if c == 0 {
+				continue
+			}
+			if vertexException(p, q) {
+				// eta1 factor is 1 (deriv 0): accumulate outside the
+				// A-contraction.
+				if !deriv1 {
+					blas.Daxpy(q2, c, bt[q*q2:], 1, special, 1)
+				}
+				continue
+			}
+			blas.Daxpy(q2, c, bt[q*q2:], 1, row, 1)
+		}
+	}
+	// Outer contraction: phys[i][j] = sum_p aTab[p][i] tmp[p][j].
+	blas.Dgemm(blas.Trans, blas.NoTrans, q1, q2, p1, 1, aTab, q1, tmp, q2, 0, phys, q2)
+	// Broadcast the special row across eta1.
+	for i := 0; i < q1; i++ {
+		blas.Daxpy(q2, 1, special, 1, phys[i*q2:], 1)
+	}
+}
+
+// iprod computes out[pq] = sum_ij aTab[p][i] B~_pq(eta2_j) f[i][j]
+// (the adjoint of bwd).
+func (t *tensorTri) iprod(f []float64, aTab []float64, useDB bool, deriv1 bool, out []float64) {
+	p1, q1, q2 := t.p1, t.q1, t.q2
+	// S[p][j] = sum_i aTab[p][i] f[i][j].
+	s := make([]float64, p1*q2)
+	blas.Dgemm(blas.NoTrans, blas.NoTrans, p1, q2, q1, 1, aTab, q1, f, q2, 0, s, q2)
+	// Column sums of f for the special (constant-in-eta1) mode.
+	var colSum []float64
+	for p := 0; p < p1; p++ {
+		bt := t.b[p]
+		if useDB {
+			bt = t.db[p]
+		}
+		row := s[p*q2 : (p+1)*q2]
+		for q := 0; q < t.qlen[p]; q++ {
+			if vertexException(p, q) {
+				if deriv1 {
+					continue // d/deta1 of a constant is zero
+				}
+				if colSum == nil {
+					colSum = make([]float64, q2)
+					for i := 0; i < q1; i++ {
+						blas.Daxpy(q2, 1, f[i*q2:], 1, colSum, 1)
+					}
+				}
+				out[t.perm[p][q]] = blas.Ddot(q2, bt[q*q2:], 1, colSum, 1)
+				continue
+			}
+			out[t.perm[p][q]] = blas.Ddot(q2, bt[q*q2:], 1, row, 1)
+		}
+	}
+}

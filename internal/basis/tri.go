@@ -1,0 +1,107 @@
+package basis
+
+import "nektar/internal/jacobi"
+
+// Triangle local conventions (reference triangle xi1, xi2 >= -1,
+// xi1 + xi2 <= 0):
+//
+//	v2                 vertices: v0=(-1,-1) v1=(1,-1) v2=(-1,1)
+//	| \                edges:    e0 bottom (v0->v1),
+//	e2  e1                       e1 hypotenuse (v1->v2),
+//	|     \                      e2 left (v0->v2)
+//	v0-e0- v1
+//
+// The basis is expressed in the collapsed (Duffy) coordinates
+//
+//	eta1 = 2(1+xi1)/(1-xi2) - 1,   eta2 = xi2,
+//
+// and integrates with a Gauss-Radau rule in eta2 whose (1-z) weight
+// absorbs the collapsed-coordinate Jacobian (1-eta2)/2.
+
+// TriEdgeVerts maps a local triangle edge to its (start, end) local
+// vertices.
+var TriEdgeVerts = [3][2]int{{0, 1}, {1, 2}, {0, 2}}
+
+func newTri(p int) *Ref {
+	q1, q2 := p+2, p+2
+	rule1 := lobattoRule(q1)
+	rule2 := jacobi.NewRule(jacobi.RadauM, q2, 1, 0)
+	r := &Ref{
+		Shape: Tri,
+		P:     p,
+		QDim:  [3]int{q1, q2, 1},
+	}
+	r.Pts[0] = rule1.Points
+	r.Pts[1] = rule2.Points
+	r.NQuad = q1 * q2
+	r.W = make([]float64, r.NQuad)
+	for i := 0; i < q1; i++ {
+		for j := 0; j < q2; j++ {
+			// The (1,0) Radau rule integrates f(z)(1-z) dz; the
+			// collapsed Jacobian contributes (1-eta2)/2, hence the 0.5.
+			r.W[r.qidx(i, j, 0)] = rule1.Weight[i] * rule2.Weight[j] * 0.5
+		}
+	}
+
+	// Enumerate modes. Index ranges follow the modified triangular
+	// basis: p=0: q=0..P; p=1: q=0..P-1; p>=2: q=0..P-p.
+	var modes []Mode
+	for pp := 0; pp <= p; pp++ {
+		qmax := p - pp
+		if pp == 0 {
+			qmax = p
+		} else if pp == 1 {
+			qmax = p - 1
+		}
+		for qq := 0; qq <= qmax; qq++ {
+			m := Mode{P: pp, Q: qq}
+			switch {
+			case pp == 0 && qq == 0:
+				m.Type, m.Entity = VertexMode, 0
+			case pp == 1 && qq == 0:
+				m.Type, m.Entity = VertexMode, 1
+			case pp == 0 && qq == 1:
+				m.Type, m.Entity = VertexMode, 2
+			case qq == 0: // pp >= 2: bottom edge
+				m.Type, m.Entity, m.Index = EdgeMode, 0, pp-2
+			case pp == 1: // qq >= 1: hypotenuse; trace A_{qq+1}
+				m.Type, m.Entity, m.Index = EdgeMode, 1, qq-1
+			case pp == 0: // qq >= 2: left edge
+				m.Type, m.Entity, m.Index = EdgeMode, 2, qq-2
+			default:
+				m.Type, m.Entity = InteriorMode, -1
+			}
+			modes = append(modes, m)
+		}
+	}
+	r.NModes = len(modes)
+	r.sortModes(modes)
+
+	r.tabulate(func(m Mode, i, j, _ int) (v, d1, d2, d3 float64) {
+		eta1 := rule1.Points[i]
+		eta2 := rule2.Points[j]
+		var val, de1, de2 float64
+		if m.P == 0 && m.Q == 1 {
+			// Collapsed top-vertex mode: (1+eta2)/2, independent of eta1.
+			val = 0.5 * (1 + eta2)
+			de1 = 0
+			de2 = 0.5
+		} else {
+			a := ModifiedA(m.P, eta1)
+			da := ModifiedADeriv(m.P, eta1)
+			b := ModifiedB(m.P, m.Q, eta2)
+			db := ModifiedBDeriv(m.P, m.Q, eta2)
+			val = a * b
+			de1 = da * b
+			de2 = a * db
+		}
+		// Chain rule from collapsed to reference coordinates:
+		// d/dxi1 = (2/(1-eta2)) d/deta1
+		// d/dxi2 = ((1+eta1)/(1-eta2)) d/deta1 + d/deta2
+		f := 2 / (1 - eta2)
+		d1 = de1 * f
+		d2 = de1*(1+eta1)/(1-eta2) + de2
+		return val, d1, d2, 0
+	})
+	return r
+}

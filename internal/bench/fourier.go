@@ -1,0 +1,243 @@
+package bench
+
+import (
+	"fmt"
+
+	"nektar/internal/blas"
+	"nektar/internal/core"
+	"nektar/internal/machine"
+	"nektar/internal/mesh"
+	"nektar/internal/mpi"
+	"nektar/internal/report"
+	"nektar/internal/simnet"
+	"nektar/internal/solver"
+	"nektar/internal/timing"
+)
+
+// FourierConfig parametrizes the Table 2 / Figures 13-14 experiment:
+// weak-scaling Nektar-F runs (two Fourier planes per processor) of the
+// bluff-body DNS on the simulated clusters.
+//
+// The solver runs for real at probe scale on every simulated rank; the
+// compute pricing and message sizes are extrapolated to the paper
+// scale through core.ScaleConfig (element-count ratios for the
+// element-proportional stages, condensed-solve cost formulas for the
+// solve stages).
+type FourierConfig struct {
+	ProbeNt, ProbeNr int
+	PaperNt, PaperNr int
+	Order            int
+	Steps            int // measured steps (after 1 warmup)
+	Machines         []string
+	Procs            []int
+}
+
+// PaperFourier is the paper's Table 2 setup.
+var PaperFourier = FourierConfig{
+	ProbeNt: 8, ProbeNr: 2,
+	PaperNt: 82, PaperNr: 11,
+	Order: 8,
+	Steps: 2,
+	Machines: []string{
+		"AP3000", "NCSA", "SP2-Silver", "SP2-Thin2",
+		"RoadRunner-eth", "RoadRunner-myr", "Muses",
+	},
+	Procs: []int{2, 4, 8, 16, 32, 64, 128},
+}
+
+// FourierResult is one (machine, P) cell of Table 2.
+type FourierResult struct {
+	Machine   string
+	P         int
+	CPU, Wall float64 // max over ranks, per step
+	StageCPU  [7]float64
+	StageWall [7]float64
+}
+
+// fourierBCs are the bluff-body boundary conditions shared by probe
+// and paper scales.
+func fourierBCs() core.NSFConfig {
+	return core.NSFConfig{
+		Nu: 1.0 / 500, Dt: 2e-3, Order: 2, Lz: 2 * 3.141592653589793,
+		VelDirichlet: map[string]core.VelBC{
+			"wall":   core.ConstantVel(0, 0),
+			"inflow": core.ConstantVel(1, 0),
+		},
+		PresDirichlet: map[string]bool{"outflow": true},
+	}
+}
+
+// solveStats captures the condensed-solver cost parameters of a mesh.
+type solveStats struct {
+	elems       int
+	nbV, kdV    int // velocity Schur
+	nbP, kdP    int // pressure Schur
+	niMode, nbm int // per-element interior/boundary mode counts
+	velCounts   blas.Counts
+	presCounts  blas.Counts
+	nElemsF     float64
+}
+
+func gatherSolveStats(nt, nr, order int) (*solveStats, error) {
+	m, err := mesh.BluffBody(order, nt, nr)
+	if err != nil {
+		return nil, err
+	}
+	cfg := fourierBCs()
+	isVelD := func(tag string) bool { _, ok := cfg.VelDirichlet[tag]; return ok }
+	isPresD := func(tag string) bool { return cfg.PresDirichlet[tag] }
+	av := mesh.NewAssembly(m, isVelD)
+	ap := mesh.NewAssembly(m, isPresD)
+	st := &solveStats{elems: len(m.Elems), nElemsF: float64(len(m.Elems))}
+	st.nbV, st.kdV = solver.SchurStats(av)
+	st.nbP, st.kdP = solver.SchurStats(ap)
+	ref := m.Elems[0].Ref
+	st.nbm = ref.NBnd
+	st.niMode = ref.NModes - ref.NBnd
+	st.velCounts = solver.CondensedSolveCounts(st.nbV, st.kdV, st.elems, st.niMode, st.nbm)
+	st.presCounts = solver.CondensedSolveCounts(st.nbP, st.kdP, st.elems, st.niMode, st.nbm)
+	return st, nil
+}
+
+// fourierScale derives the per-stage extrapolation multipliers for a
+// machine.
+func fourierScale(cpu *machine.CPU, probe, paper *solveStats) *core.ScaleConfig {
+	elemRatio := paper.nElemsF / probe.nElemsF
+	sc := &core.ScaleConfig{Comm: elemRatio}
+	for i := range sc.Stage {
+		sc.Stage[i] = elemRatio
+	}
+	// Solve stages: price the condensed solve formulas at both scales.
+	presRatio := cpu.ApplicationSeconds(&paper.presCounts) / cpu.ApplicationSeconds(&probe.presCounts)
+	velRatio := cpu.ApplicationSeconds(&paper.velCounts) / cpu.ApplicationSeconds(&probe.velCounts)
+	sc.Stage[4] = presRatio
+	sc.Stage[6] = velRatio
+	return sc
+}
+
+// RunFourier executes the Table 2 sweep. Cells beyond a machine's
+// MaxProcs (or beyond Muses' 4 nodes) are reported with negative
+// times, rendering as "n/a" like the paper.
+func RunFourier(cfg FourierConfig) ([]FourierResult, error) {
+	probe, err := gatherSolveStats(cfg.ProbeNt, cfg.ProbeNr, cfg.Order)
+	if err != nil {
+		return nil, err
+	}
+	paper, err := gatherSolveStats(cfg.PaperNt, cfg.PaperNr, cfg.Order)
+	if err != nil {
+		return nil, err
+	}
+	var out []FourierResult
+	for _, name := range cfg.Machines {
+		mach, err := machine.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range cfg.Procs {
+			if p > mach.MaxProcs {
+				out = append(out, FourierResult{Machine: name, P: p, CPU: -1, Wall: -1})
+				continue
+			}
+			r, err := runFourierCell(mach, p, cfg, probe, paper)
+			if err != nil {
+				return nil, fmt.Errorf("%s P=%d: %w", name, p, err)
+			}
+			out = append(out, *r)
+		}
+	}
+	return out, nil
+}
+
+func runFourierCell(mach *machine.Machine, p int, cfg FourierConfig, probe, paper *solveStats) (*FourierResult, error) {
+	res := &FourierResult{Machine: mach.Name, P: p}
+	sc := fourierScale(&mach.CPU, probe, paper)
+	_, _, err := simnet.Run(p, mach.Net, func(n *simnet.Node) {
+		comm := mpi.World(n)
+		m, err := mesh.BluffBody(cfg.Order, cfg.ProbeNt, cfg.ProbeNr)
+		if err != nil {
+			panic(err)
+		}
+		ns, err := core.NewNSF(m, fourierBCs(), comm, &mach.CPU)
+		if err != nil {
+			panic(err)
+		}
+		ns.SetScale(sc)
+		ns.SetUniformInitial(1, 0)
+		ns.Step() // warmup (order ramp + eager caches)
+		comm.Barrier()
+		cpu0, wall0 := comm.CPUTime(), comm.Wtime()
+		ns.Stages.Reset()
+		for i := range ns.StageWall {
+			ns.StageWall[i] = 0
+		}
+		for i := 0; i < cfg.Steps; i++ {
+			ns.Step()
+		}
+		comm.Barrier()
+		cpu1, wall1 := comm.CPUTime(), comm.Wtime()
+		perStep := 1 / float64(cfg.Steps)
+		mx := comm.Allreduce([]float64{
+			(cpu1 - cpu0) * perStep,
+			(wall1 - wall0) * perStep,
+		}, mpi.Max)
+		if comm.Rank() == 0 {
+			res.CPU, res.Wall = mx[0], mx[1]
+			for si := range res.StageCPU {
+				res.StageCPU[si] = ns.Stages.Priced[si] * perStep
+				res.StageWall[si] = ns.StageWall[si] * perStep
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Table2 renders the Table 2 report: CPU/wall-clock per step for each
+// machine and processor count.
+func Table2(res []FourierResult, procs []int, machines []string) *report.Table {
+	cols := []string{"P"}
+	cols = append(cols, machines...)
+	t := report.NewTable("Table 2: Nektar-F CPU/Wall clock time per step (s), bluff body, 2 Fourier planes per processor", cols...)
+	cell := map[string]map[int]FourierResult{}
+	for _, r := range res {
+		if cell[r.Machine] == nil {
+			cell[r.Machine] = map[int]FourierResult{}
+		}
+		cell[r.Machine][r.P] = r
+	}
+	for _, p := range procs {
+		row := []string{fmt.Sprintf("%d", p)}
+		for _, m := range machines {
+			r, ok := cell[m][p]
+			if !ok || r.CPU < 0 {
+				row = append(row, "n/a")
+			} else {
+				row = append(row, fmt.Sprintf("%.2f/%.2f", r.CPU, r.Wall))
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Fig1314 renders the Figures 13-14 stage breakdowns (CPU and
+// wall-clock percentages) for one result cell.
+func Fig1314(res []FourierResult, machineName string, p int) (string, error) {
+	for _, r := range res {
+		if r.Machine != machineName || r.P != p {
+			continue
+		}
+		cpuPct := timing.Percent(r.StageCPU[:])
+		wallPct := timing.Percent(r.StageWall[:])
+		out := report.PieBreakdown(
+			fmt.Sprintf("Figures 13-14: Nektar-F CPU timing, %s, %d processors", machineName, p),
+			core.StageNames, cpuPct)
+		out += report.PieBreakdown(
+			fmt.Sprintf("Figures 13-14: Nektar-F wall-clock timing, %s, %d processors", machineName, p),
+			core.StageNames, wallPct)
+		return out, nil
+	}
+	return "", fmt.Errorf("bench: no result for %s P=%d", machineName, p)
+}

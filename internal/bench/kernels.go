@@ -1,0 +1,190 @@
+// Package bench is the experiment harness: one function per table and
+// figure of the paper's evaluation, producing report.Table /
+// report.Figure values from the machine models, the simulated cluster
+// and the real solvers.
+//
+// Absolute numbers come from calibrated models (see package machine);
+// the reproduction targets the paper's shapes: who wins, where the
+// cache cliffs fall, where Ethernet saturates, and how the stage
+// breakdowns shift between architectures.
+package bench
+
+import (
+	"fmt"
+
+	"nektar/internal/blas"
+	"nektar/internal/machine"
+	"nektar/internal/netpipe"
+	"nektar/internal/report"
+)
+
+// kernelMachines unions the paper's left plots (SP2-Thin2, SP2-Silver,
+// Muses, AP3000, Onyx2) and right plots (T3E, P2SC, Muses).
+var kernelMachines = []string{"SP2-Thin2", "SP2-Silver", "Muses", "AP3000", "Onyx2", "T3E", "P2SC"}
+
+// kernelSizes sweeps 100 B .. 1 MB like the paper's x axes.
+func kernelSizes() []int64 {
+	var out []int64
+	for s := int64(128); s <= 1<<20; s *= 2 {
+		out = append(out, s, s+s/2)
+	}
+	return out
+}
+
+// Fig1Dcopy regenerates Figure 1: dcopy speed in MB/s against array
+// size for every modeled machine.
+func Fig1Dcopy() *report.Figure {
+	fig := report.NewFigure("Figure 1: dcopy speed (MB/s) vs array size (bytes)", "bytes", "MB/s")
+	for _, name := range kernelMachines {
+		m, _ := machine.ByName(name)
+		s := fig.Add(name)
+		for _, sz := range kernelSizes() {
+			s.Point(float64(sz), m.CPU.DcopyMBs(sz))
+		}
+	}
+	return fig
+}
+
+// Fig2Daxpy regenerates Figure 2 (daxpy MFlop/s) and Fig3Ddot Figure 3
+// (ddot MFlop/s).
+func Fig2Daxpy() *report.Figure { return level1Figure("Figure 2: daxpy", blas.KernelDaxpy) }
+
+// Fig3Ddot regenerates Figure 3.
+func Fig3Ddot() *report.Figure { return level1Figure("Figure 3: ddot", blas.KernelDdot) }
+
+func level1Figure(title string, k blas.Kernel) *report.Figure {
+	fig := report.NewFigure(title+" speed (MFlop/s) vs array size (bytes)", "bytes", "MFlop/s")
+	for _, name := range kernelMachines {
+		m, _ := machine.ByName(name)
+		s := fig.Add(name)
+		for _, sz := range kernelSizes() {
+			s.Point(float64(sz), m.CPU.Level1MFlops(k, sz))
+		}
+	}
+	return fig
+}
+
+// Fig4Dgemv regenerates Figure 4: dgemv MFlop/s against matrix
+// dimension (the paper labels the axis in bytes of one row).
+func Fig4Dgemv() *report.Figure {
+	fig := report.NewFigure("Figure 4: dgemv speed (MFlop/s) vs matrix dimension n", "n", "MFlop/s")
+	for _, name := range kernelMachines {
+		m, _ := machine.ByName(name)
+		s := fig.Add(name)
+		for n := 8; n <= 1200; n += 24 {
+			s.Point(float64(n), m.CPU.DgemvMFlops(n))
+		}
+	}
+	return fig
+}
+
+// Fig5Dgemm regenerates Figure 5: dgemm MFlop/s for n up to 600.
+func Fig5Dgemm() *report.Figure {
+	fig := report.NewFigure("Figure 5: dgemm speed (MFlop/s) vs matrix dimension n", "n", "MFlop/s")
+	for _, name := range kernelMachines {
+		m, _ := machine.ByName(name)
+		s := fig.Add(name)
+		for n := 4; n <= 600; n += 8 {
+			s.Point(float64(n), m.CPU.DgemmMFlops(n))
+		}
+	}
+	return fig
+}
+
+// Fig6DgemmSmall regenerates Figure 6: the small-matrix dgemm regime
+// (n = 2..20) that dominates the spectral/hp elemental work.
+func Fig6DgemmSmall() *report.Figure {
+	fig := report.NewFigure("Figure 6: dgemm speed (MFlop/s), small matrices", "n", "MFlop/s")
+	for _, name := range kernelMachines {
+		m, _ := machine.ByName(name)
+		s := fig.Add(name)
+		for n := 2; n <= 20; n++ {
+			s.Point(float64(n), m.CPU.DgemmMFlops(n))
+		}
+	}
+	return fig
+}
+
+// netMachines are the network series of Figure 7/8.
+var netMachines = []string{
+	"AP3000", "SP2-Thin2", "SP2-Silver", "Muses", "Muses-LAM", "Muses-MVIA",
+	"Onyx2", "RoadRunner-eth", "RoadRunner-myr", "T3E",
+}
+
+// Fig7PingPong regenerates Figure 7: NetPIPE one-way latency (left)
+// and bandwidth (right) on every simulated network.
+func Fig7PingPong() (lat, bw *report.Figure, err error) {
+	lat = report.NewFigure("Figure 7 (left): ping-pong one-way latency", "bytes", "latency (us)")
+	bw = report.NewFigure("Figure 7 (right): ping-pong one-way bandwidth", "bytes", "MB/s")
+	for _, name := range netMachines {
+		m, err := machine.ByName(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		series := []struct {
+			label string
+			run   func() ([]netpipe.Point, error)
+		}{{name, func() ([]netpipe.Point, error) {
+			return netpipe.Run(m.Net, netpipe.Sizes(8<<20), 3)
+		}}}
+		if m.Net.RanksPerNode > 1 {
+			// The paper plots intra and internode separately for the
+			// SMP-node machines (RoadRunner, SP2-Silver).
+			series[0].label = name + "-internode"
+			series = append(series, struct {
+				label string
+				run   func() ([]netpipe.Point, error)
+			}{name + "-intranode", func() ([]netpipe.Point, error) {
+				return netpipe.RunIntranode(m.Net, netpipe.Sizes(8<<20), 3)
+			}})
+		}
+		for _, sr := range series {
+			pts, err := sr.run()
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s: %w", sr.label, err)
+			}
+			ls := lat.Add(sr.label)
+			bs := bw.Add(sr.label)
+			for _, p := range pts {
+				if p.Bytes <= 640 {
+					ls.Point(float64(p.Bytes), p.LatencyUS)
+				}
+				bs.Point(float64(p.Bytes), p.MBs)
+			}
+		}
+	}
+	return lat, bw, nil
+}
+
+// Fig8Alltoall regenerates Figure 8: MPI_Alltoall average bandwidth
+// for p processors (the paper shows p = 4 and p = 8).
+func Fig8Alltoall(p int) (*report.Figure, error) {
+	fig := report.NewFigure(
+		fmt.Sprintf("Figure 8: MPI_Alltoall average bandwidth, %d processors", p),
+		"message bytes", "MB/s")
+	var sizes []int
+	for s := 8; s <= 4<<20; s *= 4 {
+		sizes = append(sizes, s)
+	}
+	for _, name := range netMachines {
+		if name == "Muses-LAM" || name == "Onyx2" {
+			continue // the paper's Figure 8 omits these
+		}
+		m, err := machine.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		if p > 4 && (name == "Muses") {
+			continue // Muses has 4 nodes
+		}
+		pts, err := netpipe.RunAlltoall(m.Net, p, sizes, 2)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		s := fig.Add(name)
+		for _, pt := range pts {
+			s.Point(float64(pt.Bytes), pt.MBs)
+		}
+	}
+	return fig, nil
+}

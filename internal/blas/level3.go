@@ -1,0 +1,272 @@
+package blas
+
+// Block sizes for the tiled Dgemm. The micro tile is sized so that one
+// tile of A, one of B and one of C stay resident in L1 on commodity
+// hardware, mirroring the cache-blocking done by the vendor BLAS the
+// paper measured.
+const (
+	gemmBlockM = 64
+	gemmBlockN = 64
+	gemmBlockK = 64
+)
+
+// Dgemm computes C = alpha*op(A)*op(B) + beta*C.
+//
+// All matrices are row-major: op(A) is m-by-k, op(B) is k-by-n and C is
+// m-by-n, with leading dimensions lda, ldb and ldc referring to the
+// stored (untransposed) operands.
+func Dgemm(tA, tB Transpose, m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
+	if m <= 0 || n <= 0 {
+		return
+	}
+	record(KernelDgemm, m*n*k, 2*m*n*k, 8*(m*k+k*n+2*m*n))
+	if beta != 1 {
+		for i := 0; i < m; i++ {
+			row := c[i*ldc : i*ldc+n]
+			if beta == 0 {
+				for j := range row {
+					row[j] = 0
+				}
+			} else {
+				for j := range row {
+					row[j] *= beta
+				}
+			}
+		}
+	}
+	if alpha == 0 || k <= 0 {
+		return
+	}
+	// Small problems (the dominant case in the spectral/hp elemental
+	// transforms, cf. Figure 6 of the paper) skip the blocking logic.
+	if m <= gemmBlockM && n <= gemmBlockN && k <= gemmBlockK {
+		gemmKernel(tA, tB, m, n, k, alpha, a, lda, b, ldb, c, ldc)
+		return
+	}
+	for i0 := 0; i0 < m; i0 += gemmBlockM {
+		mi := min(gemmBlockM, m-i0)
+		for k0 := 0; k0 < k; k0 += gemmBlockK {
+			ki := min(gemmBlockK, k-k0)
+			for j0 := 0; j0 < n; j0 += gemmBlockN {
+				ni := min(gemmBlockN, n-j0)
+				aOff, bOff := blockOffset(tA, i0, k0, lda), blockOffset(tB, k0, j0, ldb)
+				gemmKernel(tA, tB, mi, ni, ki, alpha, a[aOff:], lda, b[bOff:], ldb, c[i0*ldc+j0:], ldc)
+			}
+		}
+	}
+}
+
+// blockOffset returns the flat offset of logical element (i, j) of
+// op(X) within the stored matrix X.
+func blockOffset(t Transpose, i, j, ld int) int {
+	if t == NoTrans {
+		return i*ld + j
+	}
+	return j*ld + i
+}
+
+// gemmKernel computes C += alpha*op(A)*op(B) for a single tile, with C
+// already scaled by beta.
+func gemmKernel(tA, tB Transpose, m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	switch {
+	case tA == NoTrans && tB == NoTrans:
+		// C[i][:] += alpha*A[i][l] * B[l][:] — the axpy formulation keeps
+		// the inner loop streaming over rows of B and C.
+		for i := 0; i < m; i++ {
+			crow := c[i*ldc : i*ldc+n]
+			for l := 0; l < k; l++ {
+				av := alpha * a[i*lda+l]
+				if av == 0 {
+					continue
+				}
+				brow := b[l*ldb : l*ldb+n]
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
+			}
+		}
+	case tA == Trans && tB == NoTrans:
+		for i := 0; i < m; i++ {
+			crow := c[i*ldc : i*ldc+n]
+			for l := 0; l < k; l++ {
+				av := alpha * a[l*lda+i]
+				if av == 0 {
+					continue
+				}
+				brow := b[l*ldb : l*ldb+n]
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
+			}
+		}
+	case tA == NoTrans && tB == Trans:
+		for i := 0; i < m; i++ {
+			arow := a[i*lda : i*lda+k]
+			crow := c[i*ldc : i*ldc+n]
+			for j := 0; j < n; j++ {
+				brow := b[j*ldb : j*ldb+k]
+				var sum float64
+				for l, av := range arow {
+					sum += av * brow[l]
+				}
+				crow[j] += alpha * sum
+			}
+		}
+	default: // Trans, Trans
+		for i := 0; i < m; i++ {
+			crow := c[i*ldc : i*ldc+n]
+			for j := 0; j < n; j++ {
+				var sum float64
+				for l := 0; l < k; l++ {
+					sum += a[l*lda+i] * b[j*ldb+l]
+				}
+				crow[j] += alpha * sum
+			}
+		}
+	}
+}
+
+// Side selects whether the triangular operand multiplies from the left
+// or the right.
+type Side int
+
+const (
+	// Left solves op(A) * X = alpha * B.
+	Left Side = iota
+	// Right solves X * op(A) = alpha * B.
+	Right
+)
+
+// Dtrsm solves a triangular system with multiple right-hand sides in
+// place: B is overwritten with the solution X of
+// op(A)*X = alpha*B (side Left) or X*op(A) = alpha*B (side Right),
+// where A is triangular and B is m-by-n row-major.
+func Dtrsm(s Side, ul Uplo, t Transpose, d Diag, m, n int, alpha float64, a []float64, lda int, b []float64, ldb int) {
+	if m <= 0 || n <= 0 {
+		return
+	}
+	var na int
+	if s == Left {
+		na = m
+	} else {
+		na = n
+	}
+	record(KernelDgemm, m*n*na/2, m*n*na, 8*(na*na/2+2*m*n))
+	if alpha != 1 {
+		for i := 0; i < m; i++ {
+			row := b[i*ldb : i*ldb+n]
+			for j := range row {
+				row[j] *= alpha
+			}
+		}
+	}
+	if s == Left {
+		// Column-by-column triangular solve; rows of B stream together.
+		lower := ul == Lower
+		if t == Trans {
+			lower = !lower
+		}
+		get := func(i, j int) float64 {
+			if t == NoTrans {
+				return a[i*lda+j]
+			}
+			return a[j*lda+i]
+		}
+		if lower {
+			for i := 0; i < m; i++ {
+				bi := b[i*ldb : i*ldb+n]
+				for l := 0; l < i; l++ {
+					v := get(i, l)
+					if v == 0 {
+						continue
+					}
+					bl := b[l*ldb : l*ldb+n]
+					for j := range bi {
+						bi[j] -= v * bl[j]
+					}
+				}
+				if d == NonUnit {
+					inv := 1 / get(i, i)
+					for j := range bi {
+						bi[j] *= inv
+					}
+				}
+			}
+		} else {
+			for i := m - 1; i >= 0; i-- {
+				bi := b[i*ldb : i*ldb+n]
+				for l := i + 1; l < m; l++ {
+					v := get(i, l)
+					if v == 0 {
+						continue
+					}
+					bl := b[l*ldb : l*ldb+n]
+					for j := range bi {
+						bi[j] -= v * bl[j]
+					}
+				}
+				if d == NonUnit {
+					inv := 1 / get(i, i)
+					for j := range bi {
+						bi[j] *= inv
+					}
+				}
+			}
+		}
+		return
+	}
+	// Side == Right: each row of B is an independent triangular solve
+	// x * op(A) = b, i.e. op(A)^T x^T = b^T.
+	tt := Trans
+	if t == Trans {
+		tt = NoTrans
+	}
+	for i := 0; i < m; i++ {
+		Dtrsv(ul, tt, d, n, a, lda, b[i*ldb:i*ldb+n], 1)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Dsyrk performs the symmetric rank-k update C = alpha*A*A^T + beta*C
+// (t == NoTrans, A is n-by-k) or C = alpha*A^T*A + beta*C (t == Trans,
+// A is k-by-n), updating only the triangle of C selected by ul. C is
+// n-by-n row-major.
+func Dsyrk(ul Uplo, t Transpose, n, k int, alpha float64, a []float64, lda int, beta float64, c []float64, ldc int) {
+	if n <= 0 {
+		return
+	}
+	record(KernelDgemm, n*n*k/2, n*n*k, 8*(n*k+n*n))
+	for i := 0; i < n; i++ {
+		var j0, j1 int
+		if ul == Lower {
+			j0, j1 = 0, i+1
+		} else {
+			j0, j1 = i, n
+		}
+		for j := j0; j < j1; j++ {
+			var sum float64
+			if t == NoTrans {
+				sum = Ddot(k, a[i*lda:], 1, a[j*lda:], 1)
+			} else {
+				sum = Ddot(k, a[i:], lda, a[j:], lda)
+			}
+			c[i*ldc+j] = alpha*sum + beta*c[i*ldc+j]
+		}
+	}
+}
+
+// SymmetrizeLower copies the lower triangle of the row-major n-by-n
+// matrix c into its upper triangle.
+func SymmetrizeLower(n int, c []float64, ldc int) {
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			c[j*ldc+i] = c[i*ldc+j]
+		}
+	}
+}

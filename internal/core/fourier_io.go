@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"nektar/internal/mpi"
+)
+
+// The paper's Nektar-F communication inventory (section 4.2.1) lists,
+// besides the Alltoall of the nonlinear step:
+//
+//   - "Global Addition, min, max for any runtime flow statistics"
+//   - "Gather, for possible tracking of flow variables during
+//     on-the-fly analysis of data"
+//   - "Sends (all but processor 0) and Receives (processor 0) for
+//     output of the solution field (if required)"
+//
+// This file implements those three paths.
+
+// FlowStats are globally reduced runtime statistics of the 3D field.
+type FlowStats struct {
+	Energy   float64 // total kinetic-energy-like modal energy
+	MaxVel   float64 // max pointwise |u| over all planes (from mean + modes)
+	MinU     float64 // min streamwise velocity of the mean mode
+	CFL      float64 // advective CFL estimate max(|u|) * dt / hmin
+	DivLinf  float64 // max |div u| in Fourier space
+	ModeErgs []float64
+}
+
+// Statistics computes globally reduced flow statistics (collective
+// call): per-mode energies gathered with a global Allreduce, extrema
+// with min/max reductions — the paper's "runtime flow statistics"
+// communication.
+func (ns *NSF) Statistics() FlowStats {
+	p := ns.Comm.Size()
+	// Local quantities.
+	energy := ns.ModeEnergy()
+	var maxVel, minU float64
+	minU = math.Inf(1)
+	var divMax float64
+	grad := [][]float64{nil, nil}
+	for ei, el := range ns.M.Elems {
+		nq := el.Ref.NQuad
+		coef := make([]float64, el.Ref.NModes)
+		var uq [3][]float64
+		for c := 0; c < 3; c++ {
+			uq[c] = make([]float64, nq)
+			ns.AV.Scatter(ei, ns.U[c][0], coef)
+			el.BwdTrans(coef, uq[c])
+		}
+		grad[0] = make([]float64, nq)
+		grad[1] = make([]float64, nq)
+		div := make([]float64, nq)
+		ns.AV.Scatter(ei, ns.U[0][0], coef)
+		el.PhysGrad(coef, grad)
+		copy(div, grad[0])
+		ns.AV.Scatter(ei, ns.U[1][0], coef)
+		el.PhysGrad(coef, grad)
+		// The in-plane divergence du/dx + dv/dy of this mode; the
+		// spanwise ik*w contribution mixes real and imaginary parts
+		// and is folded in modally by the pressure step, so the
+		// statistic tracks the splitting error of the plane terms.
+		for q := 0; q < nq; q++ {
+			div[q] += grad[1][q]
+			v := math.Sqrt(uq[0][q]*uq[0][q] + uq[1][q]*uq[1][q] + uq[2][q]*uq[2][q])
+			if v > maxVel {
+				maxVel = v
+			}
+			if uq[0][q] < minU {
+				minU = uq[0][q]
+			}
+			if a := math.Abs(div[q]); a > divMax {
+				divMax = a
+			}
+		}
+	}
+	// Global reductions: Sum for energies, Max/Min for extrema.
+	sums := ns.Comm.Allreduce([]float64{energy}, mpi.Sum)
+	maxs := ns.Comm.Allreduce([]float64{maxVel, divMax}, mpi.Max)
+	mins := ns.Comm.Allreduce([]float64{minU}, mpi.Min)
+	// Per-mode energy spectrum: a packed Allreduce (each rank owns one
+	// slot).
+	spectrum := make([]float64, p)
+	spectrum[ns.K] = energy
+	spectrum = ns.Comm.Allreduce(spectrum, mpi.Sum)
+
+	hmin := ns.minEdge()
+	st := FlowStats{
+		Energy:   sums[0],
+		MaxVel:   maxs[0],
+		DivLinf:  maxs[1],
+		MinU:     mins[0],
+		ModeErgs: spectrum,
+	}
+	if hmin > 0 {
+		st.CFL = maxs[0] * ns.Cfg.Dt / hmin
+	}
+	return st
+}
+
+// minEdge estimates the smallest element edge length (for the CFL
+// estimate).
+func (ns *NSF) minEdge() float64 {
+	h := math.Inf(1)
+	m := ns.M
+	for _, el := range m.Elems {
+		for _, ev := range [][2]int{{0, 1}, {1, 2}} {
+			a := m.Verts[el.Vert[ev[0]%len(el.Vert)]]
+			b := m.Verts[el.Vert[ev[1]%len(el.Vert)]]
+			d := math.Hypot(a[0]-b[0], a[1]-b[1])
+			if d > 0 && d < h {
+				h = d
+			}
+		}
+	}
+	return h
+}
+
+// HistoryPoint samples the velocity of this rank's Fourier mode at the
+// quadrature point nearest (x, y) and gathers all modes at rank 0 —
+// the paper's "tracking of flow variables during on-the-fly analysis".
+// Rank 0 receives one [6]float64 (re/im of u, v, w) per mode; other
+// ranks receive nil.
+func (ns *NSF) HistoryPoint(x, y float64) [][]float64 {
+	// Nearest quadrature point.
+	bestEl, bestQ := 0, 0
+	best := math.Inf(1)
+	for ei, el := range ns.M.Elems {
+		for q := 0; q < el.Ref.NQuad; q++ {
+			d := (el.X[0][q]-x)*(el.X[0][q]-x) + (el.X[1][q]-y)*(el.X[1][q]-y)
+			if d < best {
+				best, bestEl, bestQ = d, ei, q
+			}
+		}
+	}
+	el := ns.M.Elems[bestEl]
+	coef := make([]float64, el.Ref.NModes)
+	phys := make([]float64, el.Ref.NQuad)
+	sample := make([]float64, 6)
+	for c := 0; c < 3; c++ {
+		for part := 0; part < 2; part++ {
+			ns.AV.Scatter(bestEl, ns.U[c][part], coef)
+			el.BwdTrans(coef, phys)
+			sample[2*c+part] = phys[bestQ]
+		}
+	}
+	return ns.Comm.Gather(0, sample)
+}
+
+// WriteField gathers the mean-mode (k = 0) velocity field at rank 0
+// and writes it as a simple column file (x y u v), the paper's
+// "output of the solution field" path: all ranks send, processor 0
+// receives and writes. Only rank 0 writes; w returns nil elsewhere.
+func (ns *NSF) WriteField(w io.Writer) error {
+	// Every rank sends its mean-mode contribution; only rank 0's own
+	// data is the true k = 0 field, but the communication pattern —
+	// everyone sends to 0 — is what the paper describes, so all ranks
+	// participate.
+	var local []float64
+	for ei, el := range ns.M.Elems {
+		nq := el.Ref.NQuad
+		coef := make([]float64, el.Ref.NModes)
+		u := make([]float64, nq)
+		v := make([]float64, nq)
+		ns.AV.Scatter(ei, ns.U[0][0], coef)
+		el.BwdTrans(coef, u)
+		ns.AV.Scatter(ei, ns.U[1][0], coef)
+		el.BwdTrans(coef, v)
+		for q := 0; q < nq; q++ {
+			local = append(local, el.X[0][q], el.X[1][q], u[q], v[q])
+		}
+	}
+	all := ns.Comm.Gather(0, local)
+	if ns.Comm.Rank() != 0 {
+		return nil
+	}
+	if w == nil {
+		return fmt.Errorf("core: WriteField needs a writer on rank 0")
+	}
+	if _, err := fmt.Fprintf(w, "# x y u v (mean Fourier mode, %d ranks)\n", len(all)); err != nil {
+		return err
+	}
+	buf := all[0]
+	for i := 0; i+3 < len(buf); i += 4 {
+		if _, err := fmt.Fprintf(w, "%g %g %g %g\n", buf[i], buf[i+1], buf[i+2], buf[i+3]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,206 @@
+// Package fft implements the fast Fourier transforms used by the
+// Fourier-spectral/hp solver Nektar-F for its homogeneous (spanwise)
+// direction: an iterative radix-2 complex transform and a
+// real-to-half-complex wrapper. Lengths must be powers of two, the
+// configuration used in all the paper's Nektar-F runs (the number of
+// Fourier planes per processor is 2, and plane counts are 4, 8, 16...).
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"nektar/internal/blas"
+)
+
+// Plan holds precomputed twiddle factors and the bit-reversal
+// permutation for transforms of a fixed power-of-two length.
+type Plan struct {
+	N       int
+	rev     []int
+	wRe     []float64 // forward twiddles, packed per stage
+	wIm     []float64
+	stageW  []int // offset of each stage's twiddles
+	scratch []complex128
+}
+
+// NewPlan creates a plan for length n (a power of two >= 1).
+func NewPlan(n int) (*Plan, error) {
+	if n < 1 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("fft: length %d is not a power of two", n)
+	}
+	p := &Plan{N: n}
+	logN := bits.TrailingZeros(uint(n))
+	p.rev = make([]int, n)
+	for i := 0; i < n; i++ {
+		p.rev[i] = int(bits.Reverse(uint(i)) >> (bits.UintSize - logN))
+	}
+	// Twiddles for each stage: stage s has half := 2^s butterflies
+	// per group with w = exp(-2*pi*i*k/2^(s+1)).
+	total := 0
+	for s := 0; s < logN; s++ {
+		total += 1 << s
+	}
+	p.wRe = make([]float64, total)
+	p.wIm = make([]float64, total)
+	p.stageW = make([]int, logN)
+	off := 0
+	for s := 0; s < logN; s++ {
+		p.stageW[s] = off
+		half := 1 << s
+		for k := 0; k < half; k++ {
+			ang := -math.Pi * float64(k) / float64(half)
+			p.wRe[off+k] = math.Cos(ang)
+			p.wIm[off+k] = math.Sin(ang)
+		}
+		off += half
+	}
+	p.scratch = make([]complex128, n)
+	return p, nil
+}
+
+// Transform computes the in-place complex DFT of x (length N).
+// inverse selects the inverse transform, which includes the 1/N
+// normalization so that Transform(Transform(x), true) == x.
+func (p *Plan) Transform(x []complex128, inverse bool) {
+	n := p.N
+	if len(x) != n {
+		panic(fmt.Sprintf("fft: length %d, plan is for %d", len(x), n))
+	}
+	// Account the 5*N*log2(N) flops of an FFT as daxpy-class
+	// streaming work for the machine cost models.
+	logN := bits.TrailingZeros(uint(n))
+	recordFFT(n, logN)
+
+	for i, r := range p.rev {
+		if i < r {
+			x[i], x[r] = x[r], x[i]
+		}
+	}
+	for s := 0; s < logN; s++ {
+		half := 1 << s
+		step := half << 1
+		off := p.stageW[s]
+		for base := 0; base < n; base += step {
+			for k := 0; k < half; k++ {
+				wre, wim := p.wRe[off+k], p.wIm[off+k]
+				if inverse {
+					wim = -wim
+				}
+				a := x[base+k]
+				b := x[base+k+half]
+				tr := wre*real(b) - wim*imag(b)
+				ti := wre*imag(b) + wim*real(b)
+				x[base+k] = complex(real(a)+tr, imag(a)+ti)
+				x[base+k+half] = complex(real(a)-tr, imag(a)-ti)
+			}
+		}
+	}
+	if inverse {
+		inv := 1 / float64(n)
+		for i := range x {
+			x[i] = complex(real(x[i])*inv, imag(x[i])*inv)
+		}
+	}
+}
+
+// recordFFT accounts FFT work with the blas counters so the machine
+// models can price it.
+func recordFFT(n, logN int) {
+	var c blas.Counts
+	fl := int64(5 * n * logN)
+	c.Ops[blas.KernelDaxpy] = blas.Op{Calls: 1, N: int64(n), Flops: fl, Bytes: int64(16 * n * (logN + 1))}
+	blas.RecordExternal(&c)
+}
+
+// RealPlan transforms real sequences of even power-of-two length n to
+// half-complex spectra of n/2+1 coefficients.
+type RealPlan struct {
+	N    int
+	half *Plan
+}
+
+// NewRealPlan creates a real-transform plan for even power-of-two n
+// (n >= 2).
+func NewRealPlan(n int) (*RealPlan, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("fft: real length %d is not an even power of two", n)
+	}
+	hp, err := NewPlan(n / 2)
+	if err != nil {
+		return nil, err
+	}
+	return &RealPlan{N: n, half: hp}, nil
+}
+
+// Forward computes the spectrum of the real sequence x (length N)
+// into out (length N/2+1): out[k] = sum_j x[j] exp(-2*pi*i*j*k/N).
+// out[0] and out[N/2] have zero imaginary parts.
+func (rp *RealPlan) Forward(x []float64, out []complex128) {
+	n, h := rp.N, rp.N/2
+	if len(x) != n || len(out) != h+1 {
+		panic("fft: RealPlan.Forward length mismatch")
+	}
+	z := rp.half.scratch
+	for i := 0; i < h; i++ {
+		z[i] = complex(x[2*i], x[2*i+1])
+	}
+	rp.half.Transform(z, false)
+	// Untangle even/odd spectra.
+	for k := 0; k <= h; k++ {
+		var zk, zNk complex128
+		if k == h {
+			zk = z[0]
+			zNk = z[0]
+		} else {
+			zk = z[k]
+			if k == 0 {
+				zNk = z[0]
+			} else {
+				zNk = z[h-k]
+			}
+		}
+		even := complex(0.5*(real(zk)+real(zNk)), 0.5*(imag(zk)-imag(zNk)))
+		odd := complex(0.5*(imag(zk)+imag(zNk)), 0.5*(real(zNk)-real(zk)))
+		ang := -2 * math.Pi * float64(k) / float64(n)
+		w := complex(math.Cos(ang), math.Sin(ang))
+		out[k] = even + w*odd
+	}
+	out[0] = complex(real(out[0]), 0)
+	out[h] = complex(real(out[h]), 0)
+}
+
+// Inverse reconstructs the real sequence from a half-complex spectrum,
+// including the 1/N normalization (Inverse(Forward(x)) == x).
+func (rp *RealPlan) Inverse(spec []complex128, x []float64) {
+	n, h := rp.N, rp.N/2
+	if len(spec) != h+1 || len(x) != n {
+		panic("fft: RealPlan.Inverse length mismatch")
+	}
+	z := rp.half.scratch
+	// Repack the half-complex spectrum into the length-h complex
+	// spectrum of the interleaved sequence.
+	// With X the full spectrum, E_k = (X_k + X_{k+h})/2 and
+	// O_k = w^{-k}(X_k - X_{k+h})/2 recover the even/odd sample
+	// spectra; X_{k+h} = conj(X_{h-k}) by real-input symmetry.
+	for k := 0; k < h; k++ {
+		sk := spec[k]
+		var xkh complex128 // X_{k + N/2}
+		if k == 0 {
+			xkh = spec[h]
+		} else {
+			xkh = complex(real(spec[h-k]), -imag(spec[h-k]))
+		}
+		even := (sk + xkh) * 0.5
+		ang := 2 * math.Pi * float64(k) / float64(n)
+		w := complex(math.Cos(ang), math.Sin(ang))
+		odd := w * (sk - xkh) * 0.5
+		z[k] = complex(real(even)-imag(odd), imag(even)+real(odd))
+	}
+	rp.half.Transform(z, true)
+	for i := 0; i < h; i++ {
+		x[2*i] = real(z[i])
+		x[2*i+1] = imag(z[i])
+	}
+}

@@ -1,0 +1,223 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func naiveDFT(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for k := 0; k < n; k++ {
+		var s complex128
+		for j := 0; j < n; j++ {
+			ang := sign * 2 * math.Pi * float64(j) * float64(k) / float64(n)
+			s += x[j] * cmplx.Exp(complex(0, ang))
+		}
+		if inverse {
+			s /= complex(float64(n), 0)
+		}
+		out[k] = s
+	}
+	return out
+}
+
+func TestPlanRejectsNonPowerOfTwo(t *testing.T) {
+	for _, n := range []int{0, 3, 6, 12, -4} {
+		if _, err := NewPlan(n); err == nil {
+			t.Fatalf("NewPlan(%d) should fail", n)
+		}
+	}
+}
+
+func TestTransformMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 8, 32, 128} {
+		p, err := NewPlan(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		want := naiveDFT(x, false)
+		got := append([]complex128(nil), x...)
+		p.Transform(got, false)
+		for i := range want {
+			if cmplx.Abs(got[i]-want[i]) > 1e-9*float64(n) {
+				t.Fatalf("n=%d: X[%d] = %v, want %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestTransformRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (rng.Intn(8) + 1)
+		p, _ := NewPlan(n)
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		y := append([]complex128(nil), x...)
+		p.Transform(y, false)
+		p.Transform(y, true)
+		for i := range x {
+			if cmplx.Abs(y[i]-x[i]) > 1e-10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransformDelta(t *testing.T) {
+	// DFT of a delta is all-ones.
+	p, _ := NewPlan(8)
+	x := make([]complex128, 8)
+	x[0] = 1
+	p.Transform(x, false)
+	for i := range x {
+		if cmplx.Abs(x[i]-1) > 1e-12 {
+			t.Fatalf("X[%d] = %v, want 1", i, x[i])
+		}
+	}
+}
+
+func TestTransformParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 64
+	p, _ := NewPlan(n)
+	x := make([]complex128, n)
+	var tim float64
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), 0)
+		tim += real(x[i]) * real(x[i])
+	}
+	p.Transform(x, false)
+	var freq float64
+	for _, v := range x {
+		freq += real(v)*real(v) + imag(v)*imag(v)
+	}
+	freq /= float64(n)
+	if math.Abs(tim-freq) > 1e-9 {
+		t.Fatalf("Parseval: time %v vs freq %v", tim, freq)
+	}
+}
+
+func TestRealForwardMatchesComplex(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{2, 4, 8, 64} {
+		rp, err := NewRealPlan(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := make([]float64, n)
+		cx := make([]complex128, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			cx[i] = complex(x[i], 0)
+		}
+		want := naiveDFT(cx, false)
+		out := make([]complex128, n/2+1)
+		rp.Forward(x, out)
+		for k := 0; k <= n/2; k++ {
+			if cmplx.Abs(out[k]-want[k]) > 1e-9*float64(n) {
+				t.Fatalf("n=%d: X[%d] = %v, want %v", n, k, out[k], want[k])
+			}
+		}
+	}
+}
+
+func TestRealRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (rng.Intn(7) + 1)
+		rp, _ := NewRealPlan(n)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		spec := make([]complex128, n/2+1)
+		rp.Forward(x, spec)
+		back := make([]float64, n)
+		rp.Inverse(spec, back)
+		for i := range x {
+			if math.Abs(back[i]-x[i]) > 1e-10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRealCosineMode(t *testing.T) {
+	// x_j = cos(2 pi m j / n) has spectrum n/2 at bin m only.
+	n, m := 32, 5
+	rp, _ := NewRealPlan(n)
+	x := make([]float64, n)
+	for j := range x {
+		x[j] = math.Cos(2 * math.Pi * float64(m) * float64(j) / float64(n))
+	}
+	spec := make([]complex128, n/2+1)
+	rp.Forward(x, spec)
+	for k := range spec {
+		want := 0.0
+		if k == m {
+			want = float64(n) / 2
+		}
+		if cmplx.Abs(spec[k]-complex(want, 0)) > 1e-9 {
+			t.Fatalf("spec[%d] = %v, want %v", k, spec[k], want)
+		}
+	}
+}
+
+func TestSpectralDerivative(t *testing.T) {
+	// d/dz of sin(2z) over [0, 2pi) via ik multiplication.
+	n := 64
+	rp, _ := NewRealPlan(n)
+	x := make([]float64, n)
+	for j := range x {
+		z := 2 * math.Pi * float64(j) / float64(n)
+		x[j] = math.Sin(2 * z)
+	}
+	spec := make([]complex128, n/2+1)
+	rp.Forward(x, spec)
+	for k := range spec {
+		spec[k] *= complex(0, float64(k))
+	}
+	// Nyquist mode of a derivative must be zeroed for a real result.
+	spec[n/2] = 0
+	dx := make([]float64, n)
+	rp.Inverse(spec, dx)
+	for j := range dx {
+		z := 2 * math.Pi * float64(j) / float64(n)
+		want := 2 * math.Cos(2*z)
+		if math.Abs(dx[j]-want) > 1e-9 {
+			t.Fatalf("derivative at j=%d: %v, want %v", j, dx[j], want)
+		}
+	}
+}
+
+func TestRealPlanRejectsBadLengths(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 6} {
+		if _, err := NewRealPlan(n); err == nil {
+			t.Fatalf("NewRealPlan(%d) should fail", n)
+		}
+	}
+}

@@ -1,0 +1,302 @@
+// Package jacobi provides Jacobi polynomials, Gauss-type quadrature
+// rules and collocation differentiation matrices — the polynomial
+// machinery underneath the spectral/hp element method of Karniadakis &
+// Sherwin (1999) used by the paper's Nektar solvers.
+//
+// All polynomials follow the standard normalization of Abramowitz &
+// Stegun: P_n^{alpha,beta}(1) = binom(n+alpha, n).
+package jacobi
+
+import (
+	"fmt"
+	"math"
+)
+
+// P evaluates the Jacobi polynomial P_n^{alpha,beta}(x) by the
+// three-term recurrence.
+func P(n int, alpha, beta, x float64) float64 {
+	if n == 0 {
+		return 1
+	}
+	p0 := 1.0
+	p1 := 0.5 * (alpha - beta + (alpha+beta+2)*x)
+	if n == 1 {
+		return p1
+	}
+	for k := 1; k < n; k++ {
+		fk := float64(k)
+		a1 := 2 * (fk + 1) * (fk + alpha + beta + 1) * (2*fk + alpha + beta)
+		a2 := (2*fk + alpha + beta + 1) * (alpha*alpha - beta*beta)
+		a3 := (2*fk + alpha + beta) * (2*fk + alpha + beta + 1) * (2*fk + alpha + beta + 2)
+		a4 := 2 * (fk + alpha) * (fk + beta) * (2*fk + alpha + beta + 2)
+		p0, p1 = p1, ((a2+a3*x)*p1-a4*p0)/a1
+	}
+	return p1
+}
+
+// Deriv evaluates d/dx P_n^{alpha,beta}(x) using the identity
+// d/dx P_n^{a,b} = (n+a+b+1)/2 * P_{n-1}^{a+1,b+1}.
+func Deriv(n int, alpha, beta, x float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	return 0.5 * (float64(n) + alpha + beta + 1) * P(n-1, alpha+1, beta+1, x)
+}
+
+// Zeros returns the n roots of P_n^{alpha,beta}, in ascending order,
+// computed by Newton iteration with polynomial deflation.
+func Zeros(n int, alpha, beta float64) []float64 {
+	z := make([]float64, n)
+	for k := 0; k < n; k++ {
+		// Chebyshev-like initial guess, then average with the previous
+		// root for stability (Karniadakis & Sherwin, Appendix B).
+		r := -math.Cos((2*float64(k) + 1) / (2 * float64(n)) * math.Pi)
+		if k > 0 {
+			r = 0.5 * (r + z[k-1])
+		}
+		for iter := 0; iter < 100; iter++ {
+			// Deflate previously found roots.
+			var s float64
+			for j := 0; j < k; j++ {
+				s += 1 / (r - z[j])
+			}
+			p := P(n, alpha, beta, r)
+			dp := Deriv(n, alpha, beta, r)
+			delta := -p / (dp - p*s)
+			r += delta
+			if math.Abs(delta) < 1e-15 {
+				break
+			}
+		}
+		z[k] = r
+	}
+	return z
+}
+
+// RuleKind selects the family of a Gauss-type quadrature rule.
+type RuleKind int
+
+const (
+	// Gauss uses interior points only (zeros of P_Q^{a,b}); exact for
+	// degree 2Q-1.
+	Gauss RuleKind = iota
+	// RadauM includes the endpoint -1 (Gauss-Radau-Jacobi); exact for
+	// degree 2Q-2. Used in the collapsed direction of triangles.
+	RadauM
+	// Lobatto includes both endpoints (Gauss-Lobatto-Jacobi); exact
+	// for degree 2Q-3. The workhorse rule of the spectral/hp basis.
+	Lobatto
+)
+
+func (k RuleKind) String() string {
+	switch k {
+	case Gauss:
+		return "gauss"
+	case RadauM:
+		return "gauss-radau"
+	case Lobatto:
+		return "gauss-lobatto"
+	}
+	return "unknown"
+}
+
+// Rule holds the points and weights of a Gauss-type quadrature rule
+// for the weight function (1-x)^alpha (1+x)^beta on [-1, 1].
+type Rule struct {
+	Kind           RuleKind
+	Alpha, Beta    float64
+	Points, Weight []float64
+}
+
+// NewRule constructs a Q-point quadrature rule of the given kind. It
+// panics if q is too small for the kind (q >= 1 for Gauss and Radau,
+// q >= 2 for Lobatto), since rule sizes are static program constants
+// in the solvers.
+func NewRule(kind RuleKind, q int, alpha, beta float64) *Rule {
+	var pts []float64
+	switch kind {
+	case Gauss:
+		if q < 1 {
+			panic(fmt.Sprintf("jacobi: Gauss rule needs q >= 1, got %d", q))
+		}
+		pts = Zeros(q, alpha, beta)
+	case RadauM:
+		if q < 1 {
+			panic(fmt.Sprintf("jacobi: Radau rule needs q >= 1, got %d", q))
+		}
+		pts = make([]float64, q)
+		pts[0] = -1
+		copy(pts[1:], Zeros(q-1, alpha, beta+1))
+	case Lobatto:
+		if q < 2 {
+			panic(fmt.Sprintf("jacobi: Lobatto rule needs q >= 2, got %d", q))
+		}
+		pts = make([]float64, q)
+		pts[0] = -1
+		pts[q-1] = 1
+		copy(pts[1:q-1], Zeros(q-2, alpha+1, beta+1))
+	default:
+		panic("jacobi: unknown rule kind")
+	}
+	w := weightsFromMoments(pts, alpha, beta)
+	return &Rule{Kind: kind, Alpha: alpha, Beta: beta, Points: pts, Weight: w}
+}
+
+// weightsFromMoments computes quadrature weights for arbitrary
+// distinct points so that polynomials up to degree len(pts)-1 are
+// integrated exactly against (1-x)^a (1+x)^b. The linear system is
+// expressed in the Jacobi orthogonal basis so it stays well
+// conditioned:
+//
+//	sum_i w_i P_j^{a,b}(x_i) = m0 * delta_{j0},  j = 0..Q-1
+//
+// with m0 = 2^{a+b+1} * B(a+1, b+1). For Gauss/Radau/Lobatto point
+// sets this yields the classical rules with their full exactness.
+func weightsFromMoments(pts []float64, alpha, beta float64) []float64 {
+	q := len(pts)
+	m0 := math.Exp((alpha+beta+1)*math.Ln2 + lgamma(alpha+1) + lgamma(beta+1) - lgamma(alpha+beta+2))
+	a := make([]float64, q*q)
+	for j := 0; j < q; j++ {
+		for i := 0; i < q; i++ {
+			a[j*q+i] = P(j, alpha, beta, pts[i])
+		}
+	}
+	b := make([]float64, q)
+	b[0] = m0
+	if err := solveDense(q, a, b); err != nil {
+		panic(fmt.Sprintf("jacobi: weight system singular: %v", err))
+	}
+	return b
+}
+
+// lgamma returns log Gamma(x) for x > 0.
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// solveDense is a tiny local Gaussian elimination with partial
+// pivoting; jacobi sits below lapack in the dependency order so it
+// carries its own Q-by-Q solver (Q <= ~50 in practice).
+func solveDense(n int, a, b []float64) error {
+	for k := 0; k < n; k++ {
+		p, pmax := k, math.Abs(a[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(a[i*n+k]); v > pmax {
+				p, pmax = i, v
+			}
+		}
+		if pmax == 0 {
+			return fmt.Errorf("singular at column %d", k)
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				a[k*n+j], a[p*n+j] = a[p*n+j], a[k*n+j]
+			}
+			b[k], b[p] = b[p], b[k]
+		}
+		for i := k + 1; i < n; i++ {
+			f := a[i*n+k] / a[k*n+k]
+			if f == 0 {
+				continue
+			}
+			for j := k; j < n; j++ {
+				a[i*n+j] -= f * a[k*n+j]
+			}
+			b[i] -= f * b[k]
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for j := i + 1; j < n; j++ {
+			s -= a[i*n+j] * b[j]
+		}
+		b[i] = s / a[i*n+i]
+	}
+	return nil
+}
+
+// Integrate applies the rule to samples f(x_i) given at the rule's
+// points.
+func (r *Rule) Integrate(f []float64) float64 {
+	var s float64
+	for i, w := range r.Weight {
+		s += w * f[i]
+	}
+	return s
+}
+
+// DerivMatrix returns the collocation differentiation matrix D for
+// Lagrange interpolation through the rule's points: (D u)_i ~ u'(x_i).
+// Row-major q-by-q.
+func (r *Rule) DerivMatrix() []float64 {
+	return DerivMatrix(r.Points)
+}
+
+// DerivMatrix builds the differentiation matrix for arbitrary distinct
+// points using barycentric weights.
+func DerivMatrix(pts []float64) []float64 {
+	q := len(pts)
+	w := baryWeights(pts)
+	d := make([]float64, q*q)
+	for i := 0; i < q; i++ {
+		var rowSum float64
+		for j := 0; j < q; j++ {
+			if i == j {
+				continue
+			}
+			v := (w[j] / w[i]) / (pts[i] - pts[j])
+			d[i*q+j] = v
+			rowSum += v
+		}
+		d[i*q+i] = -rowSum
+	}
+	return d
+}
+
+// InterpMatrix returns the matrix mapping values at points `from` to
+// interpolated values at points `to` (row-major len(to)-by-len(from)),
+// via the barycentric Lagrange formula.
+func InterpMatrix(from, to []float64) []float64 {
+	nf, nt := len(from), len(to)
+	w := baryWeights(from)
+	m := make([]float64, nt*nf)
+	for i := 0; i < nt; i++ {
+		x := to[i]
+		// Exact hit: Lagrange cardinal property.
+		exact := -1
+		for j, xf := range from {
+			if x == xf {
+				exact = j
+				break
+			}
+		}
+		if exact >= 0 {
+			m[i*nf+exact] = 1
+			continue
+		}
+		var denom float64
+		for j := 0; j < nf; j++ {
+			denom += w[j] / (x - from[j])
+		}
+		for j := 0; j < nf; j++ {
+			m[i*nf+j] = (w[j] / (x - from[j])) / denom
+		}
+	}
+	return m
+}
+
+func baryWeights(pts []float64) []float64 {
+	q := len(pts)
+	w := make([]float64, q)
+	for j := 0; j < q; j++ {
+		p := 1.0
+		for k := 0; k < q; k++ {
+			if k != j {
+				p *= pts[j] - pts[k]
+			}
+		}
+		w[j] = 1 / p
+	}
+	return w
+}

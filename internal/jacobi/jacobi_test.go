@@ -1,0 +1,248 @@
+package jacobi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPLowOrders(t *testing.T) {
+	// Legendre (alpha = beta = 0): P0 = 1, P1 = x, P2 = (3x^2-1)/2.
+	xs := []float64{-1, -0.3, 0, 0.7, 1}
+	for _, x := range xs {
+		if got := P(0, 0, 0, x); got != 1 {
+			t.Fatalf("P0(%v) = %v", x, got)
+		}
+		if got := P(1, 0, 0, x); math.Abs(got-x) > 1e-15 {
+			t.Fatalf("P1(%v) = %v", x, got)
+		}
+		want := 0.5 * (3*x*x - 1)
+		if got := P(2, 0, 0, x); math.Abs(got-want) > 1e-14 {
+			t.Fatalf("P2(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestPNormalizationAtOne(t *testing.T) {
+	// P_n^{a,b}(1) = binom(n+a, n).
+	for n := 0; n <= 8; n++ {
+		for _, ab := range [][2]float64{{0, 0}, {1, 1}, {2, 0}, {1.5, 0.5}} {
+			a, b := ab[0], ab[1]
+			want := math.Exp(lgamma(float64(n)+a+1) - lgamma(float64(n)+1) - lgamma(a+1))
+			got := P(n, a, b, 1)
+			if math.Abs(got-want) > 1e-12*math.Abs(want) {
+				t.Fatalf("P_%d^{%v,%v}(1) = %v, want %v", n, a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestDerivMatchesFiniteDifference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(10) + 1
+		a := rng.Float64() * 2
+		b := rng.Float64() * 2
+		x := rng.Float64()*1.6 - 0.8
+		h := 1e-6
+		fd := (P(n, a, b, x+h) - P(n, a, b, x-h)) / (2 * h)
+		return math.Abs(Deriv(n, a, b, x)-fd) < 1e-5*(1+math.Abs(fd))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZerosAreRootsAndSorted(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 10, 20} {
+		for _, ab := range [][2]float64{{0, 0}, {1, 1}, {2, 1}} {
+			z := Zeros(n, ab[0], ab[1])
+			for i, r := range z {
+				if v := P(n, ab[0], ab[1], r); math.Abs(v) > 1e-10 {
+					t.Fatalf("n=%d ab=%v: P(z[%d]=%v) = %v", n, ab, i, r, v)
+				}
+				if r <= -1 || r >= 1 {
+					t.Fatalf("root outside (-1,1): %v", r)
+				}
+				if i > 0 && z[i] <= z[i-1] {
+					t.Fatalf("roots not ascending: %v", z)
+				}
+			}
+		}
+	}
+}
+
+func TestGaussLegendreAgainstKnownValues(t *testing.T) {
+	// 2-point Gauss-Legendre: x = ±1/sqrt(3), w = 1.
+	r := NewRule(Gauss, 2, 0, 0)
+	if math.Abs(r.Points[0]+1/math.Sqrt(3)) > 1e-14 || math.Abs(r.Points[1]-1/math.Sqrt(3)) > 1e-14 {
+		t.Fatalf("points = %v", r.Points)
+	}
+	if math.Abs(r.Weight[0]-1) > 1e-14 || math.Abs(r.Weight[1]-1) > 1e-14 {
+		t.Fatalf("weights = %v", r.Weight)
+	}
+}
+
+func TestLobattoAgainstKnownValues(t *testing.T) {
+	// 4-point Gauss-Lobatto-Legendre: x = ±1, ±1/sqrt(5); w = 1/6, 5/6.
+	r := NewRule(Lobatto, 4, 0, 0)
+	wantPts := []float64{-1, -1 / math.Sqrt(5), 1 / math.Sqrt(5), 1}
+	wantW := []float64{1.0 / 6, 5.0 / 6, 5.0 / 6, 1.0 / 6}
+	for i := range wantPts {
+		if math.Abs(r.Points[i]-wantPts[i]) > 1e-13 {
+			t.Fatalf("points = %v", r.Points)
+		}
+		if math.Abs(r.Weight[i]-wantW[i]) > 1e-13 {
+			t.Fatalf("weights = %v", r.Weight)
+		}
+	}
+}
+
+// polyIntegral computes the exact integral of x^k (1-x)^a (1+x)^b on
+// [-1,1] by high-order reference Gauss quadrature.
+func polyIntegral(k int, a, b float64) float64 {
+	ref := NewRule(Gauss, 64, a, b)
+	var s float64
+	for i, x := range ref.Points {
+		s += ref.Weight[i] * math.Pow(x, float64(k))
+	}
+	return s
+}
+
+func TestExactnessDegrees(t *testing.T) {
+	cases := []struct {
+		kind  RuleKind
+		q     int
+		exact int // highest exactly integrated degree
+	}{
+		{Gauss, 4, 7}, {Gauss, 7, 13},
+		{RadauM, 4, 6}, {RadauM, 6, 10},
+		{Lobatto, 4, 5}, {Lobatto, 8, 13},
+	}
+	for _, ab := range [][2]float64{{0, 0}, {1, 0}, {1, 1}} {
+		a, b := ab[0], ab[1]
+		for _, tc := range cases {
+			r := NewRule(tc.kind, tc.q, a, b)
+			for k := 0; k <= tc.exact; k++ {
+				want := polyIntegral(k, a, b)
+				f := make([]float64, tc.q)
+				for i, x := range r.Points {
+					f[i] = math.Pow(x, float64(k))
+				}
+				got := r.Integrate(f)
+				if math.Abs(got-want) > 1e-11*(1+math.Abs(want)) {
+					t.Fatalf("%v q=%d ab=(%v,%v): degree %d integral = %v, want %v",
+						tc.kind, tc.q, a, b, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestRadauIncludesMinusOne(t *testing.T) {
+	r := NewRule(RadauM, 5, 0, 1)
+	if r.Points[0] != -1 {
+		t.Fatalf("Radau rule must include -1, got %v", r.Points)
+	}
+}
+
+func TestLobattoIncludesEndpoints(t *testing.T) {
+	r := NewRule(Lobatto, 6, 0, 0)
+	if r.Points[0] != -1 || r.Points[5] != 1 {
+		t.Fatalf("Lobatto rule must include ±1, got %v", r.Points)
+	}
+}
+
+func TestWeightsPositive(t *testing.T) {
+	for _, kind := range []RuleKind{Gauss, RadauM, Lobatto} {
+		q := 8
+		r := NewRule(kind, q, 0, 0)
+		for i, w := range r.Weight {
+			if w <= 0 {
+				t.Fatalf("%v: weight %d = %v <= 0", kind, i, w)
+			}
+		}
+	}
+}
+
+func TestNewRulePanicsOnTinyQ(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Lobatto with q=1 should panic")
+		}
+	}()
+	NewRule(Lobatto, 1, 0, 0)
+}
+
+func TestDerivMatrixDifferentiatesPolynomials(t *testing.T) {
+	r := NewRule(Lobatto, 9, 0, 0)
+	d := r.DerivMatrix()
+	q := len(r.Points)
+	// u = x^5, u' = 5x^4 is in the interpolation space.
+	u := make([]float64, q)
+	for i, x := range r.Points {
+		u[i] = math.Pow(x, 5)
+	}
+	for i := 0; i < q; i++ {
+		var du float64
+		for j := 0; j < q; j++ {
+			du += d[i*q+j] * u[j]
+		}
+		want := 5 * math.Pow(r.Points[i], 4)
+		if math.Abs(du-want) > 1e-10 {
+			t.Fatalf("D u at %v = %v, want %v", r.Points[i], du, want)
+		}
+	}
+}
+
+func TestDerivMatrixRowSumZero(t *testing.T) {
+	// Differentiating a constant gives zero: row sums vanish.
+	d := DerivMatrix([]float64{-1, -0.2, 0.5, 1})
+	for i := 0; i < 4; i++ {
+		var s float64
+		for j := 0; j < 4; j++ {
+			s += d[i*4+j]
+		}
+		if math.Abs(s) > 1e-12 {
+			t.Fatalf("row %d sum = %v", i, s)
+		}
+	}
+}
+
+func TestInterpMatrixReproducesPolynomials(t *testing.T) {
+	from := NewRule(Lobatto, 7, 0, 0).Points
+	to := NewRule(Gauss, 11, 0, 0).Points
+	m := InterpMatrix(from, to)
+	u := make([]float64, len(from))
+	for i, x := range from {
+		u[i] = 3*x*x*x - x + 0.5
+	}
+	for i, x := range to {
+		var v float64
+		for j := range from {
+			v += m[i*len(from)+j] * u[j]
+		}
+		want := 3*x*x*x - x + 0.5
+		if math.Abs(v-want) > 1e-12 {
+			t.Fatalf("interp at %v = %v, want %v", x, v, want)
+		}
+	}
+}
+
+func TestInterpMatrixExactHit(t *testing.T) {
+	from := []float64{-1, 0, 1}
+	m := InterpMatrix(from, []float64{0})
+	if m[0] != 0 || m[1] != 1 || m[2] != 0 {
+		t.Fatalf("cardinal property violated: %v", m)
+	}
+}
+
+func TestRuleKindString(t *testing.T) {
+	if Gauss.String() != "gauss" || RadauM.String() != "gauss-radau" || Lobatto.String() != "gauss-lobatto" {
+		t.Fatal("RuleKind strings wrong")
+	}
+	if RuleKind(9).String() != "unknown" {
+		t.Fatal("unknown kind should stringify as unknown")
+	}
+}

@@ -1,0 +1,259 @@
+package machine
+
+import (
+	"testing"
+
+	"nektar/internal/blas"
+)
+
+func TestAllMachinesWellFormed(t *testing.T) {
+	ms := All()
+	if len(ms) != 13 {
+		t.Fatalf("machine count = %d", len(ms))
+	}
+	seen := map[string]bool{}
+	for _, m := range ms {
+		if seen[m.Name] {
+			t.Fatalf("duplicate machine %q", m.Name)
+		}
+		seen[m.Name] = true
+		if m.CPU.PeakMFlops <= 0 || m.CPU.AppFactor < 1 {
+			t.Fatalf("%s: bad CPU parameters", m.Name)
+		}
+		last := m.CPU.Levels[len(m.CPU.Levels)-1]
+		if last.Size != 0 {
+			t.Fatalf("%s: last cache level must be memory (Size 0)", m.Name)
+		}
+		for i := 1; i < len(m.CPU.Levels); i++ {
+			if m.CPU.Levels[i].BandwidthMBs > m.CPU.Levels[i-1].BandwidthMBs {
+				t.Fatalf("%s: bandwidth must not increase down the hierarchy", m.Name)
+			}
+		}
+		if m.Net == nil || m.Net.Inter.BandwidthMBs <= 0 {
+			t.Fatalf("%s: missing network model", m.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("T3E"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("ENIAC"); err == nil {
+		t.Fatal("expected error for unknown machine")
+	}
+}
+
+func TestDcopyCurveShape(t *testing.T) {
+	// dcopy speed must rise with size (overhead amortization), then
+	// fall when the working set spills each cache level.
+	pc := Muses().CPU
+	small := pc.DcopyMBs(200)
+	l1 := pc.DcopyMBs(6 << 10)   // resident in L1 (2*6KB < 16KB)
+	l2 := pc.DcopyMBs(128 << 10) // resident in L2
+	mem := pc.DcopyMBs(4 << 20)  // main memory
+	if !(small < l1) {
+		t.Fatalf("overhead regime not visible: %v vs %v", small, l1)
+	}
+	if !(l1 > l2 && l2 > mem) {
+		t.Fatalf("cache cliffs missing: L1=%v L2=%v mem=%v", l1, l2, mem)
+	}
+}
+
+func TestPCDdotUnmatchedInCache(t *testing.T) {
+	// Paper, section 3.1: for in-cache dgemv-figure group the PC's
+	// ddot performance is "actually unmatched" among the left-plot
+	// machines (Thin2, Silver, AP3000, Onyx2).
+	pc := Muses().CPU
+	s := int64(6 << 10)
+	pcRate := pc.Level1MFlops(blas.KernelDdot, s)
+	for _, name := range []string{"SP2-Silver", "AP3000", "Onyx2"} {
+		m, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := m.CPU.Level1MFlops(blas.KernelDdot, s); r >= pcRate {
+			t.Fatalf("%s ddot %v >= PC %v in cache", name, r, pcRate)
+		}
+	}
+}
+
+func TestT3EAndP2SCSuperior(t *testing.T) {
+	// Paper conclusion on Figures 1-6: "the T3E and the SP2-P2SC nodes
+	// being superior to all the other architectures tested" — check
+	// for large dgemm, the asymptotic-compute figure.
+	t3e, _ := ByName("T3E")
+	p2sc, _ := ByName("P2SC")
+	for _, name := range []string{"Muses", "SP2-Silver", "SP2-Thin2", "Onyx2", "AP3000"} {
+		m, _ := ByName(name)
+		r := m.CPU.DgemmMFlops(500)
+		if r >= t3e.CPU.DgemmMFlops(500) && r >= p2sc.CPU.DgemmMFlops(500) {
+			t.Fatalf("%s dgemm %v not below both T3E and P2SC", name, r)
+		}
+	}
+}
+
+func TestPCDgemmBoundedByPeak(t *testing.T) {
+	pc := Muses().CPU
+	for _, n := range []int{5, 20, 100, 600} {
+		if r := pc.DgemmMFlops(n); r >= 450 {
+			t.Fatalf("PC dgemm at n=%d is %v >= hardware peak", n, r)
+		}
+	}
+}
+
+func TestDgemmSmallMatrixRamp(t *testing.T) {
+	// Figure 6: performance climbs steeply over n = 2..20.
+	pc := Muses().CPU
+	r2 := pc.DgemmMFlops(2)
+	r10 := pc.DgemmMFlops(10)
+	r20 := pc.DgemmMFlops(20)
+	if !(r2 < r10 && r10 < r20) {
+		t.Fatalf("no small-n ramp: %v %v %v", r2, r10, r20)
+	}
+	if r20 > 0.8*pc.DgemmMFlops(600) {
+		t.Fatalf("n=20 should still be far from asymptotic: %v vs %v", r20, pc.DgemmMFlops(600))
+	}
+}
+
+func TestPCMemoryBandwidthCompetitive(t *testing.T) {
+	// "For data fetched from main memory ... the PC platform performs
+	// well due to its fast 100MHz SDRAM" — PC out-of-cache daxpy beats
+	// Silver's and AP3000's.
+	pc := Muses().CPU
+	s := int64(4 << 20)
+	pcRate := pc.Level1MFlops(blas.KernelDaxpy, s)
+	for _, name := range []string{"SP2-Silver", "AP3000", "Onyx2"} {
+		m, _ := ByName(name)
+		if r := m.CPU.Level1MFlops(blas.KernelDaxpy, s); r > pcRate {
+			t.Fatalf("%s out-of-cache daxpy %v > PC %v", name, r, pcRate)
+		}
+	}
+}
+
+func TestSecondsScalesWithWork(t *testing.T) {
+	var small, big blas.Counts
+	small.Ops[blas.KernelDgemm] = blas.Op{Calls: 10, N: 10 * 8 * 8 * 8, Flops: 10 * 2 * 512, Bytes: 10 * 8 * 3 * 64}
+	big = small
+	big.Ops[blas.KernelDgemm].Flops *= 100
+	big.Ops[blas.KernelDgemm].N *= 100
+	pc := Muses().CPU
+	ts, tb := pc.Seconds(&small), pc.Seconds(&big)
+	if !(tb > 10*ts) {
+		t.Fatalf("Seconds not scaling: %v vs %v", ts, tb)
+	}
+	if pc.ApplicationSeconds(&small) < ts {
+		t.Fatal("AppFactor must not shrink time")
+	}
+}
+
+func TestSecondsEmptyCountsIsZero(t *testing.T) {
+	var c blas.Counts
+	if s := Muses().CPU.Seconds(&c); s != 0 {
+		t.Fatalf("empty counts priced at %v", s)
+	}
+}
+
+func TestNetworkLatencyOrdering(t *testing.T) {
+	// Figure 7 left: Ethernet latencies are an order of magnitude
+	// above the supercomputer interconnects; Myrinet sits between.
+	lat := func(name string) float64 {
+		m, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Net.Inter.LatencyUS
+	}
+	if !(lat("T3E") < lat("RoadRunner-myr") && lat("RoadRunner-myr") < lat("Muses")) {
+		t.Fatal("latency ordering violated")
+	}
+	if !(lat("Muses") < lat("RoadRunner-eth")) {
+		t.Fatal("RoadRunner control Ethernet should be worst")
+	}
+}
+
+func TestNetworkBandwidthOrdering(t *testing.T) {
+	// Figure 7 right: T3E highest; Fast Ethernet capped near 11-12
+	// MB/s; Myrinet above Thin2 but below the SP-Silver switch.
+	bw := func(name string) float64 {
+		m, _ := ByName(name)
+		return m.Net.Inter.BandwidthMBs
+	}
+	if bw("Muses") > 12.5 {
+		t.Fatal("Fast Ethernet exceeds wire speed")
+	}
+	if !(bw("T3E") > bw("SP2-Silver") && bw("SP2-Silver") > bw("RoadRunner-myr")) {
+		t.Fatal("bandwidth ordering violated")
+	}
+	if !(bw("RoadRunner-myr") > bw("Muses")) {
+		t.Fatal("Myrinet must beat Fast Ethernet")
+	}
+}
+
+func TestEveryMachineKernelPredictorsSane(t *testing.T) {
+	// Every machine's figure predictors must produce positive, finite,
+	// peak-bounded values over the full sweep (covers the constructors
+	// the shape tests do not reach individually).
+	for _, m := range All() {
+		cpu := m.CPU
+		for _, s := range []int64{256, 4 << 10, 64 << 10, 2 << 20} {
+			if v := cpu.DcopyMBs(s); v <= 0 {
+				t.Fatalf("%s dcopy(%d) = %v", m.Name, s, v)
+			}
+			for _, k := range []blas.Kernel{blas.KernelDaxpy, blas.KernelDdot} {
+				v := cpu.Level1MFlops(k, s)
+				if v <= 0 || v >= cpu.PeakMFlops {
+					t.Fatalf("%s %v(%d) = %v (peak %v)", m.Name, k, s, v, cpu.PeakMFlops)
+				}
+			}
+		}
+		for _, n := range []int{4, 32, 256, 1024} {
+			if v := cpu.DgemvMFlops(n); v <= 0 || v >= cpu.PeakMFlops {
+				t.Fatalf("%s dgemv(%d) = %v", m.Name, n, v)
+			}
+			if v := cpu.DgemmMFlops(n); v <= 0 || v >= cpu.PeakMFlops {
+				t.Fatalf("%s dgemm(%d) = %v", m.Name, n, v)
+			}
+		}
+	}
+}
+
+func TestPCClusterVariantsShareCPU(t *testing.T) {
+	// Muses, Muses-LAM, Muses-MVIA and both RoadRunner networks all
+	// run the same Pentium II nodes; only the networks differ.
+	base := Muses().CPU
+	for _, name := range []string{"Muses-LAM", "Muses-MVIA", "RoadRunner-eth", "RoadRunner-myr"} {
+		m, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.CPU.PeakMFlops != base.PeakMFlops || m.CPU.ClockMHz != base.ClockMHz {
+			t.Fatalf("%s CPU differs from the shared PC node", name)
+		}
+	}
+}
+
+func TestMVIALatencyBelowTCPVariants(t *testing.T) {
+	mv, _ := ByName("Muses-MVIA")
+	mp, _ := ByName("Muses")
+	lam, _ := ByName("Muses-LAM")
+	if mv.Net.Inter.LatencyUS >= lam.Net.Inter.LatencyUS ||
+		lam.Net.Inter.LatencyUS >= mp.Net.Inter.LatencyUS {
+		t.Fatal("expected MVIA < LAM < MPICH latency ordering")
+	}
+}
+
+func TestApplicationSecondsUsesTriSolveBW(t *testing.T) {
+	// A gemv-heavy (triangular-solve-like) workload must be priced
+	// slower on a machine whose TriSolveBW is below 1 than the same
+	// workload priced through the raw streaming bandwidth.
+	var c blas.Counts
+	c.Ops[blas.KernelDgemv] = blas.Op{Calls: 1, N: 1 << 20, Flops: 1 << 26, Bytes: 1 << 28}
+	t3e := T3E().CPU
+	with := t3e.Seconds(&c)
+	t3e.TriSolveBW = 0
+	without := t3e.Seconds(&c)
+	if with <= without {
+		t.Fatalf("TriSolveBW not applied: %v vs %v", with, without)
+	}
+}

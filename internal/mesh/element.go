@@ -1,0 +1,253 @@
+// Package mesh provides geometric spectral/hp elements, hybrid
+// unstructured meshes (triangles and quadrilaterals in 2D, hexahedra
+// in 3D), mesh generators for the paper's benchmark geometries (bluff
+// body / cylinder O-grids, NACA wing sections, channels), and the C0
+// global assembly map used by the solvers.
+package mesh
+
+import (
+	"fmt"
+	"math"
+
+	"nektar/internal/basis"
+	"nektar/internal/blas"
+	"nektar/internal/lapack"
+)
+
+// Element is a reference element equipped with a geometric mapping:
+// the isoparametric (vertex-linear) image of the reference shape.
+type Element struct {
+	ID   int
+	Ref  *basis.Ref
+	Vert []int // global vertex ids, in local order
+
+	Edge       []int  // global edge ids, in local edge order
+	EdgeRev    []bool // true if local edge direction opposes global
+	Face       []int  // global face ids (3D)
+	FaceOrient []FaceOrient
+
+	// Geometry at quadrature points.
+	X     [3][]float64    // physical coordinates
+	Jac   []float64       // determinant of dx/dxi (> 0)
+	DxiDx [3][3][]float64 // [d][e]: dxi_d / dx_e
+	WJ    []float64       // quadrature weight * Jac
+
+	massChol *lapack.BandStorage
+}
+
+// newElement tabulates the geometry of an element whose global
+// vertices have coordinates verts (in local vertex order).
+func newElement(id int, ref *basis.Ref, vertIDs []int, coords [][3]float64) (*Element, error) {
+	e := &Element{ID: id, Ref: ref, Vert: append([]int(nil), vertIDs...)}
+	dim := ref.Shape.Dim()
+	nq := ref.NQuad
+
+	// The vertex-linear mapping x(xi) = sum_c v_c N_c(xi) reuses the
+	// tabulated vertex modes of the basis, so geometry and field share
+	// one consistent representation.
+	vertMode := make([]int, ref.Shape.NumVerts())
+	for mi, m := range ref.Modes {
+		if m.Type == basis.VertexMode {
+			vertMode[m.Entity] = mi
+		}
+	}
+
+	var dxdxi [3][3][]float64 // [e][d]: dx_e / dxi_d
+	for ei := 0; ei < dim; ei++ {
+		e.X[ei] = make([]float64, nq)
+		for d := 0; d < dim; d++ {
+			dxdxi[ei][d] = make([]float64, nq)
+		}
+	}
+	for c, mi := range vertMode {
+		for ei := 0; ei < dim; ei++ {
+			v := coords[c][ei]
+			if v == 0 {
+				continue
+			}
+			blas.Daxpy(nq, v, ref.B[mi*nq:], 1, e.X[ei], 1)
+			for d := 0; d < dim; d++ {
+				blas.Daxpy(nq, v, ref.D[d][mi*nq:], 1, dxdxi[ei][d], 1)
+			}
+		}
+	}
+
+	// Invert the Jacobian pointwise.
+	e.Jac = make([]float64, nq)
+	e.WJ = make([]float64, nq)
+	for d := 0; d < dim; d++ {
+		for ei := 0; ei < dim; ei++ {
+			e.DxiDx[d][ei] = make([]float64, nq)
+		}
+	}
+	for q := 0; q < nq; q++ {
+		var det float64
+		if dim == 2 {
+			a, b := dxdxi[0][0][q], dxdxi[0][1][q]
+			c, d := dxdxi[1][0][q], dxdxi[1][1][q]
+			det = a*d - b*c
+			if det <= 0 {
+				return nil, fmt.Errorf("mesh: element %d has non-positive Jacobian %g at point %d", id, det, q)
+			}
+			inv := 1 / det
+			e.DxiDx[0][0][q] = d * inv
+			e.DxiDx[0][1][q] = -b * inv
+			e.DxiDx[1][0][q] = -c * inv
+			e.DxiDx[1][1][q] = a * inv
+		} else {
+			m := [3][3]float64{
+				{dxdxi[0][0][q], dxdxi[0][1][q], dxdxi[0][2][q]},
+				{dxdxi[1][0][q], dxdxi[1][1][q], dxdxi[1][2][q]},
+				{dxdxi[2][0][q], dxdxi[2][1][q], dxdxi[2][2][q]},
+			}
+			det = m[0][0]*(m[1][1]*m[2][2]-m[1][2]*m[2][1]) -
+				m[0][1]*(m[1][0]*m[2][2]-m[1][2]*m[2][0]) +
+				m[0][2]*(m[1][0]*m[2][1]-m[1][1]*m[2][0])
+			if det <= 0 {
+				return nil, fmt.Errorf("mesh: element %d has non-positive Jacobian %g at point %d", id, det, q)
+			}
+			inv := 1 / det
+			// DxiDx[d][e] = dxi_d/dx_e = (J^{-1})[d][e] with
+			// J[e][d] = dx_e/dxi_d; standard adjugate formula.
+			e.DxiDx[0][0][q] = (m[1][1]*m[2][2] - m[1][2]*m[2][1]) * inv
+			e.DxiDx[0][1][q] = (m[2][1]*m[0][2] - m[2][2]*m[0][1]) * inv
+			e.DxiDx[0][2][q] = (m[0][1]*m[1][2] - m[0][2]*m[1][1]) * inv
+			e.DxiDx[1][0][q] = (m[1][2]*m[2][0] - m[1][0]*m[2][2]) * inv
+			e.DxiDx[1][1][q] = (m[2][2]*m[0][0] - m[2][0]*m[0][2]) * inv
+			e.DxiDx[1][2][q] = (m[0][2]*m[1][0] - m[0][0]*m[1][2]) * inv
+			e.DxiDx[2][0][q] = (m[1][0]*m[2][1] - m[1][1]*m[2][0]) * inv
+			e.DxiDx[2][1][q] = (m[2][0]*m[0][1] - m[2][1]*m[0][0]) * inv
+			e.DxiDx[2][2][q] = (m[0][0]*m[1][1] - m[0][1]*m[1][0]) * inv
+		}
+		e.Jac[q] = det
+		e.WJ[q] = ref.W[q] * det
+	}
+	return e, nil
+}
+
+// BwdTrans evaluates modal coefficients at the quadrature points.
+func (e *Element) BwdTrans(coef, phys []float64) {
+	e.Ref.BackwardTransform(coef, phys)
+}
+
+// IProduct computes out[m] = integral phi_m * f over the element.
+func (e *Element) IProduct(phys, out []float64) {
+	nq := e.Ref.NQuad
+	tmp := make([]float64, nq)
+	blas.Dvmul(nq, phys, 1, e.WJ, 1, tmp, 1)
+	e.Ref.IProductPhys(tmp, out)
+}
+
+// FwdTrans projects physical values onto the element's modal space
+// (Galerkin projection with the element's geometric mass matrix).
+func (e *Element) FwdTrans(phys, coef []float64) {
+	if e.massChol == nil {
+		m := e.Mass()
+		n := e.Ref.NModes
+		band := lapack.NewBandStorage(n, n-1)
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				band.Set(i, j, m[i*n+j])
+			}
+		}
+		if err := lapack.Dpbtrf(band); err != nil {
+			panic(fmt.Sprintf("mesh: element %d mass not SPD: %v", e.ID, err))
+		}
+		e.massChol = band
+	}
+	e.IProduct(phys, coef)
+	lapack.Dpbtrs(e.massChol, coef)
+}
+
+// PhysGrad computes the physical-space gradient of a modal field at
+// the quadrature points: out[ei][q] = du/dx_ei.
+func (e *Element) PhysGrad(coef []float64, out [][]float64) {
+	dim := e.Ref.Shape.Dim()
+	nq := e.Ref.NQuad
+	dpar := make([]float64, nq)
+	for ei := 0; ei < dim; ei++ {
+		blas.Dfill(nq, 0, out[ei], 1)
+	}
+	for d := 0; d < dim; d++ {
+		e.Ref.BwdTransDeriv(d, coef, dpar)
+		for ei := 0; ei < dim; ei++ {
+			for q := 0; q < nq; q++ {
+				out[ei][q] += dpar[q] * e.DxiDx[d][ei][q]
+			}
+		}
+	}
+}
+
+// Mass returns the elemental mass matrix M_mn = integral phi_m phi_n
+// over the element (row-major NModes^2).
+func (e *Element) Mass() []float64 {
+	return e.Ref.Mass(e.Jac)
+}
+
+// Laplacian returns the elemental (weak) Laplacian matrix
+// L_mn = integral grad phi_m . grad phi_n over the element.
+func (e *Element) Laplacian() []float64 {
+	n, nq := e.Ref.NModes, e.Ref.NQuad
+	dim := e.Ref.Shape.Dim()
+	// G[ei][m*nq+q] = d phi_m / d x_ei.
+	g := make([][]float64, dim)
+	for ei := range g {
+		g[ei] = make([]float64, n*nq)
+	}
+	for d := 0; d < dim; d++ {
+		dd := e.Ref.D[d]
+		for ei := 0; ei < dim; ei++ {
+			met := e.DxiDx[d][ei]
+			for m := 0; m < n; m++ {
+				row := dd[m*nq : m*nq+nq]
+				out := g[ei][m*nq : m*nq+nq]
+				for q := 0; q < nq; q++ {
+					out[q] += row[q] * met[q]
+				}
+			}
+		}
+	}
+	// L = sum_e (G_e W) G_e^T is symmetric; scaling G by sqrt(W) turns
+	// each term into a rank-nq symmetric update, halving the build
+	// flops via Dsyrk.
+	sqw := make([]float64, nq)
+	for q := 0; q < nq; q++ {
+		sqw[q] = math.Sqrt(e.WJ[q])
+	}
+	lap := make([]float64, n*n)
+	sg := make([]float64, n*nq)
+	for ei := 0; ei < dim; ei++ {
+		for m := 0; m < n; m++ {
+			blas.Dvmul(nq, g[ei][m*nq:], 1, sqw, 1, sg[m*nq:], 1)
+		}
+		blas.Dsyrk(blas.Lower, blas.NoTrans, n, nq, 1, sg, nq, 1, lap, n)
+	}
+	blas.SymmetrizeLower(n, lap, n)
+	return lap
+}
+
+// Helmholtz returns L + lambda*M, the elemental Helmholtz operator of
+// the paper's pressure (lambda = 0, Poisson) and viscous solves.
+func (e *Element) Helmholtz(lambda float64) []float64 {
+	h := e.Laplacian()
+	if lambda != 0 {
+		m := e.Mass()
+		blas.Daxpy(len(h), lambda, m, 1, h, 1)
+	}
+	return h
+}
+
+// Integral computes the integral of a physical-space field over the
+// element.
+func (e *Element) Integral(phys []float64) float64 {
+	return blas.Ddot(e.Ref.NQuad, phys, 1, e.WJ, 1)
+}
+
+// Area returns the measure (area or volume) of the element.
+func (e *Element) Area() float64 {
+	var s float64
+	for _, w := range e.WJ {
+		s += w
+	}
+	return s
+}

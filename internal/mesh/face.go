@@ -1,0 +1,121 @@
+package mesh
+
+import (
+	"math"
+
+	"nektar/internal/basis"
+	"nektar/internal/jacobi"
+)
+
+// FaceQuad is the tabulated quadrature of one hexahedral element face:
+// the element quadrature points lying on the face, the outward unit
+// normal and surface Jacobian at each of them. Since the face plane
+// xi_d = +-1 belongs to the Lobatto grid, field traces come directly
+// from element quadrature values. It supports the 3D force
+// integration on the flapping wing and any other surface functional.
+type FaceQuad struct {
+	Elem      *Element
+	LocalFace int
+
+	Src []int     // element quad-point indices on the face
+	W   []float64 // 2D reference quadrature weights
+
+	Nx, Ny, Nz []float64 // outward unit normal per face point
+	SJ         []float64 // surface Jacobian per face point
+}
+
+// hexFaceAxis maps a local hex face to its fixed parametric direction
+// and side (-1 or +1), per the basis package's face numbering.
+func hexFaceAxis(lf int) (dir int, side float64) {
+	switch lf {
+	case 0:
+		return 2, -1
+	case 1:
+		return 2, 1
+	case 2:
+		return 1, -1
+	case 3:
+		return 1, 1
+	case 4:
+		return 0, -1
+	default:
+		return 0, 1
+	}
+}
+
+// NewFaceQuad tabulates a hex face. The normal comes from the gradient
+// of the fixed parametric coordinate (grad xi_d is perpendicular to
+// the level set xi_d = const) and the surface Jacobian from the
+// coarea formula dS = |grad xi_d| * detJ * dxi_a dxi_b.
+func NewFaceQuad(m *Mesh, el *Element, lf int) *FaceQuad {
+	if el.Ref.Shape != basis.Hex {
+		panic("mesh: NewFaceQuad supports hexahedra only")
+	}
+	dir, side := hexFaceAxis(lf)
+	q := el.Ref.QDim
+	rule := jacobi.NewRule(jacobi.Lobatto, q[0], 0, 0) // all dirs share the rule
+	fixIdx := 0
+	if side > 0 {
+		fixIdx = q[dir] - 1
+	}
+	fq := &FaceQuad{Elem: el, LocalFace: lf}
+	// Free directions in increasing axis order.
+	var free [2]int
+	switch dir {
+	case 0:
+		free = [2]int{1, 2}
+	case 1:
+		free = [2]int{0, 2}
+	default:
+		free = [2]int{0, 1}
+	}
+	idx3 := func(i, j, k int) int { return (i*q[1]+j)*q[2] + k }
+	for a := 0; a < q[free[0]]; a++ {
+		for b := 0; b < q[free[1]]; b++ {
+			var ijk [3]int
+			ijk[dir] = fixIdx
+			ijk[free[0]] = a
+			ijk[free[1]] = b
+			qi := idx3(ijk[0], ijk[1], ijk[2])
+			fq.Src = append(fq.Src, qi)
+			fq.W = append(fq.W, rule.Weight[a]*rule.Weight[b])
+
+			gx := el.DxiDx[dir][0][qi]
+			gy := el.DxiDx[dir][1][qi]
+			gz := el.DxiDx[dir][2][qi]
+			norm := math.Sqrt(gx*gx + gy*gy + gz*gz)
+			fq.Nx = append(fq.Nx, side*gx/norm)
+			fq.Ny = append(fq.Ny, side*gy/norm)
+			fq.Nz = append(fq.Nz, side*gz/norm)
+			fq.SJ = append(fq.SJ, norm*el.Jac[qi])
+		}
+	}
+	return fq
+}
+
+// EvalPhys extracts the face trace of a field given at the element's
+// quadrature points.
+func (fq *FaceQuad) EvalPhys(phys []float64, out []float64) {
+	for i, s := range fq.Src {
+		out[i] = phys[s]
+	}
+}
+
+// Integrate computes the surface integral of g (given at the face
+// points) over the face.
+func (fq *FaceQuad) Integrate(g []float64) float64 {
+	var sum float64
+	for i := range fq.Src {
+		sum += fq.W[i] * fq.SJ[i] * g[i]
+	}
+	return sum
+}
+
+// Area returns the face area.
+func (fq *FaceQuad) Area() float64 {
+	ones := make([]float64, len(fq.Src))
+	for i := range ones {
+		ones[i] = 1
+	}
+	return fq.Integrate(ones)
+}

@@ -1,0 +1,382 @@
+package mesh
+
+import (
+	"fmt"
+	"math"
+
+	"nektar/internal/basis"
+)
+
+// RectQuad builds a structured nx-by-ny quadrilateral mesh of the
+// rectangle [x0,x1]x[y0,y1]. Boundary edges are tagged by the
+// classifier if non-nil, else left untagged.
+func RectQuad(order, nx, ny int, x0, x1, y0, y1 float64, classify func(x, y, z float64) string) (*Mesh, error) {
+	if nx < 1 || ny < 1 {
+		return nil, fmt.Errorf("mesh: RectQuad needs nx, ny >= 1")
+	}
+	verts := make([][3]float64, 0, (nx+1)*(ny+1))
+	for j := 0; j <= ny; j++ {
+		for i := 0; i <= nx; i++ {
+			x := x0 + (x1-x0)*float64(i)/float64(nx)
+			y := y0 + (y1-y0)*float64(j)/float64(ny)
+			verts = append(verts, [3]float64{x, y, 0})
+		}
+	}
+	vid := func(i, j int) int { return j*(nx+1) + i }
+	var specs []ElemSpec
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			specs = append(specs, ElemSpec{
+				Shape: basis.Quad,
+				Verts: []int{vid(i, j), vid(i+1, j), vid(i+1, j+1), vid(i, j+1)},
+			})
+		}
+	}
+	m, err := New(order, verts, specs)
+	if err != nil {
+		return nil, err
+	}
+	if classify != nil {
+		m.TagBoundary(classify)
+	}
+	return m, nil
+}
+
+// RectTri builds a structured triangular mesh of a rectangle: each
+// quad cell split into two counter-clockwise triangles.
+func RectTri(order, nx, ny int, x0, x1, y0, y1 float64, classify func(x, y, z float64) string) (*Mesh, error) {
+	if nx < 1 || ny < 1 {
+		return nil, fmt.Errorf("mesh: RectTri needs nx, ny >= 1")
+	}
+	verts := make([][3]float64, 0, (nx+1)*(ny+1))
+	for j := 0; j <= ny; j++ {
+		for i := 0; i <= nx; i++ {
+			x := x0 + (x1-x0)*float64(i)/float64(nx)
+			y := y0 + (y1-y0)*float64(j)/float64(ny)
+			verts = append(verts, [3]float64{x, y, 0})
+		}
+	}
+	vid := func(i, j int) int { return j*(nx+1) + i }
+	var specs []ElemSpec
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			a, b, c, d := vid(i, j), vid(i+1, j), vid(i+1, j+1), vid(i, j+1)
+			// Alternate the diagonal for isotropy.
+			if (i+j)%2 == 0 {
+				specs = append(specs,
+					ElemSpec{Shape: basis.Tri, Verts: []int{a, b, c}},
+					ElemSpec{Shape: basis.Tri, Verts: []int{a, c, d}})
+			} else {
+				specs = append(specs,
+					ElemSpec{Shape: basis.Tri, Verts: []int{a, b, d}},
+					ElemSpec{Shape: basis.Tri, Verts: []int{b, c, d}})
+			}
+		}
+	}
+	m, err := New(order, verts, specs)
+	if err != nil {
+		return nil, err
+	}
+	if classify != nil {
+		m.TagBoundary(classify)
+	}
+	return m, nil
+}
+
+// Curve is a closed curve parametrized by u in [0, 1).
+type Curve func(u float64) (x, y float64)
+
+// Circle returns a circular curve of the given radius centred at
+// (cx, cy), traversed counter-clockwise.
+func Circle(cx, cy, r float64) Curve {
+	return func(u float64) (float64, float64) {
+		th := 2 * math.Pi * u
+		return cx + r*math.Cos(th), cy + r*math.Sin(th)
+	}
+}
+
+// RectBoundary returns the boundary of [x0,x1]x[y0,y1] parametrized by
+// the polar angle about the rectangle centre, so that it can be paired
+// with a star-shaped inner curve in an O-grid.
+func RectBoundary(x0, x1, y0, y1 float64) Curve {
+	cx, cy := 0.5*(x0+x1), 0.5*(y0+y1)
+	return func(u float64) (float64, float64) {
+		th := 2 * math.Pi * u
+		dx, dy := math.Cos(th), math.Sin(th)
+		t := math.Inf(1)
+		if dx > 1e-15 {
+			t = math.Min(t, (x1-cx)/dx)
+		} else if dx < -1e-15 {
+			t = math.Min(t, (x0-cx)/dx)
+		}
+		if dy > 1e-15 {
+			t = math.Min(t, (y1-cy)/dy)
+		} else if dy < -1e-15 {
+			t = math.Min(t, (y0-cy)/dy)
+		}
+		return cx + t*dx, cy + t*dy
+	}
+}
+
+// NACA4 returns the closed boundary curve of a NACA 4-digit airfoil
+// with maximum camber m at position p (fractions of chord) and
+// thickness t, chord [0, 1] along x. u = 0 starts at the trailing
+// edge, runs over the upper surface to the leading edge and back along
+// the lower surface. The paper's flapping-wing case uses NACA 4420:
+// NACA4(0.04, 0.4, 0.20).
+func NACA4(m, p, t float64) Curve {
+	thickness := func(x float64) float64 {
+		// Closed trailing edge variant (-0.1036 coefficient).
+		return 5 * t * (0.2969*math.Sqrt(x) - 0.1260*x - 0.3516*x*x + 0.2843*x*x*x - 0.1036*x*x*x*x)
+	}
+	camber := func(x float64) (yc, dyc float64) {
+		if m == 0 {
+			return 0, 0
+		}
+		if x < p {
+			return m / (p * p) * (2*p*x - x*x), 2 * m / (p * p) * (p - x)
+		}
+		return m / ((1 - p) * (1 - p)) * ((1 - 2*p) + 2*p*x - x*x),
+			2 * m / ((1 - p) * (1 - p)) * (p - x)
+	}
+	return func(u float64) (float64, float64) {
+		// Cosine clustering: s in [0, 2pi), x = (1+cos s)/2 maps
+		// s=0 -> TE, s=pi -> LE; upper surface first.
+		s := 2 * math.Pi * u
+		x := 0.5 * (1 + math.Cos(s))
+		yt := thickness(x)
+		yc, dyc := camber(x)
+		th := math.Atan(dyc)
+		if s <= math.Pi { // upper
+			return x - yt*math.Sin(th), yc + yt*math.Cos(th)
+		}
+		return x + yt*math.Sin(th), yc - yt*math.Cos(th)
+	}
+}
+
+// OGrid builds an O-type quadrilateral mesh between a star-shaped
+// inner curve (e.g. a cylinder or airfoil surface) and an outer curve,
+// with nt elements around and nr element rings radially. grading > 1
+// clusters rings toward the inner (wall) curve. Inner boundary edges
+// are tagged "wall"; outer edges are tagged by classify (or "farfield"
+// if nil).
+func OGrid(order, nt, nr int, inner, outer Curve, grading float64, classify func(x, y, z float64) string) (*Mesh, error) {
+	if nt < 3 || nr < 1 {
+		return nil, fmt.Errorf("mesh: OGrid needs nt >= 3, nr >= 1")
+	}
+	if grading <= 0 {
+		grading = 1
+	}
+	// Radial blend parameter for ring j.
+	tOf := func(j int) float64 {
+		s := float64(j) / float64(nr)
+		if grading == 1 {
+			return s
+		}
+		return (math.Pow(grading, s*float64(nr)) - 1) / (math.Pow(grading, float64(nr)) - 1)
+	}
+	verts := make([][3]float64, 0, nt*(nr+1))
+	for j := 0; j <= nr; j++ {
+		tj := tOf(j)
+		for i := 0; i < nt; i++ {
+			u := float64(i) / float64(nt)
+			xi, yi := inner(u)
+			xo, yo := outer(u)
+			verts = append(verts, [3]float64{(1-tj)*xi + tj*xo, (1-tj)*yi + tj*yo, 0})
+		}
+	}
+	vid := func(i, j int) int { return j*nt + (i % nt) }
+	var specs []ElemSpec
+	for j := 0; j < nr; j++ {
+		for i := 0; i < nt; i++ {
+			// Local xi1 radial (outward), xi2 azimuthal (CCW) keeps the
+			// Jacobian positive for CCW curves.
+			specs = append(specs, ElemSpec{
+				Shape: basis.Quad,
+				Verts: []int{vid(i, j), vid(i, j+1), vid(i+1, j+1), vid(i+1, j)},
+			})
+		}
+	}
+	m, err := New(order, verts, specs)
+	if err != nil {
+		return nil, err
+	}
+	// Tag: inner ring edges are walls, outer by classifier.
+	innerRadius := map[int]bool{}
+	for i := 0; i < nt; i++ {
+		innerRadius[vid(i, 0)] = true
+	}
+	m.TagBoundary(func(x, y, z float64) string { return "outer?" })
+	for bi := range m.BndEdges {
+		be := &m.BndEdges[bi]
+		el := m.Elems[be.Elem]
+		ev := EdgeVertsOf(el.Ref.Shape)[be.LocalEdge]
+		a, b := el.Vert[ev[0]], el.Vert[ev[1]]
+		if innerRadius[a] && innerRadius[b] {
+			be.Tag = "wall"
+			continue
+		}
+		pa, pb := m.Verts[a], m.Verts[b]
+		if classify != nil {
+			be.Tag = classify(0.5*(pa[0]+pb[0]), 0.5*(pa[1]+pb[1]), 0)
+		} else {
+			be.Tag = "farfield"
+		}
+	}
+	return m, nil
+}
+
+// BluffBody builds the paper's serial-benchmark geometry: a circular
+// cylinder of unit diameter centred at the origin inside the
+// rectangular domain [-15, 25] x [-9, 9] (Figure 11, left), meshed as
+// a graded O-grid. Outer edges are tagged inflow (x < 0), outflow
+// (x > 0 far side) or side.
+func BluffBody(order, nt, nr int) (*Mesh, error) {
+	inner := Circle(0, 0, 0.5)
+	outer := RectBoundary(-15, 25, -9, 9)
+	// Generous outflow/inflow sectors so that even coarse angular
+	// resolutions tag some outflow edges (the pressure Poisson system
+	// needs at least one Dirichlet edge).
+	return OGrid(order, nt, nr, inner, outer, 1.25, func(x, y, z float64) string {
+		switch {
+		case x <= -10:
+			return "inflow"
+		case x >= 15:
+			return "outflow"
+		default:
+			return "side"
+		}
+	})
+}
+
+// BoxHex builds a structured nx-by-ny-by-nz hexahedral mesh of
+// [x0,x1]x[y0,y1]x[z0,z1].
+func BoxHex(order, nx, ny, nz int, x0, x1, y0, y1, z0, z1 float64, classify func(x, y, z float64) string) (*Mesh, error) {
+	if nx < 1 || ny < 1 || nz < 1 {
+		return nil, fmt.Errorf("mesh: BoxHex needs nx, ny, nz >= 1")
+	}
+	verts := make([][3]float64, 0, (nx+1)*(ny+1)*(nz+1))
+	for k := 0; k <= nz; k++ {
+		for j := 0; j <= ny; j++ {
+			for i := 0; i <= nx; i++ {
+				verts = append(verts, [3]float64{
+					x0 + (x1-x0)*float64(i)/float64(nx),
+					y0 + (y1-y0)*float64(j)/float64(ny),
+					z0 + (z1-z0)*float64(k)/float64(nz),
+				})
+			}
+		}
+	}
+	vid := func(i, j, k int) int { return (k*(ny+1)+j)*(nx+1) + i }
+	var specs []ElemSpec
+	for k := 0; k < nz; k++ {
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				specs = append(specs, ElemSpec{
+					Shape: basis.Hex,
+					Verts: []int{
+						vid(i, j, k), vid(i+1, j, k), vid(i+1, j+1, k), vid(i, j+1, k),
+						vid(i, j, k+1), vid(i+1, j, k+1), vid(i+1, j+1, k+1), vid(i, j+1, k+1),
+					},
+				})
+			}
+		}
+	}
+	m, err := New(order, verts, specs)
+	if err != nil {
+		return nil, err
+	}
+	if classify != nil {
+		m.TagBoundary(classify)
+	}
+	return m, nil
+}
+
+// ExtrudeQuads extrudes a 2D all-quad mesh through nz layers spanning
+// [z0, z1], producing a hexahedral mesh. 2D boundary tags become the
+// lateral face tags; the z extremes are tagged "zlow" and "zhigh".
+// This is how the paper's flapping-wing hex mesh is built from the
+// wing-section O-grid.
+func ExtrudeQuads(m2 *Mesh, order, nz int, z0, z1 float64) (*Mesh, error) {
+	if m2.Dim != 2 {
+		return nil, fmt.Errorf("mesh: ExtrudeQuads needs a 2D mesh")
+	}
+	for _, el := range m2.Elems {
+		if el.Ref.Shape != basis.Quad {
+			return nil, fmt.Errorf("mesh: ExtrudeQuads needs all-quad input")
+		}
+	}
+	nv := len(m2.Verts)
+	verts := make([][3]float64, 0, nv*(nz+1))
+	for k := 0; k <= nz; k++ {
+		z := z0 + (z1-z0)*float64(k)/float64(nz)
+		for _, v := range m2.Verts {
+			verts = append(verts, [3]float64{v[0], v[1], z})
+		}
+	}
+	var specs []ElemSpec
+	for k := 0; k < nz; k++ {
+		lo, hi := k*nv, (k+1)*nv
+		for _, el := range m2.Elems {
+			v := el.Vert
+			specs = append(specs, ElemSpec{
+				Shape: basis.Hex,
+				Verts: []int{
+					lo + v[0], lo + v[1], lo + v[2], lo + v[3],
+					hi + v[0], hi + v[1], hi + v[2], hi + v[3],
+				},
+			})
+		}
+	}
+	m, err := New(order, verts, specs)
+	if err != nil {
+		return nil, err
+	}
+	// Tag lateral faces from the 2D boundary tags, z extremes by name.
+	tag2d := map[edgeKey]string{}
+	for _, be := range m2.BndEdges {
+		el := m2.Elems[be.Elem]
+		ev := EdgeVertsOf(el.Ref.Shape)[be.LocalEdge]
+		tag2d[mkEdgeKey(el.Vert[ev[0]], el.Vert[ev[1]])] = be.Tag
+	}
+	m.TagBoundary(func(x, y, z float64) string { return "" })
+	for bi := range m.BndFaces {
+		bf := &m.BndFaces[bi]
+		el := m.Elems[bf.Elem]
+		fv := basis.HexFaceVerts[bf.LocalFace]
+		// Gather the distinct 2D vertex ids of the face corners.
+		var base []int
+		zsum := 0.0
+		for _, lv := range fv {
+			g := el.Vert[lv]
+			base = append(base, g%nv)
+			zsum += verts[g][2]
+		}
+		zc := zsum / 4
+		switch {
+		case base[0] == base[3] && base[1] == base[2]:
+			// Lateral face: corners are two 2D vertices at two layers.
+			bf.Tag = tag2d[mkEdgeKey(base[0], base[1])]
+		case base[0] == base[1] && base[2] == base[3]:
+			bf.Tag = tag2d[mkEdgeKey(base[0], base[2])]
+		case math.Abs(zc-z0) < math.Abs(zc-z1):
+			bf.Tag = "zlow"
+		default:
+			bf.Tag = "zhigh"
+		}
+	}
+	return m, nil
+}
+
+// WingSection builds the 2D O-grid around a NACA 4420 airfoil used as
+// the cross-section of the paper's flapping-wing mesh: the wing
+// surface is tagged "wall", the outer boundary "farfield".
+func WingSection(order, nt, nr int) (*Mesh, error) {
+	inner := NACA4(0.04, 0.4, 0.20)
+	// Domain 10 x 5 around the wing (paper: 10 by 5 by 5), wing chord
+	// [0, 1] placed with upstream third.
+	outer := RectBoundary(-3, 7, -2.5, 2.5)
+	return OGrid(order, nt, nr, inner, outer, 1.3, func(x, y, z float64) string {
+		return "farfield"
+	})
+}

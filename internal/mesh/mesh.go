@@ -1,0 +1,365 @@
+package mesh
+
+import (
+	"fmt"
+	"sort"
+
+	"nektar/internal/basis"
+)
+
+// ElemSpec describes one element of a mesh by shape and global vertex
+// ids (in the local ordering conventions of package basis).
+type ElemSpec struct {
+	Shape basis.Shape
+	Verts []int
+}
+
+// BndEdge is a boundary edge of a 2D mesh.
+type BndEdge struct {
+	Elem      int // element id
+	LocalEdge int
+	Edge      int    // global edge id
+	Tag       string // boundary region label (wall, inflow, ...)
+}
+
+// BndFace is a boundary face of a 3D mesh.
+type BndFace struct {
+	Elem      int
+	LocalFace int
+	Face      int
+	Tag       string
+}
+
+// Mesh is an unstructured spectral/hp element mesh. All elements share
+// a single polynomial order; triangles and quadrilaterals may be mixed
+// in 2D.
+type Mesh struct {
+	Dim   int
+	Order int
+	Verts [][3]float64
+	Elems []*Element
+
+	NumEdges int
+	NumFaces int
+
+	BndEdges []BndEdge
+	BndFaces []BndFace
+
+	refs map[basis.Shape]*basis.Ref
+}
+
+// edgeKey is a canonical (sorted) vertex pair.
+type edgeKey [2]int
+
+func mkEdgeKey(a, b int) edgeKey {
+	if a > b {
+		a, b = b, a
+	}
+	return edgeKey{a, b}
+}
+
+// faceKey is a canonical (sorted) vertex quadruple.
+type faceKey [4]int
+
+func mkFaceKey(v [4]int) faceKey {
+	s := v[:]
+	sort.Ints(s)
+	return faceKey{s[0], s[1], s[2], s[3]}
+}
+
+// New builds a mesh of the given polynomial order from vertex
+// coordinates and element specifications. It tabulates element
+// geometry and the edge/face connectivity needed for C0 assembly.
+func New(order int, verts [][3]float64, specs []ElemSpec) (*Mesh, error) {
+	if order < 1 {
+		return nil, fmt.Errorf("mesh: order must be >= 1, got %d", order)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("mesh: no elements")
+	}
+	m := &Mesh{
+		Order: order,
+		Verts: verts,
+		refs:  map[basis.Shape]*basis.Ref{},
+	}
+	m.Dim = specs[0].Shape.Dim()
+
+	edgeIDs := map[edgeKey]int{}
+	type faceRec struct {
+		id    int
+		canon [4]int
+	}
+	faceIDs := map[faceKey]faceRec{}
+	type edgeUse struct {
+		elem, local int
+	}
+	edgeCount := map[int][]edgeUse{}
+	type faceUse struct {
+		elem, local int
+	}
+	faceCount := map[int][]faceUse{}
+
+	for ei, spec := range specs {
+		if spec.Shape.Dim() != m.Dim {
+			return nil, fmt.Errorf("mesh: mixed dimensions (element %d)", ei)
+		}
+		ref, ok := m.refs[spec.Shape]
+		if !ok {
+			ref = basis.NewRef(spec.Shape, order)
+			m.refs[spec.Shape] = ref
+		}
+		if len(spec.Verts) != spec.Shape.NumVerts() {
+			return nil, fmt.Errorf("mesh: element %d: %d vertices for %v", ei, len(spec.Verts), spec.Shape)
+		}
+		coords := make([][3]float64, len(spec.Verts))
+		for i, v := range spec.Verts {
+			if v < 0 || v >= len(verts) {
+				return nil, fmt.Errorf("mesh: element %d references vertex %d out of range", ei, v)
+			}
+			coords[i] = verts[v]
+		}
+		el, err := newElement(ei, ref, spec.Verts, coords)
+		if err != nil {
+			return nil, err
+		}
+
+		// Edge connectivity.
+		var edgeVerts [][2]int
+		switch spec.Shape {
+		case basis.Quad:
+			edgeVerts = basis.QuadEdgeVerts[:]
+		case basis.Tri:
+			edgeVerts = basis.TriEdgeVerts[:]
+		case basis.Hex:
+			edgeVerts = basis.HexEdgeVerts[:]
+		}
+		el.Edge = make([]int, len(edgeVerts))
+		el.EdgeRev = make([]bool, len(edgeVerts))
+		for le, ev := range edgeVerts {
+			a, b := spec.Verts[ev[0]], spec.Verts[ev[1]]
+			if a == b {
+				return nil, fmt.Errorf("mesh: element %d has degenerate edge %d", ei, le)
+			}
+			key := mkEdgeKey(a, b)
+			id, ok := edgeIDs[key]
+			if !ok {
+				id = len(edgeIDs)
+				edgeIDs[key] = id
+			}
+			el.Edge[le] = id
+			// Global edge direction: from the smaller to the larger
+			// global vertex id.
+			el.EdgeRev[le] = a > b
+			edgeCount[id] = append(edgeCount[id], edgeUse{ei, le})
+		}
+
+		// Face connectivity (3D). The first element to touch a face
+		// fixes the canonical corner ordering; later elements record
+		// the dihedral transform relating their local face axes to it.
+		if spec.Shape == basis.Hex {
+			el.Face = make([]int, 6)
+			el.FaceOrient = make([]FaceOrient, 6)
+			for lf, fv := range basis.HexFaceVerts {
+				var gl [4]int
+				for i, lv := range fv {
+					gl[i] = spec.Verts[lv]
+				}
+				key := mkFaceKey(gl)
+				rec, ok := faceIDs[key]
+				if !ok {
+					rec = faceRec{id: len(faceIDs), canon: gl}
+					faceIDs[key] = rec
+				}
+				or, err := quadFaceOrientation(rec.canon, gl)
+				if err != nil {
+					return nil, fmt.Errorf("mesh: element %d face %d: %v", ei, lf, err)
+				}
+				el.Face[lf] = rec.id
+				el.FaceOrient[lf] = or
+				faceCount[rec.id] = append(faceCount[rec.id], faceUse{ei, lf})
+			}
+		}
+		m.Elems = append(m.Elems, el)
+	}
+	m.NumEdges = len(edgeIDs)
+	m.NumFaces = len(faceIDs)
+
+	// Boundary entities: edges (2D) / faces (3D) used exactly once.
+	if m.Dim == 2 {
+		for id, uses := range edgeCount {
+			if len(uses) == 1 {
+				m.BndEdges = append(m.BndEdges, BndEdge{
+					Elem: uses[0].elem, LocalEdge: uses[0].local, Edge: id,
+				})
+			} else if len(uses) > 2 {
+				return nil, fmt.Errorf("mesh: edge %d shared by %d elements", id, len(uses))
+			}
+		}
+		sort.Slice(m.BndEdges, func(i, j int) bool {
+			if m.BndEdges[i].Elem != m.BndEdges[j].Elem {
+				return m.BndEdges[i].Elem < m.BndEdges[j].Elem
+			}
+			return m.BndEdges[i].LocalEdge < m.BndEdges[j].LocalEdge
+		})
+	} else {
+		for id, uses := range faceCount {
+			if len(uses) == 1 {
+				m.BndFaces = append(m.BndFaces, BndFace{
+					Elem: uses[0].elem, LocalFace: uses[0].local, Face: id,
+				})
+			} else if len(uses) > 2 {
+				return nil, fmt.Errorf("mesh: face %d shared by %d elements", id, len(uses))
+			}
+		}
+		sort.Slice(m.BndFaces, func(i, j int) bool {
+			if m.BndFaces[i].Elem != m.BndFaces[j].Elem {
+				return m.BndFaces[i].Elem < m.BndFaces[j].Elem
+			}
+			return m.BndFaces[i].LocalFace < m.BndFaces[j].LocalFace
+		})
+	}
+	return m, nil
+}
+
+// Ref returns the tabulated reference element for a shape present in
+// the mesh.
+func (m *Mesh) Ref(s basis.Shape) *basis.Ref { return m.refs[s] }
+
+// MoveVertices updates the vertex coordinates and re-tabulates every
+// element's geometric factors (Jacobians, metric terms, coordinates),
+// keeping connectivity, numbering and orientations intact. This is the
+// mesh-update step of the ALE formulation; it fails if the motion
+// inverts any element.
+func (m *Mesh) MoveVertices(verts [][3]float64) error {
+	if len(verts) != len(m.Verts) {
+		return fmt.Errorf("mesh: MoveVertices got %d vertices, mesh has %d", len(verts), len(m.Verts))
+	}
+	newElems := make([]*Element, len(m.Elems))
+	for ei, el := range m.Elems {
+		coords := make([][3]float64, len(el.Vert))
+		for i, v := range el.Vert {
+			coords[i] = verts[v]
+		}
+		ne, err := newElement(ei, el.Ref, el.Vert, coords)
+		if err != nil {
+			return err
+		}
+		ne.Edge, ne.EdgeRev, ne.Face, ne.FaceOrient = el.Edge, el.EdgeRev, el.Face, el.FaceOrient
+		newElems[ei] = ne
+	}
+	m.Verts = verts
+	m.Elems = newElems
+	return nil
+}
+
+// TagBoundary assigns boundary tags using a classifier called with the
+// midpoint of each boundary edge (2D) or the centroid of each boundary
+// face (3D).
+func (m *Mesh) TagBoundary(classify func(x, y, z float64) string) {
+	if m.Dim == 2 {
+		for i := range m.BndEdges {
+			be := &m.BndEdges[i]
+			el := m.Elems[be.Elem]
+			var ev [2]int
+			switch el.Ref.Shape {
+			case basis.Quad:
+				ev = basis.QuadEdgeVerts[be.LocalEdge]
+			case basis.Tri:
+				ev = basis.TriEdgeVerts[be.LocalEdge]
+			}
+			a := m.Verts[el.Vert[ev[0]]]
+			b := m.Verts[el.Vert[ev[1]]]
+			be.Tag = classify(0.5*(a[0]+b[0]), 0.5*(a[1]+b[1]), 0)
+		}
+		return
+	}
+	for i := range m.BndFaces {
+		bf := &m.BndFaces[i]
+		el := m.Elems[bf.Elem]
+		fv := basis.HexFaceVerts[bf.LocalFace]
+		var cx, cy, cz float64
+		for _, lv := range fv {
+			v := m.Verts[el.Vert[lv]]
+			cx += v[0] / 4
+			cy += v[1] / 4
+			cz += v[2] / 4
+		}
+		bf.Tag = classify(cx, cy, cz)
+	}
+}
+
+// TotalDof returns the number of local (elemental) degrees of freedom
+// summed over elements, the "degrees of freedom" count the paper
+// quotes for its meshes.
+func (m *Mesh) TotalDof() int {
+	var n int
+	for _, e := range m.Elems {
+		n += e.Ref.NModes
+	}
+	return n
+}
+
+// FaceOrient records how an element's local face axes relate to the
+// face's canonical axes: Swap exchanges the two tensor indices, and
+// Rev1/Rev2 flag a reversed first/second local axis (odd modes along a
+// reversed axis flip sign).
+type FaceOrient struct {
+	Swap, Rev1, Rev2 bool
+}
+
+// quadFaceOrientation computes the dihedral transform between an
+// element's face corner list and the canonical one. Both lists hold
+// the same four global vertex ids.
+func quadFaceOrientation(canon, elem [4]int) (FaceOrient, error) {
+	// Canonical corner coordinates of a tensor face.
+	coords := [4][2]int{{-1, -1}, {1, -1}, {1, 1}, {-1, 1}}
+	pos := func(v int) int {
+		for i, c := range canon {
+			if c == v {
+				return i
+			}
+		}
+		return -1
+	}
+	p0, p1, p3 := pos(elem[0]), pos(elem[1]), pos(elem[3])
+	if p0 < 0 || p1 < 0 || p3 < 0 {
+		return FaceOrient{}, fmt.Errorf("face vertex lists disagree: %v vs %v", canon, elem)
+	}
+	// Direction of the element's first/second face axis in canonical
+	// coordinates.
+	ds := [2]int{(coords[p1][0] - coords[p0][0]) / 2, (coords[p1][1] - coords[p0][1]) / 2}
+	dt := [2]int{(coords[p3][0] - coords[p0][0]) / 2, (coords[p3][1] - coords[p0][1]) / 2}
+	abs := func(x int) int {
+		if x < 0 {
+			return -x
+		}
+		return x
+	}
+	if abs(ds[0])+abs(ds[1]) != 1 || abs(dt[0])+abs(dt[1]) != 1 || ds[0]*dt[0]+ds[1]*dt[1] != 0 {
+		return FaceOrient{}, fmt.Errorf("face corner orderings incompatible: %v vs %v", canon, elem)
+	}
+	var or FaceOrient
+	if ds[0] != 0 {
+		// Element s-axis along canonical s-axis.
+		or.Rev1 = ds[0] < 0
+		or.Rev2 = dt[1] < 0
+	} else {
+		or.Swap = true
+		or.Rev1 = ds[1] < 0
+		or.Rev2 = dt[0] < 0
+	}
+	return or, nil
+}
+
+// EdgeVertsOf returns the local edge-vertex table for an element.
+func EdgeVertsOf(s basis.Shape) [][2]int {
+	switch s {
+	case basis.Quad:
+		return basis.QuadEdgeVerts[:]
+	case basis.Tri:
+		return basis.TriEdgeVerts[:]
+	case basis.Hex:
+		return basis.HexEdgeVerts[:]
+	}
+	return nil
+}

@@ -1,0 +1,499 @@
+package mesh
+
+import (
+	"math"
+	"testing"
+
+	"nektar/internal/basis"
+)
+
+func TestRectQuadBasics(t *testing.T) {
+	m, err := RectQuad(4, 3, 2, 0, 3, 0, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Elems) != 6 {
+		t.Fatalf("elements = %d, want 6", len(m.Elems))
+	}
+	if len(m.Verts) != 12 {
+		t.Fatalf("verts = %d, want 12", len(m.Verts))
+	}
+	// Edges: 3*3 horizontal rows + 4*2 vertical columns = 9+8 = 17.
+	if m.NumEdges != 17 {
+		t.Fatalf("edges = %d, want 17", m.NumEdges)
+	}
+	// Boundary edges: perimeter = 2*(3+2) = 10.
+	if len(m.BndEdges) != 10 {
+		t.Fatalf("boundary edges = %d, want 10", len(m.BndEdges))
+	}
+	// Total area = 6 unit squares.
+	var area float64
+	for _, e := range m.Elems {
+		area += e.Area()
+	}
+	if math.Abs(area-6) > 1e-12 {
+		t.Fatalf("area = %v, want 6", area)
+	}
+}
+
+func TestRectTriBasics(t *testing.T) {
+	m, err := RectTri(3, 2, 2, 0, 1, 0, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Elems) != 8 {
+		t.Fatalf("elements = %d, want 8", len(m.Elems))
+	}
+	var area float64
+	for _, e := range m.Elems {
+		area += e.Area()
+	}
+	if math.Abs(area-1) > 1e-12 {
+		t.Fatalf("area = %v, want 1", area)
+	}
+}
+
+func TestElementGradient(t *testing.T) {
+	// On a skewed quad, the physical gradient of a projected linear
+	// function must be exact.
+	verts := [][3]float64{{0, 0, 0}, {2, 0.3, 0}, {2.4, 1.8, 0}, {-0.2, 1.5, 0}}
+	m, err := New(5, verts, []ElemSpec{{Shape: basis.Quad, Verts: []int{0, 1, 2, 3}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := m.Elems[0]
+	nq := e.Ref.NQuad
+	phys := make([]float64, nq)
+	for q := 0; q < nq; q++ {
+		phys[q] = 2*e.X[0][q] - 3*e.X[1][q] + 1
+	}
+	coef := make([]float64, e.Ref.NModes)
+	e.FwdTrans(phys, coef)
+	grad := [][]float64{make([]float64, nq), make([]float64, nq)}
+	e.PhysGrad(coef, grad)
+	for q := 0; q < nq; q++ {
+		if math.Abs(grad[0][q]-2) > 1e-9 || math.Abs(grad[1][q]+3) > 1e-9 {
+			t.Fatalf("grad at q=%d = (%v, %v), want (2, -3)", q, grad[0][q], grad[1][q])
+		}
+	}
+}
+
+func TestTriElementAreaAndIntegral(t *testing.T) {
+	verts := [][3]float64{{0, 0, 0}, {3, 0, 0}, {0, 4, 0}}
+	m, err := New(4, verts, []ElemSpec{{Shape: basis.Tri, Verts: []int{0, 1, 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := m.Elems[0]
+	if math.Abs(e.Area()-6) > 1e-12 {
+		t.Fatalf("area = %v, want 6", e.Area())
+	}
+	// integral of x over the triangle (0,0)-(3,0)-(0,4) = area * xbar = 6 * 1 = 6.
+	phys := make([]float64, e.Ref.NQuad)
+	copy(phys, e.X[0])
+	if got := e.Integral(phys); math.Abs(got-6) > 1e-11 {
+		t.Fatalf("integral x = %v, want 6", got)
+	}
+}
+
+func TestNonPositiveJacobianRejected(t *testing.T) {
+	// Clockwise quad has negative Jacobian.
+	verts := [][3]float64{{0, 0, 0}, {0, 1, 0}, {1, 1, 0}, {1, 0, 0}}
+	if _, err := New(2, verts, []ElemSpec{{Shape: basis.Quad, Verts: []int{0, 1, 2, 3}}}); err == nil {
+		t.Fatal("expected Jacobian error for clockwise element")
+	}
+}
+
+func TestAssemblyContinuity(t *testing.T) {
+	// A global modal vector scattered to two adjacent elements must
+	// produce identical traces along the shared edge. Verify using a
+	// smooth global function projected elementwise then averaged via
+	// gather; the hallmark of a correct orientation/sign convention is
+	// exact C0 agreement of the two elemental traces.
+	for _, gen := range []func() (*Mesh, error){
+		func() (*Mesh, error) { return RectQuad(5, 2, 1, 0, 2, 0, 1, nil) },
+		func() (*Mesh, error) { return RectTri(5, 2, 1, 0, 2, 0, 1, nil) },
+	} {
+		m, err := gen()
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := NewAssembly(m, nil)
+		// Project f globally: gather elemental IProduct, then solve via
+		// Jacobi-free approach is heavy; instead scatter a random global
+		// vector and check trace continuity pointwise.
+		global := make([]float64, a.NGlobal)
+		for i := range global {
+			global[i] = math.Sin(float64(3*i + 1)) // deterministic pseudo-random
+		}
+		traces := map[[2]int][]float64{} // (edge, sampleIdx) -> values per element
+		samples := []float64{-0.77, -0.21, 0.4, 0.93}
+		for ei, el := range m.Elems {
+			local := make([]float64, el.Ref.NModes)
+			a.Scatter(ei, global, local)
+			for le, edge := range el.Edge {
+				vals := make([]float64, len(samples))
+				for si, s := range samples {
+					// Edge parameter in global direction.
+					sl := s
+					if el.EdgeRev[le] {
+						sl = -s
+					}
+					vals[si] = evalTrace(el, local, le, sl)
+				}
+				key := [2]int{edge, 0}
+				if prev, ok := traces[key]; ok {
+					for si := range samples {
+						if math.Abs(prev[si]-vals[si]) > 1e-9 {
+							t.Fatalf("edge %d trace mismatch at sample %d: %v vs %v", edge, si, prev[si], vals[si])
+						}
+					}
+				} else {
+					traces[key] = vals
+				}
+			}
+		}
+	}
+}
+
+// evalTrace evaluates the elemental expansion at parameter s along
+// local edge le (s in the local edge direction).
+func evalTrace(el *Element, coef []float64, le int, s float64) float64 {
+	// Map edge parameter to reference coordinates.
+	var xi1, xi2 float64
+	switch el.Ref.Shape {
+	case basis.Quad:
+		switch le {
+		case 0:
+			xi1, xi2 = s, -1
+		case 1:
+			xi1, xi2 = 1, s
+		case 2:
+			xi1, xi2 = s, 1
+		case 3:
+			xi1, xi2 = -1, s
+		}
+	case basis.Tri:
+		switch le {
+		case 0:
+			xi1, xi2 = s, -1
+		case 1:
+			xi1, xi2 = -s, s
+		case 2:
+			xi1, xi2 = -1, s
+		}
+	}
+	var v float64
+	for mi, mo := range el.Ref.Modes {
+		v += coef[mi] * evalMode2D(el.Ref, mo, xi1, xi2)
+	}
+	return v
+}
+
+func evalMode2D(ref *basis.Ref, m basis.Mode, xi1, xi2 float64) float64 {
+	switch ref.Shape {
+	case basis.Quad:
+		return basis.ModifiedA(m.P, xi1) * basis.ModifiedA(m.Q, xi2)
+	case basis.Tri:
+		if m.P == 0 && m.Q == 1 {
+			return 0.5 * (1 + xi2)
+		}
+		var eta1 float64
+		if xi2 == 1 {
+			eta1 = -1
+		} else {
+			eta1 = 2*(1+xi1)/(1-xi2) - 1
+		}
+		return basis.ModifiedA(m.P, eta1) * basis.ModifiedB(m.P, m.Q, xi2)
+	}
+	panic("unsupported")
+}
+
+func TestAssemblyDofCounts(t *testing.T) {
+	p := 4
+	m, err := RectQuad(p, 3, 3, 0, 1, 0, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAssembly(m, nil)
+	nv := 16
+	ne := 24 // 4*3 horizontal per row * ... = 3*4+4*3 = 24
+	nint := 9 * (p - 1) * (p - 1)
+	want := nv + ne*(p-1) + nint
+	if a.NGlobal != want {
+		t.Fatalf("NGlobal = %d, want %d", a.NGlobal, want)
+	}
+	if a.NSolve != a.NGlobal {
+		t.Fatalf("no Dirichlet: NSolve = %d, want %d", a.NSolve, a.NGlobal)
+	}
+}
+
+func TestAssemblyDirichletOrdering(t *testing.T) {
+	m, err := RectQuad(3, 4, 4, 0, 1, 0, 1, func(x, y, z float64) string { return "wall" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAssembly(m, func(tag string) bool { return tag == "wall" })
+	if a.NSolve >= a.NGlobal {
+		t.Fatal("Dirichlet dofs not excluded from NSolve")
+	}
+	// Every boundary vertex/edge dof must be numbered >= NSolve.
+	for _, be := range m.BndEdges {
+		el := m.Elems[be.Elem]
+		ev := EdgeVertsOf(el.Ref.Shape)[be.LocalEdge]
+		for _, lv := range ev {
+			if d := a.VertDof[el.Vert[lv]]; d < a.NSolve {
+				t.Fatalf("boundary vertex dof %d < NSolve %d", d, a.NSolve)
+			}
+		}
+		for _, d := range a.EdgeDof[be.Edge] {
+			if d < a.NSolve {
+				t.Fatalf("boundary edge dof %d < NSolve %d", d, a.NSolve)
+			}
+		}
+	}
+}
+
+func TestBandwidthReasonable(t *testing.T) {
+	// RCM ordering on a structured strip should produce a bandwidth
+	// far below NSolve.
+	m, err := RectQuad(3, 10, 2, 0, 10, 0, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAssembly(m, nil)
+	kd := a.Bandwidth()
+	if kd <= 0 || kd > a.NSolve/2 {
+		t.Fatalf("bandwidth %d of %d dofs looks wrong", kd, a.NSolve)
+	}
+}
+
+func TestGatherScatterAdjoint(t *testing.T) {
+	// <Scatter(g), l> == <g, Gather(l)> for all elements (with signs).
+	m, err := RectTri(4, 2, 2, 0, 1, 0, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAssembly(m, nil)
+	for ei, el := range m.Elems {
+		n := el.Ref.NModes
+		local := make([]float64, n)
+		for i := range local {
+			local[i] = float64(i%5) - 2
+		}
+		global := make([]float64, a.NGlobal)
+		for i := range global {
+			global[i] = math.Cos(float64(i))
+		}
+		sc := make([]float64, n)
+		a.Scatter(ei, global, sc)
+		var lhs float64
+		for i := range sc {
+			lhs += sc[i] * local[i]
+		}
+		acc := make([]float64, a.NGlobal)
+		a.Gather(ei, local, acc)
+		var rhs float64
+		for i := range acc {
+			rhs += acc[i] * global[i]
+		}
+		if math.Abs(lhs-rhs) > 1e-10 {
+			t.Fatalf("elem %d: adjoint identity violated: %v vs %v", ei, lhs, rhs)
+		}
+	}
+}
+
+func TestBluffBodyMesh(t *testing.T) {
+	m, err := BluffBody(3, 24, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Elems) != 24*8 {
+		t.Fatalf("elements = %d", len(m.Elems))
+	}
+	tags := map[string]int{}
+	for _, be := range m.BndEdges {
+		tags[be.Tag]++
+	}
+	if tags["wall"] != 24 {
+		t.Fatalf("wall edges = %d, want 24", tags["wall"])
+	}
+	if tags["inflow"] == 0 || tags["outflow"] == 0 || tags["side"] == 0 {
+		t.Fatalf("missing outer tags: %v", tags)
+	}
+	// Area = rectangle minus cylinder, approached from below as the
+	// angular resolution refines (inscribed polygon).
+	area := func(m *Mesh) float64 {
+		var a float64
+		for _, e := range m.Elems {
+			a += e.Area()
+		}
+		return a
+	}
+	want := 40.0*18.0 - math.Pi*0.25
+	coarse := area(m)
+	if coarse > want || coarse < 0.9*want {
+		t.Fatalf("coarse area = %v, want slightly below %v", coarse, want)
+	}
+	fine, err := BluffBody(3, 96, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa := area(fine); math.Abs(fa-want) >= math.Abs(coarse-want) || math.Abs(fa-want) > 0.02*want {
+		t.Fatalf("area not converging: coarse %v, fine %v, want %v", coarse, fa, want)
+	}
+}
+
+func TestWingSectionMesh(t *testing.T) {
+	m, err := WingSection(2, 32, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Elems) != 32*6 {
+		t.Fatalf("elements = %d", len(m.Elems))
+	}
+	walls := 0
+	for _, be := range m.BndEdges {
+		if be.Tag == "wall" {
+			walls++
+		}
+	}
+	if walls != 32 {
+		t.Fatalf("wall edges = %d, want 32", walls)
+	}
+}
+
+func TestBoxHex(t *testing.T) {
+	m, err := BoxHex(2, 2, 2, 2, 0, 1, 0, 1, 0, 1, func(x, y, z float64) string { return "wall" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Elems) != 8 {
+		t.Fatalf("elements = %d", len(m.Elems))
+	}
+	if len(m.BndFaces) != 24 {
+		t.Fatalf("boundary faces = %d, want 24", len(m.BndFaces))
+	}
+	var vol float64
+	for _, e := range m.Elems {
+		vol += e.Area()
+	}
+	if math.Abs(vol-1) > 1e-12 {
+		t.Fatalf("volume = %v, want 1", vol)
+	}
+	// Interior faces: 3 directions * 4 faces each... total faces =
+	// 36; boundary 24, interior 12... check counts:
+	if m.NumFaces != 36 {
+		t.Fatalf("faces = %d, want 36", m.NumFaces)
+	}
+}
+
+func TestExtrudeQuads(t *testing.T) {
+	m2, err := RectQuad(2, 2, 2, 0, 1, 0, 1, func(x, y, z float64) string { return "side2d" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	m3, err := ExtrudeQuads(m2, 2, 3, 0, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m3.Elems) != 12 {
+		t.Fatalf("elements = %d, want 12", len(m3.Elems))
+	}
+	var vol float64
+	for _, e := range m3.Elems {
+		vol += e.Area()
+	}
+	if math.Abs(vol-1.5) > 1e-12 {
+		t.Fatalf("volume = %v", vol)
+	}
+	tags := map[string]int{}
+	for _, bf := range m3.BndFaces {
+		tags[bf.Tag]++
+	}
+	if tags["side2d"] != 8*3 {
+		t.Fatalf("lateral faces = %d, want 24 (tags %v)", tags["side2d"], tags)
+	}
+	if tags["zlow"] != 4 || tags["zhigh"] != 4 {
+		t.Fatalf("z faces: %v", tags)
+	}
+}
+
+func Test3DAssemblyContinuityViaFaceOrientation(t *testing.T) {
+	// Two stacked hexes and two side-by-side hexes exercise the face
+	// orientation logic; gather/scatter round trip must conserve the
+	// adjoint identity and the global dof count must match theory.
+	p := 3
+	m, err := BoxHex(p, 2, 1, 2, 0, 2, 0, 1, 0, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAssembly(m, nil)
+	nv := 3 * 2 * 3
+	nEdge := m.NumEdges
+	nFace := m.NumFaces
+	want := nv + nEdge*(p-1) + nFace*(p-1)*(p-1) + 4*(p-1)*(p-1)*(p-1)
+	if a.NGlobal != want {
+		t.Fatalf("NGlobal = %d, want %d", a.NGlobal, want)
+	}
+	// Continuity: scatter a random global vector to two elements and
+	// compare the physical values along their shared face by
+	// evaluating both expansions at matching quadrature points. We
+	// check continuity indirectly: assemble elemental mass-weighted
+	// averages — if signs/orientations were wrong, the global
+	// Laplacian would lose symmetry; cheap proxy: the adjoint identity.
+	global := make([]float64, a.NGlobal)
+	for i := range global {
+		global[i] = math.Sin(float64(2*i + 1))
+	}
+	for ei, el := range m.Elems {
+		n := el.Ref.NModes
+		local := make([]float64, n)
+		a.Scatter(ei, global, local)
+		back := make([]float64, a.NGlobal)
+		a.Gather(ei, local, back)
+		var dot, dot2 float64
+		for i := range back {
+			dot += back[i] * global[i]
+		}
+		for i := range local {
+			dot2 += local[i] * local[i]
+		}
+		if math.Abs(dot-dot2) > 1e-9 {
+			t.Fatalf("elem %d: scatter/gather inconsistent: %v vs %v", ei, dot, dot2)
+		}
+	}
+}
+
+func TestTotalDof(t *testing.T) {
+	m, err := RectQuad(4, 2, 2, 0, 1, 0, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.TotalDof(); got != 4*25 {
+		t.Fatalf("TotalDof = %d, want 100", got)
+	}
+}
+
+func TestNACA4Profile(t *testing.T) {
+	naca := NACA4(0.04, 0.4, 0.20)
+	// Leading edge at u=0.5 should be near origin; trailing edge at
+	// u=0 near (1, 0).
+	x, y := naca(0)
+	if math.Abs(x-1) > 1e-6 || math.Abs(y) > 1e-6 {
+		t.Fatalf("TE = (%v, %v)", x, y)
+	}
+	x, _ = naca(0.5)
+	if math.Abs(x) > 1e-6 {
+		t.Fatalf("LE x = %v", x)
+	}
+	// Max thickness ~20% chord: upper minus lower at x ~ 0.3.
+	xu, yu := naca(0.30)
+	_, yl := naca(0.70)
+	if xu < 0.05 || xu > 0.95 {
+		t.Fatalf("xu = %v", xu)
+	}
+	if th := yu - yl; th < 0.15 || th > 0.25 {
+		t.Fatalf("thickness = %v, want ~0.2", th)
+	}
+}

@@ -1,0 +1,104 @@
+package mesh
+
+import (
+	"math"
+	"testing"
+
+	"nektar/internal/basis"
+)
+
+// trimap evaluates the trilinear hex mapping directly (reference
+// implementation for metric regression tests; a transposed 3D
+// Jacobian inverse once slipped past all axis-aligned meshes).
+func trimap(verts [][3]float64, spec []int, xi1, xi2, xi3 float64) [3]float64 {
+	corners := [8][3]float64{
+		{-1, -1, -1}, {1, -1, -1}, {1, 1, -1}, {-1, 1, -1},
+		{-1, -1, 1}, {1, -1, 1}, {1, 1, 1}, {-1, 1, 1},
+	}
+	var out [3]float64
+	for c := 0; c < 8; c++ {
+		w := (1 + corners[c][0]*xi1) * (1 + corners[c][1]*xi2) * (1 + corners[c][2]*xi3) / 8
+		v := verts[spec[c]]
+		for e := 0; e < 3; e++ {
+			out[e] += w * v[e]
+		}
+	}
+	return out
+}
+
+func TestSkewedHexFaceNormalsMatchTangentCross(t *testing.T) {
+	verts := [][3]float64{
+		{0, 0, 0}, {1.2, 0.1, -0.05}, {1.3, 1.1, 0.1}, {-0.1, 0.9, 0.05},
+		{0.05, -0.1, 1.0}, {1.25, 0.0, 1.1}, {1.4, 1.2, 1.25}, {0.0, 1.0, 1.05},
+	}
+	spec := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	m, err := New(3, verts, []ElemSpec{{Shape: basis.Hex, Verts: spec}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	el := m.Elems[0]
+	ref := el.Ref
+	pts := ref.Pts[0]
+	// Face 5: xi1 = +1. Check SJ*n against FD cross product at a few points.
+	fq := NewFaceQuad(m, el, 5)
+	h := 1e-6
+	for k, s := range fq.Src {
+		// recover (j, k) from position: free = {1,2}
+		j := k / ref.QDim[2]
+		kk := k % ref.QDim[2]
+		xi2, xi3 := pts[j], pts[kk]
+		ta := [3]float64{}
+		tb := [3]float64{}
+		p1 := trimap(verts, spec, 1, xi2+h, xi3)
+		p2 := trimap(verts, spec, 1, xi2-h, xi3)
+		q1 := trimap(verts, spec, 1, xi2, xi3+h)
+		q2 := trimap(verts, spec, 1, xi2, xi3-h)
+		for e := 0; e < 3; e++ {
+			ta[e] = (p1[e] - p2[e]) / (2 * h)
+			tb[e] = (q1[e] - q2[e]) / (2 * h)
+		}
+		cross := [3]float64{
+			ta[1]*tb[2] - ta[2]*tb[1],
+			ta[2]*tb[0] - ta[0]*tb[2],
+			ta[0]*tb[1] - ta[1]*tb[0],
+		}
+		got := [3]float64{fq.SJ[k] * fq.Nx[k], fq.SJ[k] * fq.Ny[k], fq.SJ[k] * fq.Nz[k]}
+		for e := 0; e < 3; e++ {
+			if math.Abs(got[e]-cross[e]) > 1e-4 {
+				t.Fatalf("src %d (j=%d k=%d): SJ*n = %v vs cross %v", s, j, kk, got, cross)
+			}
+		}
+	}
+}
+
+func TestSkewedHexPhysicalGradient(t *testing.T) {
+	// The physical gradient of a projected linear field on a fully
+	// skewed hex must be exact — this is the test that catches any
+	// transposition in the 3D metric terms.
+	verts := [][3]float64{
+		{0, 0, 0}, {1.2, 0.1, -0.05}, {1.3, 1.1, 0.1}, {-0.1, 0.9, 0.05},
+		{0.05, -0.1, 1.0}, {1.25, 0.0, 1.1}, {1.4, 1.2, 1.25}, {0.0, 1.0, 1.05},
+	}
+	m, err := New(4, verts, []ElemSpec{{Shape: basis.Hex, Verts: []int{0, 1, 2, 3, 4, 5, 6, 7}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	el := m.Elems[0]
+	nq := el.Ref.NQuad
+	phys := make([]float64, nq)
+	for q := 0; q < nq; q++ {
+		phys[q] = 2*el.X[0][q] - 3*el.X[1][q] + 0.5*el.X[2][q] + 1
+	}
+	coef := make([]float64, el.Ref.NModes)
+	el.FwdTrans(phys, coef)
+	grad := [][]float64{make([]float64, nq), make([]float64, nq), make([]float64, nq)}
+	el.PhysGrad(coef, grad)
+	want := []float64{2, -3, 0.5}
+	for d := 0; d < 3; d++ {
+		for q := 0; q < nq; q++ {
+			if math.Abs(grad[d][q]-want[d]) > 1e-8 {
+				t.Fatalf("d=%d q=%d: grad %v, want %v", d, q, grad[d][q], want[d])
+			}
+		}
+	}
+}

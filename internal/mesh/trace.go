@@ -1,0 +1,251 @@
+package mesh
+
+import (
+	"math"
+
+	"nektar/internal/basis"
+	"nektar/internal/jacobi"
+)
+
+// EdgeQuad is the tabulated quadrature of one element edge: basis
+// values at the edge's 1D quadrature points plus the (constant, since
+// elements are straight-sided) outward normal and surface Jacobian.
+// It supports the boundary integrals of the pressure boundary
+// condition in the splitting scheme and the drag/lift force
+// evaluation.
+type EdgeQuad struct {
+	Elem      *Element
+	LocalEdge int
+
+	// Points1D are the 1D rule points s in [-1, 1] along the local
+	// edge direction.
+	Points1D []float64
+	Weights  []float64
+
+	// B[m*len(Points1D)+q] is basis mode m at edge point q.
+	B []float64
+
+	// X, Y are the physical coordinates of the edge points.
+	X, Y []float64
+
+	// Nx, Ny is the outward unit normal; SJ the surface Jacobian
+	// (|dx/ds|), both constant along a straight edge.
+	Nx, Ny, SJ float64
+
+	// Quadrature-trace plan: the element quadrature points lying on
+	// this edge (src) and the 1D interpolation from them to the edge
+	// rule points (interp, row-major len(Points1D) x len(src)).
+	src    []int
+	interp []float64
+}
+
+// ccwSign indicates whether the local edge direction agrees (+1) or
+// disagrees (-1) with counter-clockwise traversal of the element
+// boundary; the outward normal is sign * (ty, -tx).
+func ccwSign(shape basis.Shape, le int) float64 {
+	switch shape {
+	case basis.Quad:
+		if le == 2 || le == 3 {
+			return -1
+		}
+	case basis.Tri:
+		if le == 2 {
+			return -1
+		}
+	}
+	return 1
+}
+
+// edgeXi maps an edge parameter s to reference coordinates.
+func edgeXi(shape basis.Shape, le int, s float64) (xi1, xi2 float64) {
+	switch shape {
+	case basis.Quad:
+		switch le {
+		case 0:
+			return s, -1
+		case 1:
+			return 1, s
+		case 2:
+			return s, 1
+		default:
+			return -1, s
+		}
+	case basis.Tri:
+		switch le {
+		case 0:
+			return s, -1
+		case 1:
+			return -s, s
+		default:
+			return -1, s
+		}
+	}
+	panic("mesh: edge trace only supported in 2D")
+}
+
+// NewEdgeQuad tabulates an element edge with a q-point Gauss-Legendre
+// rule (q defaults to order+2 when q <= 0).
+func NewEdgeQuad(m *Mesh, el *Element, le int, q int) *EdgeQuad {
+	if q <= 0 {
+		q = el.Ref.P + 2
+	}
+	rule := jacobi.NewRule(jacobi.Gauss, q, 0, 0)
+	eq := &EdgeQuad{
+		Elem:      el,
+		LocalEdge: le,
+		Points1D:  rule.Points,
+		Weights:   rule.Weight,
+	}
+	// Straight edge geometry from the endpoint vertices.
+	ev := EdgeVertsOf(el.Ref.Shape)[le]
+	a := m.Verts[el.Vert[ev[0]]]
+	b := m.Verts[el.Vert[ev[1]]]
+	tx, ty := 0.5*(b[0]-a[0]), 0.5*(b[1]-a[1]) // dx/ds
+	eq.SJ = math.Hypot(tx, ty)
+	sgn := ccwSign(el.Ref.Shape, le)
+	eq.Nx = sgn * ty / eq.SJ
+	eq.Ny = -sgn * tx / eq.SJ
+
+	n := el.Ref.NModes
+	eq.B = make([]float64, n*q)
+	eq.X = make([]float64, q)
+	eq.Y = make([]float64, q)
+	for qi, s := range rule.Points {
+		eq.X[qi] = 0.5*(1-s)*a[0] + 0.5*(1+s)*b[0]
+		eq.Y[qi] = 0.5*(1-s)*a[1] + 0.5*(1+s)*b[1]
+		xi1, xi2 := edgeXi(el.Ref.Shape, le, s)
+		for mi := range el.Ref.Modes {
+			eq.B[mi*q+qi] = evalRefMode(el.Ref, mi, xi1, xi2)
+		}
+	}
+	eq.buildQuadTrace()
+	return eq
+}
+
+// buildQuadTrace precomputes the extraction of the edge trace from
+// element quadrature values: every 2D element edge lies on a tensor
+// grid line of the quadrature rule, so the trace is the 1D
+// interpolation of the matching row or column of points.
+func (eq *EdgeQuad) buildQuadTrace() {
+	ref := eq.Elem.Ref
+	q1, q2 := ref.QDim[0], ref.QDim[1]
+	var param []float64
+	switch ref.Shape {
+	case basis.Quad:
+		switch eq.LocalEdge {
+		case 0: // xi2 = -1: j = 0, vary i
+			param = ref.Pts[0]
+			for i := 0; i < q1; i++ {
+				eq.src = append(eq.src, i*q2)
+			}
+		case 1: // xi1 = +1: i = q1-1, vary j
+			param = ref.Pts[1]
+			for j := 0; j < q2; j++ {
+				eq.src = append(eq.src, (q1-1)*q2+j)
+			}
+		case 2: // xi2 = +1
+			param = ref.Pts[0]
+			for i := 0; i < q1; i++ {
+				eq.src = append(eq.src, i*q2+q2-1)
+			}
+		default: // xi1 = -1
+			param = ref.Pts[1]
+			for j := 0; j < q2; j++ {
+				eq.src = append(eq.src, j)
+			}
+		}
+	case basis.Tri:
+		// Collapsed coordinates: eta1 is Lobatto (includes +-1), eta2
+		// is Gauss-Radau (includes -1 only).
+		switch eq.LocalEdge {
+		case 0: // xi2 = eta2 = -1: j = 0, param = eta1 = xi1
+			param = ref.Pts[0]
+			for i := 0; i < q1; i++ {
+				eq.src = append(eq.src, i*q2)
+			}
+		case 1: // hypotenuse: eta1 = +1, param s = xi2 = eta2
+			param = ref.Pts[1]
+			for j := 0; j < q2; j++ {
+				eq.src = append(eq.src, (q1-1)*q2+j)
+			}
+		default: // xi1 = -1: eta1 = -1, param = xi2 = eta2
+			param = ref.Pts[1]
+			for j := 0; j < q2; j++ {
+				eq.src = append(eq.src, j)
+			}
+		}
+	default:
+		return // 3D traces are not needed by the 2D solvers
+	}
+	eq.interp = jacobi.InterpMatrix(param, eq.Points1D)
+}
+
+// EvalPhys computes the edge trace of a field given at the element's
+// quadrature points (no modal projection needed).
+func (eq *EdgeQuad) EvalPhys(phys []float64, out []float64) {
+	np := len(eq.src)
+	for qi := range eq.Points1D {
+		var v float64
+		row := eq.interp[qi*np : (qi+1)*np]
+		for k, si := range eq.src {
+			v += row[k] * phys[si]
+		}
+		out[qi] = v
+	}
+}
+
+// evalRefMode evaluates one 2D basis mode at reference coordinates.
+func evalRefMode(ref *basis.Ref, mi int, xi1, xi2 float64) float64 {
+	m := ref.Modes[mi]
+	switch ref.Shape {
+	case basis.Quad:
+		return basis.ModifiedA(m.P, xi1) * basis.ModifiedA(m.Q, xi2)
+	case basis.Tri:
+		if m.P == 0 && m.Q == 1 {
+			return 0.5 * (1 + xi2)
+		}
+		var eta1 float64
+		if xi2 == 1 {
+			eta1 = -1
+		} else {
+			eta1 = 2*(1+xi1)/(1-xi2) - 1
+		}
+		return basis.ModifiedA(m.P, eta1) * basis.ModifiedB(m.P, m.Q, xi2)
+	}
+	panic("mesh: evalRefMode supports 2D shapes only")
+}
+
+// Eval computes the trace of a modal coefficient vector at the edge
+// quadrature points.
+func (eq *EdgeQuad) Eval(coef []float64, out []float64) {
+	q := len(eq.Points1D)
+	for qi := 0; qi < q; qi++ {
+		var v float64
+		for mi := range coef {
+			v += eq.B[mi*q+qi] * coef[mi]
+		}
+		out[qi] = v
+	}
+}
+
+// AccumulateFlux adds the surface integral of g * phi_m along the edge
+// into the elemental vector out: out[m] += sum_q w_q SJ g(q) B[m][q].
+func (eq *EdgeQuad) AccumulateFlux(g []float64, out []float64) {
+	q := len(eq.Points1D)
+	for mi := range out {
+		var s float64
+		for qi := 0; qi < q; qi++ {
+			s += eq.Weights[qi] * g[qi] * eq.B[mi*q+qi]
+		}
+		out[mi] += s * eq.SJ
+	}
+}
+
+// Integrate computes the surface integral of g over the edge.
+func (eq *EdgeQuad) Integrate(g []float64) float64 {
+	var s float64
+	for qi := range eq.Points1D {
+		s += eq.Weights[qi] * g[qi]
+	}
+	return s * eq.SJ
+}

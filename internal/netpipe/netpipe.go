@@ -1,0 +1,150 @@
+// Package netpipe reimplements the NetPIPE 2.3 measurement protocol
+// the paper uses for its communication kernel tests (Figure 7):
+// repeated ping-pong exchanges over a sweep of message sizes, yielding
+// one-way latency (small messages) and bandwidth (large messages)
+// series for a network model.
+package netpipe
+
+import (
+	"nektar/internal/mpi"
+	"nektar/internal/simnet"
+)
+
+// Point is one measurement of the sweep.
+type Point struct {
+	Bytes     int
+	LatencyUS float64 // one-way time in microseconds
+	MBs       float64 // bandwidth in MB/s (1e6 bytes per second)
+}
+
+// Sizes returns the default NetPIPE-style size sweep: exponentially
+// spaced from 1 byte-ish (one float64) to maxBytes.
+func Sizes(maxBytes int) []int {
+	var out []int
+	for s := 8; s <= maxBytes; s *= 2 {
+		out = append(out, s)
+		if s3 := s + s/2; s3 < maxBytes {
+			out = append(out, s3)
+		}
+	}
+	return out
+}
+
+// Run performs the ping-pong sweep between two ranks on different SMP
+// nodes of the model (the internode path, NetPIPE's usual setup) and
+// returns the measured points. reps ping-pongs are timed per size
+// (NetPIPE adapts the repetition count; a fixed count is sufficient
+// against a deterministic simulator).
+func Run(model *simnet.Model, sizes []int, reps int) ([]Point, error) {
+	partner := 1
+	ranks := 2
+	if model.RanksPerNode > 1 {
+		partner = model.RanksPerNode // first rank of the second node
+		ranks = model.RanksPerNode + 1
+	}
+	return RunBetween(model, ranks, partner, sizes, reps)
+}
+
+// RunIntranode measures the ping-pong between two ranks of the same
+// SMP node (the paper's "intranode" series for RoadRunner and the
+// SP2-Silver).
+func RunIntranode(model *simnet.Model, sizes []int, reps int) ([]Point, error) {
+	return RunBetween(model, 2, 1, sizes, reps)
+}
+
+// RunBetween runs the sweep between rank 0 and the given partner on a
+// cluster of `ranks` ranks (the others idle).
+func RunBetween(model *simnet.Model, ranks, partner int, sizes []int, reps int) ([]Point, error) {
+	if reps < 1 {
+		reps = 3
+	}
+	results := make([]Point, len(sizes))
+	_, _, err := simnet.Run(ranks, model, func(n *simnet.Node) {
+		c := mpi.World(n)
+		if c.Rank() != 0 && c.Rank() != partner {
+			return
+		}
+		for si, size := range sizes {
+			elems := size / 8
+			if elems < 1 {
+				elems = 1
+			}
+			buf := make([]float64, elems)
+			t0 := c.Wtime()
+			for r := 0; r < reps; r++ {
+				if c.Rank() == 0 {
+					c.Send(partner, si, buf)
+					c.Recv(partner, si)
+				} else {
+					c.Recv(0, si)
+					c.Send(0, si, buf)
+				}
+			}
+			t1 := c.Wtime()
+			if c.Rank() == 0 {
+				oneWay := (t1 - t0) / float64(2*reps)
+				results[si] = Point{
+					Bytes:     8 * elems,
+					LatencyUS: oneWay * 1e6,
+					MBs:       float64(8*elems) / oneWay / 1e6,
+				}
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// AlltoallPoint is one MPI_Alltoall measurement (Figure 8): the
+// average per-process bandwidth for a given total message size.
+type AlltoallPoint struct {
+	Bytes int // message size per destination, in bytes
+	MBs   float64
+}
+
+// RunAlltoall measures MPI_Alltoall average bandwidth on P ranks of
+// the model for each per-pair message size, following the paper's
+// method: global synchronisation, then a timed loop of reps calls with
+// statistics over all processors.
+func RunAlltoall(model *simnet.Model, p int, sizes []int, reps int) ([]AlltoallPoint, error) {
+	if reps < 1 {
+		reps = 3
+	}
+	results := make([]AlltoallPoint, len(sizes))
+	_, _, err := simnet.Run(p, model, func(n *simnet.Node) {
+		c := mpi.World(n)
+		for si, size := range sizes {
+			elems := size / 8
+			if elems < 1 {
+				elems = 1
+			}
+			send := make([][]float64, p)
+			for i := range send {
+				send[i] = make([]float64, elems)
+			}
+			c.Barrier()
+			t0 := c.Wtime()
+			for r := 0; r < reps; r++ {
+				c.Alltoall(send, mpi.AlgAuto)
+			}
+			t1 := c.Wtime()
+			// Average over processors (max time governs, as all ranks
+			// synchronize; use the allreduced mean like the paper's
+			// "statistics calculated on the sample").
+			dt := (t1 - t0) / float64(reps)
+			mean := c.Allreduce([]float64{dt}, mpi.Sum)[0] / float64(p)
+			if c.Rank() == 0 {
+				// Bytes sent per process per call: (P-1) messages of
+				// `size` bytes.
+				bytes := float64((p - 1) * 8 * elems)
+				results[si] = AlltoallPoint{Bytes: 8 * elems, MBs: bytes / mean / 1e6}
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}

@@ -1,0 +1,242 @@
+package netpipe
+
+import (
+	"math"
+	"testing"
+
+	"nektar/internal/machine"
+	"nektar/internal/simnet"
+)
+
+func TestSizesMonotone(t *testing.T) {
+	s := Sizes(1 << 20)
+	if len(s) < 10 {
+		t.Fatalf("too few sizes: %d", len(s))
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] <= s[i-1] {
+			t.Fatalf("sizes not increasing at %d: %v", i, s[i-1:i+1])
+		}
+	}
+}
+
+func TestPingPongRecoversModelParameters(t *testing.T) {
+	// On a clean LogGP model the measured small-message latency must
+	// approach overhead+latency, and the large-message bandwidth the
+	// link bandwidth.
+	model := &simnet.Model{
+		Name:  "clean",
+		Inter: simnet.LinkModel{LatencyUS: 50, BandwidthMBs: 100, OverheadUS: 10},
+	}
+	pts, err := Run(model, Sizes(8<<20), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := pts[0]
+	if small.LatencyUS < 55 || small.LatencyUS > 75 {
+		t.Fatalf("small-message latency %v, want ~60 (o + L)", small.LatencyUS)
+	}
+	big := pts[len(pts)-1]
+	if big.MBs < 85 || big.MBs > 101 {
+		t.Fatalf("asymptotic bandwidth %v, want ~100", big.MBs)
+	}
+	// Bandwidth must be monotone-ish: tiny messages far below peak.
+	if pts[0].MBs > big.MBs/10 {
+		t.Fatalf("latency-bound regime missing: %v vs %v", pts[0].MBs, big.MBs)
+	}
+}
+
+func TestPingPongMachineOrdering(t *testing.T) {
+	// Figure 7's headline: T3E fastest, Myrinet in between, Fast
+	// Ethernet slowest in bandwidth and latency.
+	measure := func(name string) (lat, bw float64) {
+		m, err := machine.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts, err := Run(m.Net, []int{8, 4 << 20}, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pts[0].LatencyUS, pts[1].MBs
+	}
+	latT3E, bwT3E := measure("T3E")
+	latMyr, bwMyr := measure("RoadRunner-myr")
+	latEth, bwEth := measure("Muses")
+	if !(latT3E < latMyr && latMyr < latEth) {
+		t.Fatalf("latency ordering: T3E %v, myr %v, eth %v", latT3E, latMyr, latEth)
+	}
+	if !(bwT3E > bwMyr && bwMyr > bwEth) {
+		t.Fatalf("bandwidth ordering: T3E %v, myr %v, eth %v", bwT3E, bwMyr, bwEth)
+	}
+	if bwEth > 12.5 {
+		t.Fatalf("Fast Ethernet measured above wire speed: %v", bwEth)
+	}
+}
+
+func TestAlltoallBandwidth(t *testing.T) {
+	model := &simnet.Model{
+		Name:  "clean",
+		Inter: simnet.LinkModel{LatencyUS: 20, BandwidthMBs: 100, OverheadUS: 2},
+	}
+	pts, err := RunAlltoall(model, 4, []int{64, 64 << 10, 1 << 20}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if p.MBs <= 0 || math.IsNaN(p.MBs) {
+			t.Fatalf("bad bandwidth %v", p.MBs)
+		}
+	}
+	// Large messages approach but do not exceed the per-link limit.
+	big := pts[len(pts)-1]
+	if big.MBs > 100 {
+		t.Fatalf("alltoall bandwidth %v exceeds link bandwidth", big.MBs)
+	}
+	if big.MBs < pts[0].MBs {
+		t.Fatalf("large-message alltoall slower than tiny: %v < %v", big.MBs, pts[0].MBs)
+	}
+}
+
+func TestAlltoallEthernetSaturatesWithP(t *testing.T) {
+	// The RoadRunner Ethernet backplane must make the per-process
+	// alltoall bandwidth drop sharply from P=4 to P=8 (paper: the
+	// ethernet network "seems to saturate above 8 processors").
+	m, err := machine.ByName("RoadRunner-eth")
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := func(p int) float64 {
+		pts, err := RunAlltoall(m.Net, p, []int{256 << 10}, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pts[0].MBs
+	}
+	bw4, bw16 := at(4), at(16)
+	if bw16 > 0.8*bw4 {
+		t.Fatalf("no saturation: P=4 %v vs P=16 %v", bw4, bw16)
+	}
+	// Myrinet keeps scaling much better.
+	myr, err := machine.ByName("RoadRunner-myr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp4, err := RunAlltoall(myr.Net, 4, []int{256 << 10}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp16, err := RunAlltoall(myr.Net, 16, []int{256 << 10}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp16[0].MBs < 0.5*mp4[0].MBs {
+		t.Fatalf("myrinet saturating too early: %v -> %v", mp4[0].MBs, mp16[0].MBs)
+	}
+}
+
+func TestT3EAlltoallDominates(t *testing.T) {
+	// Paper: "Apart from the T3E, which is 3 times higher than the
+	// rest..." — check T3E against SP2-Silver and Myrinet at P=8.
+	bw := func(name string) float64 {
+		m, err := machine.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts, err := RunAlltoall(m.Net, 8, []int{1 << 20}, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pts[0].MBs
+	}
+	t3e := bw("T3E")
+	if t3e < 2*bw("SP2-Silver") || t3e < 2*bw("RoadRunner-myr") {
+		t.Fatalf("T3E alltoall %v not dominant (silver %v, myr %v)",
+			t3e, bw("SP2-Silver"), bw("RoadRunner-myr"))
+	}
+}
+
+func TestMVIAProjectionSubFifty(t *testing.T) {
+	// The paper projects sub-50 us latency for M-VIA on the same
+	// cluster; the model must deliver it while staying on Fast
+	// Ethernet bandwidth.
+	m, err := machine.ByName("Muses-MVIA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := Run(m.Net, []int{8, 4 << 20}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].LatencyUS >= 50 {
+		t.Fatalf("M-VIA latency %v, want < 50 us", pts[0].LatencyUS)
+	}
+	if pts[1].MBs > 12.5 {
+		t.Fatalf("M-VIA bandwidth %v exceeds Fast Ethernet wire speed", pts[1].MBs)
+	}
+	// And it must beat plain MPICH on latency.
+	mp, err := machine.ByName("Muses")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Run(mp.Net, []int{8}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].LatencyUS >= base[0].LatencyUS {
+		t.Fatalf("M-VIA %v not below MPICH %v", pts[0].LatencyUS, base[0].LatencyUS)
+	}
+}
+
+func TestHitachiAlltoallFloor(t *testing.T) {
+	// Paper section 3.2: the SR8000 "had a minimum recorded bandwidth
+	// of 450 Mbytes/sec for a message size of 6,400,000 bytes".
+	m, err := machine.ByName("HITACHI")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := RunAlltoall(m.Net, 8, []int{6400000}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].MBs < 300 || pts[0].MBs > 900 {
+		t.Fatalf("SR8000 alltoall at 6.4 MB = %v MB/s, want the ~450 MB/s class", pts[0].MBs)
+	}
+}
+
+func TestInterVsIntranodeSeries(t *testing.T) {
+	// The paper's Figure 7 separates RoadRunner's internode and
+	// intranode Ethernet: intranode (loopback) must show lower latency
+	// and higher bandwidth.
+	m, err := machine.ByName("RoadRunner-eth")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inter, err := Run(m.Net, []int{8, 1 << 20}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	intra, err := RunIntranode(m.Net, []int{8, 1 << 20}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if intra[0].LatencyUS >= inter[0].LatencyUS {
+		t.Fatalf("intranode latency %v not below internode %v", intra[0].LatencyUS, inter[0].LatencyUS)
+	}
+	if intra[1].MBs <= inter[1].MBs {
+		t.Fatalf("intranode bandwidth %v not above internode %v", intra[1].MBs, inter[1].MBs)
+	}
+	// And internode Ethernet is now the worst-latency series, as the
+	// paper observes.
+	mu, err := machine.ByName("Muses")
+	if err != nil {
+		t.Fatal(err)
+	}
+	muses, err := Run(mu.Net, []int{8}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inter[0].LatencyUS <= muses[0].LatencyUS {
+		t.Fatalf("RoadRunner internode eth %v should exceed Muses %v", inter[0].LatencyUS, muses[0].LatencyUS)
+	}
+}

@@ -1,0 +1,47 @@
+package partition
+
+import (
+	"nektar/internal/basis"
+	"nektar/internal/mesh"
+)
+
+// FromMesh builds the element-connectivity graph of a spectral/hp mesh
+// — the graph the paper partitions with METIS for Nektar-ALE's
+// "intrinsic element based domain decomposition". Vertices are
+// elements weighted by their mode count; edges connect elements
+// sharing a mesh edge (2D) or face (3D), weighted by the number of
+// shared degrees of freedom.
+func FromMesh(m *mesh.Mesh) *Graph {
+	b := NewBuilder(len(m.Elems))
+	p := m.Order
+	if m.Dim == 2 {
+		byEdge := map[int][]int{}
+		for ei, el := range m.Elems {
+			b.SetVertexWeight(ei, el.Ref.NModes)
+			for _, ed := range el.Edge {
+				byEdge[ed] = append(byEdge[ed], ei)
+			}
+		}
+		for _, els := range byEdge {
+			if len(els) == 2 {
+				b.AddEdge(els[0], els[1], p+1)
+			}
+		}
+		return b.Graph()
+	}
+	byFace := map[int][]int{}
+	for ei, el := range m.Elems {
+		b.SetVertexWeight(ei, el.Ref.NModes)
+		if el.Ref.Shape == basis.Hex {
+			for _, f := range el.Face {
+				byFace[f] = append(byFace[f], ei)
+			}
+		}
+	}
+	for _, els := range byFace {
+		if len(els) == 2 {
+			b.AddEdge(els[0], els[1], (p+1)*(p+1))
+		}
+	}
+	return b.Graph()
+}

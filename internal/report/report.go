@@ -1,0 +1,153 @@
+// Package report formats the reproduction's tables and figure series
+// the way the paper presents them: fixed-width ASCII tables for the
+// CPU/wall-clock tables and (size, value) series for the figures,
+// suitable for piping into a plotting tool.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple fixed-width table with row labels.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers
+// (the first column is the row label).
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row of cells (must match the column count).
+func (t *Table) AddRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// AddRowf appends a row with a label and formatted float values;
+// negative values print as "n/a" (the paper's marker for runs that
+// were not feasible).
+func (t *Table) AddRowf(label string, format string, vals ...float64) {
+	row := []string{label}
+	for _, v := range vals {
+		if v < 0 {
+			row = append(row, "n/a")
+		} else {
+			row = append(row, fmt.Sprintf(format, v))
+		}
+	}
+	t.AddRow(row...)
+}
+
+// Write renders the table.
+func (t *Table) Write(w io.Writer) {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Write(&b)
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Series is one labeled curve of a figure.
+type Series struct {
+	Label string
+	X, Y  []float64
+}
+
+// Figure is a set of series sharing axes.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []*Series
+}
+
+// NewFigure creates a figure.
+func NewFigure(title, xlabel, ylabel string) *Figure {
+	return &Figure{Title: title, XLabel: xlabel, YLabel: ylabel}
+}
+
+// Add appends a series and returns it for population.
+func (f *Figure) Add(label string) *Series {
+	s := &Series{Label: label}
+	f.Series = append(f.Series, s)
+	return s
+}
+
+// Point appends one point to a series.
+func (s *Series) Point(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Write renders the figure as aligned columns: one block per series.
+func (f *Figure) Write(w io.Writer) {
+	fmt.Fprintf(w, "%s\n# x: %s, y: %s\n", f.Title, f.XLabel, f.YLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(w, "## %s\n", s.Label)
+		for i := range s.X {
+			fmt.Fprintf(w, "%14.6g %14.6g\n", s.X[i], s.Y[i])
+		}
+	}
+}
+
+// String renders the figure to a string.
+func (f *Figure) String() string {
+	var b strings.Builder
+	f.Write(&b)
+	return b.String()
+}
+
+// PieBreakdown renders a stage-percentage breakdown (the paper's
+// Figures 12-16 pie charts) as a labeled list.
+func PieBreakdown(title string, names []string, percents []float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for i, n := range names {
+		fmt.Fprintf(&b, "  %-34s %5.1f%%\n", n, percents[i])
+	}
+	return b.String()
+}

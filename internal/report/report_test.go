@@ -1,0 +1,58 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Table 1", "Machine", "CPU s/step")
+	tab.AddRowf("T3E", "%.2f", 0.82)
+	tab.AddRowf("Unavailable", "%.2f", -1)
+	out := tab.String()
+	if !strings.Contains(out, "Table 1") || !strings.Contains(out, "0.82") {
+		t.Fatalf("table output missing content:\n%s", out)
+	}
+	if !strings.Contains(out, "n/a") {
+		t.Fatalf("negative value should render as n/a:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tab := NewTable("", "A", "B")
+	tab.AddRow("longlabel", "1")
+	tab.AddRow("x", "22")
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// All rows must have equal rendered width.
+	w := len(lines[0])
+	for _, l := range lines[1:] {
+		if len(strings.TrimRight(l, " ")) > w+2 {
+			t.Fatalf("misaligned table:\n%s", out)
+		}
+	}
+}
+
+func TestFigureRendering(t *testing.T) {
+	f := NewFigure("Figure 1: dcopy", "bytes", "MB/s")
+	s := f.Add("Muses")
+	s.Point(100, 250)
+	s.Point(1000, 900)
+	out := f.String()
+	for _, want := range []string{"Figure 1", "## Muses", "250", "bytes"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestPieBreakdown(t *testing.T) {
+	out := PieBreakdown("Stages", []string{"solve", "rhs"}, []float64{60, 40})
+	if !strings.Contains(out, "60.0%") || !strings.Contains(out, "rhs") {
+		t.Fatalf("bad breakdown:\n%s", out)
+	}
+}

@@ -1,0 +1,500 @@
+package simnet
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Node is one simulated rank. All methods must be called from the
+// rank's own goroutine (the body function passed to Run).
+type Node struct {
+	Rank int
+	P    int
+
+	net *cluster
+
+	clock float64 // virtual wall-clock, seconds
+	cpu   float64 // virtual CPU time, seconds
+
+	resume chan struct{}
+	done   bool
+	poison bool // set by the scheduler on deadlock; yield panics
+
+	// Pending received messages keyed by (source, tag); each entry is
+	// FIFO per key, matching MPI's non-overtaking guarantee.
+	inbox map[msgKey][]*message
+	// If blocked in Recv, the key being waited for.
+	waitKey *msgKey
+	// If blocked in Wait for a rendezvous send, the message involved.
+	waitSend  *message
+	blockKind blockKind
+
+	// phantom multiplies the *timed* size of every outgoing message
+	// without inflating the payload. The paper-scale extrapolation
+	// harness uses it to charge full-size transfer times while moving
+	// validation-scale data.
+	phantom float64
+}
+
+// SetPhantomFactor sets the message-size multiplier used for timing
+// (values < 1 are treated as 1).
+func (n *Node) SetPhantomFactor(f float64) { n.phantom = f }
+
+// timedSize returns the size in bytes used for transfer timing.
+func (n *Node) timedSize(elems int) int {
+	s := 8 * elems
+	if n.phantom > 1 {
+		s = int(float64(s) * n.phantom)
+	}
+	return s
+}
+
+type blockKind int
+
+const (
+	blockNone blockKind = iota
+	blockRecv
+	blockSendRendezvous
+)
+
+type msgKey struct {
+	src, tag int
+}
+
+type message struct {
+	key      msgKey
+	data     []float64
+	arrive   float64 // virtual time at which the payload is available
+	rendezv  bool    // requires the receiver before transfer starts
+	xferDone bool    // transfer booked (always true for eager)
+	ready    float64 // time the sender's buffer is free (send completion)
+	sender   *Node   // for rendezvous completion
+	size     int
+	posted   float64 // sender clock when the send was issued
+}
+
+// Request is the handle of a nonblocking send.
+type Request struct {
+	m *message
+}
+
+// cluster is the shared simulator state; Node methods synchronize
+// through the scheduler so only one rank goroutine runs at a time.
+type cluster struct {
+	model *Model
+	nodes []*Node
+
+	mu       sync.Mutex
+	schedCh  chan int // rank yields by sending its id
+	finished int
+
+	// Shared resources: per-SMP-node NIC free times and the switch
+	// backplane free time.
+	egressFree  []float64
+	ingressFree []float64
+	bpFree      float64
+
+	// woken collects ranks unblocked since the last scheduler merge;
+	// appended only by the single running rank, drained only by the
+	// scheduler between handoffs.
+	woken []int
+
+	fail error
+}
+
+// Run simulates P ranks executing body concurrently under the given
+// network model. It returns the per-rank virtual wall-clock and CPU
+// times at exit. Run panics if the program deadlocks (every rank
+// blocked).
+func Run(p int, model *Model, body func(n *Node)) (wall, cpu []float64, err error) {
+	if p < 1 {
+		return nil, nil, fmt.Errorf("simnet: need at least one rank")
+	}
+	nNodes := p
+	if model.RanksPerNode > 1 {
+		nNodes = (p + model.RanksPerNode - 1) / model.RanksPerNode
+	}
+	c := &cluster{
+		model:       model,
+		schedCh:     make(chan int),
+		egressFree:  make([]float64, nNodes),
+		ingressFree: make([]float64, nNodes),
+	}
+	c.nodes = make([]*Node, p)
+	for i := 0; i < p; i++ {
+		c.nodes[i] = &Node{
+			Rank:   i,
+			P:      p,
+			net:    c,
+			resume: make(chan struct{}),
+			inbox:  map[msgKey][]*message{},
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < p; i++ {
+		wg.Add(1)
+		n := c.nodes[i]
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					c.mu.Lock()
+					if c.fail == nil {
+						c.fail = fmt.Errorf("simnet: rank %d panicked: %v", n.Rank, r)
+					}
+					c.mu.Unlock()
+				}
+				c.mu.Lock()
+				n.done = true
+				c.finished++
+				c.mu.Unlock()
+				c.schedCh <- -1
+			}()
+			// Wait for the scheduler to start us.
+			<-n.resume
+			body(n)
+		}()
+	}
+
+	// Scheduler loop.
+	schedDone := make(chan struct{})
+	go func() {
+		defer close(schedDone)
+		running := 0 // how many rank goroutines exist and are not done
+		c.mu.Lock()
+		running = p
+		c.mu.Unlock()
+		// Initially all ranks are runnable and paused at <-resume.
+		runnable := map[int]bool{}
+		for i := 0; i < p; i++ {
+			runnable[i] = true
+		}
+		for running > 0 {
+			// Pick the runnable rank with the smallest clock (ties:
+			// lowest rank id, for determinism regardless of map order).
+			pick := -1
+			var pickClock float64
+			for id := range runnable {
+				n := c.nodes[id]
+				if pick < 0 || n.clock < pickClock || (n.clock == pickClock && id < pick) {
+					pick, pickClock = id, n.clock
+				}
+			}
+			if pick < 0 {
+				// Deadlock: every live rank is blocked. Poison them so
+				// their goroutines unwind through the recover handler.
+				c.mu.Lock()
+				if c.fail == nil {
+					c.fail = fmt.Errorf("simnet: deadlock — all %d remaining ranks blocked", running)
+				}
+				c.mu.Unlock()
+				for _, n := range c.nodes {
+					if !n.done {
+						n.poison = true
+						n.resume <- struct{}{}
+						<-c.schedCh // the -1 from its recover path
+						running--
+					}
+				}
+				continue
+			}
+			delete(runnable, pick)
+			c.nodes[pick].resume <- struct{}{}
+			// Wait for that rank to yield back (or finish).
+			id := <-c.schedCh
+			if id == -1 {
+				running--
+			}
+			// Merge the ranks this handoff unblocked, plus the yielder
+			// itself if it is still runnable.
+			for _, rid := range c.woken {
+				n := c.nodes[rid]
+				if !n.done && n.blockKind == blockNone {
+					runnable[rid] = true
+				}
+			}
+			c.woken = c.woken[:0]
+			if id >= 0 {
+				n := c.nodes[id]
+				if !n.done && n.blockKind == blockNone {
+					runnable[id] = true
+				}
+			}
+		}
+	}()
+
+	wg.Wait()
+	<-schedDone
+
+	wall = make([]float64, p)
+	cpu = make([]float64, p)
+	for i, n := range c.nodes {
+		wall[i] = n.clock
+		cpu[i] = n.cpu
+	}
+	return wall, cpu, c.fail
+}
+
+// yield hands control back to the scheduler and waits to be resumed.
+func (n *Node) yield() {
+	n.net.schedCh <- n.Rank
+	<-n.resume
+	if n.poison {
+		panic("deadlocked (poisoned by scheduler)")
+	}
+}
+
+// Clock returns the rank's virtual wall-clock time in seconds
+// (the simulated MPI_Wtime).
+func (n *Node) Clock() float64 { return n.clock }
+
+// CPUTime returns the rank's accumulated virtual CPU time in seconds
+// (the simulated clock(); it excludes blocking in communication).
+func (n *Node) CPUTime() float64 { return n.cpu }
+
+// Compute advances the rank's clock and CPU time by dt seconds of
+// computation.
+func (n *Node) Compute(dt float64) {
+	if dt < 0 {
+		panic("simnet: negative compute time")
+	}
+	n.clock += dt
+	n.cpu += dt
+	n.yield()
+}
+
+// Send transmits data to rank dst with a tag. Standard-mode semantics:
+// eager messages buffer and return after the sender overhead;
+// rendezvous messages (size above the link's EagerLimit) block until
+// the receiver posts the matching receive.
+func (n *Node) Send(dst, tag int, data []float64) {
+	n.Wait(n.Isend(dst, tag, data))
+}
+
+// Isend starts a nonblocking standard-mode send and returns a request
+// to pass to Wait. The sender consumes its per-message CPU overhead
+// immediately; rendezvous transfers are booked when the receiver posts
+// the matching receive.
+func (n *Node) Isend(dst, tag int, data []float64) *Request {
+	if dst == n.Rank {
+		// Self-send: buffer locally with no network cost.
+		cp := append([]float64(nil), data...)
+		key := msgKey{n.Rank, tag}
+		m := &message{key: key, data: cp, arrive: n.clock, ready: n.clock, xferDone: true, size: 8 * len(data)}
+		n.inbox[key] = append(n.inbox[key], m)
+		n.yield()
+		return &Request{m: m}
+	}
+	link := n.net.model.link(n.Rank, dst)
+	size := n.timedSize(len(data))
+	cp := append([]float64(nil), data...)
+
+	// Sender CPU overhead: fixed protocol cost plus per-byte stack
+	// copies (TCP); DMA-driven networks set CPUCopyMBs to 0.
+	o := link.OverheadUS * us
+	if link.CPUCopyMBs > 0 {
+		o += float64(size) / (link.CPUCopyMBs * mb)
+	}
+	n.clock += o
+	n.cpu += o
+
+	rendezv := link.EagerLimit > 0 && size > link.EagerLimit
+	m := &message{
+		key:     msgKey{n.Rank, tag},
+		data:    cp,
+		rendezv: rendezv,
+		sender:  n,
+		size:    size,
+		posted:  n.clock,
+	}
+	dstNode := n.net.nodes[dst]
+	if !rendezv {
+		m.arrive = n.reserveTransfer(dst, size, n.clock, link)
+		m.ready = n.clock // eager: buffered, sender is free immediately
+		m.xferDone = true
+		n.deliver(dstNode, m)
+		n.yield()
+		return &Request{m: m}
+	}
+	// Rendezvous: if the receiver is already waiting, transfer now;
+	// otherwise park until it posts the matching receive.
+	if dstNode.blockKind == blockRecv && dstNode.waitKey != nil &&
+		matches(*dstNode.waitKey, m.key) {
+		start := maxf(n.clock, dstNode.clock) + link.LatencyUS*us // handshake
+		m.arrive = n.reserveTransfer(dst, size, start, link)
+		m.ready = m.arrive - link.LatencyUS*us // payload has left the NIC
+		m.xferDone = true
+		n.deliver(dstNode, m)
+		n.yield()
+		return &Request{m: m}
+	}
+	m.arrive = -1
+	n.deliver(dstNode, m)
+	n.yield()
+	return &Request{m: m}
+}
+
+// Wait blocks until the send completes (for rendezvous, until the
+// receiver has posted and the payload has left the sender's NIC).
+func (n *Node) Wait(r *Request) {
+	if r.m == nil {
+		return
+	}
+	for !r.m.xferDone {
+		n.blockKind = blockSendRendezvous
+		n.waitSend = r.m
+		n.yield()
+		n.waitSend = nil
+	}
+	n.clock = maxf(n.clock, r.m.ready)
+	r.m = nil
+}
+
+// matches reports whether a posted receive key (which may use
+// wildcards via -1) matches a message key.
+func matches(want, have msgKey) bool {
+	if want.src != -1 && want.src != have.src {
+		return false
+	}
+	if want.tag != -1 && want.tag != have.tag {
+		return false
+	}
+	return true
+}
+
+// reserveTransfer books the NIC and backplane resources for a transfer
+// starting no earlier than start, returning the arrival time at the
+// destination.
+func (n *Node) reserveTransfer(dst, size int, start float64, link *LinkModel) float64 {
+	c := n.net
+	srcNode := c.model.nodeOf(n.Rank)
+	dstNode := c.model.nodeOf(dst)
+	xfer := link.xfer(size)
+	lat := link.LatencyUS * us
+
+	intra := c.model.RanksPerNode > 1 && srcNode == dstNode
+	if intra {
+		// Shared-memory copy: no NIC or backplane involvement.
+		return start + lat + xfer
+	}
+	egBegin := maxf(start, c.egressFree[srcNode])
+	if link.HalfDuplex {
+		egBegin = maxf(egBegin, c.ingressFree[srcNode])
+	}
+	egEnd := egBegin + xfer
+	c.egressFree[srcNode] = egEnd
+	if link.HalfDuplex {
+		c.ingressFree[srcNode] = egEnd
+	}
+	pathEnd := egEnd
+	if c.model.BackplaneMBs > 0 {
+		bpBegin := maxf(egBegin, c.bpFree)
+		bpEnd := bpBegin + float64(size)/(c.model.BackplaneMBs*mb)
+		c.bpFree = bpEnd
+		pathEnd = maxf(pathEnd, bpEnd)
+	}
+	arrive := pathEnd + lat
+	// Cut-through ingress serialization: the receive wire is busy for
+	// the transfer duration ending at arrival.
+	inBegin := maxf(arrive-xfer, c.ingressFree[dstNode])
+	arrive = inBegin + xfer
+	c.ingressFree[dstNode] = arrive
+	if link.HalfDuplex {
+		c.egressFree[dstNode] = maxf(c.egressFree[dstNode], arrive)
+	}
+	return arrive
+}
+
+// deliver places a message in the destination inbox and unblocks the
+// destination if it is waiting for it.
+func (n *Node) deliver(dst *Node, m *message) {
+	dst.inbox[m.key] = append(dst.inbox[m.key], m)
+	if dst.blockKind == blockRecv && dst.waitKey != nil && matches(*dst.waitKey, m.key) {
+		dst.blockKind = blockNone
+		dst.waitKey = nil
+		n.net.woken = append(n.net.woken, dst.Rank)
+	}
+}
+
+// AnySource and AnyTag are wildcards for Recv.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// Recv blocks until a message from src with the given tag arrives and
+// returns its payload. The rank's clock advances to the later of its
+// own time and the message's arrival time.
+func (n *Node) Recv(src, tag int) []float64 {
+	key := msgKey{src, tag}
+	for {
+		if m := n.takeMatch(key); m != nil {
+			if m.rendezv && !m.xferDone {
+				// Transfer has not started: run the rendezvous now.
+				link := n.net.model.link(m.sender.Rank, n.Rank)
+				start := maxf(m.posted, n.clock) + link.LatencyUS*us
+				m.arrive = m.sender.reserveTransfer(n.Rank, m.size, start, link)
+				m.ready = m.arrive - link.LatencyUS*us
+				m.xferDone = true
+				// Unblock the sender if it is parked in Wait on this
+				// message.
+				if m.sender.blockKind == blockSendRendezvous && m.sender.waitSend == m {
+					m.sender.blockKind = blockNone
+					n.net.woken = append(n.net.woken, m.sender.Rank)
+				}
+			}
+			n.clock = maxf(n.clock, m.arrive)
+			if m.sender != nil {
+				link := n.net.model.link(m.sender.Rank, n.Rank)
+				if link.CPUCopyMBs > 0 {
+					o := float64(m.size) / (link.CPUCopyMBs * mb)
+					n.clock += o
+					n.cpu += o
+				}
+			}
+			n.yield()
+			return m.data
+		}
+		n.blockKind = blockRecv
+		n.waitKey = &key
+		n.yield()
+		n.waitKey = nil
+	}
+}
+
+// takeMatch removes and returns the earliest matching message, or nil.
+func (n *Node) takeMatch(want msgKey) *message {
+	if want.src != AnySource && want.tag != AnyTag {
+		q := n.inbox[want]
+		if len(q) == 0 {
+			return nil
+		}
+		m := q[0]
+		n.inbox[want] = q[1:]
+		return m
+	}
+	// Wildcard: scan all queues, earliest posted first for fairness.
+	var best *message
+	var bestKey msgKey
+	for k, q := range n.inbox {
+		if len(q) == 0 || !matches(want, k) {
+			continue
+		}
+		if best == nil || q[0].posted < best.posted {
+			best = q[0]
+			bestKey = k
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	n.inbox[bestKey] = n.inbox[bestKey][1:]
+	return best
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

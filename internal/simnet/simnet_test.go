@@ -1,0 +1,448 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+)
+
+// fastModel is a simple full-crossbar network: 10 us latency, 100 MB/s.
+func fastModel() *Model {
+	return &Model{
+		Name:  "test",
+		Inter: LinkModel{LatencyUS: 10, BandwidthMBs: 100, OverheadUS: 1},
+	}
+}
+
+func TestSingleRankCompute(t *testing.T) {
+	wall, cpu, err := Run(1, fastModel(), func(n *Node) {
+		n.Compute(0.5)
+		n.Compute(0.25)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(wall[0]-0.75) > 1e-12 || math.Abs(cpu[0]-0.75) > 1e-12 {
+		t.Fatalf("wall=%v cpu=%v, want 0.75", wall[0], cpu[0])
+	}
+}
+
+func TestPingPongTiming(t *testing.T) {
+	// One eager message of 8000 bytes: sender overhead 1 us, wire
+	// 8000/100e6 = 80 us, latency 10 us => arrival at 91 us.
+	model := fastModel()
+	var recvClock float64
+	wall, _, err := Run(2, model, func(n *Node) {
+		if n.Rank == 0 {
+			n.Send(1, 7, make([]float64, 1000))
+		} else {
+			n.Recv(0, 7)
+			recvClock = n.Clock()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (1 + 80 + 10) * 1e-6
+	if math.Abs(recvClock-want) > 1e-9 {
+		t.Fatalf("receive clock = %v, want %v", recvClock, want)
+	}
+	// Sender finished after its overhead only (eager).
+	if math.Abs(wall[0]-1e-6) > 1e-9 {
+		t.Fatalf("sender wall = %v, want 1e-6", wall[0])
+	}
+}
+
+func TestMessageDataIntegrity(t *testing.T) {
+	data := []float64{3.14, 2.71, 1.41}
+	var got []float64
+	_, _, err := Run(2, fastModel(), func(n *Node) {
+		if n.Rank == 0 {
+			n.Send(1, 0, data)
+		} else {
+			got = n.Recv(0, 0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("payload corrupted: %v", got)
+		}
+	}
+}
+
+func TestMessagesDoNotOvertake(t *testing.T) {
+	// Two same-key messages must be received in send order.
+	var first, second float64
+	_, _, err := Run(2, fastModel(), func(n *Node) {
+		if n.Rank == 0 {
+			n.Send(1, 5, []float64{1})
+			n.Send(1, 5, []float64{2})
+		} else {
+			first = n.Recv(0, 5)[0]
+			second = n.Recv(0, 5)[0]
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 1 || second != 2 {
+		t.Fatalf("order violated: %v, %v", first, second)
+	}
+}
+
+func TestTagSelectivity(t *testing.T) {
+	// Receiving tag 2 before tag 1 must still deliver the right
+	// payloads.
+	var a, b float64
+	_, _, err := Run(2, fastModel(), func(n *Node) {
+		if n.Rank == 0 {
+			n.Send(1, 1, []float64{10})
+			n.Send(1, 2, []float64{20})
+		} else {
+			b = n.Recv(0, 2)[0]
+			a = n.Recv(0, 1)[0]
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != 10 || b != 20 {
+		t.Fatalf("tag routing broken: a=%v b=%v", a, b)
+	}
+}
+
+func TestAnySourceWildcard(t *testing.T) {
+	sum := 0.0
+	_, _, err := Run(3, fastModel(), func(n *Node) {
+		if n.Rank > 0 {
+			n.Send(0, 0, []float64{float64(n.Rank)})
+		} else {
+			for i := 0; i < 2; i++ {
+				sum += n.Recv(AnySource, 0)[0]
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != 3 {
+		t.Fatalf("sum = %v, want 3", sum)
+	}
+}
+
+func TestRendezvousBlocksSender(t *testing.T) {
+	model := fastModel()
+	model.Inter.EagerLimit = 100 // bytes
+	var senderDone float64
+	_, _, err := Run(2, model, func(n *Node) {
+		if n.Rank == 0 {
+			n.Send(1, 0, make([]float64, 10000)) // 80 KB: rendezvous
+			senderDone = n.Clock()
+		} else {
+			n.Compute(0.01) // receiver is late
+			n.Recv(0, 0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The sender cannot complete before the receiver posted at 0.01 s.
+	if senderDone < 0.01 {
+		t.Fatalf("rendezvous sender finished at %v, before receiver posted", senderDone)
+	}
+}
+
+func TestEagerDoesNotBlockSender(t *testing.T) {
+	model := fastModel()
+	model.Inter.EagerLimit = 1 << 20
+	var senderDone float64
+	_, _, err := Run(2, model, func(n *Node) {
+		if n.Rank == 0 {
+			n.Send(1, 0, make([]float64, 1000))
+			senderDone = n.Clock()
+		} else {
+			n.Compute(0.05)
+			n.Recv(0, 0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if senderDone > 0.001 {
+		t.Fatalf("eager sender blocked until %v", senderDone)
+	}
+}
+
+func TestCPUvsWallClock(t *testing.T) {
+	// The receiver idles waiting for a late message: wall > cpu, the
+	// paper's clock() vs MPI_Wtime() distinction.
+	var wallR, cpuR float64
+	_, _, err := Run(2, fastModel(), func(n *Node) {
+		if n.Rank == 0 {
+			n.Compute(0.1)
+			n.Send(1, 0, []float64{1})
+		} else {
+			n.Recv(0, 0)
+			wallR, cpuR = n.Clock(), n.CPUTime()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wallR < 0.1 {
+		t.Fatalf("receiver wall = %v, want >= 0.1", wallR)
+	}
+	if cpuR != 0 {
+		t.Fatalf("receiver cpu = %v, want 0 (pure idle)", cpuR)
+	}
+}
+
+func TestEgressSerialization(t *testing.T) {
+	// One sender, two messages to different receivers: the second
+	// transfer must wait for the first to leave the NIC.
+	model := fastModel()
+	var t1, t2 float64
+	_, _, err := Run(3, model, func(n *Node) {
+		switch n.Rank {
+		case 0:
+			n.Send(1, 0, make([]float64, 12500)) // 100 KB = 1 ms wire
+			n.Send(2, 0, make([]float64, 12500))
+		case 1:
+			n.Recv(0, 0)
+			t1 = n.Clock()
+		case 2:
+			n.Recv(0, 0)
+			t2 = n.Clock()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second arrival at least one wire time after the first.
+	if t2-t1 < 0.9e-3 {
+		t.Fatalf("egress not serialized: t1=%v t2=%v", t1, t2)
+	}
+}
+
+func TestBackplaneContention(t *testing.T) {
+	// Two disjoint pairs exchange simultaneously; with a backplane of
+	// one link's bandwidth the second transfer must queue.
+	mk := func(backplane float64) float64 {
+		model := fastModel()
+		model.BackplaneMBs = backplane
+		var latest float64
+		_, _, err := Run(4, model, func(n *Node) {
+			size := 12500 // 100 KB
+			switch n.Rank {
+			case 0:
+				n.Send(2, 0, make([]float64, size))
+			case 1:
+				n.Send(3, 0, make([]float64, size))
+			case 2, 3:
+				n.Recv(n.Rank-2, 0)
+				if c := n.Clock(); c > latest {
+					latest = c
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return latest
+	}
+	free := mk(0)     // full crossbar
+	capped := mk(100) // backplane = one link
+	if capped < 1.8*free {
+		t.Fatalf("backplane contention missing: free=%v capped=%v", free, capped)
+	}
+}
+
+func TestIntranodeFasterThanInternode(t *testing.T) {
+	model := &Model{
+		Name:         "smp",
+		Inter:        LinkModel{LatencyUS: 100, BandwidthMBs: 10, OverheadUS: 5},
+		Intra:        LinkModel{LatencyUS: 5, BandwidthMBs: 200, OverheadUS: 1},
+		RanksPerNode: 2,
+	}
+	run := func(dst int) float64 {
+		var arr float64
+		_, _, err := Run(4, model, func(n *Node) {
+			if n.Rank == 0 {
+				n.Send(dst, 0, make([]float64, 1000))
+			} else if n.Rank == dst {
+				n.Recv(0, 0)
+				arr = n.Clock()
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return arr
+	}
+	intra := run(1) // same node (ranks 0,1 on node 0)
+	inter := run(2) // different node
+	if intra >= inter {
+		t.Fatalf("intra=%v not faster than inter=%v", intra, inter)
+	}
+}
+
+func TestHalfDuplexSharesWire(t *testing.T) {
+	mk := func(half bool) float64 {
+		model := fastModel()
+		model.Inter.HalfDuplex = half
+		var latest float64
+		_, _, err := Run(2, model, func(n *Node) {
+			// Simultaneous bidirectional exchange.
+			other := 1 - n.Rank
+			n.Send(other, 0, make([]float64, 12500))
+			n.Recv(other, 0)
+			if c := n.Clock(); c > latest {
+				latest = c
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return latest
+	}
+	full := mk(false)
+	half := mk(true)
+	if half < 1.5*full {
+		t.Fatalf("half duplex not slower: full=%v half=%v", full, half)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	_, _, err := Run(2, fastModel(), func(n *Node) {
+		// Both ranks receive first: classic deadlock.
+		n.Recv(1-n.Rank, 0)
+		n.Send(1-n.Rank, 0, []float64{1})
+	})
+	if err == nil {
+		t.Fatal("expected deadlock error")
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() []float64 {
+		wall, _, err := Run(4, fastModel(), func(n *Node) {
+			// All-to-all-ish exchange with computation.
+			n.Compute(float64(n.Rank) * 1e-4)
+			for i := 0; i < n.P; i++ {
+				if i == n.Rank {
+					continue
+				}
+				n.Send(i, n.Rank, make([]float64, 100*(n.Rank+1)))
+			}
+			for i := 0; i < n.P; i++ {
+				if i == n.Rank {
+					continue
+				}
+				n.Recv(i, i)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return wall
+	}
+	a := run()
+	b := run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic: run1=%v run2=%v", a, b)
+		}
+	}
+}
+
+func TestSelfSend(t *testing.T) {
+	var got float64
+	_, _, err := Run(1, fastModel(), func(n *Node) {
+		n.Send(0, 3, []float64{42})
+		got = n.Recv(0, 3)[0]
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Fatalf("self-send payload = %v", got)
+	}
+}
+
+func TestClocksMonotonic(t *testing.T) {
+	_, _, err := Run(3, fastModel(), func(n *Node) {
+		prev := n.Clock()
+		for i := 0; i < 5; i++ {
+			n.Compute(1e-5)
+			if n.Clock() < prev {
+				t.Errorf("clock went backwards")
+			}
+			prev = n.Clock()
+			dst := (n.Rank + 1) % n.P
+			src := (n.Rank + n.P - 1) % n.P
+			n.Send(dst, i, []float64{1})
+			n.Recv(src, i)
+			if n.Clock() < prev {
+				t.Errorf("clock went backwards after recv")
+			}
+			prev = n.Clock()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPhantomFactorScalesTiming(t *testing.T) {
+	// The same payload must take ~10x longer to transfer with a
+	// phantom factor of 10, without growing the data.
+	run := func(phantom float64) (arrive float64, payload int) {
+		model := fastModel()
+		_, _, err := Run(2, model, func(n *Node) {
+			if n.Rank == 0 {
+				n.SetPhantomFactor(phantom)
+				n.Send(1, 0, make([]float64, 12500)) // 100 KB real
+			} else {
+				got := n.Recv(0, 0)
+				arrive = n.Clock()
+				payload = len(got)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return arrive, payload
+	}
+	t1, p1 := run(1)
+	t10, p10 := run(10)
+	if p1 != 12500 || p10 != 12500 {
+		t.Fatalf("payload changed: %d vs %d", p1, p10)
+	}
+	// Wire time 1 ms at factor 1, 10 ms at factor 10 (latency 10 us).
+	if t10 < 8*t1 {
+		t.Fatalf("phantom factor not applied: %v vs %v", t1, t10)
+	}
+}
+
+func TestCPUCopyCostChargesBothSides(t *testing.T) {
+	model := fastModel()
+	model.Inter.CPUCopyMBs = 10 // 100 KB costs 10 ms of CPU each side
+	wall, cpu, err := Run(2, model, func(n *Node) {
+		if n.Rank == 0 {
+			n.Send(1, 0, make([]float64, 12500))
+		} else {
+			n.Recv(0, 0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 2; r++ {
+		if cpu[r] < 9e-3 {
+			t.Fatalf("rank %d cpu %v, want >= ~10ms of stack copies", r, cpu[r])
+		}
+	}
+	_ = wall
+}

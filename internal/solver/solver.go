@@ -1,0 +1,265 @@
+// Package solver provides the global Helmholtz/Poisson solvers of the
+// spectral/hp element method: a direct solver that assembles the C0
+// global matrix in symmetric banded form and factors it with the
+// banded Cholesky (the paper's serial and Nektar-F solver strategy,
+// "direct solvers utilising the symmetric and banded nature of the
+// matrix"), and a diagonally preconditioned conjugate gradient
+// iterative solver (the Nektar-ALE strategy).
+//
+// Both solve the weak Helmholtz problem: find u with u = g on the
+// Dirichlet boundary and
+//
+//	integral grad(u).grad(v) + lambda*u*v = integral f*v
+//
+// for all test functions v vanishing on the Dirichlet boundary, i.e.
+// the strong equation -Laplace(u) + lambda*u = f.
+package solver
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"nektar/internal/blas"
+	"nektar/internal/lapack"
+	"nektar/internal/mesh"
+)
+
+// Direct is a factored global banded Helmholtz operator.
+type Direct struct {
+	A      *mesh.Assembly
+	Lambda float64
+
+	band *lapack.BandStorage
+	coup []mesh.DirCoupling
+}
+
+// NewDirect assembles and factors the global Helmholtz matrix
+// L + lambda*M over the unknown degrees of freedom.
+func NewDirect(a *mesh.Assembly, lambda float64) (*Direct, error) {
+	d := &Direct{A: a, Lambda: lambda}
+	band, coup := a.AssembleBanded(func(e int) []float64 {
+		return a.Mesh.Elems[e].Helmholtz(lambda)
+	})
+	if err := lapack.Dpbtrf(band); err != nil {
+		return nil, fmt.Errorf("solver: global Helmholtz factorization: %w", err)
+	}
+	d.band = band
+	d.coup = coup
+	return d, nil
+}
+
+// Bandwidth returns the half-bandwidth of the assembled system.
+func (d *Direct) Bandwidth() int { return d.band.Kd }
+
+// Solve computes the global solution for a weak right-hand side rhs
+// (length NGlobal, the gathered inner products integral f*phi) and
+// Dirichlet values dir (length NGlobal; only entries >= NSolve are
+// read; nil means homogeneous). The returned vector has length NGlobal
+// with Dirichlet entries filled in.
+func (d *Direct) Solve(rhs, dir []float64) []float64 {
+	a := d.A
+	b := make([]float64, a.NSolve)
+	copy(b, rhs[:a.NSolve])
+	if dir != nil {
+		for _, c := range d.coup {
+			b[c.Row] -= c.Val * dir[c.Dir]
+		}
+	}
+	lapack.Dpbtrs(d.band, b)
+	out := make([]float64, a.NGlobal)
+	copy(out, b)
+	if dir != nil {
+		copy(out[a.NSolve:], dir[a.NSolve:])
+	}
+	return out
+}
+
+// PCG is the matrix-free diagonally preconditioned conjugate gradient
+// solver over the assembled global operator.
+type PCG struct {
+	A      *mesh.Assembly
+	Lambda float64
+
+	MaxIter int
+	Tol     float64
+
+	elemMats [][]float64
+	diag     []float64 // inverse diagonal over unknowns
+
+	// Iters reports the iteration count of the last Solve.
+	Iters int
+}
+
+// NewPCG precomputes the elemental Helmholtz matrices and the global
+// diagonal preconditioner.
+func NewPCG(a *mesh.Assembly, lambda float64) *PCG {
+	p := &PCG{A: a, Lambda: lambda, MaxIter: 10 * a.NSolve, Tol: 1e-12}
+	p.elemMats = make([][]float64, len(a.Mesh.Elems))
+	diag := make([]float64, a.NGlobal)
+	for ei, el := range a.Mesh.Elems {
+		h := el.Helmholtz(lambda)
+		p.elemMats[ei] = h
+		n := el.Ref.NModes
+		l2g := a.L2G[ei]
+		for m := 0; m < n; m++ {
+			diag[l2g[m]] += h[m*n+m] // signs square to +1 on the diagonal
+		}
+	}
+	p.diag = make([]float64, a.NSolve)
+	for i := range p.diag {
+		p.diag[i] = 1 / diag[i]
+	}
+	return p
+}
+
+// Apply computes y = H x where x and y are global vectors (length
+// NGlobal); Dirichlet entries of x participate (used to form RHS
+// corrections) and Dirichlet entries of y receive gathered values too.
+func (p *PCG) Apply(x, y []float64) {
+	a := p.A
+	blas.Dfill(len(y), 0, y, 1)
+	for ei, el := range a.Mesh.Elems {
+		n := el.Ref.NModes
+		xl := make([]float64, n)
+		yl := make([]float64, n)
+		a.Scatter(ei, x, xl)
+		blas.Dgemv(blas.NoTrans, n, n, 1, p.elemMats[ei], n, xl, 1, 0, yl, 1)
+		a.Gather(ei, yl, y)
+	}
+}
+
+// ErrNoConvergence is returned when PCG fails to reach the tolerance
+// within MaxIter iterations.
+var ErrNoConvergence = errors.New("solver: PCG did not converge")
+
+// Solve computes the global solution like Direct.Solve but
+// iteratively. The residual tolerance is relative to the initial
+// residual norm.
+func (p *PCG) Solve(rhs, dir []float64) ([]float64, error) {
+	a := p.A
+	n := a.NSolve
+	b := make([]float64, n)
+	copy(b, rhs[:n])
+	// Dirichlet lift: b -= H * (0...0, dir).
+	if dir != nil {
+		xd := make([]float64, a.NGlobal)
+		copy(xd[n:], dir[n:])
+		hd := make([]float64, a.NGlobal)
+		p.Apply(xd, hd)
+		blas.Daxpy(n, -1, hd, 1, b, 1)
+	}
+
+	x := make([]float64, a.NGlobal) // unknown part iterated in place
+	r := make([]float64, n)
+	copy(r, b)
+	z := make([]float64, n)
+	blas.Dvmul(n, r, 1, p.diag, 1, z, 1)
+	pdir := make([]float64, a.NGlobal) // search direction (global for Apply)
+	copy(pdir, z)
+	hp := make([]float64, a.NGlobal)
+
+	rz := blas.Ddot(n, r, 1, z, 1)
+	r0 := blas.Dnrm2(n, r, 1)
+	if r0 == 0 {
+		r0 = 1
+	}
+	p.Iters = 0
+	for it := 0; it < p.MaxIter; it++ {
+		if blas.Dnrm2(n, r, 1) <= p.Tol*r0 {
+			break
+		}
+		p.Apply(pdir, hp)
+		php := blas.Ddot(n, pdir, 1, hp, 1)
+		if php <= 0 {
+			return nil, fmt.Errorf("solver: PCG operator not positive definite (p.Hp = %g)", php)
+		}
+		alpha := rz / php
+		blas.Daxpy(n, alpha, pdir, 1, x, 1)
+		blas.Daxpy(n, -alpha, hp, 1, r, 1)
+		blas.Dvmul(n, r, 1, p.diag, 1, z, 1)
+		rzNew := blas.Ddot(n, r, 1, z, 1)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := 0; i < n; i++ {
+			pdir[i] = z[i] + beta*pdir[i]
+		}
+		p.Iters = it + 1
+	}
+	if blas.Dnrm2(n, r, 1) > p.Tol*r0*10 {
+		return nil, fmt.Errorf("%w after %d iterations (residual %g)", ErrNoConvergence, p.Iters, blas.Dnrm2(n, r, 1)/r0)
+	}
+	if dir != nil {
+		copy(x[n:], dir[n:])
+	}
+	return x, nil
+}
+
+// WeakRHS assembles the global weak right-hand side integral f*phi_m
+// for a forcing function given at quadrature points per element.
+func WeakRHS(a *mesh.Assembly, f func(elem int) []float64) []float64 {
+	rhs := make([]float64, a.NGlobal)
+	for ei, el := range a.Mesh.Elems {
+		out := make([]float64, el.Ref.NModes)
+		el.IProduct(f(ei), out)
+		a.Gather(ei, out, rhs)
+	}
+	return rhs
+}
+
+// WeakRHSFunc assembles the weak right-hand side for a pointwise
+// forcing f(x, y, z).
+func WeakRHSFunc(a *mesh.Assembly, f func(x, y, z float64) float64) []float64 {
+	return WeakRHS(a, func(ei int) []float64 {
+		el := a.Mesh.Elems[ei]
+		nq := el.Ref.NQuad
+		vals := make([]float64, nq)
+		var z []float64
+		if el.Ref.Shape.Dim() == 3 {
+			z = el.X[2]
+		}
+		for q := 0; q < nq; q++ {
+			zz := 0.0
+			if z != nil {
+				zz = z[q]
+			}
+			vals[q] = f(el.X[0][q], el.X[1][q], zz)
+		}
+		return vals
+	})
+}
+
+// DirichletFromFunc builds the global Dirichlet value vector for a 2D
+// mesh by projecting g onto every Dirichlet-tagged boundary edge.
+func DirichletFromFunc(a *mesh.Assembly, isDirichlet func(tag string) bool, g func(x, y float64) float64) []float64 {
+	dir := make([]float64, a.NGlobal)
+	for _, be := range a.Mesh.BndEdges {
+		if isDirichlet(be.Tag) {
+			a.ProjectEdgeTrace(be, g, dir)
+		}
+	}
+	return dir
+}
+
+// L2Error computes the global L2 norm of (u - exact) given the global
+// modal solution.
+func L2Error(a *mesh.Assembly, u []float64, exact func(x, y, z float64) float64) float64 {
+	var sum float64
+	for ei, el := range a.Mesh.Elems {
+		n := el.Ref.NModes
+		nq := el.Ref.NQuad
+		coef := make([]float64, n)
+		a.Scatter(ei, u, coef)
+		phys := make([]float64, nq)
+		el.BwdTrans(coef, phys)
+		for q := 0; q < nq; q++ {
+			zz := 0.0
+			if el.Ref.Shape.Dim() == 3 {
+				zz = el.X[2][q]
+			}
+			d := phys[q] - exact(el.X[0][q], el.X[1][q], zz)
+			sum += d * d * el.WJ[q]
+		}
+	}
+	return math.Sqrt(sum)
+}

@@ -1,0 +1,131 @@
+// Package timing provides the per-stage instrumentation the paper uses
+// to break a Navier-Stokes time step into its seven regions (section
+// 4.1, Figure 12): each stage accumulates host wall time and the BLAS
+// operation counts recorded by package blas, which the machine models
+// later price per architecture.
+package timing
+
+import (
+	"time"
+
+	"nektar/internal/blas"
+)
+
+// Stages accumulates per-stage operation counts and host durations.
+type Stages struct {
+	Names []string
+
+	Counts  []blas.Counts
+	Seconds []float64 // host wall time, for native measurements
+	Priced  []float64 // machine-priced seconds (cluster-simulated runs)
+
+	master  blas.Counts
+	prev    blas.Counts
+	current int
+	t0      time.Time
+	active  bool
+	started bool
+}
+
+// NewStages creates a stage set with the given names.
+func NewStages(names ...string) *Stages {
+	return &Stages{
+		Names:   names,
+		Counts:  make([]blas.Counts, len(names)),
+		Seconds: make([]float64, len(names)),
+		Priced:  make([]float64, len(names)),
+	}
+}
+
+// Attach starts global BLAS recording; it must bracket the
+// instrumented run (recording is process-global).
+func (s *Stages) Attach() {
+	blas.StartRecording(&s.master)
+	s.started = true
+}
+
+// Detach stops BLAS recording.
+func (s *Stages) Detach() {
+	blas.StopRecording()
+	s.started = false
+}
+
+// Begin enters stage i; any active stage is ended first.
+func (s *Stages) Begin(i int) {
+	if s.active {
+		s.End()
+	}
+	s.current = i
+	s.prev = s.master
+	s.t0 = time.Now()
+	s.active = true
+}
+
+// End closes the active stage, charging it the counts and wall time
+// accumulated since Begin.
+func (s *Stages) End() {
+	if !s.active {
+		return
+	}
+	delta := s.master
+	delta.Sub(&s.prev)
+	s.Counts[s.current].Add(&delta)
+	s.Seconds[s.current] += time.Since(s.t0).Seconds()
+	s.active = false
+}
+
+// AddPriced charges externally recorded counts and machine-priced
+// seconds to the currently active stage. Cluster-simulated runs use
+// this instead of Attach, because the global BLAS recorder cannot span
+// the scheduler yields between simulated ranks.
+func (s *Stages) AddPriced(c *blas.Counts, seconds float64) {
+	if !s.active {
+		return
+	}
+	s.Counts[s.current].Add(c)
+	s.Priced[s.current] += seconds
+}
+
+// Current returns the index of the active stage, or -1 if none.
+func (s *Stages) Current() int {
+	if !s.active {
+		return -1
+	}
+	return s.current
+}
+
+// Total returns the sum of all per-stage counts.
+func (s *Stages) Total() blas.Counts {
+	var t blas.Counts
+	for i := range s.Counts {
+		t.Add(&s.Counts[i])
+	}
+	return t
+}
+
+// Reset zeroes the accumulated stage data (the master recording
+// continues).
+func (s *Stages) Reset() {
+	for i := range s.Counts {
+		s.Counts[i] = blas.Counts{}
+		s.Seconds[i] = 0
+		s.Priced[i] = 0
+	}
+}
+
+// Percent returns each stage's share (0-100) of a per-stage metric
+// given by eval (e.g. machine-priced seconds).
+func Percent(vals []float64) []float64 {
+	var total float64
+	for _, v := range vals {
+		total += v
+	}
+	out := make([]float64, len(vals))
+	if total == 0 {
+		return out
+	}
+	for i, v := range vals {
+		out[i] = 100 * v / total
+	}
+	return out
+}

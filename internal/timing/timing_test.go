@@ -1,0 +1,89 @@
+package timing
+
+import (
+	"math"
+	"testing"
+
+	"nektar/internal/blas"
+)
+
+func TestStagesCaptureDeltas(t *testing.T) {
+	s := NewStages("a", "b")
+	s.Attach()
+	defer s.Detach()
+	x := make([]float64, 50)
+	y := make([]float64, 50)
+
+	s.Begin(0)
+	blas.Dcopy(50, x, 1, y, 1)
+	s.Begin(1) // implicitly ends stage 0
+	blas.Ddot(50, x, 1, y, 1)
+	blas.Ddot(50, x, 1, y, 1)
+	s.End()
+
+	if s.Counts[0].Ops[blas.KernelDcopy].Calls != 1 {
+		t.Fatalf("stage a: %+v", s.Counts[0])
+	}
+	if s.Counts[0].Ops[blas.KernelDdot].Calls != 0 {
+		t.Fatal("ddot leaked into stage a")
+	}
+	if s.Counts[1].Ops[blas.KernelDdot].Calls != 2 {
+		t.Fatalf("stage b: %+v", s.Counts[1])
+	}
+	if s.Seconds[0] <= 0 || s.Seconds[1] <= 0 {
+		t.Fatal("host seconds not recorded")
+	}
+	total := s.Total()
+	if total.Ops[blas.KernelDdot].Calls != 2 || total.Ops[blas.KernelDcopy].Calls != 1 {
+		t.Fatalf("total wrong: %+v", total)
+	}
+}
+
+func TestStagesReset(t *testing.T) {
+	s := NewStages("a")
+	s.Attach()
+	s.Begin(0)
+	blas.Dcopy(10, make([]float64, 10), 1, make([]float64, 10), 1)
+	s.End()
+	s.Detach()
+	s.Reset()
+	if s.Counts[0].TotalBytes() != 0 || s.Seconds[0] != 0 || s.Priced[0] != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestAddPriced(t *testing.T) {
+	s := NewStages("a", "b")
+	var c blas.Counts
+	c.Ops[blas.KernelDgemm] = blas.Op{Calls: 1, Flops: 100}
+	s.AddPriced(&c, 0.5) // no active stage: ignored
+	if s.Priced[0] != 0 {
+		t.Fatal("AddPriced without active stage should be ignored")
+	}
+	s.Begin(1)
+	s.AddPriced(&c, 0.5)
+	s.AddPriced(&c, 0.25)
+	s.End()
+	if s.Priced[1] != 0.75 {
+		t.Fatalf("Priced[1] = %v", s.Priced[1])
+	}
+	if s.Counts[1].Ops[blas.KernelDgemm].Calls != 2 {
+		t.Fatalf("counts not accumulated: %+v", s.Counts[1])
+	}
+}
+
+func TestPercent(t *testing.T) {
+	p := Percent([]float64{1, 3})
+	if math.Abs(p[0]-25) > 1e-12 || math.Abs(p[1]-75) > 1e-12 {
+		t.Fatalf("percent = %v", p)
+	}
+	z := Percent([]float64{0, 0})
+	if z[0] != 0 || z[1] != 0 {
+		t.Fatal("zero total should give zeros")
+	}
+}
+
+func TestEndWithoutBeginIsSafe(t *testing.T) {
+	s := NewStages("a")
+	s.End() // must not panic
+}
