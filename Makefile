@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: check build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The simulator runs one goroutine per rank; everything must stay
+# race-detector clean. This is the full gate a PR must pass.
+race:
+	$(GO) test -race ./...
+
+check: build vet race

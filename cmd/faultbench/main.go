@@ -1,0 +1,82 @@
+// Command faultbench answers the fault-tolerance question behind the
+// paper's production runs (250 CPU-hours per processor on commodity
+// hardware): how often should a run checkpoint? It measures checkpoint
+// size and per-step cost with a probe Nektar-F run on the simulated
+// cluster, tabulates Young's-model overhead for a sweep of checkpoint
+// intervals against node MTBF values, and optionally demonstrates a
+// measured crash-recovery round trip (injected node crash, restart
+// from the last committed checkpoint).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"nektar/internal/bench"
+)
+
+func main() {
+	machine := flag.String("machine", bench.PaperFaultbench.Machine, "simulated machine (see internal/machine)")
+	procs := flag.Int("procs", bench.PaperFaultbench.Procs, "processor count")
+	disk := flag.Float64("disk", bench.PaperFaultbench.DiskMBs, "node-local disk bandwidth, MB/s")
+	intervals := flag.String("intervals", joinInts(bench.PaperFaultbench.IntervalSteps), "comma-separated checkpoint intervals, steps")
+	mtbf := flag.String("mtbf", joinFloats(bench.PaperFaultbench.MTBFHours), "comma-separated per-node MTBF values, hours")
+	recovery := flag.Bool("recovery", true, "also run the measured crash-recovery demonstration")
+	seed := flag.Int64("seed", 1, "fault-plan seed for the recovery demonstration")
+	flag.Parse()
+
+	cfg := bench.PaperFaultbench
+	cfg.Machine = *machine
+	cfg.Procs = *procs
+	cfg.DiskMBs = *disk
+	cfg.IntervalSteps = nil
+	for _, s := range strings.Split(*intervals, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.IntervalSteps = append(cfg.IntervalSteps, v)
+	}
+	cfg.MTBFHours = nil
+	for _, s := range strings.Split(*mtbf, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.MTBFHours = append(cfg.MTBFHours, v)
+	}
+
+	_, tbl, err := bench.RunFaultbench(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tbl.Write(os.Stdout)
+	if *recovery {
+		demo, err := bench.RunFaultbenchRecovery(cfg, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		demo.Write(os.Stdout)
+	}
+}
+
+func joinInts(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = strconv.Itoa(x)
+	}
+	return strings.Join(parts, ",")
+}
+
+func joinFloats(xs []float64) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = strconv.FormatFloat(x, 'g', -1, 64)
+	}
+	return strings.Join(parts, ",")
+}

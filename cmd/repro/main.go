@@ -114,6 +114,27 @@ func main() {
 		}
 		return nil
 	})
+	section("faultbench", func(w io.Writer) error {
+		cfg := bench.PaperFaultbench
+		if *quick {
+			cfg.Procs = 2
+			cfg.ProbeNt, cfg.ProbeNr = 6, 2
+			cfg.Order = 3
+			cfg.Steps = 1
+		}
+		_, tbl, err := bench.RunFaultbench(cfg)
+		if err != nil {
+			return err
+		}
+		tbl.Write(w)
+		demo, err := bench.RunFaultbenchRecovery(cfg, 1)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		demo.Write(w)
+		return nil
+	})
 	section("table3_fig15-16_nektarale", func(w io.Writer) error {
 		cfg := bench.PaperALE
 		if *quick {

@@ -1,0 +1,235 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+
+	"nektar/internal/core"
+	"nektar/internal/fault"
+	"nektar/internal/machine"
+	"nektar/internal/mesh"
+	"nektar/internal/mpi"
+	"nektar/internal/report"
+	"nektar/internal/simnet"
+)
+
+// Faultbench: checkpoint interval vs cluster MTBF. The paper's
+// production DNS burned ~250 CPU-hours per processor on commodity
+// hardware, survivable only with restart files — which raises the
+// engineering question this experiment answers: how often should a
+// run checkpoint? Too rarely and a crash throws away hours; too often
+// and the checkpoint I/O dominates. Young's first-order model prices
+// the expected overhead of a checkpoint interval tau against a
+// cluster MTBF theta as
+//
+//	overhead(tau) ~= delta/tau + tau/(2*theta)
+//
+// (delta = time to write one checkpoint), minimized at the classic
+// tau_opt = sqrt(2*delta*theta). delta is measured, not assumed: a
+// probe Nektar-F run on the simulated machine serializes real solver
+// state and prices the bytes against the cluster's disk bandwidth.
+// A second, measured experiment injects a seeded node crash and
+// recovers through core.RunFourierRecovery, reporting the actual
+// virtual-wall overhead of the crash-recovery round trip.
+
+// FaultbenchConfig parametrizes the sweep.
+type FaultbenchConfig struct {
+	Machine          string
+	Procs            int
+	ProbeNt, ProbeNr int
+	Order            int
+	Steps            int // probe steps for the per-step wall measurement
+
+	// DiskMBs prices checkpoint writes (local disk per node, as the
+	// paper's clusters did; the Beowulf literature reports ~10-30 MB/s
+	// commodity IDE disks in this era).
+	DiskMBs float64
+	// IntervalSteps are the checkpoint intervals to tabulate.
+	IntervalSteps []int
+	// MTBFHours are the per-node MTBF columns.
+	MTBFHours []float64
+	// StepsPerRun scales the probe per-step wall to a production run
+	// length (the paper's runs were O(10^5) steps).
+	StepsPerRun int
+}
+
+// PaperFaultbench is the default sweep: the paper's dual-PII Ethernet
+// cluster at 8 ranks, with commodity-era disk and MTBF assumptions.
+var PaperFaultbench = FaultbenchConfig{
+	Machine: "RoadRunner-eth",
+	Procs:   8,
+	ProbeNt: 8, ProbeNr: 2,
+	Order:         6,
+	Steps:         2,
+	DiskMBs:       20,
+	IntervalSteps: []int{10, 30, 100, 300, 1000, 3000},
+	MTBFHours:     []float64{24, 72, 168, 720},
+	StepsPerRun:   100000,
+}
+
+// FaultbenchResult carries the measured probe quantities and the
+// derived sweep.
+type FaultbenchResult struct {
+	Machine        string
+	Procs          int
+	StepWallS      float64 // measured max per-step virtual wall
+	CheckpointMB   float64 // measured max per-rank checkpoint size
+	DeltaS         float64 // checkpoint write time at DiskMBs
+	ClusterMTBFS   []float64
+	OptimalTauS    []float64
+	OptimalTauStep []int
+}
+
+// RunFaultbench measures the probe quantities on the simulated
+// machine and derives the Young sweep.
+func RunFaultbench(cfg FaultbenchConfig) (*FaultbenchResult, *report.Table, error) {
+	mach, err := machine.ByName(cfg.Machine)
+	if err != nil {
+		return nil, nil, err
+	}
+	if cfg.Procs > mach.MaxProcs {
+		return nil, nil, fmt.Errorf("bench: %s has at most %d procs", cfg.Machine, mach.MaxProcs)
+	}
+	res := &FaultbenchResult{Machine: cfg.Machine, Procs: cfg.Procs}
+
+	// Probe run: real solver state, priced machine, measured per-step
+	// wall and checkpoint bytes.
+	var wallPerStep, ckptBytes float64
+	_, _, err = simnet.Run(cfg.Procs, mach.Net, func(n *simnet.Node) {
+		comm := mpi.World(n)
+		m, merr := mesh.BluffBody(cfg.Order, cfg.ProbeNt, cfg.ProbeNr)
+		if merr != nil {
+			panic(merr)
+		}
+		ns, nerr := core.NewNSF(m, fourierBCs(), comm, &mach.CPU)
+		if nerr != nil {
+			panic(nerr)
+		}
+		ns.SetUniformInitial(1, 0)
+		ns.Step() // warmup
+		comm.Barrier()
+		w0 := comm.Wtime()
+		for i := 0; i < cfg.Steps; i++ {
+			ns.Step()
+		}
+		comm.Barrier()
+		perStep := (comm.Wtime() - w0) / float64(cfg.Steps)
+		var buf bytes.Buffer
+		if serr := ns.SaveState(&buf); serr != nil {
+			panic(serr)
+		}
+		mx := comm.Allreduce([]float64{perStep, float64(buf.Len())}, mpi.Max)
+		if comm.Rank() == 0 {
+			wallPerStep, ckptBytes = mx[0], mx[1]
+		}
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	res.StepWallS = wallPerStep
+	res.CheckpointMB = ckptBytes / 1e6
+	// All ranks write their restart file concurrently to node-local
+	// disk, so delta is one rank's bytes over one disk's bandwidth.
+	res.DeltaS = ckptBytes / (cfg.DiskMBs * 1e6)
+
+	// Young sweep: rows = checkpoint interval, columns = node MTBF.
+	cols := []string{"ckpt interval (steps / s)"}
+	for _, h := range cfg.MTBFHours {
+		theta := h * 3600 / float64(cfg.Procs) // cluster MTBF
+		res.ClusterMTBFS = append(res.ClusterMTBFS, theta)
+		cols = append(cols, fmt.Sprintf("node MTBF %gh", h))
+	}
+	title := fmt.Sprintf(
+		"Faultbench: expected overhead (%% of run), Young's model — %s, P=%d, delta=%.3gs (%.2f MB @ %g MB/s), step=%.3gs",
+		cfg.Machine, cfg.Procs, res.DeltaS, res.CheckpointMB, cfg.DiskMBs, res.StepWallS)
+	tbl := report.NewTable(title, cols...)
+	for _, steps := range cfg.IntervalSteps {
+		tau := float64(steps) * res.StepWallS
+		row := []string{fmt.Sprintf("%d / %.3g", steps, tau)}
+		for _, theta := range res.ClusterMTBFS {
+			row = append(row, fmt.Sprintf("%.3f%%", 100*youngOverhead(res.DeltaS, tau, theta)))
+		}
+		tbl.AddRow(row...)
+	}
+	// Final row: the analytic optimum per column.
+	optRow := []string{"tau_opt = sqrt(2*delta*theta)"}
+	for _, theta := range res.ClusterMTBFS {
+		tauOpt := math.Sqrt(2 * res.DeltaS * theta)
+		stepsOpt := int(tauOpt/res.StepWallS + 0.5)
+		res.OptimalTauS = append(res.OptimalTauS, tauOpt)
+		res.OptimalTauStep = append(res.OptimalTauStep, stepsOpt)
+		optRow = append(optRow, fmt.Sprintf("%d steps (%.3f%%)",
+			stepsOpt, 100*youngOverhead(res.DeltaS, tauOpt, theta)))
+	}
+	tbl.AddRow(optRow...)
+	return res, tbl, nil
+}
+
+// youngOverhead is the expected fractional runtime overhead of
+// checkpointing every tau seconds on a cluster with MTBF theta:
+// delta/tau of pure I/O plus tau/(2 theta) of expected recomputation.
+func youngOverhead(delta, tau, theta float64) float64 {
+	return delta/tau + tau/(2*theta)
+}
+
+// RunFaultbenchRecovery runs the measured counterpart on a small
+// cluster: a fault-free Nektar-F reference, then the same run with a
+// seeded node crash recovered from checkpoints, reporting the actual
+// virtual wall-clock overhead.
+func RunFaultbenchRecovery(cfg FaultbenchConfig, seed int64) (*report.Table, error) {
+	mach, err := machine.ByName(cfg.Machine)
+	if err != nil {
+		return nil, err
+	}
+	procs := cfg.Procs
+	if procs > 4 {
+		procs = 4 // the measured demo stays small
+	}
+	steps := 12
+	every := 3
+	rc := core.FourierRecovery{
+		Procs: procs,
+		Model: mach.Net,
+		CPU:   &mach.CPU,
+		Mesh: func() (*mesh.Mesh, error) {
+			return mesh.BluffBody(cfg.Order, cfg.ProbeNt, cfg.ProbeNr)
+		},
+		Cfg:             fourierBCs(),
+		InitU:           1,
+		Steps:           steps,
+		CheckpointEvery: every,
+	}
+	ref, err := core.RunFourierRecovery(rc)
+	if err != nil {
+		return nil, err
+	}
+	rc.CheckpointCostS = ref.VirtualWall / float64(steps) // order-of-step checkpoint cost
+	ref2, err := core.RunFourierRecovery(rc)
+	if err != nil {
+		return nil, err
+	}
+
+	crashed := rc
+	crashed.Plans = []simnet.Injector{
+		fault.NewPlan(seed).Crash(procs-1, 0.45*ref2.VirtualWall),
+	}
+	got, err := core.RunFourierRecovery(crashed)
+	if err != nil {
+		return nil, err
+	}
+
+	tbl := report.NewTable(
+		fmt.Sprintf("Faultbench: measured crash recovery — %s, P=%d, %d steps, checkpoint every %d",
+			cfg.Machine, procs, steps, every),
+		"run", "attempts", "steps computed", "virtual wall (s)", "overhead")
+	tbl.AddRow("fault-free (no ckpt cost)", fmt.Sprintf("%d", ref.Attempts),
+		fmt.Sprintf("%d", ref.StepsComputed), fmt.Sprintf("%.4g", ref.VirtualWall), "—")
+	tbl.AddRow("fault-free (ckpt cost)", fmt.Sprintf("%d", ref2.Attempts),
+		fmt.Sprintf("%d", ref2.StepsComputed), fmt.Sprintf("%.4g", ref2.VirtualWall),
+		fmt.Sprintf("%.1f%%", 100*(ref2.VirtualWall/ref.VirtualWall-1)))
+	tbl.AddRow("node crash + recovery", fmt.Sprintf("%d", got.Attempts),
+		fmt.Sprintf("%d", got.StepsComputed), fmt.Sprintf("%.4g", got.VirtualWall),
+		fmt.Sprintf("%.1f%%", 100*(got.VirtualWall/ref.VirtualWall-1)))
+	return tbl, nil
+}

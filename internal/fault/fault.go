@@ -1,0 +1,214 @@
+// Package fault builds deterministic fault-injection plans for the
+// simulated cluster. A Plan is a reproducible schedule of message
+// drops, link degradation windows, transient NIC stalls, and
+// whole-node crashes, derived from a seed plus explicit events. It
+// implements simnet.Injector structurally (this package does not
+// import simnet, so the simulator carries no dependency on it).
+//
+// Determinism guarantee: every decision a Plan makes is a pure
+// function of (seed, event arguments). In particular, the drop
+// decision for the n-th message on a directed rank pair hashes
+// (seed, src, dst, n) — not any global message counter — so it is
+// independent of how concurrent ranks interleave. Two runs of the
+// same program under the same Plan produce identical virtual-time
+// traces and identical drop/retransmission counts.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Plan is a reproducible fault schedule. The zero value injects
+// nothing; use NewPlan and the With*/event methods to populate it.
+// Plans must be fully built before the run starts — the injector
+// methods are read-only during simulation.
+type Plan struct {
+	seed     int64
+	dropProb float64
+
+	crashes  map[int]float64 // rank -> virtual crash time
+	degrades []degradeWindow
+	stalls   []stallWindow
+
+	rng *rand.Rand // for sampled (MTBF-style) events at build time
+
+	drops int // messages dropped so far (diagnostics)
+}
+
+type degradeWindow struct {
+	src, dst      int // -1 = any rank
+	from, to      float64
+	latMul, bwDiv float64
+}
+
+type stallWindow struct {
+	node     int
+	from, to float64
+}
+
+// NewPlan returns an empty plan whose sampled events (CrashRandom) and
+// drop decisions derive from seed.
+func NewPlan(seed int64) *Plan {
+	return &Plan{
+		seed:    seed,
+		crashes: map[int]float64{},
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+// WithDrops sets the independent per-message drop probability for
+// inter-node eager messages. Returns the plan for chaining.
+func (p *Plan) WithDrops(prob float64) *Plan {
+	if prob < 0 {
+		prob = 0
+	}
+	if prob > 1 {
+		prob = 1
+	}
+	p.dropProb = prob
+	return p
+}
+
+// Crash schedules rank to die at virtual time t (seconds). A second
+// call for the same rank keeps the earlier time.
+func (p *Plan) Crash(rank int, t float64) *Plan {
+	if old, ok := p.crashes[rank]; !ok || t < old {
+		p.crashes[rank] = t
+	}
+	return p
+}
+
+// CrashRandom schedules rank to die at an exponentially distributed
+// time with the given mean (the node's MTBF, seconds), sampled from
+// the plan's seeded generator. The sampled time is fixed at call time,
+// so the plan stays reproducible. Returns the sampled crash time.
+func (p *Plan) CrashRandom(rank int, mtbf float64) float64 {
+	t := p.rng.ExpFloat64() * mtbf
+	p.Crash(rank, t)
+	return t
+}
+
+// DegradeLink multiplies the latency by latMul and divides the
+// bandwidth by bwDiv on the directed link src->dst during [from, to).
+// Either endpoint may be -1 to match any rank. Overlapping windows
+// compound multiplicatively.
+func (p *Plan) DegradeLink(src, dst int, from, to, latMul, bwDiv float64) *Plan {
+	p.degrades = append(p.degrades, degradeWindow{src, dst, from, to, latMul, bwDiv})
+	return p
+}
+
+// StallNIC freezes the NIC of the given SMP node during [from, to):
+// no transfer may begin on it before to.
+func (p *Plan) StallNIC(node int, from, to float64) *Plan {
+	p.stalls = append(p.stalls, stallWindow{node, from, to})
+	return p
+}
+
+// Drops returns the number of messages dropped so far.
+func (p *Plan) Drops() int { return p.drops }
+
+// Reset clears the run-time drop counter so the same plan can be
+// reused for a repeat run (e.g. a determinism check). The schedule
+// itself is immutable.
+func (p *Plan) Reset() { p.drops = 0 }
+
+// String summarizes the schedule for logs and reports.
+func (p *Plan) String() string {
+	var parts []string
+	parts = append(parts, fmt.Sprintf("seed=%d", p.seed))
+	if p.dropProb > 0 {
+		parts = append(parts, fmt.Sprintf("drop=%.3g", p.dropProb))
+	}
+	if len(p.crashes) > 0 {
+		ranks := make([]int, 0, len(p.crashes))
+		for r := range p.crashes {
+			ranks = append(ranks, r)
+		}
+		sort.Ints(ranks)
+		for _, r := range ranks {
+			parts = append(parts, fmt.Sprintf("crash(rank=%d,t=%.4gs)", r, p.crashes[r]))
+		}
+	}
+	for _, d := range p.degrades {
+		parts = append(parts, fmt.Sprintf("degrade(%d->%d,[%.4g,%.4g)s,lat×%.3g,bw÷%.3g)",
+			d.src, d.dst, d.from, d.to, d.latMul, d.bwDiv))
+	}
+	for _, s := range p.stalls {
+		parts = append(parts, fmt.Sprintf("stall(node=%d,[%.4g,%.4g)s)", s.node, s.from, s.to))
+	}
+	return "fault.Plan{" + strings.Join(parts, ", ") + "}"
+}
+
+// DropMessage implements the simnet.Injector drop decision: the n-th
+// inter-node eager message on the directed pair src->dst at virtual
+// time t is lost with probability dropProb, decided by hashing
+// (seed, src, dst, n).
+func (p *Plan) DropMessage(src, dst, n int, t float64) bool {
+	if p.dropProb <= 0 {
+		return false
+	}
+	if hash01(p.seed, src, dst, n) < p.dropProb {
+		p.drops++
+		return true
+	}
+	return false
+}
+
+// LinkFactors implements simnet.Injector: the product of all
+// degradation windows covering (src, dst, t).
+func (p *Plan) LinkFactors(src, dst int, t float64) (latMul, bwDiv float64) {
+	latMul, bwDiv = 1, 1
+	for _, d := range p.degrades {
+		if t < d.from || t >= d.to {
+			continue
+		}
+		if d.src != -1 && d.src != src {
+			continue
+		}
+		if d.dst != -1 && d.dst != dst {
+			continue
+		}
+		latMul *= d.latMul
+		bwDiv *= d.bwDiv
+	}
+	return latMul, bwDiv
+}
+
+// StallUntil implements simnet.Injector: the latest stall-window end
+// covering (node, t), or 0 when none does.
+func (p *Plan) StallUntil(node int, t float64) float64 {
+	var until float64
+	for _, s := range p.stalls {
+		if s.node == node && t >= s.from && t < s.to && s.to > until {
+			until = s.to
+		}
+	}
+	return until
+}
+
+// CrashTime implements simnet.Injector: the scheduled crash time for
+// rank, or +Inf when it never dies.
+func (p *Plan) CrashTime(rank int) float64 {
+	if t, ok := p.crashes[rank]; ok {
+		return t
+	}
+	return math.Inf(1)
+}
+
+// hash01 maps (seed, src, dst, n) to a uniform float64 in [0, 1) with
+// a splitmix64-style finalizer. Pure and order-independent by
+// construction.
+func hash01(seed int64, src, dst, n int) float64 {
+	x := uint64(seed)
+	x ^= uint64(src)*0x9e3779b97f4a7c15 + uint64(dst)*0xbf58476d1ce4e5b9 + uint64(n)*0x94d049bb133111eb
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}

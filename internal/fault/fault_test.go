@@ -1,0 +1,157 @@
+package fault
+
+import (
+	"math"
+	"testing"
+
+	"nektar/internal/simnet"
+)
+
+// The plan must satisfy the simulator's injector contract.
+var _ simnet.Injector = (*Plan)(nil)
+
+func TestDropDecisionDeterministic(t *testing.T) {
+	a := NewPlan(42).WithDrops(0.3)
+	b := NewPlan(42).WithDrops(0.3)
+	for n := 0; n < 1000; n++ {
+		for src := 0; src < 4; src++ {
+			for dst := 0; dst < 4; dst++ {
+				if a.DropMessage(src, dst, n, 0) != b.DropMessage(src, dst, n, 0) {
+					t.Fatalf("same-seed plans disagree at (src=%d, dst=%d, n=%d)", src, dst, n)
+				}
+			}
+		}
+	}
+	if a.Drops() != b.Drops() {
+		t.Fatalf("drop counts differ: %d vs %d", a.Drops(), b.Drops())
+	}
+	if a.Drops() == 0 {
+		t.Fatal("expected some drops at p=0.3 over 16000 trials")
+	}
+}
+
+func TestDropDecisionOrderIndependent(t *testing.T) {
+	p := NewPlan(7).WithDrops(0.5)
+	forward := make([]bool, 100)
+	for n := 0; n < 100; n++ {
+		forward[n] = p.DropMessage(0, 1, n, 0)
+	}
+	q := NewPlan(7).WithDrops(0.5)
+	for n := 99; n >= 0; n-- {
+		if q.DropMessage(0, 1, n, 0) != forward[n] {
+			t.Fatalf("drop decision for n=%d depends on query order", n)
+		}
+	}
+}
+
+func TestDropRateApproximatesProbability(t *testing.T) {
+	p := NewPlan(1).WithDrops(0.1)
+	const trials = 20000
+	for n := 0; n < trials; n++ {
+		p.DropMessage(0, 1, n, 0)
+	}
+	rate := float64(p.Drops()) / trials
+	if rate < 0.08 || rate > 0.12 {
+		t.Fatalf("observed drop rate %.4f far from requested 0.1", rate)
+	}
+}
+
+func TestCrashSchedule(t *testing.T) {
+	p := NewPlan(0).Crash(2, 1.5).Crash(2, 3.0) // second call keeps earlier time
+	if got := p.CrashTime(2); got != 1.5 {
+		t.Fatalf("CrashTime(2) = %v, want 1.5", got)
+	}
+	if got := p.CrashTime(0); !math.IsInf(got, 1) {
+		t.Fatalf("CrashTime(0) = %v, want +Inf", got)
+	}
+}
+
+func TestCrashRandomReproducible(t *testing.T) {
+	t1 := NewPlan(99).CrashRandom(0, 3600)
+	t2 := NewPlan(99).CrashRandom(0, 3600)
+	if t1 != t2 {
+		t.Fatalf("same-seed sampled crash times differ: %v vs %v", t1, t2)
+	}
+	if t1 <= 0 {
+		t.Fatalf("sampled crash time %v not positive", t1)
+	}
+}
+
+func TestLinkFactorsWindows(t *testing.T) {
+	p := NewPlan(0).
+		DegradeLink(0, 1, 1.0, 2.0, 4, 8).
+		DegradeLink(-1, -1, 1.5, 2.5, 2, 2)
+	lat, bw := p.LinkFactors(0, 1, 0.5)
+	if lat != 1 || bw != 1 {
+		t.Fatalf("outside window: (%v,%v), want (1,1)", lat, bw)
+	}
+	lat, bw = p.LinkFactors(0, 1, 1.2)
+	if lat != 4 || bw != 8 {
+		t.Fatalf("single window: (%v,%v), want (4,8)", lat, bw)
+	}
+	lat, bw = p.LinkFactors(0, 1, 1.7) // both windows: compound
+	if lat != 8 || bw != 16 {
+		t.Fatalf("overlapping windows: (%v,%v), want (8,16)", lat, bw)
+	}
+	lat, bw = p.LinkFactors(3, 2, 1.7) // only the wildcard window
+	if lat != 2 || bw != 2 {
+		t.Fatalf("wildcard window: (%v,%v), want (2,2)", lat, bw)
+	}
+}
+
+func TestStallUntil(t *testing.T) {
+	p := NewPlan(0).StallNIC(1, 0.5, 0.8)
+	if got := p.StallUntil(1, 0.6); got != 0.8 {
+		t.Fatalf("inside window: %v, want 0.8", got)
+	}
+	if got := p.StallUntil(1, 0.9); got != 0 {
+		t.Fatalf("after window: %v, want 0", got)
+	}
+	if got := p.StallUntil(0, 0.6); got != 0 {
+		t.Fatalf("other node: %v, want 0", got)
+	}
+}
+
+// TestPlanDeterministicSimulation is the tentpole acceptance check at
+// the simnet level: the same seeded plan drives two simulations to
+// identical virtual-time traces.
+func TestPlanDeterministicSimulation(t *testing.T) {
+	model := &simnet.Model{
+		Name:  "test",
+		Inter: simnet.LinkModel{LatencyUS: 50, BandwidthMBs: 10, OverheadUS: 5},
+	}
+	body := func(n *simnet.Node) {
+		for i := 0; i < 20; i++ {
+			n.Compute(1e-4)
+			dst := (n.Rank + 1) % n.P
+			src := (n.Rank + n.P - 1) % n.P
+			n.SendLossy(dst, i, []float64{float64(i)})
+			// Collect whatever arrived; lossy sends may vanish, so use
+			// a deadline rather than a blocking receive.
+			n.RecvDeadline(src, i, n.Clock()+5e-4)
+		}
+	}
+	run := func() ([]float64, int) {
+		p := NewPlan(1234).WithDrops(0.2).
+			DegradeLink(-1, -1, 0.001, 0.002, 3, 3).
+			StallNIC(0, 0.0005, 0.0015)
+		wall, _, err := simnet.RunWithFaults(4, model, p, body)
+		if err != nil {
+			t.Fatalf("RunWithFaults: %v", err)
+		}
+		return wall, p.Drops()
+	}
+	w1, d1 := run()
+	w2, d2 := run()
+	if d1 != d2 {
+		t.Fatalf("drop counts differ across same-seed runs: %d vs %d", d1, d2)
+	}
+	if d1 == 0 {
+		t.Fatal("expected drops at p=0.2")
+	}
+	for i := range w1 {
+		if w1[i] != w2[i] {
+			t.Fatalf("rank %d wall differs across same-seed runs: %v vs %v", i, w1[i], w2[i])
+		}
+	}
+}

@@ -23,10 +23,30 @@ import (
 type Comm struct {
 	node *simnet.Node
 	seq  int // collective sequence number for tag isolation
+
+	// Reliable-delivery state (see reliable.go); nil rel = raw mode.
+	rel         *Reliability
+	sendSeq     map[pairTag]int
+	recvSeq     map[pairTag]int
+	retransmits int
 }
 
-// collTagBase separates collective traffic from user tags.
-const collTagBase = 1 << 24
+// Tag spaces: user tags occupy [0, collTagBase), collective tags
+// [collTagBase, collTagMax), and acknowledgment tags (reliable mode)
+// live at tag+ackTagBase in [1<<28, 1<<28+collTagMax).
+const (
+	// collTagBase separates collective traffic from user tags.
+	collTagBase = 1 << 24
+	// collTagMax bounds the collective tag space; nextTag wraps before
+	// reaching it.
+	collTagMax = 1 << 27
+)
+
+// AnySource and AnyTag are the wildcard receive selectors.
+const (
+	AnySource = simnet.AnySource
+	AnyTag    = simnet.AnyTag
+)
 
 // World wraps a simnet rank in a communicator spanning all ranks.
 func World(n *simnet.Node) *Comm { return &Comm{node: n} }
@@ -47,15 +67,24 @@ func (c *Comm) CPUTime() float64 { return c.node.CPUTime() }
 // Compute accounts dt seconds of local computation.
 func (c *Comm) Compute(dt float64) { c.node.Compute(dt) }
 
-// Send performs a blocking standard-mode send.
+// Send performs a blocking standard-mode send. In reliable mode the
+// payload is acknowledged and retransmitted as needed; an exhausted
+// retry budget fails the run (use SendErr to handle it instead).
 func (c *Comm) Send(dst, tag int, data []float64) {
-	c.node.Send(dst, tag, data)
+	if err := c.SendErr(dst, tag, data); err != nil {
+		panic(err)
+	}
 }
 
-// Recv performs a blocking receive. Use simnet.AnySource / AnyTag for
-// wildcards.
+// Recv performs a blocking receive. Use AnySource / AnyTag for
+// wildcards. In reliable mode a crashed peer fails the run (use
+// RecvErr to handle it instead).
 func (c *Comm) Recv(src, tag int) []float64 {
-	return c.node.Recv(src, tag)
+	data, err := c.RecvErr(src, tag)
+	if err != nil {
+		panic(err)
+	}
+	return data
 }
 
 // Isend starts a nonblocking send; pass the request to Wait.
@@ -73,29 +102,54 @@ func (c *Comm) SetPhantomFactor(f float64) { c.node.SetPhantomFactor(f) }
 // Sendrecv exchanges messages with two (possibly different) partners.
 // The send is posted nonblocking before the receive, so symmetric
 // exchanges overlap both directions (as MPI_Sendrecv does) and
-// rendezvous transfers cannot deadlock.
+// rendezvous transfers cannot deadlock. In reliable mode both
+// directions are acknowledged (see sendrecvReliable).
 func (c *Comm) Sendrecv(dst, sendTag int, data []float64, src, recvTag int) []float64 {
+	if c.rel != nil && dst != c.Rank() && src != c.Rank() && src != AnySource {
+		out, err := c.sendrecvReliable(dst, sendTag, data, src, recvTag)
+		if err != nil {
+			panic(err)
+		}
+		return out
+	}
 	req := c.node.Isend(dst, sendTag, data)
 	out := c.node.Recv(src, recvTag)
 	c.node.Wait(req)
 	return out
 }
 
-// nextTag returns a fresh collective tag.
+// nextTag returns a fresh collective tag in [collTagBase, collTagMax).
+// The sequence wraps before spilling past collTagMax into the
+// acknowledgment tag space. The wrap is safe: collectives are issued
+// in the same order on every rank with at most one in flight per
+// communicator, and each consumes all of its messages before
+// returning, so a reused tag can never match live traffic. (Reliable
+// mode can leave stale *duplicates* in flight, but their sequence
+// numbers are per (peer, tag) and monotone, so a reused tag discards
+// them as duplicates.) The Size()+1 margin keeps Bruck's tag+k round
+// offsets inside the bound.
 func (c *Comm) nextTag() int {
+	if collTagBase+c.seq+c.Size()+1 >= collTagMax {
+		c.seq = 0
+	}
 	c.seq++
 	return collTagBase + c.seq
 }
 
 // Barrier blocks until all ranks reach it (dissemination algorithm).
+// Each round is a Sendrecv, not Send-then-Recv: the dissemination
+// pattern is a ring, and in reliable mode a blocking acknowledged send
+// around a cycle would deadlock (every rank waiting for an ack only
+// its successor's receive can generate). Sendrecv makes progress on
+// both directions at once; tree-shaped collectives (Bcast, Reduce,
+// Gather) have no cycles and keep their plain sends.
 func (c *Comm) Barrier() {
 	p, r := c.Size(), c.Rank()
 	tag := c.nextTag()
 	for k := 1; k < p; k <<= 1 {
 		dst := (r + k) % p
 		src := (r - k + p) % p
-		c.node.Send(dst, tag, nil)
-		c.node.Recv(src, tag)
+		c.Sendrecv(dst, tag, nil, src, tag)
 	}
 }
 
@@ -114,7 +168,7 @@ func (c *Comm) Bcast(root int, data []float64) []float64 {
 		for mask < p {
 			if vr&mask != 0 {
 				src := ((vr - mask) + root) % p
-				data = c.node.Recv(src, tag)
+				data = c.Recv(src, tag)
 				break
 			}
 			mask <<= 1
@@ -123,7 +177,7 @@ func (c *Comm) Bcast(root int, data []float64) []float64 {
 		mask >>= 1
 		for ; mask > 0; mask >>= 1 {
 			if vr+mask < p {
-				c.node.Send((vr+mask+root)%p, tag, data)
+				c.Send((vr+mask+root)%p, tag, data)
 			}
 		}
 		return data
@@ -135,7 +189,7 @@ func (c *Comm) Bcast(root int, data []float64) []float64 {
 	}
 	for mask >>= 1; mask > 0; mask >>= 1 {
 		if mask < p {
-			c.node.Send((mask+root)%p, tag, data)
+			c.Send((mask+root)%p, tag, data)
 		}
 	}
 	return data
@@ -210,12 +264,12 @@ func (c *Comm) Reduce(root int, data []float64, op Op) []float64 {
 	for mask < p {
 		if vr&mask != 0 {
 			dst := ((vr &^ mask) + root) % p
-			c.node.Send(dst, tag, acc)
+			c.Send(dst, tag, acc)
 			return nil
 		}
 		if vr|mask < p {
 			src := ((vr | mask) + root) % p
-			got := c.node.Recv(src, tag)
+			got := c.Recv(src, tag)
 			op.apply(acc, got)
 		}
 		mask <<= 1
@@ -231,7 +285,7 @@ func (c *Comm) Gather(root int, data []float64) [][]float64 {
 	p, r := c.Size(), c.Rank()
 	tag := c.nextTag()
 	if r != root {
-		c.node.Send(root, tag, data)
+		c.Send(root, tag, data)
 		return nil
 	}
 	out := make([][]float64, p)
@@ -240,7 +294,7 @@ func (c *Comm) Gather(root int, data []float64) [][]float64 {
 		if i == root {
 			continue
 		}
-		out[i] = c.node.Recv(i, tag)
+		out[i] = c.Recv(i, tag)
 	}
 	return out
 }
@@ -297,6 +351,8 @@ func (c *Comm) Alltoall(send [][]float64, alg AlltoallAlg) [][]float64 {
 	case AlgBruck:
 		return c.alltoallBruck(send, tag)
 	case AlgBasic:
+		// Raw nonblocking sends: the basic algorithm bypasses reliable
+		// mode by construction (see the bypass notes in reliable.go).
 		reqs := make([]*simnet.Request, 0, p-1)
 		for i := 1; i < p; i++ {
 			dst := (r + i) % p

@@ -1,0 +1,314 @@
+package simnet
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// testInjector is a minimal Injector for exercising the hooks directly
+// (package fault provides the real implementation).
+type testInjector struct {
+	drop    func(src, dst, n int, t float64) bool
+	factors func(src, dst int, t float64) (float64, float64)
+	stall   func(node int, t float64) float64
+	crash   func(rank int) float64
+}
+
+func (ti *testInjector) DropMessage(src, dst, n int, t float64) bool {
+	if ti.drop == nil {
+		return false
+	}
+	return ti.drop(src, dst, n, t)
+}
+
+func (ti *testInjector) LinkFactors(src, dst int, t float64) (float64, float64) {
+	if ti.factors == nil {
+		return 1, 1
+	}
+	return ti.factors(src, dst, t)
+}
+
+func (ti *testInjector) StallUntil(node int, t float64) float64 {
+	if ti.stall == nil {
+		return 0
+	}
+	return ti.stall(node, t)
+}
+
+func (ti *testInjector) CrashTime(rank int) float64 {
+	if ti.crash == nil {
+		return math.Inf(1)
+	}
+	return ti.crash(rank)
+}
+
+func TestCrashReturnsCrashError(t *testing.T) {
+	inj := &testInjector{crash: func(rank int) float64 {
+		if rank == 1 {
+			return 0.5
+		}
+		return math.Inf(1)
+	}}
+	_, _, err := RunWithFaults(2, fastModel(), inj, func(n *Node) {
+		for i := 0; i < 100; i++ {
+			n.Compute(0.01)
+		}
+	})
+	var ce *CrashError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *CrashError, got %v", err)
+	}
+	if len(ce.Ranks) != 1 || ce.Ranks[0] != 1 {
+		t.Fatalf("crashed ranks = %v, want [1]", ce.Ranks)
+	}
+	if ce.Times[0] != 0.5 {
+		t.Fatalf("crash time = %v, want 0.5", ce.Times[0])
+	}
+}
+
+func TestRecvErrSurfacesCrashedPeer(t *testing.T) {
+	inj := &testInjector{crash: func(rank int) float64 {
+		if rank == 1 {
+			return 1e-4
+		}
+		return math.Inf(1)
+	}}
+	var recvErr error
+	_, _, err := RunWithFaults(2, fastModel(), inj, func(n *Node) {
+		if n.Rank == 1 {
+			n.Compute(1) // dies at the first yield past 1e-4s
+			return
+		}
+		_, recvErr = n.RecvErr(1, 7)
+	})
+	var ce *CrashError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *CrashError, got %v", err)
+	}
+	if recvErr == nil || !strings.Contains(recvErr.Error(), "peer rank 1 crashed") {
+		t.Fatalf("RecvErr = %v, want crashed-peer error", recvErr)
+	}
+}
+
+func TestRecvDeadlineTimesOut(t *testing.T) {
+	wall, _, err := Run(2, fastModel(), func(n *Node) {
+		if n.Rank == 0 {
+			data, ok := n.RecvDeadline(1, 3, 0.25)
+			if ok || data != nil {
+				panic("expected timeout")
+			}
+			if n.Clock() < 0.25 {
+				panic("clock not advanced to deadline")
+			}
+		} else {
+			n.Compute(1) // never sends
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if wall[0] != 0.25 {
+		t.Fatalf("rank 0 wall = %v, want 0.25", wall[0])
+	}
+}
+
+func TestRecvDeadlineDeliveredBeforeExpiry(t *testing.T) {
+	_, _, err := Run(2, fastModel(), func(n *Node) {
+		if n.Rank == 0 {
+			data, ok := n.RecvDeadline(1, 3, 10)
+			if !ok || len(data) != 1 || data[0] != 42 {
+				panic("expected delivery before deadline")
+			}
+		} else {
+			n.Compute(0.1)
+			n.Send(0, 3, []float64{42})
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestSendLossyDrop(t *testing.T) {
+	inj := &testInjector{drop: func(src, dst, n int, t float64) bool {
+		return n == 0 // lose the first message on every pair
+	}}
+	var first, second bool
+	var got []float64
+	_, _, err := RunWithFaults(2, fastModel(), inj, func(n *Node) {
+		if n.Rank == 0 {
+			first = n.SendLossy(1, 5, []float64{1})
+			second = n.SendLossy(1, 5, []float64{2})
+		} else {
+			got = n.Recv(0, 5)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if first || !second {
+		t.Fatalf("delivered = (%v, %v), want (false, true)", first, second)
+	}
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("receiver got %v, want the second payload [2]", got)
+	}
+}
+
+func TestLinkDegradationSlowsTransfer(t *testing.T) {
+	run := func(inj Injector) float64 {
+		wall, _, err := RunWithFaults(2, fastModel(), inj, func(n *Node) {
+			if n.Rank == 0 {
+				n.Send(1, 1, make([]float64, 1024))
+			} else {
+				n.Recv(0, 1)
+			}
+		})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return wall[1]
+	}
+	base := run(nil)
+	degraded := run(&testInjector{factors: func(src, dst int, t float64) (float64, float64) {
+		return 10, 10
+	}})
+	if degraded <= base {
+		t.Fatalf("degraded receive time %v not slower than baseline %v", degraded, base)
+	}
+}
+
+func TestNICStallDelaysTransfer(t *testing.T) {
+	run := func(inj Injector) float64 {
+		wall, _, err := RunWithFaults(2, fastModel(), inj, func(n *Node) {
+			if n.Rank == 0 {
+				n.Send(1, 1, []float64{1})
+			} else {
+				n.Recv(0, 1)
+			}
+		})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return wall[1]
+	}
+	base := run(nil)
+	stalled := run(&testInjector{stall: func(node int, t float64) float64 {
+		if node == 0 {
+			return 0.5 // source NIC frozen until t=0.5s
+		}
+		return 0
+	}})
+	if stalled < 0.5 || stalled <= base {
+		t.Fatalf("stalled receive time %v, want >= 0.5 (baseline %v)", stalled, base)
+	}
+}
+
+func TestDeadlockErrorNamesBlockedRanks(t *testing.T) {
+	_, _, err := Run(2, fastModel(), func(n *Node) {
+		if n.Rank == 0 {
+			n.Recv(1, 9)
+		} else {
+			n.Recv(0, 4)
+		}
+	})
+	if err == nil {
+		t.Fatal("want deadlock error")
+	}
+	msg := err.Error()
+	for _, want := range []string{
+		"rank 0 in Recv(src=1, tag=9)",
+		"rank 1 in Recv(src=0, tag=4)",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("deadlock error %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestDeadlockErrorNamesRendezvousPartner(t *testing.T) {
+	model := fastModel()
+	model.Inter.EagerLimit = 64 // force rendezvous for >8 doubles
+	_, _, err := Run(2, model, func(n *Node) {
+		if n.Rank == 0 {
+			n.Send(1, 2, make([]float64, 100)) // no matching receive
+		} else {
+			n.Compute(1e-3)
+		}
+	})
+	if err == nil {
+		t.Fatal("want deadlock error")
+	}
+	if !strings.Contains(err.Error(), "rank 0 in Wait for rendezvous send (dst=1, tag=2, 800 bytes)") {
+		t.Errorf("deadlock error %q missing rendezvous diagnosis", err.Error())
+	}
+}
+
+func TestNegativeComputeIsErrorNotPanic(t *testing.T) {
+	_, _, err := Run(2, fastModel(), func(n *Node) {
+		if n.Rank == 0 {
+			n.Compute(-1)
+		} else {
+			n.Compute(1e-3)
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "negative compute time") {
+		t.Fatalf("err = %v, want negative-compute error", err)
+	}
+}
+
+func TestTimedSizeOverflowClamped(t *testing.T) {
+	_, _, err := Run(2, fastModel(), func(n *Node) {
+		if n.Rank == 0 {
+			n.SetPhantomFactor(1e300)
+			n.Send(1, 1, []float64{1})
+		} else {
+			n.Recv(0, 1)
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "overflows the timed size") {
+		t.Fatalf("err = %v, want timed-size overflow error", err)
+	}
+}
+
+func TestSleepAdvancesWallNotCPU(t *testing.T) {
+	wall, cpu, err := Run(1, fastModel(), func(n *Node) {
+		n.Compute(0.1)
+		n.Sleep(0.4)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if wall[0] != 0.5 {
+		t.Fatalf("wall = %v, want 0.5", wall[0])
+	}
+	if cpu[0] != 0.1 {
+		t.Fatalf("cpu = %v, want 0.1", cpu[0])
+	}
+}
+
+func TestFaultFreeInjectorMatchesRun(t *testing.T) {
+	body := func(n *Node) {
+		for i := 0; i < 5; i++ {
+			n.Compute(1e-4)
+			dst := (n.Rank + 1) % n.P
+			src := (n.Rank + n.P - 1) % n.P
+			r := n.Isend(dst, i, []float64{float64(i)})
+			n.Recv(src, i)
+			n.Wait(r)
+		}
+	}
+	w1, c1, err1 := Run(4, fastModel(), body)
+	inj := &testInjector{}
+	w2, c2, err2 := RunWithFaults(4, fastModel(), inj, body)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("errs: %v, %v", err1, err2)
+	}
+	for i := range w1 {
+		if w1[i] != w2[i] || c1[i] != c2[i] {
+			t.Fatalf("rank %d: perfect run (%v,%v) != no-op injector run (%v,%v)",
+				i, w1[i], c1[i], w2[i], c2[i])
+		}
+	}
+}

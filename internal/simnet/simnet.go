@@ -2,8 +2,70 @@ package simnet
 
 import (
 	"fmt"
+	"math"
+	"sort"
+	"strings"
 	"sync"
 )
+
+// Injector is the fault-injection hook set consulted by the simulator.
+// Package fault provides the standard deterministic implementation; the
+// interface lives here so simnet carries no dependency on it. All
+// methods must be pure functions of their arguments (plus the
+// injector's own seed/state) so that a run is reproducible.
+type Injector interface {
+	// DropMessage reports whether the n-th eager message on the
+	// directed link src -> dst (counted per ordered rank pair) is lost
+	// in the network at virtual time t. The sender still pays its
+	// overhead and wire time — the bytes left the NIC — but the payload
+	// is never delivered. Rendezvous transfers are not dropped: their
+	// handshake stands in for the reliability a real implementation
+	// layers under large transfers.
+	DropMessage(src, dst, n int, t float64) bool
+	// LinkFactors returns multiplicative degradation factors for a
+	// transfer from rank src to rank dst starting at virtual time t:
+	// the link latency is multiplied by latMul and the transfer time by
+	// bwDiv (bandwidth divided by bwDiv). Values <= 1 mean no
+	// degradation.
+	LinkFactors(src, dst int, t float64) (latMul, bwDiv float64)
+	// StallUntil returns a virtual time before which the SMP node's NIC
+	// cannot begin a new transfer (a transient NIC stall); values <= t
+	// mean no stall.
+	StallUntil(node int, t float64) float64
+	// CrashTime returns the virtual time at which the rank dies, or
+	// +Inf for a rank that never crashes.
+	CrashTime(rank int) float64
+}
+
+// CrashError reports that one or more ranks crashed during a run (an
+// injected whole-node failure). Detail carries the blocked-rank
+// diagnosis when surviving ranks were left waiting on the dead ones.
+type CrashError struct {
+	Ranks  []int     // crashed ranks, ascending
+	Times  []float64 // crash times, aligned with Ranks
+	Detail string    // non-empty when survivors deadlocked
+}
+
+func (e *CrashError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "simnet: %d rank(s) crashed:", len(e.Ranks))
+	for i, r := range e.Ranks {
+		fmt.Fprintf(&b, " rank %d at t=%.6gs", r, e.Times[i])
+		if i < len(e.Ranks)-1 {
+			b.WriteString(",")
+		}
+	}
+	if e.Detail != "" {
+		fmt.Fprintf(&b, " (%s)", e.Detail)
+	}
+	return b.String()
+}
+
+// crashSignal unwinds a crashed rank's goroutine; poisonSignal unwinds
+// a rank poisoned by the scheduler's deadlock resolution. Both are
+// recognized by the recover handler and kept out of c.fail.
+type crashSignal struct{}
+type poisonSignal struct{}
 
 // Node is one simulated rank. All methods must be called from the
 // rank's own goroutine (the body function passed to Run).
@@ -28,6 +90,10 @@ type Node struct {
 	// If blocked in Wait for a rendezvous send, the message involved.
 	waitSend  *message
 	blockKind blockKind
+	// Absolute wake-up time when blocked in RecvDeadline.
+	deadline float64
+	// Set by the scheduler when a RecvDeadline wait expired.
+	timedOut bool
 
 	// phantom multiplies the *timed* size of every outgoing message
 	// without inflating the payload. The paper-scale extrapolation
@@ -40,11 +106,25 @@ type Node struct {
 // (values < 1 are treated as 1).
 func (n *Node) SetPhantomFactor(f float64) { n.phantom = f }
 
-// timedSize returns the size in bytes used for transfer timing.
+// maxTimedSize caps the phantom-scaled timed size of a message: 2^52
+// bytes is exactly representable in float64 and far below int overflow
+// on 64-bit targets, so arithmetic on timed sizes stays well-defined.
+const maxTimedSize = 1 << 52
+
+// timedSize returns the size in bytes used for transfer timing. Very
+// large phantom factors are clamped to maxTimedSize (and the run is
+// marked failed) instead of silently overflowing to a negative int.
 func (n *Node) timedSize(elems int) int {
 	s := 8 * elems
 	if n.phantom > 1 {
-		s = int(float64(s) * n.phantom)
+		f := float64(s) * n.phantom
+		if math.IsNaN(f) || f < 0 || f > maxTimedSize {
+			n.net.failOnce(fmt.Errorf(
+				"simnet: rank %d: phantom factor %g overflows the timed size of a %d-byte message (clamped to 2^52)",
+				n.Rank, n.phantom, s))
+			return maxTimedSize
+		}
+		s = int(f)
 	}
 	return s
 }
@@ -54,6 +134,7 @@ type blockKind int
 const (
 	blockNone blockKind = iota
 	blockRecv
+	blockRecvDeadline
 	blockSendRendezvous
 )
 
@@ -63,6 +144,7 @@ type msgKey struct {
 
 type message struct {
 	key      msgKey
+	dst      int // destination rank (for diagnostics)
 	data     []float64
 	arrive   float64 // virtual time at which the payload is available
 	rendezv  bool    // requires the receiver before transfer starts
@@ -99,14 +181,48 @@ type cluster struct {
 	// scheduler between handoffs.
 	woken []int
 
+	// Fault injection (nil when the cluster is perfect).
+	inj     Injector
+	crashAt []float64 // per-rank crash time (+Inf = never)
+	crashed []bool
+	// msgSeq counts eager messages per directed rank pair for the
+	// injector's drop decision.
+	msgSeq map[[2]int]int
+
 	fail error
 }
 
+// failOnce records the first failure; later ones are dropped so the
+// root cause survives the unwinding that follows.
+func (c *cluster) failOnce(err error) {
+	c.mu.Lock()
+	if c.fail == nil {
+		c.fail = err
+	}
+	c.mu.Unlock()
+}
+
+// isCrashed reports whether a rank has died (called from the single
+// running rank goroutine, so no lock is needed beyond the scheduler's
+// serialization).
+func (c *cluster) isCrashed(rank int) bool {
+	return c.crashed != nil && c.crashed[rank]
+}
+
 // Run simulates P ranks executing body concurrently under the given
-// network model. It returns the per-rank virtual wall-clock and CPU
-// times at exit. Run panics if the program deadlocks (every rank
-// blocked).
+// network model on a perfect (fault-free) cluster. It returns the
+// per-rank virtual wall-clock and CPU times at exit, and an error if
+// the program deadlocked or a rank panicked.
 func Run(p int, model *Model, body func(n *Node)) (wall, cpu []float64, err error) {
+	return RunWithFaults(p, model, nil, body)
+}
+
+// RunWithFaults is Run with a fault-injection plan installed: inj is
+// consulted for message drops, link degradation, NIC stalls and node
+// crashes. A nil injector reproduces Run exactly. If any rank crashes
+// the returned error is a *CrashError (surviving ranks may still run
+// to completion; their clocks are reported as usual).
+func RunWithFaults(p int, model *Model, inj Injector, body func(n *Node)) (wall, cpu []float64, err error) {
 	if p < 1 {
 		return nil, nil, fmt.Errorf("simnet: need at least one rank")
 	}
@@ -119,6 +235,15 @@ func Run(p int, model *Model, body func(n *Node)) (wall, cpu []float64, err erro
 		schedCh:     make(chan int),
 		egressFree:  make([]float64, nNodes),
 		ingressFree: make([]float64, nNodes),
+	}
+	if inj != nil {
+		c.inj = inj
+		c.msgSeq = map[[2]int]int{}
+		c.crashAt = make([]float64, p)
+		c.crashed = make([]bool, p)
+		for i := 0; i < p; i++ {
+			c.crashAt[i] = inj.CrashTime(i)
+		}
 	}
 	c.nodes = make([]*Node, p)
 	for i := 0; i < p; i++ {
@@ -138,11 +263,13 @@ func Run(p int, model *Model, body func(n *Node)) (wall, cpu []float64, err erro
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
-					c.mu.Lock()
-					if c.fail == nil {
-						c.fail = fmt.Errorf("simnet: rank %d panicked: %v", n.Rank, r)
+					switch r.(type) {
+					case crashSignal, poisonSignal:
+						// Expected unwinding; the cause is recorded
+						// elsewhere (crashed[], or the deadlock error).
+					default:
+						c.failOnce(fmt.Errorf("simnet: rank %d panicked: %v", n.Rank, r))
 					}
-					c.mu.Unlock()
 				}
 				c.mu.Lock()
 				n.done = true
@@ -170,24 +297,32 @@ func Run(p int, model *Model, body func(n *Node)) (wall, cpu []float64, err erro
 			runnable[i] = true
 		}
 		for running > 0 {
-			// Pick the runnable rank with the smallest clock (ties:
+			// Pick the candidate with the smallest virtual time (ties:
 			// lowest rank id, for determinism regardless of map order).
+			// Candidates are the runnable ranks (at their clock) and the
+			// ranks blocked in RecvDeadline (at their deadline).
 			pick := -1
+			pickTimeout := false
 			var pickClock float64
 			for id := range runnable {
 				n := c.nodes[id]
 				if pick < 0 || n.clock < pickClock || (n.clock == pickClock && id < pick) {
-					pick, pickClock = id, n.clock
+					pick, pickClock, pickTimeout = id, n.clock, false
+				}
+			}
+			for _, n := range c.nodes {
+				if n.done || n.blockKind != blockRecvDeadline {
+					continue
+				}
+				if pick < 0 || n.deadline < pickClock || (n.deadline == pickClock && n.Rank < pick) {
+					pick, pickClock, pickTimeout = n.Rank, n.deadline, true
 				}
 			}
 			if pick < 0 {
-				// Deadlock: every live rank is blocked. Poison them so
-				// their goroutines unwind through the recover handler.
-				c.mu.Lock()
-				if c.fail == nil {
-					c.fail = fmt.Errorf("simnet: deadlock — all %d remaining ranks blocked", running)
-				}
-				c.mu.Unlock()
+				// Deadlock: every live rank is blocked with no wake-up
+				// time. Diagnose, then poison them so their goroutines
+				// unwind through the recover handler.
+				c.failOnce(c.deadlockError(running))
 				for _, n := range c.nodes {
 					if !n.done {
 						n.poison = true
@@ -197,6 +332,13 @@ func Run(p int, model *Model, body func(n *Node)) (wall, cpu []float64, err erro
 					}
 				}
 				continue
+			}
+			if pickTimeout {
+				// A RecvDeadline wait expired: wake the rank with its
+				// timeout flag set; it advances its own clock.
+				n := c.nodes[pick]
+				n.blockKind = blockNone
+				n.timedOut = true
 			}
 			delete(runnable, pick)
 			c.nodes[pick].resume <- struct{}{}
@@ -232,7 +374,67 @@ func Run(p int, model *Model, body func(n *Node)) (wall, cpu []float64, err erro
 		wall[i] = n.clock
 		cpu[i] = n.cpu
 	}
+	if c.crashed != nil {
+		var ce CrashError
+		for i, dead := range c.crashed {
+			if dead {
+				ce.Ranks = append(ce.Ranks, i)
+				ce.Times = append(ce.Times, c.nodes[i].clock)
+			}
+		}
+		if len(ce.Ranks) > 0 {
+			if c.fail != nil {
+				ce.Detail = c.fail.Error()
+			}
+			return wall, cpu, &ce
+		}
+	}
 	return wall, cpu, c.fail
+}
+
+// deadlockError names each blocked rank and what it is waiting on: the
+// (source, tag) of a pending receive, or the rendezvous partner of an
+// unmatched send.
+func (c *cluster) deadlockError(running int) error {
+	name := func(v int) string {
+		if v == -1 {
+			return "any"
+		}
+		return fmt.Sprintf("%d", v)
+	}
+	var parts []string
+	for _, n := range c.nodes {
+		if n.done {
+			continue
+		}
+		switch n.blockKind {
+		case blockRecv, blockRecvDeadline:
+			parts = append(parts, fmt.Sprintf(
+				"rank %d in Recv(src=%s, tag=%s) since t=%.6gs",
+				n.Rank, name(n.waitKey.src), name(n.waitKey.tag), n.clock))
+		case blockSendRendezvous:
+			m := n.waitSend
+			parts = append(parts, fmt.Sprintf(
+				"rank %d in Wait for rendezvous send (dst=%d, tag=%d, %d bytes) posted at t=%.6gs",
+				n.Rank, m.dst, m.key.tag, m.size, m.posted))
+		default:
+			parts = append(parts, fmt.Sprintf("rank %d blocked in an unknown state", n.Rank))
+		}
+	}
+	var crashNote string
+	if c.crashed != nil {
+		var dead []int
+		for i, d := range c.crashed {
+			if d {
+				dead = append(dead, i)
+			}
+		}
+		if len(dead) > 0 {
+			crashNote = fmt.Sprintf(" after rank(s) %v crashed", dead)
+		}
+	}
+	return fmt.Errorf("simnet: deadlock — all %d remaining rank(s) blocked%s: %s",
+		running, crashNote, strings.Join(parts, "; "))
 }
 
 // yield hands control back to the scheduler and waits to be resumed.
@@ -240,8 +442,40 @@ func (n *Node) yield() {
 	n.net.schedCh <- n.Rank
 	<-n.resume
 	if n.poison {
-		panic("deadlocked (poisoned by scheduler)")
+		panic(poisonSignal{})
 	}
+	n.maybeCrash()
+}
+
+// maybeCrash kills the rank if its injected crash time has passed: the
+// clock is frozen at the crash instant, ranks blocked receiving from it
+// are woken (so error-returning receives can diagnose the death), and
+// the goroutine unwinds.
+func (n *Node) maybeCrash() {
+	c := n.net
+	if c.crashAt == nil {
+		return
+	}
+	t := c.crashAt[n.Rank]
+	if n.clock < t {
+		return
+	}
+	n.clock = t
+	if n.cpu > t {
+		n.cpu = t
+	}
+	c.crashed[n.Rank] = true
+	for _, peer := range c.nodes {
+		if peer == n || peer.done {
+			continue
+		}
+		if (peer.blockKind == blockRecv || peer.blockKind == blockRecvDeadline) &&
+			peer.waitKey != nil && peer.waitKey.src == n.Rank {
+			peer.blockKind = blockNone
+			c.woken = append(c.woken, peer.Rank)
+		}
+	}
+	panic(crashSignal{})
 }
 
 // Clock returns the rank's virtual wall-clock time in seconds
@@ -253,13 +487,27 @@ func (n *Node) Clock() float64 { return n.clock }
 func (n *Node) CPUTime() float64 { return n.cpu }
 
 // Compute advances the rank's clock and CPU time by dt seconds of
-// computation.
+// computation. A negative or NaN dt fails the run (through the same
+// error path as a deadlock) and unwinds the rank.
 func (n *Node) Compute(dt float64) {
-	if dt < 0 {
-		panic("simnet: negative compute time")
+	if dt < 0 || math.IsNaN(dt) {
+		n.net.failOnce(fmt.Errorf("simnet: rank %d: negative compute time %g", n.Rank, dt))
+		panic(poisonSignal{})
 	}
 	n.clock += dt
 	n.cpu += dt
+	n.yield()
+}
+
+// Sleep advances the rank's wall clock by dt seconds without consuming
+// CPU — blocking I/O such as a checkpoint write. A negative or NaN dt
+// fails the run like Compute.
+func (n *Node) Sleep(dt float64) {
+	if dt < 0 || math.IsNaN(dt) {
+		n.net.failOnce(fmt.Errorf("simnet: rank %d: negative sleep time %g", n.Rank, dt))
+		panic(poisonSignal{})
+	}
+	n.clock += dt
 	n.yield()
 }
 
@@ -274,18 +522,49 @@ func (n *Node) Send(dst, tag int, data []float64) {
 // Isend starts a nonblocking standard-mode send and returns a request
 // to pass to Wait. The sender consumes its per-message CPU overhead
 // immediately; rendezvous transfers are booked when the receiver posts
-// the matching receive.
+// the matching receive. Under fault injection, eager messages may be
+// silently dropped (the sender cannot tell).
 func (n *Node) Isend(dst, tag int, data []float64) *Request {
+	r, _ := n.isend(dst, tag, data, false, true)
+	return r
+}
+
+// SendLossy performs an eager-mode send regardless of the message size
+// (like a buffered MPI_Bsend) and reports whether the payload was
+// delivered — false only when the fault injector dropped it. The
+// reliability layer in package mpi builds its acknowledged-delivery
+// protocol on top of this; the return value exists for tests and must
+// not be consulted by protocol code (a real sender cannot observe a
+// drop).
+func (n *Node) SendLossy(dst, tag int, data []float64) bool {
+	_, delivered := n.isend(dst, tag, data, true, true)
+	return delivered
+}
+
+// SendControl performs an eager-mode send that is exempt from the
+// injector's drop decision (it still pays overhead and wire time, and
+// still sees link degradation and NIC stalls). It models the tiny
+// acknowledgment/control packets of a reliability protocol, which we
+// treat as riding a lossless control channel: in a blocking rank
+// model there is no persistent per-connection handler to re-serve a
+// lost final ack (the two-generals tail), so the loss model applies
+// to payload messages only.
+func (n *Node) SendControl(dst, tag int, data []float64) {
+	n.isend(dst, tag, data, true, false)
+}
+
+func (n *Node) isend(dst, tag int, data []float64, forceEager, droppable bool) (*Request, bool) {
 	if dst == n.Rank {
 		// Self-send: buffer locally with no network cost.
 		cp := append([]float64(nil), data...)
 		key := msgKey{n.Rank, tag}
-		m := &message{key: key, data: cp, arrive: n.clock, ready: n.clock, xferDone: true, size: 8 * len(data)}
+		m := &message{key: key, dst: dst, data: cp, arrive: n.clock, ready: n.clock, xferDone: true, size: 8 * len(data), posted: n.clock}
 		n.inbox[key] = append(n.inbox[key], m)
 		n.yield()
-		return &Request{m: m}
+		return &Request{m: m}, true
 	}
-	link := n.net.model.link(n.Rank, dst)
+	c := n.net
+	link := c.model.link(n.Rank, dst)
 	size := n.timedSize(len(data))
 	cp := append([]float64(nil), data...)
 
@@ -298,40 +577,66 @@ func (n *Node) Isend(dst, tag int, data []float64) *Request {
 	n.clock += o
 	n.cpu += o
 
-	rendezv := link.EagerLimit > 0 && size > link.EagerLimit
+	rendezv := !forceEager && link.EagerLimit > 0 && size > link.EagerLimit
 	m := &message{
 		key:     msgKey{n.Rank, tag},
+		dst:     dst,
 		data:    cp,
 		rendezv: rendezv,
 		sender:  n,
 		size:    size,
 		posted:  n.clock,
 	}
-	dstNode := n.net.nodes[dst]
+	dstNode := c.nodes[dst]
 	if !rendezv {
+		// Eager transfers cross the wire immediately; the injector may
+		// lose them in the network (inter-node links only — a
+		// shared-memory copy inside an SMP node cannot be dropped).
+		dropped := false
+		if droppable && c.inj != nil && c.model.nodeOf(n.Rank) != c.model.nodeOf(dst) {
+			pair := [2]int{n.Rank, dst}
+			seq := c.msgSeq[pair]
+			c.msgSeq[pair] = seq + 1
+			dropped = c.inj.DropMessage(n.Rank, dst, seq, n.clock)
+		}
 		m.arrive = n.reserveTransfer(dst, size, n.clock, link)
 		m.ready = n.clock // eager: buffered, sender is free immediately
 		m.xferDone = true
-		n.deliver(dstNode, m)
+		if !dropped {
+			n.deliver(dstNode, m)
+		}
 		n.yield()
-		return &Request{m: m}
+		return &Request{m: m}, !dropped
 	}
 	// Rendezvous: if the receiver is already waiting, transfer now;
 	// otherwise park until it posts the matching receive.
-	if dstNode.blockKind == blockRecv && dstNode.waitKey != nil &&
-		matches(*dstNode.waitKey, m.key) {
-		start := maxf(n.clock, dstNode.clock) + link.LatencyUS*us // handshake
+	if (dstNode.blockKind == blockRecv || dstNode.blockKind == blockRecvDeadline) &&
+		dstNode.waitKey != nil && matches(*dstNode.waitKey, m.key) {
+		start := maxf(n.clock, dstNode.clock) + n.linkLatency(link, dst, maxf(n.clock, dstNode.clock)) // handshake
 		m.arrive = n.reserveTransfer(dst, size, start, link)
 		m.ready = m.arrive - link.LatencyUS*us // payload has left the NIC
 		m.xferDone = true
 		n.deliver(dstNode, m)
 		n.yield()
-		return &Request{m: m}
+		return &Request{m: m}, true
 	}
 	m.arrive = -1
 	n.deliver(dstNode, m)
 	n.yield()
-	return &Request{m: m}
+	return &Request{m: m}, true
+}
+
+// linkLatency returns the (possibly degraded) one-way latency of the
+// link to dst at virtual time t.
+func (n *Node) linkLatency(link *LinkModel, dst int, t float64) float64 {
+	lat := link.LatencyUS * us
+	if n.net.inj != nil {
+		latMul, _ := n.net.inj.LinkFactors(n.Rank, dst, t)
+		if latMul > 1 {
+			lat *= latMul
+		}
+	}
+	return lat
 }
 
 // Wait blocks until the send completes (for rendezvous, until the
@@ -364,20 +669,34 @@ func matches(want, have msgKey) bool {
 
 // reserveTransfer books the NIC and backplane resources for a transfer
 // starting no earlier than start, returning the arrival time at the
-// destination.
+// destination. Fault injection can degrade the link (latency and
+// bandwidth multipliers) and stall either NIC.
 func (n *Node) reserveTransfer(dst, size int, start float64, link *LinkModel) float64 {
 	c := n.net
 	srcNode := c.model.nodeOf(n.Rank)
 	dstNode := c.model.nodeOf(dst)
 	xfer := link.xfer(size)
 	lat := link.LatencyUS * us
+	if c.inj != nil {
+		latMul, bwDiv := c.inj.LinkFactors(n.Rank, dst, start)
+		if latMul > 1 {
+			lat *= latMul
+		}
+		if bwDiv > 1 {
+			xfer *= bwDiv
+		}
+	}
 
 	intra := c.model.RanksPerNode > 1 && srcNode == dstNode
 	if intra {
-		// Shared-memory copy: no NIC or backplane involvement.
+		// Shared-memory copy: no NIC or backplane involvement (and no
+		// fault exposure beyond whole-node crashes).
 		return start + lat + xfer
 	}
 	egBegin := maxf(start, c.egressFree[srcNode])
+	if c.inj != nil {
+		egBegin = maxf(egBegin, c.inj.StallUntil(srcNode, egBegin))
+	}
 	if link.HalfDuplex {
 		egBegin = maxf(egBegin, c.ingressFree[srcNode])
 	}
@@ -397,6 +716,9 @@ func (n *Node) reserveTransfer(dst, size int, start float64, link *LinkModel) fl
 	// Cut-through ingress serialization: the receive wire is busy for
 	// the transfer duration ending at arrival.
 	inBegin := maxf(arrive-xfer, c.ingressFree[dstNode])
+	if c.inj != nil {
+		inBegin = maxf(inBegin, c.inj.StallUntil(dstNode, inBegin))
+	}
 	arrive = inBegin + xfer
 	c.ingressFree[dstNode] = arrive
 	if link.HalfDuplex {
@@ -409,7 +731,8 @@ func (n *Node) reserveTransfer(dst, size int, start float64, link *LinkModel) fl
 // destination if it is waiting for it.
 func (n *Node) deliver(dst *Node, m *message) {
 	dst.inbox[m.key] = append(dst.inbox[m.key], m)
-	if dst.blockKind == blockRecv && dst.waitKey != nil && matches(*dst.waitKey, m.key) {
+	if (dst.blockKind == blockRecv || dst.blockKind == blockRecvDeadline) &&
+		dst.waitKey != nil && matches(*dst.waitKey, m.key) {
 		dst.blockKind = blockNone
 		dst.waitKey = nil
 		n.net.woken = append(n.net.woken, dst.Rank)
@@ -429,37 +752,92 @@ func (n *Node) Recv(src, tag int) []float64 {
 	key := msgKey{src, tag}
 	for {
 		if m := n.takeMatch(key); m != nil {
-			if m.rendezv && !m.xferDone {
-				// Transfer has not started: run the rendezvous now.
-				link := n.net.model.link(m.sender.Rank, n.Rank)
-				start := maxf(m.posted, n.clock) + link.LatencyUS*us
-				m.arrive = m.sender.reserveTransfer(n.Rank, m.size, start, link)
-				m.ready = m.arrive - link.LatencyUS*us
-				m.xferDone = true
-				// Unblock the sender if it is parked in Wait on this
-				// message.
-				if m.sender.blockKind == blockSendRendezvous && m.sender.waitSend == m {
-					m.sender.blockKind = blockNone
-					n.net.woken = append(n.net.woken, m.sender.Rank)
-				}
-			}
-			n.clock = maxf(n.clock, m.arrive)
-			if m.sender != nil {
-				link := n.net.model.link(m.sender.Rank, n.Rank)
-				if link.CPUCopyMBs > 0 {
-					o := float64(m.size) / (link.CPUCopyMBs * mb)
-					n.clock += o
-					n.cpu += o
-				}
-			}
-			n.yield()
-			return m.data
+			return n.consume(m)
 		}
 		n.blockKind = blockRecv
 		n.waitKey = &key
 		n.yield()
 		n.waitKey = nil
 	}
+}
+
+// RecvErr is Recv returning an error instead of waiting forever when
+// the awaited peer has crashed with no matching message buffered. With
+// src == AnySource the crash check is skipped (any live rank could
+// still satisfy the receive) and the call behaves like Recv.
+func (n *Node) RecvErr(src, tag int) ([]float64, error) {
+	key := msgKey{src, tag}
+	for {
+		if m := n.takeMatch(key); m != nil {
+			return n.consume(m), nil
+		}
+		if src != AnySource && n.net.isCrashed(src) {
+			return nil, fmt.Errorf("simnet: rank %d: peer rank %d crashed at t=%.6gs with no message for tag %d pending",
+				n.Rank, src, n.net.crashAt[src], tag)
+		}
+		n.blockKind = blockRecv
+		n.waitKey = &key
+		n.yield()
+		n.waitKey = nil
+	}
+}
+
+// RecvDeadline blocks like Recv but gives up at the given absolute
+// virtual time, returning (nil, false) on expiry. The rank's clock
+// advances to the deadline on a timeout. The reliability layer's ack
+// timers are built on this.
+func (n *Node) RecvDeadline(src, tag int, deadline float64) ([]float64, bool) {
+	key := msgKey{src, tag}
+	for {
+		if m := n.takeMatch(key); m != nil {
+			return n.consume(m), true
+		}
+		if n.clock >= deadline {
+			return nil, false
+		}
+		n.blockKind = blockRecvDeadline
+		n.waitKey = &key
+		n.deadline = deadline
+		n.yield()
+		n.waitKey = nil
+		if n.timedOut {
+			n.timedOut = false
+			if n.clock < deadline {
+				n.clock = deadline
+			}
+			return nil, false
+		}
+	}
+}
+
+// consume finishes the receipt of a matched message: runs a pending
+// rendezvous, advances the clock to the arrival time and charges the
+// receive-side protocol copies.
+func (n *Node) consume(m *message) []float64 {
+	if m.rendezv && !m.xferDone {
+		// Transfer has not started: run the rendezvous now.
+		link := n.net.model.link(m.sender.Rank, n.Rank)
+		start := maxf(m.posted, n.clock) + m.sender.linkLatency(link, n.Rank, maxf(m.posted, n.clock))
+		m.arrive = m.sender.reserveTransfer(n.Rank, m.size, start, link)
+		m.ready = m.arrive - link.LatencyUS*us
+		m.xferDone = true
+		// Unblock the sender if it is parked in Wait on this message.
+		if m.sender.blockKind == blockSendRendezvous && m.sender.waitSend == m {
+			m.sender.blockKind = blockNone
+			n.net.woken = append(n.net.woken, m.sender.Rank)
+		}
+	}
+	n.clock = maxf(n.clock, m.arrive)
+	if m.sender != nil {
+		link := n.net.model.link(m.sender.Rank, n.Rank)
+		if link.CPUCopyMBs > 0 {
+			o := float64(m.size) / (link.CPUCopyMBs * mb)
+			n.clock += o
+			n.cpu += o
+		}
+	}
+	n.yield()
+	return m.data
 }
 
 // takeMatch removes and returns the earliest matching message, or nil.
@@ -480,7 +858,8 @@ func (n *Node) takeMatch(want msgKey) *message {
 		if len(q) == 0 || !matches(want, k) {
 			continue
 		}
-		if best == nil || q[0].posted < best.posted {
+		if best == nil || q[0].posted < best.posted ||
+			(q[0].posted == best.posted && lessKey(k, bestKey)) {
 			best = q[0]
 			bestKey = k
 		}
@@ -490,6 +869,28 @@ func (n *Node) takeMatch(want msgKey) *message {
 	}
 	n.inbox[bestKey] = n.inbox[bestKey][1:]
 	return best
+}
+
+// lessKey orders message keys deterministically (tie-break for
+// wildcard receives on equal post times, independent of map order).
+func lessKey(a, b msgKey) bool {
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	return a.tag < b.tag
+}
+
+// BlockedReport returns a human-readable list of currently blocked
+// ranks (for tests and debugging tools); empty when nothing is blocked.
+func (c *cluster) blockedRanks() []int {
+	var out []int
+	for _, n := range c.nodes {
+		if !n.done && n.blockKind != blockNone {
+			out = append(out, n.Rank)
+		}
+	}
+	sort.Ints(out)
+	return out
 }
 
 func maxf(a, b float64) float64 {
