@@ -1,12 +1,20 @@
 GO ?= go
+GOFMT ?= gofmt
 
-.PHONY: check build vet test race
+.PHONY: check build vet fmt test race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Fail when any file needs reformatting; print the offenders.
+fmt:
+	@out="$$($(GOFMT) -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -16,4 +24,4 @@ test:
 race:
 	$(GO) test -race ./...
 
-check: build vet race
+check: build vet fmt race

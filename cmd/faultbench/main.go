@@ -37,7 +37,8 @@ func main() {
 	for _, s := range strings.Split(*intervals, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(s))
 		if err != nil {
-			log.Fatal(err)
+			fmt.Fprintf(os.Stderr, "faultbench: -intervals %q: %q is not an integer step count\n", *intervals, strings.TrimSpace(s))
+			os.Exit(2)
 		}
 		cfg.IntervalSteps = append(cfg.IntervalSteps, v)
 	}
@@ -45,9 +46,17 @@ func main() {
 	for _, s := range strings.Split(*mtbf, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
 		if err != nil {
-			log.Fatal(err)
+			fmt.Fprintf(os.Stderr, "faultbench: -mtbf %q: %q is not a number of hours\n", *mtbf, strings.TrimSpace(s))
+			os.Exit(2)
 		}
 		cfg.MTBFHours = append(cfg.MTBFHours, v)
+	}
+
+	// Validate up front so a bad flag fails with an actionable message
+	// instead of a mid-run panic.
+	if err := bench.ValidateFaultbench(cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "faultbench: %v\n", err)
+		os.Exit(2)
 	}
 
 	_, tbl, err := bench.RunFaultbench(cfg)

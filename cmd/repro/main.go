@@ -135,6 +135,19 @@ func main() {
 		demo.Write(w)
 		return nil
 	})
+	section("supervise", func(w io.Writer) error {
+		cfg := bench.PaperSupervise
+		if *quick {
+			cfg.Procs = 2
+			cfg.Spares = 2
+			cfg.Steps = 6
+		}
+		tbl, err := bench.RunSupervise(cfg)
+		if tbl != nil {
+			tbl.Write(w)
+		}
+		return err
+	})
 	section("table3_fig15-16_nektarale", func(w io.Writer) error {
 		cfg := bench.PaperALE
 		if *quick {

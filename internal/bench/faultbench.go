@@ -81,15 +81,56 @@ type FaultbenchResult struct {
 	OptimalTauStep []int
 }
 
+// ValidateFaultbench checks a sweep configuration and returns an
+// actionable error for each way the experiment cannot run.
+func ValidateFaultbench(cfg FaultbenchConfig) error {
+	mach, err := machine.ByName(cfg.Machine)
+	if err != nil {
+		return fmt.Errorf("%w (see internal/machine for the catalogue)", err)
+	}
+	if cfg.Procs < 1 {
+		return fmt.Errorf("bench: need at least one rank, got %d", cfg.Procs)
+	}
+	if cfg.Procs&(cfg.Procs-1) != 0 {
+		return fmt.Errorf("bench: the Nektar-F probe needs a power-of-two rank count, got %d", cfg.Procs)
+	}
+	if cfg.Procs > mach.MaxProcs {
+		return fmt.Errorf("bench: %s has at most %d procs, got %d", cfg.Machine, mach.MaxProcs, cfg.Procs)
+	}
+	if cfg.DiskMBs <= 0 || math.IsNaN(cfg.DiskMBs) {
+		return fmt.Errorf("bench: disk bandwidth %g MB/s must be positive — it prices the checkpoint writes", cfg.DiskMBs)
+	}
+	if len(cfg.IntervalSteps) == 0 {
+		return fmt.Errorf("bench: need at least one checkpoint interval to tabulate")
+	}
+	for _, s := range cfg.IntervalSteps {
+		if s < 1 {
+			return fmt.Errorf("bench: checkpoint interval %d must be at least one step", s)
+		}
+	}
+	if len(cfg.MTBFHours) == 0 {
+		return fmt.Errorf("bench: need at least one MTBF column")
+	}
+	for _, h := range cfg.MTBFHours {
+		if h <= 0 || math.IsNaN(h) {
+			return fmt.Errorf("bench: node MTBF %g hours must be positive", h)
+		}
+	}
+	if cfg.Steps < 1 {
+		return fmt.Errorf("bench: the probe needs at least one step, got %d", cfg.Steps)
+	}
+	return nil
+}
+
 // RunFaultbench measures the probe quantities on the simulated
 // machine and derives the Young sweep.
 func RunFaultbench(cfg FaultbenchConfig) (*FaultbenchResult, *report.Table, error) {
+	if err := ValidateFaultbench(cfg); err != nil {
+		return nil, nil, err
+	}
 	mach, err := machine.ByName(cfg.Machine)
 	if err != nil {
 		return nil, nil, err
-	}
-	if cfg.Procs > mach.MaxProcs {
-		return nil, nil, fmt.Errorf("bench: %s has at most %d procs", cfg.Machine, mach.MaxProcs)
 	}
 	res := &FaultbenchResult{Machine: cfg.Machine, Procs: cfg.Procs}
 

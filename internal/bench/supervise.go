@@ -1,0 +1,231 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"nektar/internal/core"
+	"nektar/internal/fault"
+	"nektar/internal/machine"
+	"nektar/internal/mesh"
+	"nektar/internal/mpi"
+	"nektar/internal/report"
+	"nektar/internal/supervisor"
+)
+
+// Supervise: the self-healing runtime demonstration. The paper's
+// production runs survived commodity hardware because an operator
+// noticed the dead PC, swapped it, and restarted from restart files;
+// package supervisor closes that loop automatically. This experiment
+// runs a supervised reference, then the same run through a two-fault
+// campaign — one node crash and one process freeze — and reports the
+// detection, the spare-node replacements, the recovery cost, and
+// whether the recovered trajectory is bit-identical to the reference.
+
+// SuperviseConfig parametrizes the demonstration.
+type SuperviseConfig struct {
+	Machine string
+	Solver  string // "nsf" (Fourier) or "nsale" (moving mesh)
+	Procs   int
+	Spares  int
+
+	Steps           int
+	CheckpointEvery int
+
+	// CrashFrac and StallFrac place the two faults as fractions of the
+	// reference virtual wall: node 1 dies at CrashFrac, node 0 freezes
+	// (silent but alive) at StallFrac. Either may be 0 to disable.
+	CrashFrac float64
+	StallFrac float64
+	// StallDurS is the freeze duration (virtual seconds); long enough
+	// that only the heartbeat detector can end the attempt.
+	StallDurS float64
+	Seed      int64
+}
+
+// PaperSupervise is the default campaign: the paper's Ethernet Beowulf
+// with two hot spares behind four ranks, hit by a crash and a freeze.
+var PaperSupervise = SuperviseConfig{
+	Machine: "RoadRunner-eth",
+	Solver:  "nsf",
+	Procs:   4,
+	Spares:  2,
+	Steps:   10, CheckpointEvery: 2,
+	CrashFrac: 0.55, StallFrac: 0.25,
+	StallDurS: 1e6,
+	Seed:      1,
+}
+
+// ValidateSupervise checks a configuration and returns an actionable
+// error for each way the demonstration cannot run.
+func ValidateSupervise(cfg SuperviseConfig) error {
+	mach, err := machine.ByName(cfg.Machine)
+	if err != nil {
+		return fmt.Errorf("%w (see internal/machine for the catalogue)", err)
+	}
+	switch cfg.Solver {
+	case "nsf", "nsale":
+	default:
+		return fmt.Errorf("bench: unknown solver %q: pick nsf (Fourier) or nsale (moving mesh)", cfg.Solver)
+	}
+	if cfg.Procs < 1 {
+		return fmt.Errorf("bench: need at least one rank, got %d", cfg.Procs)
+	}
+	if cfg.Solver == "nsf" && cfg.Procs&(cfg.Procs-1) != 0 {
+		return fmt.Errorf("bench: Nektar-F needs a power-of-two rank count, got %d", cfg.Procs)
+	}
+	if cfg.Procs+cfg.Spares > mach.MaxProcs {
+		return fmt.Errorf("bench: %d ranks + %d spares exceed the %d nodes of %s",
+			cfg.Procs, cfg.Spares, mach.MaxProcs, cfg.Machine)
+	}
+	if cfg.Spares < 0 {
+		return fmt.Errorf("bench: negative spare count %d", cfg.Spares)
+	}
+	if cfg.Steps < 1 {
+		return fmt.Errorf("bench: need at least one step, got %d", cfg.Steps)
+	}
+	if cfg.CrashFrac < 0 || cfg.CrashFrac >= 1 || cfg.StallFrac < 0 || cfg.StallFrac >= 1 {
+		return fmt.Errorf("bench: fault fractions must lie in [0, 1): crash %g, stall %g — they place faults inside the reference run",
+			cfg.CrashFrac, cfg.StallFrac)
+	}
+	if cfg.StallFrac > 0 && cfg.StallDurS <= 0 {
+		return fmt.Errorf("bench: a stall needs a positive duration, got %g", cfg.StallDurS)
+	}
+	return nil
+}
+
+// superviseSolver builds the per-rank solver factory for the chosen
+// solver at demonstration scale.
+func superviseSolver(cfg SuperviseConfig, mach *machine.Machine) (func(comm *mpi.Comm) (supervisor.Solver, error), error) {
+	switch cfg.Solver {
+	case "nsf":
+		return func(comm *mpi.Comm) (supervisor.Solver, error) {
+			m, err := mesh.BluffBody(4, 6, 2)
+			if err != nil {
+				return nil, err
+			}
+			ns, err := core.NewNSF(m, fourierBCs(), comm, &mach.CPU)
+			if err != nil {
+				return nil, err
+			}
+			ns.SetUniformInitial(1, 0)
+			return ns, nil
+		}, nil
+	case "nsale":
+		return func(comm *mpi.Comm) (supervisor.Solver, error) {
+			m2, err := mesh.WingSection(2, 12, 2)
+			if err != nil {
+				return nil, err
+			}
+			m, err := mesh.ExtrudeQuads(m2, 2, 2, 0, 1)
+			if err != nil {
+				return nil, err
+			}
+			ns, err := core.NewNSALE(m, aleBCs(), comm, &mach.CPU)
+			if err != nil {
+				return nil, err
+			}
+			ns.SetUniformInitial(1, 0, 0)
+			return ns, nil
+		}, nil
+	}
+	return nil, fmt.Errorf("bench: unknown solver %q", cfg.Solver)
+}
+
+func aleBCs() core.ALEConfig {
+	return core.ALEConfig{
+		Nu: 0.05, Dt: 2e-3, Order: 2,
+		FarfieldVel: [3]float64{1, 0, 0},
+	}
+}
+
+// RunSupervise executes the demonstration and renders the report.
+func RunSupervise(cfg SuperviseConfig) (*report.Table, error) {
+	if err := ValidateSupervise(cfg); err != nil {
+		return nil, err
+	}
+	mach, err := machine.ByName(cfg.Machine)
+	if err != nil {
+		return nil, err
+	}
+	factory, err := superviseSolver(cfg, mach)
+	if err != nil {
+		return nil, err
+	}
+	// The supervised runtime owns rank placement: one rank per physical
+	// node plus the hot spares and the monitor's head node, so the
+	// machine's SMP packing is cleared.
+	model := *mach.Net
+	model.RanksPerNode = 0
+
+	sup := supervisor.Config{
+		Procs:  cfg.Procs,
+		Spares: cfg.Spares,
+		Model:  &model, NewSolver: factory,
+		Steps:           cfg.Steps,
+		CheckpointEvery: cfg.CheckpointEvery,
+		CheckpointCostS: 1e-4,
+	}
+	ref, err := supervisor.Run(sup)
+	if err != nil {
+		return nil, fmt.Errorf("bench: supervised reference run: %w", err)
+	}
+
+	// Fault plan keyed by physical node: node 1 (rank 1's initial home)
+	// dies, node 0 freezes. The supervisor must detect both, halt the
+	// survivors, move the ranks onto spares, and resume from the last
+	// committed checkpoint.
+	plan := fault.NewPlan(cfg.Seed)
+	var faults []string
+	if cfg.CrashFrac > 0 && cfg.Procs > 1 {
+		plan.Crash(1, cfg.CrashFrac*ref.VirtualWall)
+		faults = append(faults, fmt.Sprintf("crash node 1 @ %.3gs", cfg.CrashFrac*ref.VirtualWall))
+	}
+	if cfg.StallFrac > 0 {
+		plan.StallRank(0, cfg.StallFrac*ref.VirtualWall, cfg.StallDurS)
+		faults = append(faults, fmt.Sprintf("freeze node 0 @ %.3gs", cfg.StallFrac*ref.VirtualWall))
+	}
+	faulted := sup
+	faulted.Faults = plan
+	faulted.Heartbeat.InitialInterval = ref.VirtualWall / float64(cfg.Steps)
+	got, err := supervisor.Run(faulted)
+	if err != nil {
+		return nil, fmt.Errorf("bench: supervised faulted run: %w", err)
+	}
+
+	identical := len(got.FinalStates) == len(ref.FinalStates)
+	for r := range ref.FinalStates {
+		if !identical || !bytes.Equal(ref.FinalStates[r], got.FinalStates[r]) {
+			identical = false
+			break
+		}
+	}
+
+	tbl := report.NewTable(
+		fmt.Sprintf("Supervise: self-healing runtime — %s, %s, P=%d +%d spares, %d steps, ckpt every %d [%s]",
+			cfg.Machine, cfg.Solver, cfg.Procs, cfg.Spares, cfg.Steps, cfg.CheckpointEvery,
+			strings.Join(faults, "; ")),
+		"run", "attempts", "failures handled", "steps computed", "virtual wall (s)", "bit-identical")
+	tbl.AddRow("supervised reference", fmt.Sprintf("%d", ref.Attempts), "0",
+		fmt.Sprintf("%d", ref.StepsComputed), fmt.Sprintf("%.4g", ref.VirtualWall), "—")
+	var handled []string
+	for _, f := range got.Failures {
+		entry := fmt.Sprintf("rank %d %s@%.3gs", f.Rank, f.Cause, f.DetectedAt)
+		if f.NewNode >= 0 {
+			entry += fmt.Sprintf("->node %d", f.NewNode)
+		}
+		handled = append(handled, entry)
+	}
+	verdictCol := "NO"
+	if identical {
+		verdictCol = "yes"
+	}
+	tbl.AddRow("crash+freeze campaign", fmt.Sprintf("%d", got.Attempts),
+		fmt.Sprintf("%d (%s)", len(got.Failures), strings.Join(handled, "; ")),
+		fmt.Sprintf("%d", got.StepsComputed), fmt.Sprintf("%.4g", got.VirtualWall), verdictCol)
+	if !identical {
+		return tbl, fmt.Errorf("bench: recovered trajectory is NOT bit-identical to the reference")
+	}
+	return tbl, nil
+}

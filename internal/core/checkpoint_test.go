@@ -203,6 +203,70 @@ func TestNSFCheckpointRejectsWrongRank(t *testing.T) {
 // criterion: a Nektar-F run killed by an injected node crash and
 // restarted from its last checkpoint finishes with fields
 // bit-identical to an unfaulted reference run.
+// TestALECrashRecoveryBitIdentical runs the moving-mesh solver through
+// the same harness: an injected crash mid-run, restart from the last
+// committed checkpoint, and a final state byte-identical to the
+// unfaulted reference (gob encoding is deterministic).
+func TestALECrashRecoveryBitIdentical(t *testing.T) {
+	base := ALERecovery{
+		Procs: 2,
+		Model: aleTestNet(),
+		Mesh: func() (*mesh.Mesh, error) {
+			m2, err := mesh.WingSection(2, 12, 2)
+			if err != nil {
+				return nil, err
+			}
+			return mesh.ExtrudeQuads(m2, 2, 2, 0, 1)
+		},
+		Cfg: ALEConfig{
+			Nu: 0.05, Dt: 2e-3, Order: 2,
+			FarfieldVel: [3]float64{1, 0, 0},
+			WallVelocity: func(t float64) [3]float64 {
+				return [3]float64{0, 0.3 * math.Cos(2*math.Pi*t), 0}
+			},
+			MoveMesh: true,
+		},
+		InitVel:         [3]float64{1, 0, 0},
+		Steps:           6,
+		CheckpointEvery: 2,
+		CheckpointCostS: 1e-4,
+	}
+
+	ref, err := RunALERecovery(base)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	if ref.Attempts != 1 {
+		t.Fatalf("reference run took %d attempts", ref.Attempts)
+	}
+
+	// Kill rank 1 mid-way through step 4 (3.5/6 of the reference wall):
+	// the newest committed checkpoint is step 2, so the rollback
+	// recomputes step 3 before passing the crash point.
+	faulty := base
+	faulty.Plans = []simnet.Injector{
+		fault.NewPlan(1).Crash(1, 3.5/6*ref.VirtualWall),
+	}
+	got, err := RunALERecovery(faulty)
+	if err != nil {
+		t.Fatalf("recovery run: %v", err)
+	}
+	if got.Attempts != 2 {
+		t.Fatalf("recovery took %d attempts, want 2 (one crash)", got.Attempts)
+	}
+	if got.StepsComputed <= base.Steps {
+		t.Errorf("recovery recomputed nothing (%d steps total); crash too late to matter", got.StepsComputed)
+	}
+	if len(got.Final) != len(ref.Final) {
+		t.Fatalf("final state count %d, want %d", len(got.Final), len(ref.Final))
+	}
+	for r := range ref.Final {
+		if !bytes.Equal(ref.Final[r], got.Final[r]) {
+			t.Fatalf("rank %d: final ALE state differs from the unfaulted reference (not bit-identical)", r)
+		}
+	}
+}
+
 func TestFourierCrashRecoveryBitIdentical(t *testing.T) {
 	base := FourierRecovery{
 		Procs: 2,

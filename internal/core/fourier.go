@@ -467,6 +467,9 @@ func (ns *NSF) Step() {
 	ns.step++
 }
 
+// StepCount returns the number of completed time steps.
+func (ns *NSF) StepCount() int { return ns.step }
+
 // nonlinear computes N = -(V.grad)V pseudo-spectrally: spectral x-y
 // derivatives, ik z-derivatives, a global transpose (MPI_Alltoall), Nz
 // 1D FFTs per point, pointwise products, and the reverse path — the

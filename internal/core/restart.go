@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"io"
 
 	"nektar/internal/machine"
 	"nektar/internal/mesh"
@@ -11,15 +12,27 @@ import (
 	"nektar/internal/simnet"
 )
 
-// Crash-recovery harness: runs the Fourier solver on the simulated
-// cluster under a fault plan, checkpointing every K steps into
-// (in-memory) per-rank restart files. When an injected node crash
-// kills the run, the harness restarts it from the last checkpoint
-// every rank completed, exactly as the paper's 250-CPU-hour
-// production runs survived commodity hardware: "restart files".
-// Because the solver state round-trips bit-identically and the
-// arithmetic does not depend on the virtual clock, the recovered
-// trajectory matches an unfaulted reference run exactly.
+// Crash-recovery harness: runs a solver on the simulated cluster under
+// a fault plan, checkpointing every K steps into (in-memory) per-rank
+// restart files. When an injected node crash kills the run, the
+// harness restarts it from the last checkpoint every rank completed,
+// exactly as the paper's 250-CPU-hour production runs survived
+// commodity hardware: "restart files". Because the solver state
+// round-trips bit-identically and the arithmetic does not depend on
+// the virtual clock, the recovered trajectory matches an unfaulted
+// reference run exactly. The attempt loop is shared between the
+// Fourier and ALE harnesses below; package supervisor builds the
+// fully-automatic version (failure detection, hot spares, watchdog)
+// on the same checkpoint-commit rule.
+
+// recoverySolver is the slice of a solver the generic attempt loop
+// needs; NSF and NSALE both satisfy it.
+type recoverySolver interface {
+	Step()
+	StepCount() int
+	SaveState(w io.Writer) error
+	LoadState(r io.Reader) error
+}
 
 // FourierRecovery configures a fault-tolerant Fourier run.
 type FourierRecovery struct {
@@ -55,6 +68,28 @@ type FourierRecovery struct {
 	MaxAttempts int
 }
 
+// ALERecovery configures a fault-tolerant Nektar-ALE run (the
+// moving-mesh solver): same attempt loop, domain-decomposed solver.
+type ALERecovery struct {
+	Procs int
+	Model *simnet.Model
+	CPU   *machine.CPU
+
+	// Mesh builds a fresh 3D mesh; called once per rank per attempt.
+	Mesh func() (*mesh.Mesh, error)
+	Cfg  ALEConfig
+	// InitVel seeds the uniform initial velocity.
+	InitVel [3]float64
+
+	Steps           int
+	CheckpointEvery int
+	CheckpointCostS float64
+
+	Plans       []simnet.Injector
+	Rel         *mpi.Reliability
+	MaxAttempts int
+}
+
 // RecoveryResult reports how a fault-tolerant run went.
 type RecoveryResult struct {
 	// Attempts is the number of runs launched (1 = no failures).
@@ -69,20 +104,35 @@ type RecoveryResult struct {
 	// all attempts: the wall time the whole campaign took, including
 	// checkpoint I/O, lost work, and the recovery re-runs.
 	VirtualWall float64
-	// Fields holds each rank's final velocity state ([comp][plane]).
+	// Final holds each rank's final serialized solver state (gob is
+	// deterministic, so equal trajectories give equal bytes).
+	Final [][]byte
+	// Fields holds each rank's final velocity state ([comp][plane]);
+	// Fourier runs only.
 	Fields [][3][2][]float64
 }
 
-// RunFourierRecovery executes the configured run, restarting from the
-// last complete checkpoint after every injected crash. It fails if a
-// non-crash error occurs or MaxAttempts is exhausted.
-func RunFourierRecovery(rc FourierRecovery) (*RecoveryResult, error) {
-	if rc.Procs < 1 || rc.Steps < 1 {
+// recoveryRun is the solver-agnostic core of the harness: the attempt
+// loop, per-rank checkpoint staging, and the commit rule (newest step
+// present on every rank).
+type recoveryRun struct {
+	procs, steps, every, maxAttempts int
+	cost                             float64
+	model                            *simnet.Model
+	plans                            []simnet.Injector
+	rel                              *mpi.Reliability
+	// newSolver builds (or rebuilds) this rank's solver at the start of
+	// an attempt.
+	newSolver func(rank int, comm *mpi.Comm) (recoverySolver, error)
+}
+
+func runRecovery(rc recoveryRun) (*RecoveryResult, error) {
+	if rc.procs < 1 || rc.steps < 1 {
 		return nil, fmt.Errorf("core: recovery needs at least one rank and one step")
 	}
-	maxAttempts := rc.MaxAttempts
+	maxAttempts := rc.maxAttempts
 	if maxAttempts <= 0 {
-		maxAttempts = len(rc.Plans) + 1
+		maxAttempts = len(rc.plans) + 1
 	}
 	res := &RecoveryResult{}
 	// The committed checkpoint: the newest step every rank has staged.
@@ -91,59 +141,58 @@ func RunFourierRecovery(rc FourierRecovery) (*RecoveryResult, error) {
 
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		var inj simnet.Injector
-		if attempt < len(rc.Plans) {
-			inj = rc.Plans[attempt]
+		if attempt < len(rc.plans) {
+			inj = rc.plans[attempt]
 		}
 		// Per-rank staging area for this attempt's checkpoints. Each
 		// rank writes only its own map, and the scheduler serializes
 		// rank execution, so no locking is needed; the harness reads
 		// them only after the run ends.
-		staged := make([]map[int][]byte, rc.Procs)
-		fields := make([][3][2][]float64, rc.Procs)
-		stepsRun := make([]int, rc.Procs)
+		staged := make([]map[int][]byte, rc.procs)
+		final := make([][]byte, rc.procs)
+		stepsRun := make([]int, rc.procs)
 
-		wall, _, err := simnet.RunWithFaults(rc.Procs, rc.Model, inj, func(n *simnet.Node) {
+		wall, _, err := simnet.RunWithFaults(rc.procs, rc.model, inj, func(n *simnet.Node) {
 			comm := mpi.World(n)
-			if rc.Rel != nil {
-				comm.SetReliability(rc.Rel)
+			if rc.rel != nil {
+				comm.SetReliability(rc.rel)
 			}
-			m, merr := rc.Mesh()
-			if merr != nil {
-				panic(merr)
+			s, serr := rc.newSolver(n.Rank, comm)
+			if serr != nil {
+				panic(serr)
 			}
-			ns, nerr := NewNSF(m, rc.Cfg, comm, rc.CPU)
-			if nerr != nil {
-				panic(nerr)
-			}
-			ns.SetUniformInitial(rc.InitU, rc.InitV)
 			staged[n.Rank] = map[int][]byte{}
 			if committedStep >= 0 {
-				if lerr := ns.LoadState(bytes.NewReader(committed[n.Rank])); lerr != nil {
+				if lerr := s.LoadState(bytes.NewReader(committed[n.Rank])); lerr != nil {
 					panic(lerr)
 				}
 			}
-			for ns.step < rc.Steps {
-				ns.Step()
+			for s.StepCount() < rc.steps {
+				s.Step()
 				stepsRun[n.Rank]++
-				if rc.CheckpointEvery > 0 && ns.step%rc.CheckpointEvery == 0 && ns.step < rc.Steps {
+				if rc.every > 0 && s.StepCount()%rc.every == 0 && s.StepCount() < rc.steps {
 					var buf bytes.Buffer
-					if serr := ns.SaveState(&buf); serr != nil {
-						panic(serr)
+					if werr := s.SaveState(&buf); werr != nil {
+						panic(werr)
 					}
-					staged[n.Rank][ns.step] = buf.Bytes()
-					if rc.CheckpointCostS > 0 {
-						comm.Sleep(rc.CheckpointCostS)
+					staged[n.Rank][s.StepCount()] = buf.Bytes()
+					if rc.cost > 0 {
+						comm.Sleep(rc.cost)
 					}
 				}
 			}
-			fields[n.Rank] = ns.U
+			var buf bytes.Buffer
+			if werr := s.SaveState(&buf); werr != nil {
+				panic(werr)
+			}
+			final[n.Rank] = buf.Bytes()
 		})
 		res.Attempts++
 		res.StepsComputed += stepsRun[0]
 		res.VirtualWall += maxFloat(wall)
 
 		if err == nil {
-			res.Fields = fields
+			res.Final = final
 			return res, nil
 		}
 		var ce *simnet.CrashError
@@ -151,32 +200,94 @@ func RunFourierRecovery(rc FourierRecovery) (*RecoveryResult, error) {
 			return nil, fmt.Errorf("core: recovery attempt %d failed without a crash: %w", attempt, err)
 		}
 		res.Crashes = append(res.Crashes, ce)
-		// Commit the newest checkpoint present on every rank (ranks may
-		// differ by one interval when the crash hit mid-step).
-		best := -1
-		for s := range staged[0] {
-			onAll := true
-			for r := 1; r < rc.Procs; r++ {
-				if _, ok := staged[r][s]; !ok {
-					onAll = false
-					break
-				}
-			}
-			if onAll && s > best {
-				best = s
-			}
-		}
-		if best > committedStep {
-			committedStep = best
-			committed = make([][]byte, rc.Procs)
-			for r := 0; r < rc.Procs; r++ {
-				committed[r] = staged[r][best]
+		if s := commitNewest(staged, rc.procs); s > committedStep {
+			committedStep = s
+			committed = make([][]byte, rc.procs)
+			for r := 0; r < rc.procs; r++ {
+				committed[r] = staged[r][s]
 			}
 		}
 		// Without any usable checkpoint the next attempt restarts from
 		// step 0 — still correct, just maximally wasteful.
 	}
 	return nil, fmt.Errorf("core: recovery exhausted %d attempts (%d crashes)", maxAttempts, len(res.Crashes))
+}
+
+// commitNewest returns the newest checkpoint step present on every
+// rank, or -1 (ranks may differ by one interval when the crash hit
+// mid-step).
+func commitNewest(staged []map[int][]byte, procs int) int {
+	best := -1
+	for s := range staged[0] {
+		onAll := true
+		for r := 1; r < procs; r++ {
+			if _, ok := staged[r][s]; !ok {
+				onAll = false
+				break
+			}
+		}
+		if onAll && s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// RunFourierRecovery executes the configured run, restarting from the
+// last complete checkpoint after every injected crash. It fails if a
+// non-crash error occurs or MaxAttempts is exhausted.
+func RunFourierRecovery(rc FourierRecovery) (*RecoveryResult, error) {
+	// solvers keeps the latest attempt's per-rank solver so the final
+	// velocity fields can be reported after success.
+	solvers := make([]*NSF, rc.Procs)
+	res, err := runRecovery(recoveryRun{
+		procs: rc.Procs, steps: rc.Steps, every: rc.CheckpointEvery,
+		maxAttempts: rc.MaxAttempts, cost: rc.CheckpointCostS,
+		model: rc.Model, plans: rc.Plans, rel: rc.Rel,
+		newSolver: func(rank int, comm *mpi.Comm) (recoverySolver, error) {
+			m, merr := rc.Mesh()
+			if merr != nil {
+				return nil, merr
+			}
+			ns, nerr := NewNSF(m, rc.Cfg, comm, rc.CPU)
+			if nerr != nil {
+				return nil, nerr
+			}
+			ns.SetUniformInitial(rc.InitU, rc.InitV)
+			solvers[rank] = ns
+			return ns, nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Fields = make([][3][2][]float64, rc.Procs)
+	for r, ns := range solvers {
+		res.Fields[r] = ns.U
+	}
+	return res, nil
+}
+
+// RunALERecovery executes the configured moving-mesh run, restarting
+// from the last complete checkpoint after every injected crash.
+func RunALERecovery(rc ALERecovery) (*RecoveryResult, error) {
+	return runRecovery(recoveryRun{
+		procs: rc.Procs, steps: rc.Steps, every: rc.CheckpointEvery,
+		maxAttempts: rc.MaxAttempts, cost: rc.CheckpointCostS,
+		model: rc.Model, plans: rc.Plans, rel: rc.Rel,
+		newSolver: func(rank int, comm *mpi.Comm) (recoverySolver, error) {
+			m, merr := rc.Mesh()
+			if merr != nil {
+				return nil, merr
+			}
+			ns, nerr := NewNSALE(m, rc.Cfg, comm, rc.CPU)
+			if nerr != nil {
+				return nil, nerr
+			}
+			ns.SetUniformInitial(rc.InitVel[0], rc.InitVel[1], rc.InitVel[2])
+			return ns, nil
+		},
+	})
 }
 
 func maxFloat(xs []float64) float64 {

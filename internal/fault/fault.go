@@ -30,13 +30,19 @@ type Plan struct {
 	seed     int64
 	dropProb float64
 
-	crashes  map[int]float64 // rank -> virtual crash time
-	degrades []degradeWindow
-	stalls   []stallWindow
+	crashes    map[int]float64 // rank -> virtual crash time
+	degrades   []degradeWindow
+	stalls     []stallWindow
+	rankStalls []rankStall
 
 	rng *rand.Rand // for sampled (MTBF-style) events at build time
 
 	drops int // messages dropped so far (diagnostics)
+
+	// err records the first invalid builder call so the chaining API
+	// stays ergonomic; Err surfaces it and simnet's install-time
+	// ValidatePlan check rejects the run.
+	err error
 }
 
 type degradeWindow struct {
@@ -50,6 +56,11 @@ type stallWindow struct {
 	from, to float64
 }
 
+type rankStall struct {
+	rank    int
+	at, dur float64
+}
+
 // NewPlan returns an empty plan whose sampled events (CrashRandom) and
 // drop decisions derive from seed.
 func NewPlan(seed int64) *Plan {
@@ -60,14 +71,25 @@ func NewPlan(seed int64) *Plan {
 	}
 }
 
+// setErr records the first invalid builder call.
+func (p *Plan) setErr(format string, args ...any) {
+	if p.err == nil {
+		p.err = fmt.Errorf(format, args...)
+	}
+}
+
+// Err returns the first invalid builder call recorded on this plan, or
+// nil for a well-formed plan. simnet checks it (via ValidatePlan) when
+// the plan is installed, so a bad plan fails the run up front instead
+// of silently injecting nothing.
+func (p *Plan) Err() error { return p.err }
+
 // WithDrops sets the independent per-message drop probability for
 // inter-node eager messages. Returns the plan for chaining.
 func (p *Plan) WithDrops(prob float64) *Plan {
-	if prob < 0 {
-		prob = 0
-	}
-	if prob > 1 {
-		prob = 1
+	if prob < 0 || prob > 1 || math.IsNaN(prob) {
+		p.setErr("fault: drop probability %g outside [0, 1]", prob)
+		return p
 	}
 	p.dropProb = prob
 	return p
@@ -76,6 +98,14 @@ func (p *Plan) WithDrops(prob float64) *Plan {
 // Crash schedules rank to die at virtual time t (seconds). A second
 // call for the same rank keeps the earlier time.
 func (p *Plan) Crash(rank int, t float64) *Plan {
+	if rank < 0 {
+		p.setErr("fault: crash of negative rank %d", rank)
+		return p
+	}
+	if t < 0 || math.IsNaN(t) {
+		p.setErr("fault: crash of rank %d at invalid time %g", rank, t)
+		return p
+	}
 	if old, ok := p.crashes[rank]; !ok || t < old {
 		p.crashes[rank] = t
 	}
@@ -87,6 +117,10 @@ func (p *Plan) Crash(rank int, t float64) *Plan {
 // the plan's seeded generator. The sampled time is fixed at call time,
 // so the plan stays reproducible. Returns the sampled crash time.
 func (p *Plan) CrashRandom(rank int, mtbf float64) float64 {
+	if mtbf <= 0 || math.IsNaN(mtbf) {
+		p.setErr("fault: non-positive MTBF %g for rank %d", mtbf, rank)
+		return math.Inf(1)
+	}
 	t := p.rng.ExpFloat64() * mtbf
 	p.Crash(rank, t)
 	return t
@@ -97,6 +131,18 @@ func (p *Plan) CrashRandom(rank int, mtbf float64) float64 {
 // Either endpoint may be -1 to match any rank. Overlapping windows
 // compound multiplicatively.
 func (p *Plan) DegradeLink(src, dst int, from, to, latMul, bwDiv float64) *Plan {
+	if src < -1 || dst < -1 {
+		p.setErr("fault: degrade window on invalid link %d->%d", src, dst)
+		return p
+	}
+	if !(from >= 0) || !(to > from) {
+		p.setErr("fault: degrade window [%g, %g) is not a forward time interval", from, to)
+		return p
+	}
+	if latMul < 1 || bwDiv < 1 || math.IsNaN(latMul) || math.IsNaN(bwDiv) {
+		p.setErr("fault: degrade factors lat×%g bw÷%g must be >= 1", latMul, bwDiv)
+		return p
+	}
 	p.degrades = append(p.degrades, degradeWindow{src, dst, from, to, latMul, bwDiv})
 	return p
 }
@@ -104,9 +150,89 @@ func (p *Plan) DegradeLink(src, dst int, from, to, latMul, bwDiv float64) *Plan 
 // StallNIC freezes the NIC of the given SMP node during [from, to):
 // no transfer may begin on it before to.
 func (p *Plan) StallNIC(node int, from, to float64) *Plan {
+	if node < 0 {
+		p.setErr("fault: NIC stall on negative node %d", node)
+		return p
+	}
+	if !(from >= 0) || !(to > from) {
+		p.setErr("fault: NIC stall window [%g, %g) is not a forward time interval", from, to)
+		return p
+	}
 	p.stalls = append(p.stalls, stallWindow{node, from, to})
 	return p
 }
+
+// StallRank freezes the whole process of a rank at virtual time at for
+// dur seconds (see simnet.RankStaller): the rank goes silent but does
+// not die, the failure mode a heartbeat detector must distinguish from
+// a crash. A second call for the same rank keeps the earlier freeze.
+func (p *Plan) StallRank(rank int, at, dur float64) *Plan {
+	if rank < 0 {
+		p.setErr("fault: rank stall on negative rank %d", rank)
+		return p
+	}
+	if at < 0 || math.IsNaN(at) {
+		p.setErr("fault: rank %d stall at invalid time %g", rank, at)
+		return p
+	}
+	if dur <= 0 || math.IsNaN(dur) {
+		p.setErr("fault: rank %d stall with non-positive duration %g", rank, dur)
+		return p
+	}
+	p.rankStalls = append(p.rankStalls, rankStall{rank, at, dur})
+	return p
+}
+
+// Validate checks the fully-built plan against a run shape: ranks is
+// the number of ranks (or physical nodes when the plan is node-keyed),
+// horizon the expected virtual duration in seconds (0 = unknown, skips
+// the beyond-horizon check). It returns the first problem found,
+// starting with any invalid builder call.
+func (p *Plan) Validate(ranks int, horizon float64) error {
+	if p.err != nil {
+		return p.err
+	}
+	check := func(kind string, rank int, t float64) error {
+		if rank >= ranks {
+			return fmt.Errorf("fault: %s of rank %d out of range for a %d-rank run", kind, rank, ranks)
+		}
+		if horizon > 0 && t >= horizon && !math.IsInf(t, 1) {
+			return fmt.Errorf("fault: %s of rank %d at t=%.4gs is beyond the %.4gs horizon and can never fire", kind, rank, t, horizon)
+		}
+		return nil
+	}
+	crashRanks := make([]int, 0, len(p.crashes))
+	for rank := range p.crashes {
+		crashRanks = append(crashRanks, rank)
+	}
+	sort.Ints(crashRanks)
+	for _, rank := range crashRanks {
+		if err := check("crash", rank, p.crashes[rank]); err != nil {
+			return err
+		}
+	}
+	for _, s := range p.rankStalls {
+		if err := check("stall", s.rank, s.at); err != nil {
+			return err
+		}
+	}
+	for _, s := range p.stalls {
+		if s.node >= ranks {
+			return fmt.Errorf("fault: NIC stall on node %d out of range for a %d-node run", s.node, ranks)
+		}
+	}
+	for _, d := range p.degrades {
+		if d.src >= ranks || d.dst >= ranks {
+			return fmt.Errorf("fault: degrade window on link %d->%d out of range for a %d-rank run", d.src, d.dst, ranks)
+		}
+	}
+	return nil
+}
+
+// ValidatePlan implements simnet's install-time check (see
+// simnet.PlanValidator); RunWithFaults calls it with the run's rank
+// count before the first event fires.
+func (p *Plan) ValidatePlan(ranks int) error { return p.Validate(ranks, 0) }
 
 // Drops returns the number of messages dropped so far.
 func (p *Plan) Drops() int { return p.drops }
@@ -139,6 +265,12 @@ func (p *Plan) String() string {
 	}
 	for _, s := range p.stalls {
 		parts = append(parts, fmt.Sprintf("stall(node=%d,[%.4g,%.4g)s)", s.node, s.from, s.to))
+	}
+	for _, s := range p.rankStalls {
+		parts = append(parts, fmt.Sprintf("freeze(rank=%d,t=%.4gs,dur=%.4gs)", s.rank, s.at, s.dur))
+	}
+	if p.err != nil {
+		parts = append(parts, fmt.Sprintf("INVALID: %v", p.err))
 	}
 	return "fault.Plan{" + strings.Join(parts, ", ") + "}"
 }
@@ -197,6 +329,18 @@ func (p *Plan) CrashTime(rank int) float64 {
 		return t
 	}
 	return math.Inf(1)
+}
+
+// RankStall implements simnet.RankStaller: the earliest scheduled
+// process freeze for rank, or (+Inf, 0) when it never freezes.
+func (p *Plan) RankStall(rank int) (start, dur float64) {
+	start = math.Inf(1)
+	for _, s := range p.rankStalls {
+		if s.rank == rank && s.at < start {
+			start, dur = s.at, s.dur
+		}
+	}
+	return start, dur
 }
 
 // hash01 maps (seed, src, dst, n) to a uniform float64 in [0, 1) with

@@ -2,6 +2,7 @@ package fault
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"nektar/internal/simnet"
@@ -9,6 +10,8 @@ import (
 
 // The plan must satisfy the simulator's injector contract.
 var _ simnet.Injector = (*Plan)(nil)
+var _ simnet.RankStaller = (*Plan)(nil)
+var _ simnet.PlanValidator = (*Plan)(nil)
 
 func TestDropDecisionDeterministic(t *testing.T) {
 	a := NewPlan(42).WithDrops(0.3)
@@ -153,5 +156,123 @@ func TestPlanDeterministicSimulation(t *testing.T) {
 		if w1[i] != w2[i] {
 			t.Fatalf("rank %d wall differs across same-seed runs: %v vs %v", i, w1[i], w2[i])
 		}
+	}
+}
+
+func TestPlanBuilderRejectsInvalidEvents(t *testing.T) {
+	cases := []struct {
+		name string
+		plan *Plan
+		want string
+	}{
+		{"negative drop prob", NewPlan(1).WithDrops(-0.1), "outside [0, 1]"},
+		{"drop prob above one", NewPlan(1).WithDrops(1.5), "outside [0, 1]"},
+		{"NaN drop prob", NewPlan(1).WithDrops(math.NaN()), "outside [0, 1]"},
+		{"negative crash rank", NewPlan(1).Crash(-1, 5), "negative rank"},
+		{"negative crash time", NewPlan(1).Crash(0, -5), "invalid time"},
+		{"NaN crash time", NewPlan(1).Crash(0, math.NaN()), "invalid time"},
+		{"degrade bad link", NewPlan(1).DegradeLink(-2, 0, 0, 1, 2, 2), "invalid link"},
+		{"degrade backward window", NewPlan(1).DegradeLink(0, 1, 5, 5, 2, 2), "not a forward time interval"},
+		{"degrade factors below one", NewPlan(1).DegradeLink(0, 1, 0, 1, 0.5, 2), "must be >= 1"},
+		{"NIC stall negative node", NewPlan(1).StallNIC(-1, 0, 1), "negative node"},
+		{"NIC stall backward window", NewPlan(1).StallNIC(0, 3, 2), "not a forward time interval"},
+		{"rank stall negative rank", NewPlan(1).StallRank(-1, 0, 1), "negative rank"},
+		{"rank stall negative time", NewPlan(1).StallRank(0, -1, 1), "invalid time"},
+		{"rank stall zero duration", NewPlan(1).StallRank(0, 1, 0), "non-positive duration"},
+	}
+	for _, tc := range cases {
+		err := tc.plan.Err()
+		if err == nil {
+			t.Errorf("%s: no error recorded", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+		if verr := tc.plan.ValidatePlan(64); verr == nil {
+			t.Errorf("%s: ValidatePlan accepted an invalid plan", tc.name)
+		}
+		if !strings.Contains(tc.plan.String(), "INVALID") {
+			t.Errorf("%s: String() hides the invalid state: %s", tc.name, tc.plan)
+		}
+	}
+}
+
+func TestCrashRandomRejectsNonPositiveMTBF(t *testing.T) {
+	p := NewPlan(7)
+	if got := p.CrashRandom(0, 0); !math.IsInf(got, 1) {
+		t.Errorf("CrashRandom with zero MTBF returned %v, want +Inf", got)
+	}
+	if err := p.Err(); err == nil || !strings.Contains(err.Error(), "non-positive MTBF") {
+		t.Errorf("Err() = %v, want non-positive MTBF complaint", err)
+	}
+	if got := NewPlan(7).CrashRandom(0, -100); !math.IsInf(got, 1) {
+		t.Errorf("CrashRandom with negative MTBF returned %v, want +Inf", got)
+	}
+}
+
+func TestPlanErrKeepsFirstError(t *testing.T) {
+	p := NewPlan(1).Crash(-1, 5).WithDrops(2)
+	if err := p.Err(); err == nil || !strings.Contains(err.Error(), "negative rank") {
+		t.Errorf("Err() = %v, want the first (crash) error preserved", err)
+	}
+}
+
+func TestValidateRejectsOutOfRangeEvents(t *testing.T) {
+	cases := []struct {
+		name string
+		plan *Plan
+		want string
+	}{
+		{"crash rank beyond run", NewPlan(1).Crash(4, 1), "crash of rank 4 out of range"},
+		{"stall rank beyond run", NewPlan(1).StallRank(7, 1, 2), "stall of rank 7 out of range"},
+		{"NIC stall node beyond run", NewPlan(1).StallNIC(9, 0, 1), "node 9 out of range"},
+		{"degrade link beyond run", NewPlan(1).DegradeLink(0, 5, 0, 1, 2, 2), "link 0->5 out of range"},
+	}
+	for _, tc := range cases {
+		err := tc.plan.Validate(4, 0)
+		if err == nil {
+			t.Errorf("%s: Validate(4, 0) accepted the plan", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+	// Wildcard degrade endpoints (-1) stay valid at any rank count.
+	if err := NewPlan(1).DegradeLink(-1, -1, 0, 1, 2, 2).Validate(2, 0); err != nil {
+		t.Errorf("wildcard degrade rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsBeyondHorizonEvents(t *testing.T) {
+	if err := NewPlan(1).Crash(0, 100).Validate(2, 10); err == nil {
+		t.Error("crash beyond the horizon accepted")
+	} else if !strings.Contains(err.Error(), "can never fire") {
+		t.Errorf("unexpected horizon error: %v", err)
+	}
+	if err := NewPlan(1).StallRank(1, 50, 5).Validate(2, 10); err == nil {
+		t.Error("stall beyond the horizon accepted")
+	}
+	// horizon = 0 disables the check; in-horizon events always pass.
+	if err := NewPlan(1).Crash(0, 100).Validate(2, 0); err != nil {
+		t.Errorf("horizonless validation rejected an in-range crash: %v", err)
+	}
+	if err := NewPlan(1).Crash(0, 5).StallRank(1, 3, 2).Validate(2, 10); err != nil {
+		t.Errorf("in-horizon plan rejected: %v", err)
+	}
+}
+
+func TestRankStallEarliestWins(t *testing.T) {
+	p := NewPlan(1).StallRank(2, 9, 1).StallRank(2, 4, 3)
+	start, dur := p.RankStall(2)
+	if start != 4 || dur != 3 {
+		t.Errorf("RankStall(2) = (%v, %v), want the earliest freeze (4, 3)", start, dur)
+	}
+	if start, _ := p.RankStall(0); !math.IsInf(start, 1) {
+		t.Errorf("RankStall(0) = %v, want +Inf for an unscheduled rank", start)
+	}
+	if !strings.Contains(p.String(), "freeze(rank=2") {
+		t.Errorf("String() omits the freeze schedule: %s", p)
 	}
 }

@@ -22,6 +22,7 @@ import (
 // Comm is a communicator bound to one simulated rank.
 type Comm struct {
 	node *simnet.Node
+	size int // sub-world size override; 0 = full world
 	seq  int // collective sequence number for tag isolation
 
 	// Reliable-delivery state (see reliable.go); nil rel = raw mode.
@@ -51,11 +52,35 @@ const (
 // World wraps a simnet rank in a communicator spanning all ranks.
 func World(n *simnet.Node) *Comm { return &Comm{node: n} }
 
+// SubWorld wraps a simnet rank in a communicator spanning only ranks
+// [0, size) of the simulation. The solvers are written against
+// Size()/Rank(), so a sub-world is all the rank-replacement rewiring a
+// supervised run needs: extra simulated ranks (a failure-detection
+// monitor, future hot-spare processes) share the cluster without
+// participating in the solver's collectives, and after a restart the
+// replacement process simply adopts the failed rank's id inside the
+// same sub-world. The caller's rank must lie inside the sub-world;
+// traffic to ranks outside it uses the simnet.Node API directly.
+func SubWorld(n *simnet.Node, size int) (*Comm, error) {
+	if size < 1 || size > n.P {
+		return nil, fmt.Errorf("mpi: sub-world size %d outside [1, %d]", size, n.P)
+	}
+	if n.Rank >= size {
+		return nil, fmt.Errorf("mpi: rank %d cannot join a sub-world of size %d", n.Rank, size)
+	}
+	return &Comm{node: n, size: size}, nil
+}
+
 // Rank returns the caller's rank.
 func (c *Comm) Rank() int { return c.node.Rank }
 
-// Size returns the number of ranks.
-func (c *Comm) Size() int { return c.node.P }
+// Size returns the number of ranks in this communicator.
+func (c *Comm) Size() int {
+	if c.size > 0 {
+		return c.size
+	}
+	return c.node.P
+}
 
 // Wtime returns the virtual wall-clock time in seconds (MPI_Wtime).
 func (c *Comm) Wtime() float64 { return c.node.Clock() }

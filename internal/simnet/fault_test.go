@@ -312,3 +312,67 @@ func TestFaultFreeInjectorMatchesRun(t *testing.T) {
 		}
 	}
 }
+
+func TestDeadlockErrorSendSendCycle(t *testing.T) {
+	// Two ranks in unmatched rendezvous sends to each other: both must
+	// be named with their destination and tag.
+	model := fastModel()
+	model.Inter.EagerLimit = 64
+	_, _, err := Run(2, model, func(n *Node) {
+		n.Send(1-n.Rank, 5+n.Rank, make([]float64, 100))
+	})
+	if err == nil {
+		t.Fatal("want deadlock error")
+	}
+	msg := err.Error()
+	for _, want := range []string{
+		"rank 0 in Wait for rendezvous send (dst=1, tag=5, 800 bytes)",
+		"rank 1 in Wait for rendezvous send (dst=0, tag=6, 800 bytes)",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("deadlock error %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestDeadlockAfterCrashNamesDeadRanks(t *testing.T) {
+	// Rank 1 dies; ranks 0 and 2 wait on each other (neither on the
+	// dead rank, so neither is woken by the crash). The CrashError must
+	// carry the survivors' deadlock diagnosis, including which rank had
+	// crashed — the first thing an operator needs to see.
+	inj := &testInjector{crash: func(rank int) float64 {
+		if rank == 1 {
+			return 1e-4
+		}
+		return math.Inf(1)
+	}}
+	_, _, err := RunWithFaults(3, fastModel(), inj, func(n *Node) {
+		switch n.Rank {
+		case 0:
+			n.Recv(2, 8)
+		case 1:
+			n.Compute(1) // dies at the first yield past 1e-4
+		case 2:
+			n.Recv(0, 3)
+		}
+	})
+	var ce *CrashError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *CrashError, got %v", err)
+	}
+	if len(ce.Ranks) != 1 || ce.Ranks[0] != 1 {
+		t.Fatalf("crashed ranks = %v, want [1]", ce.Ranks)
+	}
+	for _, want := range []string{
+		"after rank(s) [1] crashed",
+		"rank 0 in Recv(src=2, tag=8)",
+		"rank 2 in Recv(src=0, tag=3)",
+	} {
+		if !strings.Contains(ce.Detail, want) {
+			t.Errorf("CrashError detail %q missing %q", ce.Detail, want)
+		}
+	}
+	if !strings.Contains(ce.Error(), "after rank(s) [1] crashed") {
+		t.Errorf("Error() %q hides the crash note", ce.Error())
+	}
+}

@@ -51,6 +51,13 @@ type Model struct {
 	// RanksPerNode maps MPI ranks onto SMP nodes round-robin blocks:
 	// node = rank / RanksPerNode.
 	RanksPerNode int
+	// NodeMap, when non-nil, overrides RanksPerNode with an explicit
+	// rank -> physical-node placement (len(NodeMap) must equal the run's
+	// rank count; node ids must be >= 0 but need not be dense). The
+	// supervisor uses it to keep hot-spare nodes addressable and to move
+	// a rank onto a replacement node between restart attempts, while the
+	// fault plan stays keyed by physical node.
+	NodeMap []int
 	// BackplaneMBs caps the aggregate inter-node traffic (an
 	// oversubscribed Ethernet switch); 0 = full crossbar.
 	BackplaneMBs float64
@@ -58,16 +65,28 @@ type Model struct {
 
 // nodeOf returns the SMP node that hosts a rank.
 func (m *Model) nodeOf(rank int) int {
+	if m.NodeMap != nil {
+		return m.NodeMap[rank]
+	}
 	if m.RanksPerNode <= 1 {
 		return rank
 	}
 	return rank / m.RanksPerNode
 }
 
+// sharedNode reports whether two ranks live on the same SMP node under
+// a placement that can co-locate ranks at all.
+func (m *Model) sharedNode(from, to int) bool {
+	if m.RanksPerNode <= 1 && m.NodeMap == nil {
+		return false
+	}
+	return m.nodeOf(from) == m.nodeOf(to)
+}
+
 // link returns the channel model governing communication between two
 // ranks.
 func (m *Model) link(from, to int) *LinkModel {
-	if m.RanksPerNode > 1 && m.nodeOf(from) == m.nodeOf(to) {
+	if m.sharedNode(from, to) {
 		return &m.Intra
 	}
 	return &m.Inter

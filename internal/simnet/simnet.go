@@ -37,6 +37,28 @@ type Injector interface {
 	CrashTime(rank int) float64
 }
 
+// RankStaller is an optional Injector extension: a rank-stall fault
+// models a process freeze (OS thrashing, ECC scrub storm, a wedged
+// daemon) rather than a death. RankStall returns the virtual time at
+// which the rank freezes and the freeze duration in seconds; start =
+// +Inf (or dur <= 0) means the rank never stalls. The frozen rank's
+// wall clock jumps forward by dur at its first yield past start — it
+// consumes no CPU and sends nothing while frozen, then resumes exactly
+// where it was. Unlike a crash the rank eventually completes, so a
+// failure detector (not the simulator) must decide it is gone.
+type RankStaller interface {
+	RankStall(rank int) (start, dur float64)
+}
+
+// PlanValidator is an optional Injector extension consulted once when
+// the plan is installed: RunWithFaults rejects the run up front if the
+// plan references ranks outside [0, ranks) or carries other impossible
+// entries, instead of silently ignoring them mid-run. fault.Plan
+// implements it.
+type PlanValidator interface {
+	ValidatePlan(ranks int) error
+}
+
 // CrashError reports that one or more ranks crashed during a run (an
 // injected whole-node failure). Detail carries the blocked-rank
 // diagnosis when surviving ranks were left waiting on the dead ones.
@@ -185,6 +207,10 @@ type cluster struct {
 	inj     Injector
 	crashAt []float64 // per-rank crash time (+Inf = never)
 	crashed []bool
+	// Rank-stall faults (nil when the injector is not a RankStaller).
+	stallAt    []float64 // per-rank freeze time (+Inf = never)
+	stallDur   []float64
+	stallFired []bool
 	// msgSeq counts eager messages per directed rank pair for the
 	// injector's drop decision.
 	msgSeq map[[2]int]int
@@ -230,6 +256,28 @@ func RunWithFaults(p int, model *Model, inj Injector, body func(n *Node)) (wall,
 	if model.RanksPerNode > 1 {
 		nNodes = (p + model.RanksPerNode - 1) / model.RanksPerNode
 	}
+	if model.NodeMap != nil {
+		if len(model.NodeMap) != p {
+			return nil, nil, fmt.Errorf("simnet: NodeMap covers %d ranks, run has %d", len(model.NodeMap), p)
+		}
+		maxID := 0
+		for r, id := range model.NodeMap {
+			if id < 0 {
+				return nil, nil, fmt.Errorf("simnet: NodeMap[%d] = %d, node ids must be >= 0", r, id)
+			}
+			if id > maxID {
+				maxID = id
+			}
+		}
+		nNodes = maxID + 1
+	}
+	if inj != nil {
+		if v, ok := inj.(PlanValidator); ok {
+			if err := v.ValidatePlan(p); err != nil {
+				return nil, nil, fmt.Errorf("simnet: rejecting fault plan: %w", err)
+			}
+		}
+	}
 	c := &cluster{
 		model:       model,
 		schedCh:     make(chan int),
@@ -243,6 +291,14 @@ func RunWithFaults(p int, model *Model, inj Injector, body func(n *Node)) (wall,
 		c.crashed = make([]bool, p)
 		for i := 0; i < p; i++ {
 			c.crashAt[i] = inj.CrashTime(i)
+		}
+		if rs, ok := inj.(RankStaller); ok {
+			c.stallAt = make([]float64, p)
+			c.stallDur = make([]float64, p)
+			c.stallFired = make([]bool, p)
+			for i := 0; i < p; i++ {
+				c.stallAt[i], c.stallDur[i] = rs.RankStall(i)
+			}
 		}
 	}
 	c.nodes = make([]*Node, p)
@@ -306,6 +362,11 @@ func RunWithFaults(p int, model *Model, inj Injector, body func(n *Node)) (wall,
 			var pickClock float64
 			for id := range runnable {
 				n := c.nodes[id]
+				// Apply a pending rank-stall fault before electing a
+				// candidate: the freeze must reorder this rank against
+				// other ranks' deadlines, not fire after the rank has
+				// already been resumed at its pre-stall clock.
+				n.maybeStall()
 				if pick < 0 || n.clock < pickClock || (n.clock == pickClock && id < pick) {
 					pick, pickClock, pickTimeout = id, n.clock, false
 				}
@@ -445,6 +506,29 @@ func (n *Node) yield() {
 		panic(poisonSignal{})
 	}
 	n.maybeCrash()
+}
+
+// maybeStall applies a pending rank-stall fault: the first time the
+// rank's clock passes the scheduled freeze instant, its wall clock
+// jumps forward by the freeze duration (no CPU is consumed, nothing is
+// sent) and the rank carries on. The scheduler calls this while the
+// rank is parked, before electing the next candidate, so the freeze
+// correctly reorders the rank against other ranks' receive deadlines.
+// A stall scheduled before a crash on the same rank can push the clock
+// past the crash time, in which case the crash wins — checked by
+// maybeCrash at the rank's next resume.
+func (n *Node) maybeStall() {
+	c := n.net
+	if c.stallAt == nil || c.stallFired[n.Rank] {
+		return
+	}
+	if n.clock < c.stallAt[n.Rank] {
+		return
+	}
+	c.stallFired[n.Rank] = true
+	if d := c.stallDur[n.Rank]; d > 0 {
+		n.clock += d
+	}
 }
 
 // maybeCrash kills the rank if its injected crash time has passed: the
@@ -687,7 +771,7 @@ func (n *Node) reserveTransfer(dst, size int, start float64, link *LinkModel) fl
 		}
 	}
 
-	intra := c.model.RanksPerNode > 1 && srcNode == dstNode
+	intra := c.model.sharedNode(n.Rank, dst)
 	if intra {
 		// Shared-memory copy: no NIC or backplane involvement (and no
 		// fault exposure beyond whole-node crashes).

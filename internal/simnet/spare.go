@@ -1,0 +1,81 @@
+package simnet
+
+import "fmt"
+
+// SparePool tracks the assignment of logical ranks to physical nodes
+// when a cluster keeps hot spares: ranks [0, Ranks) start on nodes
+// [0, Ranks) and nodes [Ranks, Ranks+spares) idle until a failure.
+// Replace retires a rank's current node and moves the rank onto the
+// next spare — the paper's operators swapped a failed PC out of the
+// Beowulf rack and restarted from restart files; the pool is the
+// bookkeeping half of doing that automatically.
+//
+// The pool itself is plain state shared across restart attempts; the
+// per-attempt placement is exported through NodeMap for Model.NodeMap.
+type SparePool struct {
+	assigned []int // rank -> physical node
+	spares   []int // physical nodes still available, FIFO
+	log      []Replacement
+}
+
+// Replacement records one rank move.
+type Replacement struct {
+	Rank    int
+	OldNode int
+	NewNode int
+}
+
+// NewSparePool lays out ranks ranks on their own nodes with spares
+// hot-spare nodes behind them.
+func NewSparePool(ranks, spares int) (*SparePool, error) {
+	if ranks < 1 {
+		return nil, fmt.Errorf("simnet: spare pool needs at least one rank, got %d", ranks)
+	}
+	if spares < 0 {
+		return nil, fmt.Errorf("simnet: negative spare count %d", spares)
+	}
+	p := &SparePool{assigned: make([]int, ranks)}
+	for r := range p.assigned {
+		p.assigned[r] = r
+	}
+	for s := 0; s < spares; s++ {
+		p.spares = append(p.spares, ranks+s)
+	}
+	return p, nil
+}
+
+// Ranks returns the number of logical ranks.
+func (p *SparePool) Ranks() int { return len(p.assigned) }
+
+// NodeOf returns the physical node currently hosting a rank.
+func (p *SparePool) NodeOf(rank int) int { return p.assigned[rank] }
+
+// Available returns how many spare nodes remain.
+func (p *SparePool) Available() int { return len(p.spares) }
+
+// NodeMap returns a fresh rank -> node slice for Model.NodeMap,
+// reflecting the current assignment.
+func (p *SparePool) NodeMap() []int {
+	return append([]int(nil), p.assigned...)
+}
+
+// Replace moves a rank onto the next spare node and retires its old
+// node permanently. It fails when the pool is exhausted.
+func (p *SparePool) Replace(rank int) (newNode int, err error) {
+	if rank < 0 || rank >= len(p.assigned) {
+		return 0, fmt.Errorf("simnet: replace of unknown rank %d (pool has %d ranks)", rank, len(p.assigned))
+	}
+	if len(p.spares) == 0 {
+		return 0, fmt.Errorf("simnet: spare pool exhausted replacing rank %d (node %d failed)", rank, p.assigned[rank])
+	}
+	newNode = p.spares[0]
+	p.spares = p.spares[1:]
+	p.log = append(p.log, Replacement{Rank: rank, OldNode: p.assigned[rank], NewNode: newNode})
+	p.assigned[rank] = newNode
+	return newNode, nil
+}
+
+// Replacements returns the full replacement history.
+func (p *SparePool) Replacements() []Replacement {
+	return append([]Replacement(nil), p.log...)
+}

@@ -1,0 +1,410 @@
+package supervisor
+
+import (
+	"bytes"
+	"math"
+
+	"nektar/internal/mpi"
+	"nektar/internal/simnet"
+)
+
+// Control-plane tags live in the user tag space, above the solvers'
+// own traffic (gs uses 1<<22) and below the collective space (1<<24).
+const (
+	ctlTag  = 1<<23 + 101 // solver rank -> monitor
+	haltTag = 1<<23 + 102 // monitor -> solver rank
+)
+
+// Control message kinds (first element of the 3-float payload
+// [kind, rank, step]).
+const (
+	ctlHeartbeat = iota
+	ctlDone
+	ctlTrip
+)
+
+// verdict is the monitor's reason for ending an attempt.
+type verdict struct {
+	kind  verdictKind
+	ranks []int // suspects (silence) or the tripping rank
+	at    float64
+	step  int
+}
+
+type verdictKind int
+
+const (
+	verdictSuspect verdictKind = iota // heartbeat silence past phi threshold
+	verdictTrip                       // watchdog trip reported by a rank
+)
+
+// attempt is the shared state of one launch: per-rank checkpoint
+// staging, completion flags, watchdog trips, and the monitor's
+// verdict. Rank goroutines write only their own slots and the
+// simulator's scheduler serializes execution, so no locking is needed;
+// the harness reads everything after the run ends.
+type attempt struct {
+	cfg   *Config
+	index int
+
+	model *simnet.Model
+	inj   simnet.Injector
+
+	committedStep int
+	committed     [][]byte
+
+	// Per-solver-rank stall schedule (rank-keyed; +Inf = never), used
+	// to diagnose stall failures after the run.
+	stallAt []float64
+
+	staged   []map[int][]byte
+	final    [][]byte
+	done     []bool
+	trips    []*Trip
+	stepsRun []int
+	verdict  *verdict
+
+	// Resolved knobs.
+	hbEvery     int
+	hbSeed      float64
+	hbThreshold float64
+	hbWindow    int
+	wdEvery     int
+}
+
+func newAttempt(cfg *Config, pool *simnet.SparePool, index, committedStep int, committed [][]byte) *attempt {
+	procs := cfg.Procs
+	// Placement: each solver rank on its own physical node (per the
+	// pool's current assignment), the monitor on a dedicated head node
+	// behind the spares. The head node is outside the fault plan's
+	// node range, so the monitor itself never fails — a single reliable
+	// observer; detector redundancy is future work.
+	headNode := procs + cfg.Spares
+	nodeMap := append(pool.NodeMap(), headNode)
+	model := *cfg.Model
+	model.NodeMap = nodeMap
+
+	a := &attempt{
+		cfg:           cfg,
+		index:         index,
+		model:         &model,
+		committedStep: committedStep,
+		committed:     committed,
+		stallAt:       make([]float64, procs),
+		staged:        make([]map[int][]byte, procs),
+		final:         make([][]byte, procs),
+		done:          make([]bool, procs),
+		trips:         make([]*Trip, procs),
+		stepsRun:      make([]int, procs),
+		hbEvery:       cfg.Heartbeat.Every,
+		hbSeed:        cfg.Heartbeat.InitialInterval,
+		hbThreshold:   cfg.Heartbeat.Threshold,
+		hbWindow:      cfg.Heartbeat.Window,
+		wdEvery:       cfg.Watchdog.Every,
+	}
+	if a.hbEvery < 1 {
+		a.hbEvery = 1
+	}
+	if a.wdEvery < 1 {
+		a.wdEvery = 1
+	}
+	for r := range a.stallAt {
+		a.stallAt[r] = math.Inf(1)
+	}
+	if cfg.Faults != nil {
+		adapter := &nodeKeyedInjector{base: cfg.Faults, nodeOf: nodeMap, nodes: procs + cfg.Spares}
+		if rs, ok := cfg.Faults.(simnet.RankStaller); ok {
+			adapter.staller = rs
+			for r := 0; r < procs; r++ {
+				a.stallAt[r], _ = adapter.RankStall(r)
+			}
+		}
+		a.inj = adapter
+	}
+	return a
+}
+
+func (a *attempt) monitorRank() int { return a.cfg.Procs }
+
+func (a *attempt) body(n *simnet.Node) {
+	if n.Rank == a.monitorRank() {
+		a.monitor(n)
+		return
+	}
+	a.worker(n)
+}
+
+// completed reports whether every solver rank finished all steps.
+func (a *attempt) completed() bool {
+	for _, d := range a.done {
+		if !d {
+			return false
+		}
+	}
+	return true
+}
+
+// stallFired reports whether rank r's scheduled process freeze
+// actually happened before the rank's clock stopped.
+func (a *attempt) stallFired(r int, wallR float64) bool {
+	return !math.IsInf(a.stallAt[r], 1) && wallR >= a.stallAt[r]
+}
+
+func (a *attempt) verdictRanks() []int {
+	if a.verdict == nil {
+		return nil
+	}
+	return a.verdict.ranks
+}
+
+// attemptWall is the virtual wall time this attempt cost the campaign.
+// After a silence verdict the simulation still unwinds the blocked
+// survivors (and a frozen rank drains its stall before exiting); a
+// real supervisor kills the job at the verdict, so the post-verdict
+// tail is a simulation artifact and is excluded.
+func (a *attempt) attemptWall(wall []float64) float64 {
+	if a.verdict != nil && a.verdict.kind == verdictSuspect {
+		return a.verdict.at
+	}
+	var m float64
+	for _, w := range wall {
+		if w > m {
+			m = w
+		}
+	}
+	return m
+}
+
+// commitNewest returns the newest checkpoint step staged on every
+// rank, or -1.
+func (a *attempt) commitNewest() int {
+	best := -1
+	for s := range a.staged[0] {
+		onAll := true
+		for r := 1; r < a.cfg.Procs; r++ {
+			if _, ok := a.staged[r][s]; !ok {
+				onAll = false
+				break
+			}
+		}
+		if onAll && s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// worker is one solver rank: step, health-check, heartbeat,
+// checkpoint, and poll for a halt order at every step boundary.
+func (a *attempt) worker(n *simnet.Node) {
+	comm, err := mpi.SubWorld(n, a.cfg.Procs)
+	if err != nil {
+		panic(err)
+	}
+	if a.cfg.Rel != nil {
+		comm.SetReliability(a.cfg.Rel)
+	}
+	s, err := a.cfg.NewSolver(comm)
+	if err != nil {
+		panic(err)
+	}
+	a.staged[n.Rank] = map[int][]byte{}
+	if a.committedStep >= 0 {
+		if lerr := s.LoadState(bytes.NewReader(a.committed[n.Rank])); lerr != nil {
+			panic(lerr)
+		}
+	}
+	wd := &a.cfg.Watchdog
+	baseline := -1.0
+	for s.StepCount() < a.cfg.Steps {
+		// A halt order parks in the inbox while we are inside a step;
+		// the deadline Clock() makes this a non-blocking poll. The
+		// decision to stop must be collective: a peer may already be
+		// blocked inside the next step's collectives when the order
+		// lands, so the ranks agree on the flag at every boundary and
+		// exit at the same step.
+		halted := 0.0
+		if _, ok := n.RecvDeadline(a.monitorRank(), haltTag, n.Clock()); ok {
+			halted = 1
+		}
+		if v := comm.Allreduce([]float64{halted}, mpi.Max); v[0] > 0 {
+			return
+		}
+		s.Step()
+		step := s.StepCount()
+		a.stepsRun[n.Rank]++
+
+		if !wd.Disabled && step%a.wdEvery == 0 {
+			maxAbs, finite := s.FieldHealth()
+			bad := 0.0
+			if !finite {
+				bad = 1
+			}
+			if wd.MaxAbs > 0 && maxAbs > wd.MaxAbs {
+				bad = 1
+			}
+			if wd.MaxGrowth > 0 && baseline > 0 && maxAbs > wd.MaxGrowth*baseline {
+				bad = 1
+			}
+			if baseline < 0 {
+				baseline = maxAbs
+			}
+			// The verdict must be collective: if any rank is sick, every
+			// rank exits at this same boundary — a lone exit would leave
+			// the others blocked in the next collective. The corrupt
+			// state is abandoned before it can reach the staging area.
+			if v := comm.Allreduce([]float64{bad}, mpi.Max); v[0] > 0 {
+				if bad > 0 {
+					a.trips[n.Rank] = &Trip{Attempt: a.index, Rank: n.Rank, Step: step, MaxAbs: maxAbs, Finite: finite}
+					n.SendControl(a.monitorRank(), ctlTag, []float64{ctlTrip, float64(n.Rank), float64(step)})
+				}
+				return
+			}
+		}
+		if step%a.hbEvery == 0 || step == a.cfg.Steps {
+			n.SendControl(a.monitorRank(), ctlTag, []float64{ctlHeartbeat, float64(n.Rank), float64(step)})
+		}
+		if a.cfg.CheckpointEvery > 0 && step%a.cfg.CheckpointEvery == 0 && step < a.cfg.Steps {
+			var buf bytes.Buffer
+			if werr := s.SaveState(&buf); werr != nil {
+				panic(werr)
+			}
+			a.staged[n.Rank][step] = buf.Bytes()
+			if a.cfg.CheckpointCostS > 0 {
+				n.Sleep(a.cfg.CheckpointCostS)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if werr := s.SaveState(&buf); werr != nil {
+		panic(werr)
+	}
+	a.final[n.Rank] = buf.Bytes()
+	a.done[n.Rank] = true
+	n.SendControl(a.monitorRank(), ctlTag, []float64{ctlDone, float64(n.Rank), float64(s.StepCount())})
+}
+
+// monitor is the failure-detection rank: it feeds heartbeats into the
+// per-rank phi detectors and sleeps until the earliest detector
+// deadline. Every wait is deadline-bounded, so the monitor always
+// terminates: with a verdict (silence or trip) or when every rank has
+// reported done.
+func (a *attempt) monitor(n *simnet.Node) {
+	procs := a.cfg.Procs
+	dets := make([]*PhiDetector, procs)
+	for r := range dets {
+		dets[r] = NewPhiDetector(a.hbThreshold, a.hbSeed, a.hbWindow)
+	}
+	live := make([]bool, procs)
+	for r := range live {
+		live[r] = true
+	}
+	nlive := procs
+	for nlive > 0 {
+		dl := math.Inf(1)
+		for r, l := range live {
+			if l && dets[r].Deadline() < dl {
+				dl = dets[r].Deadline()
+			}
+		}
+		msg, ok := n.RecvDeadline(simnet.AnySource, ctlTag, dl)
+		now := n.Clock()
+		if ok {
+			if len(msg) != 3 {
+				continue
+			}
+			kind, r, step := int(msg[0]), int(msg[1]), int(msg[2])
+			if r < 0 || r >= procs {
+				continue
+			}
+			switch kind {
+			case ctlHeartbeat:
+				dets[r].Observe(now)
+			case ctlDone:
+				if live[r] {
+					live[r] = false
+					nlive--
+				}
+			case ctlTrip:
+				a.verdict = &verdict{kind: verdictTrip, ranks: []int{r}, at: now, step: step}
+				a.halt(n, live)
+				return
+			}
+			continue
+		}
+		// Detector deadline expired: every live rank past its deadline
+		// is a suspect. (A blocked survivor waiting on the dead rank
+		// also goes silent, so the suspect set can be a superset of the
+		// true failures; the harness diagnoses the exact ranks
+		// out-of-band, as an operator would inspect the nodes.)
+		var suspects []int
+		for r, l := range live {
+			if l && dets[r].Deadline() <= now {
+				suspects = append(suspects, r)
+			}
+		}
+		if len(suspects) == 0 {
+			continue
+		}
+		a.verdict = &verdict{kind: verdictSuspect, ranks: suspects, at: now}
+		a.halt(n, live)
+		return
+	}
+}
+
+// halt orders every rank that has not reported done to stop at its
+// next step boundary. Sends to already-dead ranks are harmless.
+func (a *attempt) halt(n *simnet.Node, live []bool) {
+	for r, l := range live {
+		if l {
+			n.SendControl(r, haltTag, nil)
+		}
+	}
+}
+
+// nodeKeyedInjector adapts a fault plan keyed by physical node to the
+// simulator's rank-keyed Injector interface, through the spare pool's
+// current placement. A rank moved onto a spare node stops seeing the
+// retired node's faults; the replacement node brings its own (if the
+// plan schedules any).
+type nodeKeyedInjector struct {
+	base    simnet.Injector
+	staller simnet.RankStaller // nil when base has no rank stalls
+	nodeOf  []int              // rank -> physical node, monitor included
+	nodes   int                // physical nodes addressable by the plan
+}
+
+func (k *nodeKeyedInjector) DropMessage(src, dst, n int, t float64) bool {
+	return k.base.DropMessage(k.nodeOf[src], k.nodeOf[dst], n, t)
+}
+
+func (k *nodeKeyedInjector) LinkFactors(src, dst int, t float64) (latMul, bwDiv float64) {
+	return k.base.LinkFactors(k.nodeOf[src], k.nodeOf[dst], t)
+}
+
+// StallUntil already receives a physical node id (the simulator
+// resolves ranks through Model.NodeMap before booking NIC time).
+func (k *nodeKeyedInjector) StallUntil(node int, t float64) float64 {
+	return k.base.StallUntil(node, t)
+}
+
+func (k *nodeKeyedInjector) CrashTime(rank int) float64 {
+	return k.base.CrashTime(k.nodeOf[rank])
+}
+
+func (k *nodeKeyedInjector) RankStall(rank int) (start, dur float64) {
+	if k.staller == nil {
+		return math.Inf(1), 0
+	}
+	return k.staller.RankStall(k.nodeOf[rank])
+}
+
+// ValidatePlan checks the node-keyed plan against the physical node
+// range (the head node is deliberately outside it: the monitor cannot
+// be a fault target).
+func (k *nodeKeyedInjector) ValidatePlan(ranks int) error {
+	if v, ok := k.base.(simnet.PlanValidator); ok {
+		return v.ValidatePlan(k.nodes)
+	}
+	return nil
+}

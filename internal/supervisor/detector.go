@@ -1,0 +1,95 @@
+package supervisor
+
+import "math"
+
+// PhiDetector is a phi-accrual failure detector (Hayashibara et al.,
+// SRDS 2004) on the simulator's virtual clock, with an exponential
+// inter-arrival model: if heartbeats from a rank arrive with mean
+// interval m, the suspicion level at time t since the last heartbeat
+// is phi(t) = (t - last) / (m ln 10), i.e. phi = -log10 of the
+// probability that a heartbeat is merely late rather than lost. The
+// detector trips when phi crosses a threshold, so its timeout adapts
+// to the observed heartbeat cadence — checkpoint I/O pauses widen the
+// window, a fast steady cadence tightens it. Everything is a pure
+// function of the observed virtual arrival times, so detection latency
+// is deterministic and testable.
+type PhiDetector struct {
+	threshold float64
+	window    []float64 // sliding window of inter-arrival intervals
+	wmax      int
+	sum       float64
+	last      float64 // virtual time of the newest heartbeat
+}
+
+// minMeanInterval floors the estimated mean so a burst of
+// zero-interval arrivals cannot collapse the timeout to nothing.
+const minMeanInterval = 1e-12
+
+// NewPhiDetector builds a detector that suspects a rank when phi
+// exceeds threshold (default 8 ≈ a one-in-10^8 false positive under
+// the model). seedInterval primes the window before the first real
+// heartbeat — pick the expected heartbeat period; a generous seed only
+// delays the first detection, it never causes a false positive. window
+// bounds the sliding interval history (default 32).
+func NewPhiDetector(threshold, seedInterval float64, window int) *PhiDetector {
+	if threshold <= 0 {
+		threshold = 8
+	}
+	if seedInterval <= 0 {
+		seedInterval = 1
+	}
+	if window < 1 {
+		window = 32
+	}
+	return &PhiDetector{
+		threshold: threshold,
+		window:    []float64{seedInterval},
+		wmax:      window,
+		sum:       seedInterval,
+	}
+}
+
+// Observe records a heartbeat arriving at virtual time t. Time must
+// not run backwards; a duplicate arrival at the same instant counts as
+// a zero interval.
+func (d *PhiDetector) Observe(t float64) {
+	dt := t - d.last
+	if dt < 0 {
+		dt = 0
+	}
+	d.window = append(d.window, dt)
+	d.sum += dt
+	if len(d.window) > d.wmax {
+		d.sum -= d.window[0]
+		d.window = d.window[1:]
+	}
+	d.last = t
+}
+
+// mean returns the current mean inter-arrival estimate.
+func (d *PhiDetector) mean() float64 {
+	m := d.sum / float64(len(d.window))
+	if m < minMeanInterval {
+		m = minMeanInterval
+	}
+	return m
+}
+
+// Phi returns the suspicion level at virtual time t.
+func (d *PhiDetector) Phi(t float64) float64 {
+	dt := t - d.last
+	if dt <= 0 {
+		return 0
+	}
+	return dt / (d.mean() * math.Ln10)
+}
+
+// Deadline returns the earliest virtual time at which Phi reaches the
+// threshold, i.e. when this rank becomes a suspect if no further
+// heartbeat arrives.
+func (d *PhiDetector) Deadline() float64 {
+	return d.last + d.threshold*math.Ln10*d.mean()
+}
+
+// Last returns the virtual arrival time of the newest heartbeat.
+func (d *PhiDetector) Last() float64 { return d.last }

@@ -1,0 +1,80 @@
+package supervisor
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPhiDetectorSteadyCadence(t *testing.T) {
+	d := NewPhiDetector(8, 1, 32)
+	for i := 1; i <= 20; i++ {
+		d.Observe(float64(i))
+	}
+	if d.Last() != 20 {
+		t.Fatalf("Last = %v, want 20", d.Last())
+	}
+	// Mean interval is 1s; the deadline sits threshold*ln10 means out.
+	want := 20 + 8*math.Ln10
+	if dl := d.Deadline(); math.Abs(dl-want) > 1e-9 {
+		t.Errorf("Deadline = %v, want %v", dl, want)
+	}
+	// Phi is 0 at the heartbeat, grows linearly, and crosses the
+	// threshold exactly at the deadline.
+	if p := d.Phi(20); p != 0 {
+		t.Errorf("Phi(last) = %v, want 0", p)
+	}
+	if p := d.Phi(d.Deadline()); math.Abs(p-8) > 1e-9 {
+		t.Errorf("Phi(deadline) = %v, want threshold 8", p)
+	}
+	if d.Phi(21) >= d.Phi(22) {
+		t.Error("Phi must grow with silence")
+	}
+}
+
+func TestPhiDetectorAdaptsToCadence(t *testing.T) {
+	// A workload that slows down (checkpoint pauses) must widen the
+	// timeout instead of false-positiving.
+	fast := NewPhiDetector(8, 1, 8)
+	slow := NewPhiDetector(8, 1, 8)
+	tf, ts := 0.0, 0.0
+	for i := 0; i < 16; i++ {
+		tf += 0.1
+		fast.Observe(tf)
+		ts += 10
+		slow.Observe(ts)
+	}
+	fastMargin := fast.Deadline() - fast.Last()
+	slowMargin := slow.Deadline() - slow.Last()
+	if fastMargin >= slowMargin {
+		t.Errorf("fast margin %v not tighter than slow margin %v", fastMargin, slowMargin)
+	}
+	// With the seed flushed from the window, margins track the cadence.
+	if got, want := fastMargin, 8*math.Ln10*0.1; math.Abs(got-want) > 1e-9 {
+		t.Errorf("fast margin = %v, want %v", got, want)
+	}
+}
+
+func TestPhiDetectorSeedControlsFirstDeadline(t *testing.T) {
+	d := NewPhiDetector(4, 2, 8)
+	// No heartbeat yet: the seed interval alone sets the deadline.
+	want := 4 * math.Ln10 * 2
+	if dl := d.Deadline(); math.Abs(dl-want) > 1e-9 {
+		t.Errorf("initial Deadline = %v, want %v", dl, want)
+	}
+}
+
+func TestPhiDetectorDefaults(t *testing.T) {
+	d := NewPhiDetector(0, 0, 0)
+	if d.threshold != 8 || d.wmax != 32 || d.sum != 1 {
+		t.Errorf("defaults = threshold %v window %v seed-sum %v", d.threshold, d.wmax, d.sum)
+	}
+	// Time running backwards must not corrupt the window.
+	d.Observe(5)
+	d.Observe(3)
+	if d.Last() != 3 {
+		t.Errorf("Last = %v after out-of-order observe", d.Last())
+	}
+	if d.Phi(4) <= 0 {
+		t.Error("Phi must be positive after silence")
+	}
+}

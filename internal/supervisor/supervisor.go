@@ -1,0 +1,352 @@
+// Package supervisor is the self-healing cluster runtime for the
+// simulated Beowulf: it runs any of the Nektar solvers under automatic
+// fault management, closing the loop the paper's operators closed by
+// hand (notice the dead PC, swap it, restart from restart files).
+//
+// A supervised run adds one extra simulated rank — the monitor — to
+// the solver's world. Solver ranks send a tiny heartbeat over the
+// lossless control channel after every step; the monitor feeds a
+// per-rank phi-accrual detector (detector.go) and, when a rank goes
+// silent past the adaptive timeout, broadcasts a halt order, so every
+// survivor stops at a consistent step boundary. The supervisor then
+// identifies the failed ranks (crash unwinding, or the stall schedule
+// for frozen-but-alive processes), moves them onto hot-spare nodes
+// (simnet.SparePool), and relaunches the whole run from the last
+// globally-committed checkpoint — repeating until completion or until
+// the retry budget or the spare pool is exhausted, both of which
+// return a structured *RetryError.
+//
+// A numerical-health watchdog rides the same step boundary: each rank
+// samples its solver fields (Solver.FieldHealth) and the ranks agree
+// on a verdict with a one-flag Allreduce, so a NaN/Inf or a runaway
+// field magnitude makes every rank stop at the same step — before the
+// corrupt state can be staged into a checkpoint — and the run rolls
+// back and retries, with a policy hook (WatchdogConfig.OnTrip) for
+// reduced-dt strategies.
+//
+// Because solver arithmetic never depends on the virtual clock, a
+// supervised run that survives any number of crashes, stalls, and
+// rollbacks finishes bit-identical to a fault-free supervised run.
+package supervisor
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"nektar/internal/mpi"
+	"nektar/internal/simnet"
+)
+
+// Solver is the slice of a solver the supervisor drives. NS2D, NSF and
+// NSALE all satisfy it (structurally; the supervisor does not import
+// package core).
+type Solver interface {
+	Step()
+	StepCount() int
+	SaveState(w io.Writer) error
+	LoadState(r io.Reader) error
+	// FieldHealth reports the rank-local numerical health: the largest
+	// field magnitude and whether every sampled value is finite.
+	FieldHealth() (maxAbs float64, finite bool)
+}
+
+// HeartbeatConfig tunes the failure detector.
+type HeartbeatConfig struct {
+	// Every is the heartbeat period in solver steps (default 1).
+	Every int
+	// InitialInterval primes the detector before the first heartbeat
+	// (virtual seconds; default 1). Pick the expected step duration —
+	// too large only delays the first possible detection.
+	InitialInterval float64
+	// Threshold is the phi level at which a silent rank becomes a
+	// suspect (default 8).
+	Threshold float64
+	// Window is the detector's sliding interval window (default 32).
+	Window int
+}
+
+// Trip is one watchdog trip: a rank whose fields failed the health
+// check at a step.
+type Trip struct {
+	Attempt int
+	Rank    int
+	Step    int
+	MaxAbs  float64
+	Finite  bool
+}
+
+// WatchdogConfig tunes the numerical-health watchdog.
+type WatchdogConfig struct {
+	// Disabled turns the watchdog off entirely.
+	Disabled bool
+	// Every is the sampling period in solver steps (default 1).
+	Every int
+	// MaxAbs trips the watchdog when any field magnitude exceeds it
+	// (0 = no magnitude limit; NaN/Inf always trip).
+	MaxAbs float64
+	// MaxGrowth trips when the field magnitude exceeds MaxGrowth times
+	// the attempt's first sample (0 = no growth limit) — a cheap CFL /
+	// energy-divergence guard.
+	MaxGrowth float64
+	// OnTrip is called once per failed attempt caused by a watchdog
+	// trip, before the rollback rerun — the hook where a production
+	// policy would reduce dt or tighten solver tolerances.
+	OnTrip func(Trip)
+}
+
+// Config describes a supervised run.
+type Config struct {
+	// Procs is the solver's rank count; the monitor occupies one extra
+	// simulated rank (id Procs) on its own head node.
+	Procs int
+	// Spares is the number of hot-spare nodes behind the initial
+	// placement.
+	Spares int
+	// Model is the cluster network; the supervisor overrides its rank
+	// placement (one rank per physical node plus spares and the head
+	// node), so RanksPerNode/NodeMap must be unset.
+	Model *simnet.Model
+	// NewSolver builds (or rebuilds) one rank's solver at the start of
+	// each attempt. The communicator spans exactly the solver ranks.
+	NewSolver func(comm *mpi.Comm) (Solver, error)
+
+	// Steps is the target step count; CheckpointEvery the checkpoint
+	// interval in steps (0 disables checkpointing: recovery then always
+	// restarts from step 0). CheckpointCostS charges each checkpoint as
+	// blocking I/O on the virtual wall clock.
+	Steps           int
+	CheckpointEvery int
+	CheckpointCostS float64
+
+	// Faults is the campaign's fault plan, keyed by PHYSICAL NODE id in
+	// [0, Procs+Spares) — a crash follows the broken hardware, not the
+	// logical rank, so a rank moved onto a spare sheds the old node's
+	// faults. Nil means fault-free. The plan applies to every attempt;
+	// fault times are relative to each attempt's start.
+	Faults simnet.Injector
+	// Rel enables reliable MPI delivery for the solver's traffic.
+	Rel *mpi.Reliability
+
+	// MaxRestarts is the retry budget: the number of failed attempts
+	// tolerated before giving up (default Spares+3).
+	MaxRestarts int
+
+	Heartbeat HeartbeatConfig
+	Watchdog  WatchdogConfig
+}
+
+// Cause classifies a failure.
+type Cause int
+
+const (
+	// CauseCrash: the rank's node died (simnet crash fault).
+	CauseCrash Cause = iota
+	// CauseStall: the rank's process froze past the detector timeout.
+	CauseStall
+	// CauseWatchdog: the rank's fields failed the numerical-health
+	// check; the hardware is fine and no spare is consumed.
+	CauseWatchdog
+)
+
+func (c Cause) String() string {
+	switch c {
+	case CauseCrash:
+		return "crash"
+	case CauseStall:
+		return "stall"
+	case CauseWatchdog:
+		return "watchdog"
+	}
+	return fmt.Sprintf("cause(%d)", int(c))
+}
+
+// Failure records one detected-and-handled rank failure.
+type Failure struct {
+	Attempt int
+	Rank    int
+	Cause   Cause
+	// DetectedAt is the monitor's verdict time (virtual seconds into
+	// the attempt).
+	DetectedAt float64
+	// RestartStep is the committed checkpoint step the next attempt
+	// resumed from (-1 = from scratch).
+	RestartStep int
+	// NewNode is the spare the rank moved to (-1 for watchdog trips,
+	// which do not consume hardware).
+	NewNode int
+}
+
+// Result reports a completed supervised run.
+type Result struct {
+	// Attempts is the number of runs launched (1 = no failures).
+	Attempts int
+	// Failures lists every handled failure, in detection order.
+	Failures []Failure
+	// Trips lists every watchdog trip.
+	Trips []Trip
+	// StepsComputed counts rank-0 solver steps across all attempts.
+	StepsComputed int
+	// VirtualWall is the campaign's total virtual wall time: for each
+	// attempt, the time to completion or to the monitor's failure
+	// verdict (at which point a real supervisor kills the job).
+	VirtualWall float64
+	// FinalStates holds each rank's final serialized solver state; gob
+	// encoding is deterministic, so bit-identical trajectories give
+	// byte-identical states.
+	FinalStates [][]byte
+	// Replacements is the spare-pool history of the campaign.
+	Replacements []simnet.Replacement
+}
+
+// RetryError is the structured give-up error: the retry budget or the
+// spare pool ran out before the run completed.
+type RetryError struct {
+	Reason   string
+	Attempts int
+	Failures []Failure
+}
+
+func (e *RetryError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "supervisor: %s after %d attempt(s)", e.Reason, e.Attempts)
+	for _, f := range e.Failures {
+		fmt.Fprintf(&b, "; attempt %d: rank %d %s at t=%.4gs", f.Attempt, f.Rank, f.Cause, f.DetectedAt)
+	}
+	return b.String()
+}
+
+// Run executes a supervised run to completion, recovering from crashes,
+// stalls, and watchdog trips automatically. It returns a *RetryError
+// when the retry budget or the spare pool is exhausted, and a plain
+// error for failures outside the fault model (a solver bug, an invalid
+// configuration).
+func Run(cfg Config) (*Result, error) {
+	if cfg.Procs < 1 || cfg.Steps < 1 {
+		return nil, fmt.Errorf("supervisor: need at least one rank and one step")
+	}
+	if cfg.NewSolver == nil {
+		return nil, fmt.Errorf("supervisor: NewSolver is required")
+	}
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("supervisor: Model is required")
+	}
+	if cfg.Model.RanksPerNode > 1 || cfg.Model.NodeMap != nil {
+		return nil, fmt.Errorf("supervisor: Model must leave rank placement to the supervisor (RanksPerNode <= 1, NodeMap nil)")
+	}
+	if cfg.Spares < 0 {
+		return nil, fmt.Errorf("supervisor: negative spare count %d", cfg.Spares)
+	}
+	maxAttempts := cfg.MaxRestarts + 1
+	if cfg.MaxRestarts <= 0 {
+		maxAttempts = cfg.Spares + 4
+	}
+	pool, err := simnet.NewSparePool(cfg.Procs, cfg.Spares)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{}
+	committedStep := -1
+	var committed [][]byte
+
+	for attemptNo := 0; attemptNo < maxAttempts; attemptNo++ {
+		a := newAttempt(&cfg, pool, attemptNo, committedStep, committed)
+		wall, _, runErr := simnet.RunWithFaults(cfg.Procs+1, a.model, a.inj, a.body)
+		res.Attempts++
+		res.StepsComputed += a.stepsRun[0]
+		res.VirtualWall += a.attemptWall(wall)
+
+		var ce *simnet.CrashError
+		isCrash := errors.As(runErr, &ce)
+		if runErr != nil && !isCrash {
+			return nil, fmt.Errorf("supervisor: attempt %d failed outside the fault model: %w", attemptNo, runErr)
+		}
+		if runErr == nil && a.completed() {
+			res.FinalStates = a.final
+			res.Replacements = pool.Replacements()
+			return res, nil
+		}
+
+		// Failed attempt. Identify the failed ranks: the detector's
+		// suspicion is in-band (heartbeat silence); the diagnosis below
+		// is the out-of-band node inspection a real supervisor performs
+		// before allocating hardware (IPMI says the node died; the
+		// process is alive but frozen; the fields went non-finite).
+		detectedAt := math.NaN()
+		if a.verdict != nil {
+			detectedAt = a.verdict.at
+		}
+		cause := map[int]Cause{}
+		if isCrash {
+			for _, r := range ce.Ranks {
+				cause[r] = CauseCrash
+			}
+		}
+		for r := 0; r < cfg.Procs; r++ {
+			if _, dead := cause[r]; !dead && a.stallFired(r, wall[r]) {
+				cause[r] = CauseStall
+			}
+		}
+		var trips []Trip
+		for r := 0; r < cfg.Procs; r++ {
+			if a.trips[r] != nil {
+				trips = append(trips, *a.trips[r])
+			}
+		}
+		if len(cause) == 0 && len(trips) == 0 {
+			return nil, fmt.Errorf(
+				"supervisor: attempt %d halted (verdict %v) but no crash, stall, or watchdog trip explains it — detector threshold too tight for this workload?",
+				attemptNo, a.verdictRanks())
+		}
+
+		// Commit the newest checkpoint present on every rank; a trip
+		// exits before staging, so corrupt state never gets here. Doing
+		// this before recording failures lets each Failure carry the
+		// step the next attempt actually resumes from.
+		if s := a.commitNewest(); s > committedStep {
+			committedStep = s
+			committed = make([][]byte, cfg.Procs)
+			for r := 0; r < cfg.Procs; r++ {
+				committed[r] = a.staged[r][s]
+			}
+		}
+
+		// Hardware failures consume spares; the rank keeps its id and
+		// moves onto the replacement node for the next attempt.
+		for r := 0; r < cfg.Procs; r++ {
+			c, failed := cause[r]
+			if !failed {
+				continue
+			}
+			newNode, rerr := pool.Replace(r)
+			if rerr != nil {
+				res.Failures = append(res.Failures, Failure{
+					Attempt: attemptNo, Rank: r, Cause: c,
+					DetectedAt: detectedAt, RestartStep: committedStep, NewNode: -1,
+				})
+				return nil, &RetryError{Reason: "spare pool exhausted", Attempts: res.Attempts, Failures: res.Failures}
+			}
+			res.Failures = append(res.Failures, Failure{
+				Attempt: attemptNo, Rank: r, Cause: c,
+				DetectedAt: detectedAt, RestartStep: committedStep, NewNode: newNode,
+			})
+		}
+		// Watchdog trips roll back without consuming hardware.
+		if len(trips) > 0 {
+			res.Trips = append(res.Trips, trips...)
+			for _, tr := range trips {
+				res.Failures = append(res.Failures, Failure{
+					Attempt: attemptNo, Rank: tr.Rank, Cause: CauseWatchdog,
+					DetectedAt: detectedAt, RestartStep: committedStep, NewNode: -1,
+				})
+			}
+			if cfg.Watchdog.OnTrip != nil {
+				cfg.Watchdog.OnTrip(trips[0])
+			}
+		}
+	}
+	return nil, &RetryError{Reason: "retry budget exhausted", Attempts: res.Attempts, Failures: res.Failures}
+}
