@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: check build vet fmt test race
+.PHONY: check build vet fmt test race bench-baseline
 
 build:
 	$(GO) build ./...
@@ -23,5 +23,11 @@ test:
 # race-detector clean. This is the full gate a PR must pass.
 race:
 	$(GO) test -race ./...
+
+# Regenerate the committed engine-overhead baseline (BENCH_engine.json
+# at the repo root). Run after intentional engine cost changes and
+# commit the diff.
+bench-baseline:
+	BENCH_BASELINE=1 $(GO) test ./internal/bench -run TestWriteEngineBaseline -count=1 -v
 
 check: build vet fmt race

@@ -12,16 +12,26 @@ import (
 	"strings"
 
 	"nektar/internal/bench"
+	"nektar/internal/engine"
 )
 
 func main() {
 	machines := flag.String("machines", strings.Join(bench.PaperALE.Machines, ","), "comma-separated machine list")
 	procs := flag.String("procs", "16,32,64,128", "comma-separated processor counts")
 	stages := flag.Bool("stages", false, "print Figures 15-16 region breakdowns")
+	trace := flag.String("trace", "", "write the engine's per-step JSONL event stream (all cells, all ranks) to this file")
 	flag.Parse()
 
 	cfg := bench.PaperALE
 	cfg.Machines = strings.Split(*machines, ",")
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		cfg.Trace = engine.NewTracer(f)
+	}
 	cfg.Procs = nil
 	for _, p := range strings.Split(*procs, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(p))

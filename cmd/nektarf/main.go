@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"nektar/internal/bench"
+	"nektar/internal/engine"
 )
 
 func main() {
@@ -19,11 +20,20 @@ func main() {
 	procs := flag.String("procs", "2,4,8,16,32,64,128", "comma-separated processor counts")
 	steps := flag.Int("steps", bench.PaperFourier.Steps, "measured steps")
 	stages := flag.Bool("stages", false, "print Figures 13-14 stage breakdowns")
+	trace := flag.String("trace", "", "write the engine's per-step JSONL event stream (all cells, all ranks) to this file")
 	flag.Parse()
 
 	cfg := bench.PaperFourier
 	cfg.Machines = strings.Split(*machines, ",")
 	cfg.Steps = *steps
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		cfg.Trace = engine.NewTracer(f)
+	}
 	cfg.Procs = nil
 	for _, p := range strings.Split(*procs, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(p))

@@ -1,50 +1,38 @@
-// Command repro runs the complete reproduction: every table and figure
-// of the paper's evaluation section, written to stdout (or a directory
-// with -outdir). Budget-limited modes skip the largest processor
-// counts.
+// Command repro runs the reproduction: every table and figure of the
+// paper's evaluation section, written to stdout (or a directory with
+// -outdir). With no arguments every experiment runs in order; naming
+// experiments (e.g. "repro supervise trace") runs just those. Unknown
+// names print the registered list. Budget-limited modes (-quick) skip
+// the largest processor counts.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"nektar/internal/bench"
+	"nektar/internal/engine"
+	"nektar/internal/report"
 )
 
-func main() {
-	outdir := flag.String("outdir", "", "write per-experiment files to this directory instead of stdout")
-	quick := flag.Bool("quick", false, "limit processor counts and steps for a fast pass")
-	flag.Parse()
+// experiment is one runnable section of the reproduction.
+type experiment struct {
+	name string
+	desc string
+	run  func(w io.Writer, quick bool) error
+}
 
-	out := func(name string) (io.WriteCloser, error) {
-		if *outdir == "" {
-			fmt.Printf("\n===== %s =====\n", name)
-			return nopCloser{os.Stdout}, nil
-		}
-		if err := os.MkdirAll(*outdir, 0o755); err != nil {
-			return nil, err
-		}
-		return os.Create(filepath.Join(*outdir, name+".txt"))
-	}
-	section := func(name string, f func(w io.Writer) error) {
-		t0 := time.Now()
-		w, err := out(name)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := f(w); err != nil {
-			log.Fatalf("%s: %v", name, err)
-		}
-		w.Close()
-		log.Printf("%s done in %v", name, time.Since(t0).Round(time.Millisecond))
-	}
-
-	section("fig1-6_kernels", func(w io.Writer) error {
+// experiments is the registry, in paper order. Names double as the
+// CLI selectors and the -outdir file names.
+var experiments = []experiment{
+	{"fig1-6_kernels", "BLAS kernel figures on the priced machines", func(w io.Writer, quick bool) error {
 		bench.Fig1Dcopy().Write(w)
 		bench.Fig2Daxpy().Write(w)
 		bench.Fig3Ddot().Write(w)
@@ -52,8 +40,8 @@ func main() {
 		bench.Fig5Dgemm().Write(w)
 		bench.Fig6DgemmSmall().Write(w)
 		return nil
-	})
-	section("fig7_pingpong", func(w io.Writer) error {
+	}},
+	{"fig7_pingpong", "MPI ping-pong latency/bandwidth", func(w io.Writer, quick bool) error {
 		lat, bw, err := bench.Fig7PingPong()
 		if err != nil {
 			return err
@@ -61,8 +49,8 @@ func main() {
 		lat.Write(w)
 		bw.Write(w)
 		return nil
-	})
-	section("fig8_alltoall", func(w io.Writer) error {
+	}},
+	{"fig8_alltoall", "MPI all-to-all exchange", func(w io.Writer, quick bool) error {
 		for _, p := range []int{4, 8} {
 			fig, err := bench.Fig8Alltoall(p)
 			if err != nil {
@@ -71,10 +59,10 @@ func main() {
 			fig.Write(w)
 		}
 		return nil
-	})
-	section("table1_fig12_serial", func(w io.Writer) error {
+	}},
+	{"table1_fig12_serial", "serial DNS: Table 1 + Figure 12", func(w io.Writer, quick bool) error {
 		cfg := bench.PaperSerial
-		if *quick {
+		if quick {
 			cfg = bench.SerialConfig{Nt: 24, Nr: 6, Order: 6, Steps: 1}
 		}
 		res, _, err := bench.RunSerial(cfg)
@@ -89,10 +77,10 @@ func main() {
 		fmt.Fprintln(w)
 		fmt.Fprint(w, txt)
 		return nil
-	})
-	section("table2_fig13-14_nektarf", func(w io.Writer) error {
+	}},
+	{"table2_fig13-14_nektarf", "Nektar-F weak scaling: Table 2 + Figures 13-14", func(w io.Writer, quick bool) error {
 		cfg := bench.PaperFourier
-		if *quick {
+		if quick {
 			cfg.Procs = []int{2, 4, 8, 16}
 			cfg.Steps = 1
 		}
@@ -113,10 +101,10 @@ func main() {
 			fmt.Fprint(w, txt)
 		}
 		return nil
-	})
-	section("faultbench", func(w io.Writer) error {
+	}},
+	{"faultbench", "checkpoint-interval sweep + measured crash recovery", func(w io.Writer, quick bool) error {
 		cfg := bench.PaperFaultbench
-		if *quick {
+		if quick {
 			cfg.Procs = 2
 			cfg.ProbeNt, cfg.ProbeNr = 6, 2
 			cfg.Order = 3
@@ -134,10 +122,10 @@ func main() {
 		fmt.Fprintln(w)
 		demo.Write(w)
 		return nil
-	})
-	section("supervise", func(w io.Writer) error {
+	}},
+	{"supervise", "self-healing runtime: crash+freeze campaign", func(w io.Writer, quick bool) error {
 		cfg := bench.PaperSupervise
-		if *quick {
+		if quick {
 			cfg.Procs = 2
 			cfg.Spares = 2
 			cfg.Steps = 6
@@ -147,10 +135,36 @@ func main() {
 			tbl.Write(w)
 		}
 		return err
-	})
-	section("table3_fig15-16_nektarale", func(w io.Writer) error {
+	}},
+	{"trace", "engine per-step JSONL trace of a crash-recovery run", func(w io.Writer, quick bool) error {
+		cfg := bench.PaperTrace
+		if quick {
+			cfg.Procs = 2
+			cfg.CrashNode = 1
+			cfg.Steps = 6
+		}
+		// The raw JSONL stream is the artifact; the breakdown table that
+		// follows is internal/report's offline aggregation of it.
+		var buf bytes.Buffer
+		if _, err := bench.RunTrace(cfg, &buf); err != nil {
+			return err
+		}
+		evs, err := engine.ReadEvents(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(buf.Bytes()); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		report.TraceBreakdown(evs, fmt.Sprintf(
+			"Trace: engine event stream — %s, %s, P=%d, %d steps, ckpt every %d (%d events)",
+			cfg.Machine, cfg.Workload, cfg.Procs, cfg.Steps, cfg.CheckpointEvery, len(evs))).Write(w)
+		return nil
+	}},
+	{"table3_fig15-16_nektarale", "Nektar-ALE flapping wing: Table 3 + Figures 15-16", func(w io.Writer, quick bool) error {
 		cfg := bench.PaperALE
-		if *quick {
+		if quick {
 			cfg.Procs = []int{16, 32}
 		}
 		res, err := bench.RunALE(cfg)
@@ -170,7 +184,71 @@ func main() {
 			fmt.Fprint(w, txt)
 		}
 		return nil
-	})
+	}},
+}
+
+// experimentNames lists the registry, in run order.
+func experimentNames() []string {
+	names := make([]string, len(experiments))
+	for i, e := range experiments {
+		names[i] = e.name
+	}
+	return names
+}
+
+func main() {
+	outdir := flag.String("outdir", "", "write per-experiment files to this directory instead of stdout")
+	quick := flag.Bool("quick", false, "limit processor counts and steps for a fast pass")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: repro [flags] [experiment ...]\n\nexperiments (default: all, in order):\n")
+		for _, e := range experiments {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-26s %s\n", e.name, e.desc)
+		}
+		fmt.Fprintf(flag.CommandLine.Output(), "\nflags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	selected := experiments
+	if args := flag.Args(); len(args) > 0 {
+		byName := map[string]experiment{}
+		for _, e := range experiments {
+			byName[e.name] = e
+		}
+		selected = nil
+		for _, name := range args {
+			e, ok := byName[name]
+			if !ok {
+				log.Fatalf("unknown experiment %q: registered experiments are %s",
+					name, strings.Join(experimentNames(), ", "))
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	out := func(name string) (io.WriteCloser, error) {
+		if *outdir == "" {
+			fmt.Printf("\n===== %s =====\n", name)
+			return nopCloser{os.Stdout}, nil
+		}
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			return nil, err
+		}
+		return os.Create(filepath.Join(*outdir, name+".txt"))
+	}
+	for _, e := range selected {
+		t0 := time.Now()
+		w, err := out(e.name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := e.run(w, *quick); err != nil {
+			log.Fatalf("%s: %v", e.name, err)
+		}
+		w.Close()
+		log.Printf("%s done in %v", e.name, time.Since(t0).Round(time.Millisecond))
+	}
 }
 
 type nopCloser struct{ io.Writer }

@@ -10,6 +10,7 @@ import (
 	"os"
 
 	"nektar/internal/bench"
+	"nektar/internal/engine"
 )
 
 func main() {
@@ -18,9 +19,19 @@ func main() {
 	order := flag.Int("order", bench.PaperSerial.Order, "polynomial order")
 	steps := flag.Int("steps", bench.PaperSerial.Steps, "measured steps")
 	stages := flag.Bool("stages", false, "print Figure 12 stage breakdowns")
+	trace := flag.String("trace", "", "write the engine's per-step JSONL event stream to this file")
 	flag.Parse()
 
-	res, _, err := bench.RunSerial(bench.SerialConfig{Nt: *nt, Nr: *nr, Order: *order, Steps: *steps})
+	cfg := bench.SerialConfig{Nt: *nt, Nr: *nr, Order: *order, Steps: *steps}
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		cfg.Trace = engine.NewTracer(f)
+	}
+	res, _, err := bench.RunSerial(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"nektar/internal/core"
+	"nektar/internal/engine"
 	"nektar/internal/machine"
 	"nektar/internal/mesh"
 	"nektar/internal/mpi"
@@ -45,6 +46,10 @@ type ALEConfig struct {
 	Steps    int
 	Machines []string
 	Procs    []int
+
+	// Trace, when set, receives the engine's per-step event stream for
+	// every measured cell (all ranks interleaved).
+	Trace *engine.Tracer
 }
 
 // PaperALE is the paper's Table 3 setup: 15,870 elements, order 4,
@@ -195,12 +200,13 @@ func runALECell(mach *machine.Machine, p int, cfg ALEConfig, scale *core.ALEScal
 		ns.Step() // warmup (order ramp)
 		comm.Barrier()
 		cpu0, wall0 := comm.CPUTime(), comm.Wtime()
-		ns.Stages.Reset()
-		for i := range ns.StageWall {
-			ns.StageWall[i] = 0
-		}
-		for i := 0; i < cfg.Steps; i++ {
-			ns.Step()
+		st := ns.Stages()
+		st.Reset()
+		loop := engine.Loop{Solver: ns, Steps: ns.StepCount() + cfg.Steps,
+			Rank: comm.Rank(), Watchdog: engine.Watchdog{Disabled: true},
+			Trace: cfg.Trace}
+		if _, lerr := loop.Run(); lerr != nil {
+			panic(lerr)
 		}
 		comm.Barrier()
 		cpu1, wall1 := comm.CPUTime(), comm.Wtime()
@@ -212,8 +218,8 @@ func runALECell(mach *machine.Machine, p int, cfg ALEConfig, scale *core.ALEScal
 		if comm.Rank() == 0 {
 			res.CPU, res.Wall = mx[0], mx[1]
 			for si := range res.RegionCPU {
-				res.RegionCPU[si] = ns.Stages.Priced[si] * perStep
-				res.RegionWall[si] = ns.StageWall[si] * perStep
+				res.RegionCPU[si] = st.Priced[si] * perStep
+				res.RegionWall[si] = st.Wall[si] * perStep
 			}
 		}
 	})

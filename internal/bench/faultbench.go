@@ -1,11 +1,11 @@
 package bench
 
 import (
-	"bytes"
 	"fmt"
 	"math"
 
 	"nektar/internal/core"
+	"nektar/internal/engine"
 	"nektar/internal/fault"
 	"nektar/internal/machine"
 	"nektar/internal/mesh"
@@ -151,16 +151,15 @@ func RunFaultbench(cfg FaultbenchConfig) (*FaultbenchResult, *report.Table, erro
 		ns.Step() // warmup
 		comm.Barrier()
 		w0 := comm.Wtime()
-		for i := 0; i < cfg.Steps; i++ {
-			ns.Step()
+		loop := engine.Loop{Solver: ns, Steps: ns.StepCount() + cfg.Steps,
+			Rank: comm.Rank(), Watchdog: engine.Watchdog{Disabled: true}}
+		lres, lerr := loop.Run()
+		if lerr != nil {
+			panic(lerr)
 		}
 		comm.Barrier()
 		perStep := (comm.Wtime() - w0) / float64(cfg.Steps)
-		var buf bytes.Buffer
-		if serr := ns.SaveState(&buf); serr != nil {
-			panic(serr)
-		}
-		mx := comm.Allreduce([]float64{perStep, float64(buf.Len())}, mpi.Max)
+		mx := comm.Allreduce([]float64{perStep, float64(len(lres.Final))}, mpi.Max)
 		if comm.Rank() == 0 {
 			wallPerStep, ckptBytes = mx[0], mx[1]
 		}

@@ -5,6 +5,7 @@ import (
 
 	"nektar/internal/blas"
 	"nektar/internal/core"
+	"nektar/internal/engine"
 	"nektar/internal/machine"
 	"nektar/internal/mesh"
 	"nektar/internal/mpi"
@@ -30,6 +31,10 @@ type FourierConfig struct {
 	Steps            int // measured steps (after 1 warmup)
 	Machines         []string
 	Procs            []int
+
+	// Trace, when set, receives the engine's per-step event stream for
+	// every measured cell (all ranks interleaved).
+	Trace *engine.Tracer
 }
 
 // PaperFourier is the paper's Table 2 setup.
@@ -166,12 +171,13 @@ func runFourierCell(mach *machine.Machine, p int, cfg FourierConfig, probe, pape
 		ns.Step() // warmup (order ramp + eager caches)
 		comm.Barrier()
 		cpu0, wall0 := comm.CPUTime(), comm.Wtime()
-		ns.Stages.Reset()
-		for i := range ns.StageWall {
-			ns.StageWall[i] = 0
-		}
-		for i := 0; i < cfg.Steps; i++ {
-			ns.Step()
+		st := ns.Stages()
+		st.Reset()
+		loop := engine.Loop{Solver: ns, Steps: ns.StepCount() + cfg.Steps,
+			Rank: comm.Rank(), Watchdog: engine.Watchdog{Disabled: true},
+			Trace: cfg.Trace}
+		if _, lerr := loop.Run(); lerr != nil {
+			panic(lerr)
 		}
 		comm.Barrier()
 		cpu1, wall1 := comm.CPUTime(), comm.Wtime()
@@ -183,8 +189,8 @@ func runFourierCell(mach *machine.Machine, p int, cfg FourierConfig, probe, pape
 		if comm.Rank() == 0 {
 			res.CPU, res.Wall = mx[0], mx[1]
 			for si := range res.StageCPU {
-				res.StageCPU[si] = ns.Stages.Priced[si] * perStep
-				res.StageWall[si] = ns.StageWall[si] * perStep
+				res.StageCPU[si] = st.Priced[si] * perStep
+				res.StageWall[si] = st.Wall[si] * perStep
 			}
 		}
 	})

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"nektar/internal/core"
+	"nektar/internal/engine"
 	"nektar/internal/machine"
 	"nektar/internal/mesh"
 	"nektar/internal/report"
@@ -16,6 +17,10 @@ type SerialConfig struct {
 	Nt, Nr int
 	Order  int
 	Steps  int // measured steps (after a 2-step order ramp)
+
+	// Trace, when set, receives the engine's per-step event stream for
+	// the measured steps.
+	Trace *engine.Tracer
 }
 
 // PaperSerial is the paper's discretization: 902 elements at
@@ -68,13 +73,16 @@ func RunSerial(cfg SerialConfig) ([]SerialResult, *timing.Stages, error) {
 	// order-2 path.
 	ns.Step()
 	ns.Step()
-	st := ns.Stages
+	st := ns.Stages()
 	st.Reset()
 	st.Attach()
-	for i := 0; i < cfg.Steps; i++ {
-		ns.Step()
-	}
+	loop := engine.Loop{Solver: ns, Steps: ns.StepCount() + cfg.Steps,
+		Watchdog: engine.Watchdog{Disabled: true}, Trace: cfg.Trace}
+	_, lerr := loop.Run()
 	st.Detach()
+	if lerr != nil {
+		return nil, nil, lerr
+	}
 
 	var out []SerialResult
 	for _, name := range Table1Machines {

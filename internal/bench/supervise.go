@@ -8,7 +8,6 @@ import (
 	"nektar/internal/core"
 	"nektar/internal/fault"
 	"nektar/internal/machine"
-	"nektar/internal/mesh"
 	"nektar/internal/mpi"
 	"nektar/internal/report"
 	"nektar/internal/supervisor"
@@ -64,16 +63,12 @@ func ValidateSupervise(cfg SuperviseConfig) error {
 	if err != nil {
 		return fmt.Errorf("%w (see internal/machine for the catalogue)", err)
 	}
-	switch cfg.Solver {
-	case "nsf", "nsale":
-	default:
-		return fmt.Errorf("bench: unknown solver %q: pick nsf (Fourier) or nsale (moving mesh)", cfg.Solver)
+	wl, err := WorkloadByName(cfg.Solver)
+	if err != nil {
+		return err
 	}
-	if cfg.Procs < 1 {
-		return fmt.Errorf("bench: need at least one rank, got %d", cfg.Procs)
-	}
-	if cfg.Solver == "nsf" && cfg.Procs&(cfg.Procs-1) != 0 {
-		return fmt.Errorf("bench: Nektar-F needs a power-of-two rank count, got %d", cfg.Procs)
+	if err := ValidateWorkloadRanks(wl, cfg.Procs); err != nil {
+		return err
 	}
 	if cfg.Procs+cfg.Spares > mach.MaxProcs {
 		return fmt.Errorf("bench: %d ranks + %d spares exceed the %d nodes of %s",
@@ -95,44 +90,6 @@ func ValidateSupervise(cfg SuperviseConfig) error {
 	return nil
 }
 
-// superviseSolver builds the per-rank solver factory for the chosen
-// solver at demonstration scale.
-func superviseSolver(cfg SuperviseConfig, mach *machine.Machine) (func(comm *mpi.Comm) (supervisor.Solver, error), error) {
-	switch cfg.Solver {
-	case "nsf":
-		return func(comm *mpi.Comm) (supervisor.Solver, error) {
-			m, err := mesh.BluffBody(4, 6, 2)
-			if err != nil {
-				return nil, err
-			}
-			ns, err := core.NewNSF(m, fourierBCs(), comm, &mach.CPU)
-			if err != nil {
-				return nil, err
-			}
-			ns.SetUniformInitial(1, 0)
-			return ns, nil
-		}, nil
-	case "nsale":
-		return func(comm *mpi.Comm) (supervisor.Solver, error) {
-			m2, err := mesh.WingSection(2, 12, 2)
-			if err != nil {
-				return nil, err
-			}
-			m, err := mesh.ExtrudeQuads(m2, 2, 2, 0, 1)
-			if err != nil {
-				return nil, err
-			}
-			ns, err := core.NewNSALE(m, aleBCs(), comm, &mach.CPU)
-			if err != nil {
-				return nil, err
-			}
-			ns.SetUniformInitial(1, 0, 0)
-			return ns, nil
-		}, nil
-	}
-	return nil, fmt.Errorf("bench: unknown solver %q", cfg.Solver)
-}
-
 func aleBCs() core.ALEConfig {
 	return core.ALEConfig{
 		Nu: 0.05, Dt: 2e-3, Order: 2,
@@ -149,9 +106,12 @@ func RunSupervise(cfg SuperviseConfig) (*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	factory, err := superviseSolver(cfg, mach)
+	wl, err := WorkloadByName(cfg.Solver)
 	if err != nil {
 		return nil, err
+	}
+	factory := func(comm *mpi.Comm) (supervisor.Solver, error) {
+		return wl.New(comm, &mach.CPU)
 	}
 	// The supervised runtime owns rank placement: one rank per physical
 	// node plus the hot spares and the monitor's head node, so the

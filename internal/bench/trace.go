@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"nektar/internal/core"
+	"nektar/internal/engine"
+	"nektar/internal/fault"
+	"nektar/internal/machine"
+	"nektar/internal/mpi"
+	"nektar/internal/simnet"
+)
+
+// Trace: a demonstration-scale engine run with the structured per-step
+// event stream switched on. The engine emits one JSONL event per step
+// and per active stage (priced and virtual-wall seconds), plus
+// checkpoint, rollback, trip, halt and done markers; this experiment
+// writes the stream to w and returns the run result. With CrashNode
+// set, a seeded node crash forces a rollback so the stream shows the
+// recovery round trip — the same events the supervisor sees, now
+// inspectable offline.
+
+// TraceConfig parametrizes a traced run.
+type TraceConfig struct {
+	Machine  string
+	Workload string // registry name, see WorkloadNames
+	Procs    int
+
+	Steps           int
+	CheckpointEvery int
+
+	// CrashNode >= 0 injects a node crash at CrashFrac of the
+	// reference virtual wall, so the trace includes the crash attempt
+	// and the rollback. Negative disables.
+	CrashNode int
+	CrashFrac float64
+	Seed      int64
+}
+
+// PaperTrace is the default traced run: the Ethernet Beowulf at four
+// ranks with a mid-run node crash.
+var PaperTrace = TraceConfig{
+	Machine:  "RoadRunner-eth",
+	Workload: "nsf",
+	Procs:    4,
+	Steps:    8, CheckpointEvery: 2,
+	CrashNode: 2, CrashFrac: 0.6,
+	Seed: 1,
+}
+
+// ValidateTrace checks a trace configuration.
+func ValidateTrace(cfg TraceConfig) error {
+	mach, err := machine.ByName(cfg.Machine)
+	if err != nil {
+		return fmt.Errorf("%w (see internal/machine for the catalogue)", err)
+	}
+	wl, err := WorkloadByName(cfg.Workload)
+	if err != nil {
+		return err
+	}
+	if err := ValidateWorkloadRanks(wl, cfg.Procs); err != nil {
+		return err
+	}
+	if cfg.Procs > mach.MaxProcs {
+		return fmt.Errorf("bench: %s has at most %d procs, got %d", cfg.Machine, mach.MaxProcs, cfg.Procs)
+	}
+	if cfg.Steps < 1 {
+		return fmt.Errorf("bench: need at least one step, got %d", cfg.Steps)
+	}
+	if cfg.CrashNode >= cfg.Procs {
+		return fmt.Errorf("bench: crash node %d is not one of the %d ranks", cfg.CrashNode, cfg.Procs)
+	}
+	if cfg.CrashNode >= 0 && (cfg.CrashFrac <= 0 || cfg.CrashFrac >= 1) {
+		return fmt.Errorf("bench: crash fraction %g must lie in (0, 1) — it places the crash inside the reference run", cfg.CrashFrac)
+	}
+	return nil
+}
+
+// RunTrace executes the configured run with tracing enabled, writing
+// one JSON event per line to w.
+func RunTrace(cfg TraceConfig, w io.Writer) (*core.RecoveryResult, error) {
+	if err := ValidateTrace(cfg); err != nil {
+		return nil, err
+	}
+	mach, err := machine.ByName(cfg.Machine)
+	if err != nil {
+		return nil, err
+	}
+	wl, err := WorkloadByName(cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+	rc := core.Recovery{
+		Procs: cfg.Procs,
+		Model: mach.Net,
+		NewSolver: func(rank int, comm *mpi.Comm) (engine.Solver, error) {
+			return wl.New(comm, &mach.CPU)
+		},
+		Steps:           cfg.Steps,
+		CheckpointEvery: cfg.CheckpointEvery,
+	}
+	if cfg.CrashNode >= 0 {
+		// The crash time is a fraction of the fault-free wall, so run an
+		// untraced reference first to measure it.
+		ref, rerr := core.RunRecovery(rc)
+		if rerr != nil {
+			return nil, fmt.Errorf("bench: trace reference run: %w", rerr)
+		}
+		rc.Plans = []simnet.Injector{
+			fault.NewPlan(cfg.Seed).Crash(cfg.CrashNode, cfg.CrashFrac*ref.VirtualWall),
+		}
+	}
+	rc.Trace = engine.NewTracer(w)
+	res, err := core.RunRecovery(rc)
+	if err != nil {
+		return nil, fmt.Errorf("bench: traced run: %w", err)
+	}
+	return res, nil
+}

@@ -91,14 +91,12 @@ type NSALE struct {
 
 	time   float64
 	step   int
-	Stages *timing.Stages
+	stages *timing.Stages
 	rec    blas.Counts
 
-	// StageWall accumulates simulated wall-clock seconds per region
-	// (the basis of Figures 15-16 wall-clock breakdowns).
-	StageWall [3]float64
-	lastStage int
-	lastWall  float64
+	// clk charges simulated wall-clock seconds per region (the basis
+	// of Figures 15-16 wall-clock breakdowns; stages.Wall).
+	clk stageClock
 
 	// Iters accumulates PCG iteration counts of the last step.
 	ItersPressure, ItersViscous int
@@ -329,9 +327,9 @@ func NewNSALE(m *mesh.Mesh, cfg ALEConfig, comm *mpi.Comm, cpu *machine.CPU) (*N
 	}
 	ns := &NSALE{
 		M: m, Cfg: cfg, Comm: comm, CPUModel: cpu,
-		Stages:    timing.NewStages(ALEStageNames...),
-		lastStage: -1,
+		stages: timing.NewStages(ALEStageNames...),
 	}
+	ns.clk = newStageClock(ns.stages, comm.Wtime)
 	isVelD := func(tag string) bool { return tag == "wall" || tag == "farfield" }
 	isPresD := func(tag string) bool { return tag == "farfield" }
 	ns.AV = mesh.NewAssembly(m, isVelD)
@@ -355,9 +353,9 @@ func NewNSALE(m *mesh.Mesh, cfg ALEConfig, comm *mpi.Comm, cpu *machine.CPU) (*N
 	}
 	if cpu != nil {
 		price := func(c *blas.Counts) {
-			dt := cpu.ApplicationSeconds(c) * ns.Cfg.Scale.region(ns.Stages.Current())
+			dt := cpu.ApplicationSeconds(c) * ns.Cfg.Scale.region(ns.stages.Current())
 			comm.Compute(dt)
-			ns.Stages.AddPriced(c, dt)
+			ns.stages.AddPriced(c, dt)
 		}
 		ns.sysV.price = price
 		ns.sysP.price = price
@@ -470,26 +468,17 @@ func (ns *NSALE) endCompute() {
 		return
 	}
 	blas.StopRecording()
-	dt := ns.CPUModel.ApplicationSeconds(&ns.rec) * ns.Cfg.Scale.region(ns.Stages.Current())
+	dt := ns.CPUModel.ApplicationSeconds(&ns.rec) * ns.Cfg.Scale.region(ns.stages.Current())
 	ns.Comm.Compute(dt)
-	ns.Stages.AddPriced(&ns.rec, dt)
+	ns.stages.AddPriced(&ns.rec, dt)
 }
+
+// Stages exposes the per-region instrumentation (engine.Solver).
+func (ns *NSALE) Stages() *timing.Stages { return ns.stages }
 
 // markStage transitions region accounting, charging elapsed simulated
 // wall time to the previous region (-1 closes the step).
-func (ns *NSALE) markStage(i int) {
-	now := ns.Comm.Wtime()
-	if ns.lastStage >= 0 {
-		ns.StageWall[ns.lastStage] += now - ns.lastWall
-	}
-	ns.lastStage = i
-	ns.lastWall = now
-	if i >= 0 {
-		ns.Stages.Begin(i)
-	} else {
-		ns.Stages.End()
-	}
-}
+func (ns *NSALE) markStage(i int) { ns.clk.mark(i) }
 
 func (ns *NSALE) order() int {
 	o := ns.step + 1

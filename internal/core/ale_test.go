@@ -166,17 +166,17 @@ func TestALEStageAccounting(t *testing.T) {
 			panic(err)
 		}
 		ns.SetUniformInitial(1, 0, 0)
-		ns.Stages.Attach()
+		ns.Stages().Attach()
 		ns.Step()
-		ns.Stages.Detach()
+		ns.Stages().Detach()
 		// All three regions record work; the solve regions dominate, as
 		// in Figures 15-16 where b+c is ~90%.
 		var secs [3]float64
 		for i := 0; i < 3; i++ {
-			if ns.Stages.Counts[i].TotalFlops() == 0 {
-				t.Errorf("region %q recorded no flops", ns.Stages.Names[i])
+			if ns.Stages().Counts[i].TotalFlops() == 0 {
+				t.Errorf("region %q recorded no flops", ns.Stages().Names[i])
 			}
-			secs[i] = float64(ns.Stages.Counts[i].TotalFlops())
+			secs[i] = float64(ns.Stages().Counts[i].TotalFlops())
 		}
 		if secs[1]+secs[2] < secs[0] {
 			t.Errorf("solves should dominate: a=%v b=%v c=%v", secs[0], secs[1], secs[2])

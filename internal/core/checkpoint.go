@@ -1,15 +1,16 @@
 package core
 
 import (
-	"encoding/gob"
 	"fmt"
 	"io"
+
+	"nektar/internal/engine"
 )
 
 // Checkpointing: the paper's production runs took 250 hours of CPU
 // time per processor, which is only survivable with restart files.
 // The serial solver's complete time-stepping state (fields, pressure,
-// multistep histories) round-trips through encoding/gob; the mesh and
+// multistep histories) round-trips through the engine's gob codec; the mesh and
 // operators are rebuilt from the same configuration on restart.
 
 // ns2dState is the serialized form of the solver state.
@@ -21,8 +22,8 @@ type ns2dState struct {
 	HistN [][2][][]float64
 }
 
-// SaveState writes the solver's time-stepping state to w.
-func (ns *NS2D) SaveState(w io.Writer) error {
+// Checkpoint writes the solver's time-stepping state to w.
+func (ns *NS2D) Checkpoint(w io.Writer) error {
 	st := ns2dState{
 		Step:  ns.step,
 		U:     ns.U,
@@ -30,16 +31,16 @@ func (ns *NS2D) SaveState(w io.Writer) error {
 		HistU: ns.histU,
 		HistN: ns.histN,
 	}
-	return gob.NewEncoder(w).Encode(&st)
+	return engine.EncodeState(w, &st)
 }
 
-// LoadState restores a state saved by SaveState into a solver built
+// Restore loads a state written by Checkpoint into a solver built
 // with the same mesh and configuration. Time stepping resumes exactly
 // where the saved run stopped (bit-identical trajectories).
-func (ns *NS2D) LoadState(r io.Reader) error {
+func (ns *NS2D) Restore(r io.Reader) error {
 	var st ns2dState
-	if err := gob.NewDecoder(r).Decode(&st); err != nil {
-		return fmt.Errorf("core: decoding checkpoint: %w", err)
+	if err := engine.DecodeState(r, &st); err != nil {
+		return err
 	}
 	if len(st.U[0]) != ns.AV.NGlobal || len(st.P) != ns.AP.NGlobal {
 		return fmt.Errorf("core: checkpoint dof counts (%d, %d) do not match solver (%d, %d)",
@@ -73,9 +74,9 @@ type nsfState struct {
 	HistN [][3][2][][]float64
 }
 
-// SaveState writes this rank's time-stepping state to w. Every rank
+// Checkpoint writes this rank's time-stepping state to w. Every rank
 // must save at the same step for the checkpoint to be consistent.
-func (ns *NSF) SaveState(w io.Writer) error {
+func (ns *NSF) Checkpoint(w io.Writer) error {
 	st := nsfState{
 		Step:  ns.step,
 		K:     ns.K,
@@ -84,16 +85,16 @@ func (ns *NSF) SaveState(w io.Writer) error {
 		HistU: ns.histU,
 		HistN: ns.histN,
 	}
-	return gob.NewEncoder(w).Encode(&st)
+	return engine.EncodeState(w, &st)
 }
 
-// LoadState restores a state saved by SaveState into a solver built
+// Restore loads a state written by Checkpoint into a solver built
 // with the same mesh, configuration, and rank layout. Time stepping
 // resumes bit-identically.
-func (ns *NSF) LoadState(r io.Reader) error {
+func (ns *NSF) Restore(r io.Reader) error {
 	var st nsfState
-	if err := gob.NewDecoder(r).Decode(&st); err != nil {
-		return fmt.Errorf("core: decoding checkpoint: %w", err)
+	if err := engine.DecodeState(r, &st); err != nil {
+		return err
 	}
 	if st.K != ns.K {
 		return fmt.Errorf("core: checkpoint holds Fourier mode %d, this rank owns mode %d", st.K, ns.K)
@@ -125,9 +126,9 @@ type aleState struct {
 	Verts [][3]float64
 }
 
-// SaveState writes this rank's time-stepping state to w. Every rank
+// Checkpoint writes this rank's time-stepping state to w. Every rank
 // must save at the same step for the checkpoint to be consistent.
-func (ns *NSALE) SaveState(w io.Writer) error {
+func (ns *NSALE) Checkpoint(w io.Writer) error {
 	st := aleState{
 		Step:  ns.step,
 		Time:  ns.time,
@@ -139,18 +140,18 @@ func (ns *NSALE) SaveState(w io.Writer) error {
 		HistN: ns.histN,
 		Verts: ns.M.Verts,
 	}
-	return gob.NewEncoder(w).Encode(&st)
+	return engine.EncodeState(w, &st)
 }
 
-// LoadState restores a state saved by SaveState into a solver built
+// Restore loads a state written by Checkpoint into a solver built
 // with the same mesh, configuration, partition, and communicator
 // layout. The mesh geometry is moved back to the checkpointed vertex
 // positions and the time-dependent Dirichlet data is recomputed, so
 // time stepping resumes bit-identically.
-func (ns *NSALE) LoadState(r io.Reader) error {
+func (ns *NSALE) Restore(r io.Reader) error {
 	var st aleState
-	if err := gob.NewDecoder(r).Decode(&st); err != nil {
-		return fmt.Errorf("core: decoding checkpoint: %w", err)
+	if err := engine.DecodeState(r, &st); err != nil {
+		return err
 	}
 	if st.Rank != ns.Comm.Rank() || st.Size != ns.Comm.Size() {
 		return fmt.Errorf("core: checkpoint is for rank %d of %d, this solver is rank %d of %d",

@@ -29,7 +29,7 @@ func TestNSFCheckpointRoundTripBitIdentical(t *testing.T) {
 			ns.Step()
 		}
 		var buf bytes.Buffer
-		if err := ns.SaveState(&buf); err != nil {
+		if err := ns.Checkpoint(&buf); err != nil {
 			panic(err)
 		}
 		for i := 0; i < postSteps; i++ {
@@ -40,7 +40,7 @@ func TestNSFCheckpointRoundTripBitIdentical(t *testing.T) {
 		if err != nil {
 			panic(err)
 		}
-		if err := ns2.LoadState(&buf); err != nil {
+		if err := ns2.Restore(&buf); err != nil {
 			panic(err)
 		}
 		if ns2.step != preSteps {
@@ -89,7 +89,7 @@ func TestALECheckpointRoundTripBitIdentical(t *testing.T) {
 			ns.Step()
 		}
 		var buf bytes.Buffer
-		if err := ns.SaveState(&buf); err != nil {
+		if err := ns.Checkpoint(&buf); err != nil {
 			panic(err)
 		}
 		for i := 0; i < postSteps; i++ {
@@ -100,7 +100,7 @@ func TestALECheckpointRoundTripBitIdentical(t *testing.T) {
 		if err != nil {
 			panic(err)
 		}
-		if err := ns2.LoadState(&buf); err != nil {
+		if err := ns2.Restore(&buf); err != nil {
 			panic(err)
 		}
 		if ns2.time != ns.time-float64(postSteps)*cfg.Dt {
@@ -145,19 +145,19 @@ func TestCheckpointCorruptedStream(t *testing.T) {
 		ns.SetUniformInitial(1, 0)
 		ns.Step()
 		var buf bytes.Buffer
-		if err := ns.SaveState(&buf); err != nil {
+		if err := ns.Checkpoint(&buf); err != nil {
 			panic(err)
 		}
 		stepBefore := ns.step
 
 		truncated := bytes.NewReader(buf.Bytes()[:buf.Len()/2])
-		if err := ns.LoadState(truncated); err == nil {
+		if err := ns.Restore(truncated); err == nil {
 			t.Errorf("rank %d: truncated checkpoint loaded without error", comm.Rank())
 		} else if !strings.Contains(err.Error(), "decoding checkpoint") {
 			t.Errorf("rank %d: unexpected truncation error: %v", comm.Rank(), err)
 		}
 		garbage := bytes.NewReader([]byte("not a checkpoint at all"))
-		if err := ns.LoadState(garbage); err == nil {
+		if err := ns.Restore(garbage); err == nil {
 			t.Errorf("rank %d: garbage checkpoint loaded without error", comm.Rank())
 		}
 		if ns.step != stepBefore {
@@ -182,13 +182,13 @@ func TestNSFCheckpointRejectsWrongRank(t *testing.T) {
 		ns.SetUniformInitial(1, 0)
 		ns.Step()
 		var buf bytes.Buffer
-		if err := ns.SaveState(&buf); err != nil {
+		if err := ns.Checkpoint(&buf); err != nil {
 			panic(err)
 		}
 		saved[n.Rank] = buf.Bytes()
 		comm.Barrier()
 		other := saved[1-n.Rank]
-		if err := ns.LoadState(bytes.NewReader(other)); err == nil {
+		if err := ns.Restore(bytes.NewReader(other)); err == nil {
 			t.Errorf("rank %d: loaded another rank's checkpoint", comm.Rank())
 		} else if !strings.Contains(err.Error(), "Fourier mode") {
 			t.Errorf("rank %d: unexpected cross-rank error: %v", comm.Rank(), err)

@@ -93,17 +93,17 @@ type NSF struct {
 	chunk  int   // points per rank (padded)
 	rplan  *fft.RealPlan
 	step   int
-	Stages *timing.Stages
-
-	// StageWall accumulates simulated wall-clock seconds per stage
-	// (cluster runs only), including communication and idle time — the
-	// basis of the paper's Figures 13-14 wall-clock breakdowns.
-	StageWall [7]float64
-	lastStage int
-	lastWall  float64
+	stages *timing.Stages
+	// clk charges simulated wall-clock per stage (cluster runs only),
+	// including communication and idle time — the basis of the paper's
+	// Figures 13-14 wall-clock breakdowns (stages.Wall).
+	clk stageClock
 
 	rec blas.Counts // per-section recording buffer
 }
+
+// Stages exposes the per-stage instrumentation (engine.Solver).
+func (ns *NSF) Stages() *timing.Stages { return ns.stages }
 
 // NewNSF constructs one rank of the Fourier-parallel solver. All ranks
 // must use identical meshes and configuration.
@@ -118,10 +118,10 @@ func NewNSF(m *mesh.Mesh, cfg NSFConfig, comm *mpi.Comm, cpu *machine.CPU) (*NSF
 	}
 	ns := &NSF{
 		M: m, Cfg: cfg, Comm: comm, CPUModel: cpu,
-		K:         comm.Rank(),
-		Stages:    timing.NewStages(StageNames...),
-		lastStage: -1,
+		K:      comm.Rank(),
+		stages: timing.NewStages(StageNames...),
 	}
+	ns.clk = newStageClock(ns.stages, comm.Wtime)
 	ns.Beta = 2 * 3.141592653589793 * float64(ns.K) / cfg.Lz
 
 	isVelD := func(tag string) bool { _, ok := cfg.VelDirichlet[tag]; return ok }
@@ -252,27 +252,15 @@ func (ns *NSF) endCompute() {
 		return
 	}
 	blas.StopRecording()
-	dt := ns.CPUModel.ApplicationSeconds(&ns.rec) * ns.Scale.stage(ns.Stages.Current())
+	dt := ns.CPUModel.ApplicationSeconds(&ns.rec) * ns.Scale.stage(ns.stages.Current())
 	ns.Comm.Compute(dt)
-	ns.Stages.AddPriced(&ns.rec, dt)
+	ns.stages.AddPriced(&ns.rec, dt)
 }
 
 // markStage transitions stage accounting: it charges the simulated
 // wall-clock elapsed since the previous mark to the previous stage and
 // begins the new one (-1 closes the step).
-func (ns *NSF) markStage(i int) {
-	now := ns.Comm.Wtime()
-	if ns.lastStage >= 0 {
-		ns.StageWall[ns.lastStage] += now - ns.lastWall
-	}
-	ns.lastStage = i
-	ns.lastWall = now
-	if i >= 0 {
-		ns.Stages.Begin(i)
-	} else {
-		ns.Stages.End()
-	}
-}
+func (ns *NSF) markStage(i int) { ns.clk.mark(i) }
 
 func (ns *NSF) order() int {
 	o := ns.step + 1

@@ -24,9 +24,9 @@ func healthScan(v []float64, maxAbs float64, finite bool) (float64, bool) {
 	return maxAbs, finite
 }
 
-// FieldHealth reports the rank-local numerical health of the 2D
+// HealthSample reports the rank-local numerical health of the 2D
 // solver's velocity and pressure fields.
-func (ns *NS2D) FieldHealth() (maxAbs float64, finite bool) {
+func (ns *NS2D) HealthSample() (maxAbs float64, finite bool) {
 	finite = true
 	for c := 0; c < 2; c++ {
 		maxAbs, finite = healthScan(ns.U[c], maxAbs, finite)
@@ -35,9 +35,9 @@ func (ns *NS2D) FieldHealth() (maxAbs float64, finite bool) {
 	return maxAbs, finite
 }
 
-// FieldHealth reports the rank-local numerical health of this rank's
+// HealthSample reports the rank-local numerical health of this rank's
 // Fourier mode (velocity and pressure, real and imaginary parts).
-func (ns *NSF) FieldHealth() (maxAbs float64, finite bool) {
+func (ns *NSF) HealthSample() (maxAbs float64, finite bool) {
 	finite = true
 	for c := 0; c < 3; c++ {
 		for part := 0; part < 2; part++ {
@@ -50,9 +50,9 @@ func (ns *NSF) FieldHealth() (maxAbs float64, finite bool) {
 	return maxAbs, finite
 }
 
-// FieldHealth reports the rank-local numerical health of the ALE
+// HealthSample reports the rank-local numerical health of the ALE
 // solver's velocity and pressure dofs.
-func (ns *NSALE) FieldHealth() (maxAbs float64, finite bool) {
+func (ns *NSALE) HealthSample() (maxAbs float64, finite bool) {
 	finite = true
 	for c := 0; c < 3; c++ {
 		maxAbs, finite = healthScan(ns.U[c], maxAbs, finite)

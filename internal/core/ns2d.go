@@ -61,8 +61,11 @@ type NS2D struct {
 	P []float64 // latest pressure (global modal)
 
 	step   int
-	Stages *timing.Stages
+	stages *timing.Stages
 }
+
+// Stages exposes the per-stage instrumentation (engine.Solver).
+func (ns *NS2D) Stages() *timing.Stages { return ns.stages }
 
 // NewNS2D builds the solver: assemblies, boundary tabulations and the
 // factored global operators.
@@ -73,7 +76,7 @@ func NewNS2D(m *mesh.Mesh, cfg NS2DConfig) (*NS2D, error) {
 	if cfg.Nu <= 0 || cfg.Dt <= 0 {
 		return nil, fmt.Errorf("core: need positive Nu and Dt")
 	}
-	ns := &NS2D{M: m, Cfg: cfg, Stages: timing.NewStages(StageNames...)}
+	ns := &NS2D{M: m, Cfg: cfg, stages: timing.NewStages(StageNames...)}
 	isVelD := func(tag string) bool { _, ok := cfg.VelDirichlet[tag]; return ok }
 	isPresD := func(tag string) bool { return cfg.PresDirichlet[tag] }
 	ns.AV = mesh.NewAssembly(m, isVelD)
@@ -204,7 +207,7 @@ func (ns *NS2D) Step() {
 	alpha := ssAlpha[ord-1]
 	beta := ssBeta[ord-1]
 	dt, nu := ns.Cfg.Dt, ns.Cfg.Nu
-	st := ns.Stages
+	st := ns.stages
 
 	// --- Stage 1: modal -> quadrature transforms.
 	st.Begin(0)

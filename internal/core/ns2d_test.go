@@ -171,16 +171,16 @@ func TestStageAccountingCoversStep(t *testing.T) {
 		t.Fatal(err)
 	}
 	ns.SetUniformInitial(1, 0)
-	ns.Stages.Attach()
+	ns.Stages().Attach()
 	ns.Step()
-	ns.Stages.Detach()
-	total := ns.Stages.Total()
+	ns.Stages().Detach()
+	total := ns.Stages().Total()
 	if total.TotalFlops() == 0 {
 		t.Fatal("no flops recorded")
 	}
 	// Every stage must have recorded some work.
-	for i, name := range ns.Stages.Names {
-		c := ns.Stages.Counts[i]
+	for i, name := range ns.Stages().Names {
+		c := ns.Stages().Counts[i]
 		if c.TotalFlops() == 0 && c.TotalBytes() == 0 {
 			t.Fatalf("stage %q recorded nothing", name)
 		}
@@ -261,7 +261,7 @@ func TestCheckpointRoundTripBitIdentical(t *testing.T) {
 		ns.Step()
 	}
 	var buf bytes.Buffer
-	if err := ns.SaveState(&buf); err != nil {
+	if err := ns.Checkpoint(&buf); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 5; i++ {
@@ -273,7 +273,7 @@ func TestCheckpointRoundTripBitIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ns2.LoadState(&buf); err != nil {
+	if err := ns2.Restore(&buf); err != nil {
 		t.Fatal(err)
 	}
 	if ns2.StepCount() != 5 {
@@ -300,7 +300,7 @@ func TestCheckpointRejectsMismatchedMesh(t *testing.T) {
 	}
 	ns.SetUniformInitial(1, 0)
 	var buf bytes.Buffer
-	if err := ns.SaveState(&buf); err != nil {
+	if err := ns.Checkpoint(&buf); err != nil {
 		t.Fatal(err)
 	}
 	other := channelMesh(t, 3, 2, 2, 2)
@@ -308,7 +308,7 @@ func TestCheckpointRejectsMismatchedMesh(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ns2.LoadState(&buf); err == nil {
+	if err := ns2.Restore(&buf); err == nil {
 		t.Fatal("mismatched checkpoint accepted")
 	}
 }

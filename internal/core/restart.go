@@ -1,11 +1,10 @@
 package core
 
 import (
-	"bytes"
 	"errors"
 	"fmt"
-	"io"
 
+	"nektar/internal/engine"
 	"nektar/internal/machine"
 	"nektar/internal/mesh"
 	"nektar/internal/mpi"
@@ -20,33 +19,21 @@ import (
 // commodity hardware: "restart files". Because the solver state
 // round-trips bit-identically and the arithmetic does not depend on
 // the virtual clock, the recovered trajectory matches an unfaulted
-// reference run exactly. The attempt loop is shared between the
-// Fourier and ALE harnesses below; package supervisor builds the
-// fully-automatic version (failure detection, hot spares, watchdog)
-// on the same checkpoint-commit rule.
+// reference run exactly. The attempt loop drives any engine.Solver —
+// the Fourier and ALE harnesses below are thin factories — and package
+// supervisor builds the fully-automatic version (failure detection,
+// hot spares, watchdog) on the same checkpoint-commit rule.
 
-// recoverySolver is the slice of a solver the generic attempt loop
-// needs; NSF and NSALE both satisfy it.
-type recoverySolver interface {
-	Step()
-	StepCount() int
-	SaveState(w io.Writer) error
-	LoadState(r io.Reader) error
-}
-
-// FourierRecovery configures a fault-tolerant Fourier run.
-type FourierRecovery struct {
+// Recovery is the solver-agnostic fault-tolerant run: the attempt
+// loop, per-rank checkpoint staging, and the commit rule (newest step
+// present on every rank).
+type Recovery struct {
 	Procs int
 	Model *simnet.Model
-	CPU   *machine.CPU
 
-	// Mesh builds a fresh 2D cross-section mesh; called once per rank
-	// per attempt (solver construction mutates per-rank operator
-	// state, so ranks do not share a mesh).
-	Mesh func() (*mesh.Mesh, error)
-	Cfg  NSFConfig
-	// InitU, InitV seed the mean mode (SetUniformInitial).
-	InitU, InitV float64
+	// NewSolver builds (or rebuilds) one rank's solver at the start of
+	// each attempt.
+	NewSolver func(rank int, comm *mpi.Comm) (engine.Solver, error)
 
 	// Steps is the target step count; CheckpointEvery the interval in
 	// steps (0 disables checkpointing and therefore recovery).
@@ -66,6 +53,34 @@ type FourierRecovery struct {
 	Rel *mpi.Reliability
 	// MaxAttempts bounds the total runs (default len(Plans)+1).
 	MaxAttempts int
+
+	// Trace receives the engine's per-step event stream plus rollback
+	// markers when attempts resume from a committed checkpoint.
+	Trace *engine.Tracer
+}
+
+// FourierRecovery configures a fault-tolerant Fourier run.
+type FourierRecovery struct {
+	Procs int
+	Model *simnet.Model
+	CPU   *machine.CPU
+
+	// Mesh builds a fresh 2D cross-section mesh; called once per rank
+	// per attempt (solver construction mutates per-rank operator
+	// state, so ranks do not share a mesh).
+	Mesh func() (*mesh.Mesh, error)
+	Cfg  NSFConfig
+	// InitU, InitV seed the mean mode (SetUniformInitial).
+	InitU, InitV float64
+
+	Steps           int
+	CheckpointEvery int
+	CheckpointCostS float64
+
+	Plans       []simnet.Injector
+	Rel         *mpi.Reliability
+	MaxAttempts int
+	Trace       *engine.Tracer
 }
 
 // ALERecovery configures a fault-tolerant Nektar-ALE run (the
@@ -88,6 +103,7 @@ type ALERecovery struct {
 	Plans       []simnet.Injector
 	Rel         *mpi.Reliability
 	MaxAttempts int
+	Trace       *engine.Tracer
 }
 
 // RecoveryResult reports how a fault-tolerant run went.
@@ -112,27 +128,19 @@ type RecoveryResult struct {
 	Fields [][3][2][]float64
 }
 
-// recoveryRun is the solver-agnostic core of the harness: the attempt
-// loop, per-rank checkpoint staging, and the commit rule (newest step
-// present on every rank).
-type recoveryRun struct {
-	procs, steps, every, maxAttempts int
-	cost                             float64
-	model                            *simnet.Model
-	plans                            []simnet.Injector
-	rel                              *mpi.Reliability
-	// newSolver builds (or rebuilds) this rank's solver at the start of
-	// an attempt.
-	newSolver func(rank int, comm *mpi.Comm) (recoverySolver, error)
-}
-
-func runRecovery(rc recoveryRun) (*RecoveryResult, error) {
-	if rc.procs < 1 || rc.steps < 1 {
+// RunRecovery executes the configured run to completion, restarting
+// from the last complete checkpoint after every injected crash. It
+// fails if a non-crash error occurs or MaxAttempts is exhausted.
+func RunRecovery(rc Recovery) (*RecoveryResult, error) {
+	if rc.Procs < 1 || rc.Steps < 1 {
 		return nil, fmt.Errorf("core: recovery needs at least one rank and one step")
 	}
-	maxAttempts := rc.maxAttempts
+	if rc.NewSolver == nil {
+		return nil, fmt.Errorf("core: recovery needs a solver factory")
+	}
+	maxAttempts := rc.MaxAttempts
 	if maxAttempts <= 0 {
-		maxAttempts = len(rc.plans) + 1
+		maxAttempts = len(rc.Plans) + 1
 	}
 	res := &RecoveryResult{}
 	// The committed checkpoint: the newest step every rank has staged.
@@ -141,51 +149,56 @@ func runRecovery(rc recoveryRun) (*RecoveryResult, error) {
 
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		var inj simnet.Injector
-		if attempt < len(rc.plans) {
-			inj = rc.plans[attempt]
+		if attempt < len(rc.Plans) {
+			inj = rc.Plans[attempt]
 		}
 		// Per-rank staging area for this attempt's checkpoints. Each
 		// rank writes only its own map, and the scheduler serializes
 		// rank execution, so no locking is needed; the harness reads
 		// them only after the run ends.
-		staged := make([]map[int][]byte, rc.procs)
-		final := make([][]byte, rc.procs)
-		stepsRun := make([]int, rc.procs)
+		staged := make([]map[int][]byte, rc.Procs)
+		final := make([][]byte, rc.Procs)
+		stepsRun := make([]int, rc.Procs)
 
-		wall, _, err := simnet.RunWithFaults(rc.procs, rc.model, inj, func(n *simnet.Node) {
+		wall, _, err := simnet.RunWithFaults(rc.Procs, rc.Model, inj, func(n *simnet.Node) {
 			comm := mpi.World(n)
-			if rc.rel != nil {
-				comm.SetReliability(rc.rel)
+			if rc.Rel != nil {
+				comm.SetReliability(rc.Rel)
 			}
-			s, serr := rc.newSolver(n.Rank, comm)
+			s, serr := rc.NewSolver(n.Rank, comm)
 			if serr != nil {
 				panic(serr)
 			}
 			staged[n.Rank] = map[int][]byte{}
 			if committedStep >= 0 {
-				if lerr := s.LoadState(bytes.NewReader(committed[n.Rank])); lerr != nil {
+				if lerr := engine.Restore(s, committed[n.Rank]); lerr != nil {
 					panic(lerr)
 				}
-			}
-			for s.StepCount() < rc.steps {
-				s.Step()
-				stepsRun[n.Rank]++
-				if rc.every > 0 && s.StepCount()%rc.every == 0 && s.StepCount() < rc.steps {
-					var buf bytes.Buffer
-					if werr := s.SaveState(&buf); werr != nil {
-						panic(werr)
-					}
-					staged[n.Rank][s.StepCount()] = buf.Bytes()
-					if rc.cost > 0 {
-						comm.Sleep(rc.cost)
-					}
+				if rc.Trace != nil {
+					rc.Trace.Emit(engine.Event{
+						Ev: engine.EvRollback, Rank: n.Rank,
+						Step: committedStep, Attempt: attempt,
+					})
 				}
 			}
-			var buf bytes.Buffer
-			if werr := s.SaveState(&buf); werr != nil {
-				panic(werr)
+			loop := engine.Loop{
+				Solver: s, Steps: rc.Steps, Rank: n.Rank,
+				CheckpointEvery: rc.CheckpointEvery,
+				OnCheckpoint: func(step int, state []byte) {
+					staged[n.Rank][step] = state
+					if rc.CheckpointCostS > 0 {
+						comm.Sleep(rc.CheckpointCostS)
+					}
+				},
+				OnStep:   func(int) { stepsRun[n.Rank]++ },
+				Watchdog: engine.Watchdog{Disabled: true},
+				Trace:    rc.Trace,
 			}
-			final[n.Rank] = buf.Bytes()
+			lres, lerr := loop.Run()
+			if lerr != nil {
+				panic(lerr)
+			}
+			final[n.Rank] = lres.Final
 		})
 		res.Attempts++
 		res.StepsComputed += stepsRun[0]
@@ -200,10 +213,10 @@ func runRecovery(rc recoveryRun) (*RecoveryResult, error) {
 			return nil, fmt.Errorf("core: recovery attempt %d failed without a crash: %w", attempt, err)
 		}
 		res.Crashes = append(res.Crashes, ce)
-		if s := commitNewest(staged, rc.procs); s > committedStep {
+		if s := commitNewest(staged, rc.Procs); s > committedStep {
 			committedStep = s
-			committed = make([][]byte, rc.procs)
-			for r := 0; r < rc.procs; r++ {
+			committed = make([][]byte, rc.Procs)
+			for r := 0; r < rc.Procs; r++ {
 				committed[r] = staged[r][s]
 			}
 		}
@@ -234,17 +247,16 @@ func commitNewest(staged []map[int][]byte, procs int) int {
 }
 
 // RunFourierRecovery executes the configured run, restarting from the
-// last complete checkpoint after every injected crash. It fails if a
-// non-crash error occurs or MaxAttempts is exhausted.
+// last complete checkpoint after every injected crash.
 func RunFourierRecovery(rc FourierRecovery) (*RecoveryResult, error) {
 	// solvers keeps the latest attempt's per-rank solver so the final
 	// velocity fields can be reported after success.
 	solvers := make([]*NSF, rc.Procs)
-	res, err := runRecovery(recoveryRun{
-		procs: rc.Procs, steps: rc.Steps, every: rc.CheckpointEvery,
-		maxAttempts: rc.MaxAttempts, cost: rc.CheckpointCostS,
-		model: rc.Model, plans: rc.Plans, rel: rc.Rel,
-		newSolver: func(rank int, comm *mpi.Comm) (recoverySolver, error) {
+	res, err := RunRecovery(Recovery{
+		Procs: rc.Procs, Steps: rc.Steps, CheckpointEvery: rc.CheckpointEvery,
+		MaxAttempts: rc.MaxAttempts, CheckpointCostS: rc.CheckpointCostS,
+		Model: rc.Model, Plans: rc.Plans, Rel: rc.Rel, Trace: rc.Trace,
+		NewSolver: func(rank int, comm *mpi.Comm) (engine.Solver, error) {
 			m, merr := rc.Mesh()
 			if merr != nil {
 				return nil, merr
@@ -271,11 +283,11 @@ func RunFourierRecovery(rc FourierRecovery) (*RecoveryResult, error) {
 // RunALERecovery executes the configured moving-mesh run, restarting
 // from the last complete checkpoint after every injected crash.
 func RunALERecovery(rc ALERecovery) (*RecoveryResult, error) {
-	return runRecovery(recoveryRun{
-		procs: rc.Procs, steps: rc.Steps, every: rc.CheckpointEvery,
-		maxAttempts: rc.MaxAttempts, cost: rc.CheckpointCostS,
-		model: rc.Model, plans: rc.Plans, rel: rc.Rel,
-		newSolver: func(rank int, comm *mpi.Comm) (recoverySolver, error) {
+	return RunRecovery(Recovery{
+		Procs: rc.Procs, Steps: rc.Steps, CheckpointEvery: rc.CheckpointEvery,
+		MaxAttempts: rc.MaxAttempts, CheckpointCostS: rc.CheckpointCostS,
+		Model: rc.Model, Plans: rc.Plans, Rel: rc.Rel, Trace: rc.Trace,
+		NewSolver: func(rank int, comm *mpi.Comm) (engine.Solver, error) {
 			m, merr := rc.Mesh()
 			if merr != nil {
 				return nil, merr

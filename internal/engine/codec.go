@@ -1,0 +1,43 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// The one checkpoint codec. Every solver serializes its state struct
+// through these helpers, so the wire format (deterministic gob: equal
+// trajectories give byte-identical checkpoints) is decided in exactly
+// one place.
+
+// EncodeState writes st as a gob stream.
+func EncodeState(w io.Writer, st any) error {
+	if err := gob.NewEncoder(w).Encode(st); err != nil {
+		return fmt.Errorf("engine: encoding checkpoint: %w", err)
+	}
+	return nil
+}
+
+// DecodeState reads a gob stream produced by EncodeState into st.
+func DecodeState(r io.Reader, st any) error {
+	if err := gob.NewDecoder(r).Decode(st); err != nil {
+		return fmt.Errorf("engine: decoding checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Marshal captures a solver's checkpoint as one byte slice.
+func Marshal(s Solver) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := s.Checkpoint(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Restore loads a Marshal-ed checkpoint into s.
+func Restore(s Solver, state []byte) error {
+	return s.Restore(bytes.NewReader(state))
+}

@@ -1,0 +1,277 @@
+// Package engine is the one time-stepping driver shared by every
+// Nektar solver configuration. The paper evaluates a single
+// spectral/hp Navier-Stokes code in three configurations — serial 2D
+// (Table 1), Fourier-parallel 3D (Table 2), and ALE moving-mesh
+// (Table 3) — and this package holds the loop they all run under:
+// stepping, per-stage accounting, checkpoint cadence, the
+// numerical-health watchdog, and the supervision/recovery hooks.
+// A solver plugs in by implementing Solver; everything above it
+// (internal/supervisor, internal/bench, the commands) drives the
+// interface and never switches on the concrete solver type, so adding
+// a fourth workload is a one-file job.
+//
+// The driver can also emit a structured per-step trace (trace.go): one
+// JSONL event per step, per stage-with-work, per checkpoint, and per
+// watchdog trip or halt, which internal/report consumes to rebuild the
+// paper's per-stage breakdowns from a recorded run.
+package engine
+
+import (
+	"io"
+
+	"nektar/internal/timing"
+)
+
+// Solver is one rank of a time-stepping solver. NS2D, NSF, and NSALE
+// (internal/core) implement it.
+type Solver interface {
+	// Step advances the solution by one time step.
+	Step()
+	// StepCount reports the number of steps taken since construction
+	// or the last Restore.
+	StepCount() int
+	// Stages exposes the per-stage instrumentation the step loop
+	// charges work to.
+	Stages() *timing.Stages
+	// Checkpoint serializes the complete time-stepping state; Restore
+	// loads it into a solver built with the same configuration, after
+	// which stepping resumes bit-identically.
+	Checkpoint(w io.Writer) error
+	Restore(r io.Reader) error
+	// HealthSample reports rank-local numerical health: the largest
+	// field magnitude and whether every sampled value is finite.
+	HealthSample() (maxAbs float64, finite bool)
+}
+
+// Trip records a watchdog trip: the driving rank's fields failed the
+// health check at a step.
+type Trip struct {
+	Rank   int
+	Step   int
+	MaxAbs float64
+	Finite bool
+}
+
+// Watchdog configures the loop's numerical-health check, sampled at
+// step boundaries before any state is checkpointed.
+type Watchdog struct {
+	// Disabled turns the watchdog off entirely.
+	Disabled bool
+	// Every is the sampling period in steps (values < 1 mean 1).
+	Every int
+	// MaxAbs trips when any field magnitude exceeds it (0 = no limit;
+	// NaN/Inf always trip).
+	MaxAbs float64
+	// MaxGrowth trips when the magnitude exceeds MaxGrowth times the
+	// loop's first sample (0 = no growth limit). The baseline is taken
+	// after the first sample's own verdict, so the first sample can
+	// never trip on growth.
+	MaxGrowth float64
+	// Agree turns the local verdict into a collective one (typically an
+	// Allreduce Max over ranks): every rank must leave the loop at the
+	// same step boundary, or survivors block in the next collective.
+	// Nil means the local verdict stands. Agree is called at every
+	// sampled boundary regardless of the local verdict, because a
+	// collective must be entered by all ranks.
+	Agree func(bad bool) bool
+	// OnTrip fires on the rank whose own sample was bad, before the
+	// loop returns — the hook where the supervisor records the trip and
+	// notifies its monitor.
+	OnTrip func(Trip)
+}
+
+// Outcome classifies how a Loop run ended.
+type Outcome int
+
+const (
+	// Completed: the solver reached the target step count.
+	Completed Outcome = iota
+	// Halted: Poll ordered the loop to stop at a step boundary.
+	Halted
+	// Tripped: the watchdog verdict ended the run before the corrupt
+	// state could reach a checkpoint.
+	Tripped
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Completed:
+		return "completed"
+	case Halted:
+		return "halted"
+	case Tripped:
+		return "tripped"
+	}
+	return "unknown"
+}
+
+// Result reports a finished Loop run.
+type Result struct {
+	Outcome Outcome
+	// StepsRun counts the steps this run executed (excluding any steps
+	// already on the solver's counter from a restored checkpoint).
+	StepsRun int
+	// Final is the solver's serialized end state (Completed runs only).
+	Final []byte
+	// Trip is set when this rank's own sample tripped the watchdog.
+	Trip *Trip
+}
+
+// Loop is the driver: one configured step loop over a Solver. The
+// zero value of every optional field means "feature off", so a bare
+// Loop{Solver: s, Steps: n} is a plain step loop.
+//
+// Per-step order, which fault-tolerance correctness depends on:
+// Poll (collective halt check) -> Step -> OnStep -> watchdog sample
+// and collective verdict -> PostStep -> checkpoint. A watchdog trip
+// exits before the checkpoint stage, so corrupt state is never staged;
+// OnStep runs immediately after Step so per-step accounting survives a
+// mid-loop crash unwinding the rank's goroutine.
+type Loop struct {
+	Solver Solver
+	// Steps is the absolute target: the loop runs until
+	// Solver.StepCount() reaches it.
+	Steps int
+	// Rank labels trace events and trips (0 for serial runs).
+	Rank int
+
+	// CheckpointEvery stages a checkpoint every so many steps (0
+	// disables; the final state is not a checkpoint). OnCheckpoint
+	// receives the serialized state and owns staging it and charging
+	// any I/O cost.
+	CheckpointEvery int
+	OnCheckpoint    func(step int, state []byte)
+
+	// Poll is the pre-step halt check (collective for parallel runs);
+	// returning true ends the loop with Outcome Halted.
+	Poll func() bool
+	// OnStep fires immediately after each Step, before the watchdog.
+	OnStep func(step int)
+	// PostStep fires after the watchdog verdict clears, before the
+	// checkpoint stage — the supervisor's heartbeat slot.
+	PostStep func(step int)
+
+	Watchdog Watchdog
+
+	// Trace, when set, receives the structured per-step event stream.
+	Trace *Tracer
+}
+
+// Run executes the loop to its outcome. Errors are serialization
+// failures only (a checkpoint that cannot encode); solver and
+// communication failures panic, matching the simulated cluster's
+// crash-unwinding model.
+func (l *Loop) Run() (Result, error) {
+	s := l.Solver
+	wdEvery := l.Watchdog.Every
+	if wdEvery < 1 {
+		wdEvery = 1
+	}
+	res := Result{}
+	baseline := -1.0
+	var snap timing.Snapshot
+	if l.Trace != nil {
+		snap = s.Stages().Snapshot()
+	}
+	for s.StepCount() < l.Steps {
+		if l.Poll != nil && l.Poll() {
+			res.Outcome = Halted
+			l.trace(Event{Ev: EvHalt, Rank: l.Rank, Step: s.StepCount()})
+			return res, nil
+		}
+		s.Step()
+		step := s.StepCount()
+		res.StepsRun++
+		if l.OnStep != nil {
+			l.OnStep(step)
+		}
+		if l.Trace != nil {
+			snap = l.traceStep(step, snap)
+		}
+
+		if !l.Watchdog.Disabled && step%wdEvery == 0 {
+			maxAbs, finite := s.HealthSample()
+			bad := !finite ||
+				(l.Watchdog.MaxAbs > 0 && maxAbs > l.Watchdog.MaxAbs) ||
+				(l.Watchdog.MaxGrowth > 0 && baseline > 0 && maxAbs > l.Watchdog.MaxGrowth*baseline)
+			if baseline < 0 {
+				baseline = maxAbs
+			}
+			verdict := bad
+			if l.Watchdog.Agree != nil {
+				verdict = l.Watchdog.Agree(bad)
+			}
+			if verdict {
+				res.Outcome = Tripped
+				if bad {
+					trip := Trip{Rank: l.Rank, Step: step, MaxAbs: maxAbs, Finite: finite}
+					res.Trip = &trip
+					l.trace(Event{Ev: EvTrip, Rank: l.Rank, Step: step, MaxAbs: maxAbs, Finite: &finite})
+					if l.Watchdog.OnTrip != nil {
+						l.Watchdog.OnTrip(trip)
+					}
+				}
+				return res, nil
+			}
+		}
+		if l.PostStep != nil {
+			l.PostStep(step)
+		}
+		if l.CheckpointEvery > 0 && step%l.CheckpointEvery == 0 && step < l.Steps {
+			state, err := Marshal(s)
+			if err != nil {
+				return res, err
+			}
+			l.trace(Event{Ev: EvCheckpoint, Rank: l.Rank, Step: step, Bytes: len(state)})
+			if l.OnCheckpoint != nil {
+				l.OnCheckpoint(step, state)
+			}
+		}
+	}
+	final, err := Marshal(s)
+	if err != nil {
+		return res, err
+	}
+	res.Final = final
+	res.Outcome = Completed
+	l.trace(Event{Ev: EvDone, Rank: l.Rank, Step: s.StepCount()})
+	return res, nil
+}
+
+// trace emits e when tracing is on.
+func (l *Loop) trace(e Event) {
+	if l.Trace != nil {
+		l.Trace.Emit(e)
+	}
+}
+
+// traceStep emits the step event plus one stage event per stage that
+// did work this step, and returns the new snapshot.
+func (l *Loop) traceStep(step int, prev timing.Snapshot) timing.Snapshot {
+	st := l.Solver.Stages()
+	cur := st.Snapshot()
+	var hostS, pricedS, wallS float64
+	for i, name := range st.Names {
+		dh := cur.Seconds[i] - prev.Seconds[i]
+		dp := cur.Priced[i] - prev.Priced[i]
+		dw := 0.0
+		if i < len(cur.Wall) && i < len(prev.Wall) {
+			dw = cur.Wall[i] - prev.Wall[i]
+		}
+		hostS += dh
+		pricedS += dp
+		wallS += dw
+		if dh == 0 && dp == 0 && dw == 0 {
+			continue
+		}
+		l.Trace.Emit(Event{
+			Ev: EvStage, Rank: l.Rank, Step: step, Stage: name,
+			HostS: dh, PricedS: dp, WallS: dw,
+		})
+	}
+	l.Trace.Emit(Event{
+		Ev: EvStep, Rank: l.Rank, Step: step,
+		HostS: hostS, PricedS: pricedS, WallS: wallS,
+	})
+	return cur
+}

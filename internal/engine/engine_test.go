@@ -1,0 +1,268 @@
+package engine
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"strings"
+	"testing"
+
+	"nektar/internal/timing"
+)
+
+// fakeSolver is a minimal Solver: its state is one float advanced by a
+// caller-controlled rule, its checkpoint the gob of (step, value).
+type fakeSolver struct {
+	step    int
+	value   float64
+	advance func(step int) float64 // value after step (1-based)
+	stages  *timing.Stages
+}
+
+type fakeState struct {
+	Step  int
+	Value float64
+}
+
+func newFakeSolver(advance func(step int) float64) *fakeSolver {
+	return &fakeSolver{advance: advance, stages: timing.NewStages("work")}
+}
+
+func (f *fakeSolver) Step() {
+	f.step++
+	f.value = f.advance(f.step)
+	f.stages.AddWall(0, 1)
+}
+func (f *fakeSolver) StepCount() int         { return f.step }
+func (f *fakeSolver) Stages() *timing.Stages { return f.stages }
+
+func (f *fakeSolver) Checkpoint(w io.Writer) error {
+	return EncodeState(w, &fakeState{Step: f.step, Value: f.value})
+}
+
+func (f *fakeSolver) Restore(r io.Reader) error {
+	var st fakeState
+	if err := DecodeState(r, &st); err != nil {
+		return err
+	}
+	f.step, f.value = st.Step, st.Value
+	return nil
+}
+
+func (f *fakeSolver) HealthSample() (float64, bool) {
+	return math.Abs(f.value), !math.IsNaN(f.value) && !math.IsInf(f.value, 0)
+}
+
+func TestLoopCompletesAndCheckpoints(t *testing.T) {
+	s := newFakeSolver(func(step int) float64 { return float64(step) })
+	var ckSteps []int
+	loop := Loop{
+		Solver: s, Steps: 10,
+		CheckpointEvery: 3,
+		OnCheckpoint: func(step int, state []byte) {
+			ckSteps = append(ckSteps, step)
+			if len(state) == 0 {
+				t.Fatal("empty checkpoint")
+			}
+		},
+		Watchdog: Watchdog{Disabled: true},
+	}
+	res, err := loop.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Completed || res.StepsRun != 10 {
+		t.Fatalf("outcome %v stepsRun %d", res.Outcome, res.StepsRun)
+	}
+	// Step 9 checkpoints; step 10 is the target and must not (the final
+	// state is not a checkpoint).
+	if len(ckSteps) != 3 || ckSteps[0] != 3 || ckSteps[2] != 9 {
+		t.Fatalf("checkpoint steps %v", ckSteps)
+	}
+	if len(res.Final) == 0 {
+		t.Fatal("no final state")
+	}
+
+	// Restore the step-6 checkpoint into a fresh solver and finish: the
+	// final state must be byte-identical (determinism contract).
+	s2 := newFakeSolver(func(step int) float64 { return float64(step) })
+	var ck6 []byte
+	loop2 := Loop{Solver: s2, Steps: 10, CheckpointEvery: 6, Watchdog: Watchdog{Disabled: true},
+		OnCheckpoint: func(step int, state []byte) { ck6 = state }}
+	if _, err := loop2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s3 := newFakeSolver(func(step int) float64 { return float64(step) })
+	if err := Restore(s3, ck6); err != nil {
+		t.Fatal(err)
+	}
+	if s3.StepCount() != 6 {
+		t.Fatalf("restored step %d", s3.StepCount())
+	}
+	loop3 := Loop{Solver: s3, Steps: 10, Watchdog: Watchdog{Disabled: true}}
+	res3, err := loop3.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.StepsRun != 4 {
+		t.Fatalf("resumed run took %d steps", res3.StepsRun)
+	}
+	if !bytes.Equal(res.Final, res3.Final) {
+		t.Fatal("resumed final state differs from straight run")
+	}
+}
+
+func TestLoopHaltPoll(t *testing.T) {
+	s := newFakeSolver(func(step int) float64 { return 0 })
+	polls := 0
+	loop := Loop{
+		Solver: s, Steps: 100,
+		Poll:     func() bool { polls++; return polls > 4 },
+		Watchdog: Watchdog{Disabled: true},
+	}
+	res, err := loop.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Halted || res.StepsRun != 4 {
+		t.Fatalf("outcome %v stepsRun %d", res.Outcome, res.StepsRun)
+	}
+	if res.Final != nil {
+		t.Fatal("halted run must not produce a final state")
+	}
+}
+
+func TestLoopWatchdogNaNTrips(t *testing.T) {
+	s := newFakeSolver(func(step int) float64 {
+		if step == 3 {
+			return math.NaN()
+		}
+		return 1
+	})
+	var got *Trip
+	loop := Loop{
+		Solver: s, Steps: 10, Rank: 7,
+		Watchdog: Watchdog{OnTrip: func(tr Trip) { got = &tr }},
+	}
+	res, err := loop.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Tripped || res.StepsRun != 3 {
+		t.Fatalf("outcome %v stepsRun %d", res.Outcome, res.StepsRun)
+	}
+	if got == nil || got.Step != 3 || got.Rank != 7 || got.Finite {
+		t.Fatalf("trip %+v", got)
+	}
+	if res.Trip == nil || res.Trip.Step != got.Step || res.Trip.Rank != got.Rank {
+		t.Fatalf("result trip %+v", res.Trip)
+	}
+}
+
+func TestLoopWatchdogGrowthBaseline(t *testing.T) {
+	// The baseline is the first sample; growth is judged against it
+	// from the second sample on — a large but steady field never trips.
+	s := newFakeSolver(func(step int) float64 { return 1000 })
+	loop := Loop{Solver: s, Steps: 5, Watchdog: Watchdog{MaxGrowth: 10}}
+	if res, err := loop.Run(); err != nil || res.Outcome != Completed {
+		t.Fatalf("steady field tripped: %v %v", res.Outcome, err)
+	}
+	// A 20x jump after the baseline sample must trip.
+	s2 := newFakeSolver(func(step int) float64 {
+		if step >= 4 {
+			return 20
+		}
+		return 1
+	})
+	loop2 := Loop{Solver: s2, Steps: 10, Watchdog: Watchdog{MaxGrowth: 10}}
+	res, err := loop2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Tripped || res.Trip == nil || res.Trip.Step != 4 {
+		t.Fatalf("outcome %v trip %+v", res.Outcome, res.Trip)
+	}
+}
+
+func TestLoopWatchdogAgreeIsCollective(t *testing.T) {
+	// Agree must be consulted at every sampled boundary (it hides a
+	// collective), and a true verdict ends the run even when the local
+	// sample was healthy — with no Trip recorded for this rank.
+	s := newFakeSolver(func(step int) float64 { return 1 })
+	calls := 0
+	loop := Loop{
+		Solver: s, Steps: 10,
+		Watchdog: Watchdog{Agree: func(bad bool) bool {
+			if bad {
+				t.Fatal("local sample should be healthy")
+			}
+			calls++
+			return calls == 5
+		}},
+	}
+	res, err := loop.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Tripped || res.StepsRun != 5 {
+		t.Fatalf("outcome %v stepsRun %d", res.Outcome, res.StepsRun)
+	}
+	if res.Trip != nil {
+		t.Fatal("a peer's trip must not be recorded as ours")
+	}
+}
+
+func TestLoopHookOrder(t *testing.T) {
+	var order []string
+	s := newFakeSolver(func(step int) float64 { return 1 })
+	loop := Loop{
+		Solver: s, Steps: 2, CheckpointEvery: 1,
+		Poll:         func() bool { order = append(order, "poll"); return false },
+		OnStep:       func(step int) { order = append(order, "onstep") },
+		PostStep:     func(step int) { order = append(order, "poststep") },
+		OnCheckpoint: func(step int, state []byte) { order = append(order, "checkpoint") },
+		Watchdog: Watchdog{Agree: func(bad bool) bool {
+			order = append(order, "watchdog")
+			return false
+		}},
+	}
+	if _, err := loop.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := "poll onstep watchdog poststep checkpoint poll onstep watchdog poststep"
+	if got := strings.Join(order, " "); got != want {
+		t.Fatalf("hook order\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestLoopTraceEvents(t *testing.T) {
+	var buf bytes.Buffer
+	s := newFakeSolver(func(step int) float64 { return 1 })
+	loop := Loop{
+		Solver: s, Steps: 3, CheckpointEvery: 2,
+		Watchdog: Watchdog{Disabled: true},
+		Trace:    NewTracer(&buf),
+	}
+	if _, err := loop.Run(); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := map[string]int{}
+	for _, e := range evs {
+		count[e.Ev]++
+	}
+	if count[EvStep] != 3 || count[EvStage] != 3 || count[EvCheckpoint] != 1 || count[EvDone] != 1 {
+		t.Fatalf("event counts %v", count)
+	}
+	for _, e := range evs {
+		if e.Ev == EvStage && (e.Stage != "work" || e.WallS != 1) {
+			t.Fatalf("stage event %+v", e)
+		}
+		if e.Ev == EvStep && e.WallS != 1 {
+			t.Fatalf("step event %+v", e)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Trace-event schema. One JSON object per line (JSONL); every event
+// carries ev, rank, and step. Seconds fields are deltas for the event's
+// step, not accumulators:
+//
+//	step        one solver step finished; host_s/priced_s/wall_s are
+//	            the step's totals across all stages
+//	stage       per-stage share of one step (only stages that did work)
+//	checkpoint  a checkpoint of bytes size was staged at step
+//	rollback    a run resumed from the checkpoint at step (attempt is
+//	            the relaunch index)
+//	trip        the watchdog ended the run: max_abs/finite explain why
+//	halt        a supervisor halt order ended the run at step
+//	done        the run reached its target step count
+const (
+	EvStep       = "step"
+	EvStage      = "stage"
+	EvCheckpoint = "checkpoint"
+	EvRollback   = "rollback"
+	EvTrip       = "trip"
+	EvHalt       = "halt"
+	EvDone       = "done"
+)
+
+// Event is one trace record.
+type Event struct {
+	Ev   string `json:"ev"`
+	Rank int    `json:"rank"`
+	Step int    `json:"step"`
+
+	Stage   string  `json:"stage,omitempty"`
+	HostS   float64 `json:"host_s,omitempty"`
+	PricedS float64 `json:"priced_s,omitempty"`
+	WallS   float64 `json:"wall_s,omitempty"`
+
+	Bytes   int     `json:"bytes,omitempty"`
+	Attempt int     `json:"attempt,omitempty"`
+	MaxAbs  float64 `json:"max_abs,omitempty"`
+	Finite  *bool   `json:"finite,omitempty"`
+}
+
+// Tracer serializes events from concurrently stepping ranks onto one
+// JSONL stream. The simulated cluster runs ranks as goroutines, so the
+// writer is mutex-guarded.
+type Tracer struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewTracer wraps w in a tracer. The caller owns closing w.
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{enc: json.NewEncoder(w)}
+}
+
+// Emit writes one event as a JSON line.
+func (t *Tracer) Emit(e Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// Encoding can only fail on the writer; a trace is advisory
+	// instrumentation, so a broken sink must not kill the run.
+	_ = t.enc.Encode(&e)
+}
+
+// ReadEvents parses a JSONL trace stream back into events, for report
+// generation over a recorded run.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	var evs []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(b, &e); err != nil {
+			return nil, fmt.Errorf("engine: trace line %d: %w", line, err)
+		}
+		evs = append(evs, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("engine: reading trace: %w", err)
+	}
+	return evs, nil
+}

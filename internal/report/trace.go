@@ -1,0 +1,72 @@
+package report
+
+import (
+	"fmt"
+
+	"nektar/internal/engine"
+)
+
+// TraceBreakdown aggregates a recorded engine event stream into a
+// per-stage table: events, priced seconds, and virtual-wall seconds
+// per stage (first-seen order), followed by marker rows summarizing
+// the steps, checkpoints, rollbacks, trips, and halts the run saw.
+// This rebuilds the paper's per-stage breakdowns offline from a trace
+// instead of from live instrumentation.
+func TraceBreakdown(evs []engine.Event, title string) *Table {
+	type agg struct {
+		n            int
+		priced, wall float64
+	}
+	var order []string
+	stages := map[string]*agg{}
+	var steps, ckpts, ckptBytes, rollbacks, trips, halts, dones int
+	var stepPriced, stepWall float64
+	for _, e := range evs {
+		switch e.Ev {
+		case engine.EvStage:
+			a := stages[e.Stage]
+			if a == nil {
+				a = &agg{}
+				stages[e.Stage] = a
+				order = append(order, e.Stage)
+			}
+			a.n++
+			a.priced += e.PricedS
+			a.wall += e.WallS
+		case engine.EvStep:
+			steps++
+			stepPriced += e.PricedS
+			stepWall += e.WallS
+		case engine.EvCheckpoint:
+			ckpts++
+			ckptBytes += e.Bytes
+		case engine.EvRollback:
+			rollbacks++
+		case engine.EvTrip:
+			trips++
+		case engine.EvHalt:
+			halts++
+		case engine.EvDone:
+			dones++
+		}
+	}
+	t := NewTable(title, "stage", "events", "priced (s)", "wall (s)")
+	for _, name := range order {
+		a := stages[name]
+		t.AddRow(name, fmt.Sprintf("%d", a.n),
+			fmt.Sprintf("%.4g", a.priced), fmt.Sprintf("%.4g", a.wall))
+	}
+	t.AddRow("[steps]", fmt.Sprintf("%d", steps),
+		fmt.Sprintf("%.4g", stepPriced), fmt.Sprintf("%.4g", stepWall))
+	t.AddRow("[checkpoints]", fmt.Sprintf("%d", ckpts),
+		fmt.Sprintf("%d bytes", ckptBytes), "")
+	t.AddRow("[rollbacks]", fmt.Sprintf("%d", rollbacks), "", "")
+	if trips > 0 {
+		t.AddRow("[watchdog trips]", fmt.Sprintf("%d", trips), "", "")
+	}
+	if halts > 0 {
+		t.AddRow("[halts]", fmt.Sprintf("%d", halts), "", "")
+	}
+	t.AddRow("[completed ranks]", fmt.Sprintf("%d", dones), "", "")
+	return t
+}

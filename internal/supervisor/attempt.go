@@ -1,9 +1,9 @@
 package supervisor
 
 import (
-	"bytes"
 	"math"
 
+	"nektar/internal/engine"
 	"nektar/internal/mpi"
 	"nektar/internal/simnet"
 )
@@ -194,8 +194,10 @@ func (a *attempt) commitNewest() int {
 	return best
 }
 
-// worker is one solver rank: step, health-check, heartbeat,
-// checkpoint, and poll for a halt order at every step boundary.
+// worker is one solver rank: the engine's driver loop with the
+// supervisor's hooks plugged in — a collective halt poll before every
+// step, a heartbeat to the monitor after the watchdog clears, and
+// checkpoint staging with its I/O cost.
 func (a *attempt) worker(n *simnet.Node) {
 	comm, err := mpi.SubWorld(n, a.cfg.Procs)
 	if err != nil {
@@ -210,76 +212,69 @@ func (a *attempt) worker(n *simnet.Node) {
 	}
 	a.staged[n.Rank] = map[int][]byte{}
 	if a.committedStep >= 0 {
-		if lerr := s.LoadState(bytes.NewReader(a.committed[n.Rank])); lerr != nil {
+		if lerr := engine.Restore(s, a.committed[n.Rank]); lerr != nil {
 			panic(lerr)
 		}
 	}
 	wd := &a.cfg.Watchdog
-	baseline := -1.0
-	for s.StepCount() < a.cfg.Steps {
+	loop := engine.Loop{
+		Solver: s, Steps: a.cfg.Steps, Rank: n.Rank,
 		// A halt order parks in the inbox while we are inside a step;
 		// the deadline Clock() makes this a non-blocking poll. The
 		// decision to stop must be collective: a peer may already be
 		// blocked inside the next step's collectives when the order
 		// lands, so the ranks agree on the flag at every boundary and
 		// exit at the same step.
-		halted := 0.0
-		if _, ok := n.RecvDeadline(a.monitorRank(), haltTag, n.Clock()); ok {
-			halted = 1
-		}
-		if v := comm.Allreduce([]float64{halted}, mpi.Max); v[0] > 0 {
-			return
-		}
-		s.Step()
-		step := s.StepCount()
-		a.stepsRun[n.Rank]++
-
-		if !wd.Disabled && step%a.wdEvery == 0 {
-			maxAbs, finite := s.FieldHealth()
-			bad := 0.0
-			if !finite {
-				bad = 1
+		Poll: func() bool {
+			halted := 0.0
+			if _, ok := n.RecvDeadline(a.monitorRank(), haltTag, n.Clock()); ok {
+				halted = 1
 			}
-			if wd.MaxAbs > 0 && maxAbs > wd.MaxAbs {
-				bad = 1
-			}
-			if wd.MaxGrowth > 0 && baseline > 0 && maxAbs > wd.MaxGrowth*baseline {
-				bad = 1
-			}
-			if baseline < 0 {
-				baseline = maxAbs
-			}
+			return comm.Allreduce([]float64{halted}, mpi.Max)[0] > 0
+		},
+		// Per-step accounting goes through the shared slot immediately
+		// after each step, so it survives a crash unwinding this rank.
+		OnStep: func(int) { a.stepsRun[n.Rank]++ },
+		Watchdog: engine.Watchdog{
+			Disabled: wd.Disabled, Every: a.wdEvery,
+			MaxAbs: wd.MaxAbs, MaxGrowth: wd.MaxGrowth,
 			// The verdict must be collective: if any rank is sick, every
 			// rank exits at this same boundary — a lone exit would leave
 			// the others blocked in the next collective. The corrupt
 			// state is abandoned before it can reach the staging area.
-			if v := comm.Allreduce([]float64{bad}, mpi.Max); v[0] > 0 {
-				if bad > 0 {
-					a.trips[n.Rank] = &Trip{Attempt: a.index, Rank: n.Rank, Step: step, MaxAbs: maxAbs, Finite: finite}
-					n.SendControl(a.monitorRank(), ctlTag, []float64{ctlTrip, float64(n.Rank), float64(step)})
+			Agree: func(bad bool) bool {
+				flag := 0.0
+				if bad {
+					flag = 1
 				}
-				return
+				return comm.Allreduce([]float64{flag}, mpi.Max)[0] > 0
+			},
+			OnTrip: func(tr engine.Trip) {
+				a.trips[n.Rank] = &Trip{Attempt: a.index, Rank: tr.Rank, Step: tr.Step, MaxAbs: tr.MaxAbs, Finite: tr.Finite}
+				n.SendControl(a.monitorRank(), ctlTag, []float64{ctlTrip, float64(tr.Rank), float64(tr.Step)})
+			},
+		},
+		PostStep: func(step int) {
+			if step%a.hbEvery == 0 || step == a.cfg.Steps {
+				n.SendControl(a.monitorRank(), ctlTag, []float64{ctlHeartbeat, float64(n.Rank), float64(step)})
 			}
-		}
-		if step%a.hbEvery == 0 || step == a.cfg.Steps {
-			n.SendControl(a.monitorRank(), ctlTag, []float64{ctlHeartbeat, float64(n.Rank), float64(step)})
-		}
-		if a.cfg.CheckpointEvery > 0 && step%a.cfg.CheckpointEvery == 0 && step < a.cfg.Steps {
-			var buf bytes.Buffer
-			if werr := s.SaveState(&buf); werr != nil {
-				panic(werr)
-			}
-			a.staged[n.Rank][step] = buf.Bytes()
+		},
+		CheckpointEvery: a.cfg.CheckpointEvery,
+		OnCheckpoint: func(step int, state []byte) {
+			a.staged[n.Rank][step] = state
 			if a.cfg.CheckpointCostS > 0 {
 				n.Sleep(a.cfg.CheckpointCostS)
 			}
-		}
+		},
 	}
-	var buf bytes.Buffer
-	if werr := s.SaveState(&buf); werr != nil {
-		panic(werr)
+	res, err := loop.Run()
+	if err != nil {
+		panic(err)
 	}
-	a.final[n.Rank] = buf.Bytes()
+	if res.Outcome != engine.Completed {
+		return
+	}
+	a.final[n.Rank] = res.Final
 	a.done[n.Rank] = true
 	n.SendControl(a.monitorRank(), ctlTag, []float64{ctlDone, float64(n.Rank), float64(s.StepCount())})
 }

@@ -17,7 +17,7 @@
 // return a structured *RetryError.
 //
 // A numerical-health watchdog rides the same step boundary: each rank
-// samples its solver fields (Solver.FieldHealth) and the ranks agree
+// samples its solver fields (Solver.HealthSample) and the ranks agree
 // on a verdict with a one-flag Allreduce, so a NaN/Inf or a runaway
 // field magnitude makes every rank stop at the same step — before the
 // corrupt state can be staged into a checkpoint — and the run rolls
@@ -32,26 +32,18 @@ package supervisor
 import (
 	"errors"
 	"fmt"
-	"io"
 	"math"
 	"strings"
 
+	"nektar/internal/engine"
 	"nektar/internal/mpi"
 	"nektar/internal/simnet"
 )
 
-// Solver is the slice of a solver the supervisor drives. NS2D, NSF and
-// NSALE all satisfy it (structurally; the supervisor does not import
-// package core).
-type Solver interface {
-	Step()
-	StepCount() int
-	SaveState(w io.Writer) error
-	LoadState(r io.Reader) error
-	// FieldHealth reports the rank-local numerical health: the largest
-	// field magnitude and whether every sampled value is finite.
-	FieldHealth() (maxAbs float64, finite bool)
-}
+// Solver is the engine's solver interface: the supervisor drives any
+// solver through it (NS2D, NSF, and NSALE all implement it) and never
+// switches on the concrete type.
+type Solver = engine.Solver
 
 // HeartbeatConfig tunes the failure detector.
 type HeartbeatConfig struct {

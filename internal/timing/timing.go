@@ -18,6 +18,7 @@ type Stages struct {
 	Counts  []blas.Counts
 	Seconds []float64 // host wall time, for native measurements
 	Priced  []float64 // machine-priced seconds (cluster-simulated runs)
+	Wall    []float64 // simulated wall seconds incl. comm/idle (cluster runs)
 
 	master  blas.Counts
 	prev    blas.Counts
@@ -34,6 +35,7 @@ func NewStages(names ...string) *Stages {
 		Counts:  make([]blas.Counts, len(names)),
 		Seconds: make([]float64, len(names)),
 		Priced:  make([]float64, len(names)),
+		Wall:    make([]float64, len(names)),
 	}
 }
 
@@ -86,6 +88,16 @@ func (s *Stages) AddPriced(c *blas.Counts, seconds float64) {
 	s.Priced[s.current] += seconds
 }
 
+// AddWall charges simulated wall-clock seconds (communication and idle
+// time included) to stage i. Unlike AddPriced it does not require an
+// active stage: the wall clock spans the stage transition itself.
+func (s *Stages) AddWall(i int, seconds float64) {
+	if i < 0 || i >= len(s.Wall) {
+		return
+	}
+	s.Wall[i] += seconds
+}
+
 // Current returns the index of the active stage, or -1 if none.
 func (s *Stages) Current() int {
 	if !s.active {
@@ -110,6 +122,27 @@ func (s *Stages) Reset() {
 		s.Counts[i] = blas.Counts{}
 		s.Seconds[i] = 0
 		s.Priced[i] = 0
+	}
+	for i := range s.Wall {
+		s.Wall[i] = 0
+	}
+}
+
+// Snapshot is a copy of the per-stage second accumulators at an
+// instant; subtracting two snapshots yields per-stage deltas (the
+// engine's per-step trace events are built this way).
+type Snapshot struct {
+	Seconds []float64
+	Priced  []float64
+	Wall    []float64
+}
+
+// Snapshot copies the current per-stage second accumulators.
+func (s *Stages) Snapshot() Snapshot {
+	return Snapshot{
+		Seconds: append([]float64(nil), s.Seconds...),
+		Priced:  append([]float64(nil), s.Priced...),
+		Wall:    append([]float64(nil), s.Wall...),
 	}
 }
 

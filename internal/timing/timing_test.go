@@ -86,4 +86,72 @@ func TestPercent(t *testing.T) {
 func TestEndWithoutBeginIsSafe(t *testing.T) {
 	s := NewStages("a")
 	s.End() // must not panic
+	if s.Current() != -1 {
+		t.Fatal("no stage should be active")
+	}
+}
+
+func TestBeginWithoutAttach(t *testing.T) {
+	// Without Attach there is no BLAS recording, but stage bracketing
+	// and host-wall accumulation must still work: the cluster-simulated
+	// solvers never Attach (they price counts via AddPriced instead).
+	s := NewStages("a")
+	s.Begin(0)
+	blas.Dcopy(10, make([]float64, 10), 1, make([]float64, 10), 1)
+	s.End()
+	if got := s.Counts[0].Ops[blas.KernelDcopy].Calls; got != 0 {
+		t.Fatalf("unattached stage recorded %d dcopy calls", got)
+	}
+	if s.Seconds[0] <= 0 {
+		t.Fatal("host seconds not recorded without Attach")
+	}
+	if s.Current() != -1 {
+		t.Fatal("End should deactivate the stage")
+	}
+}
+
+func TestReBeginActiveStage(t *testing.T) {
+	// Re-entering the active stage closes the current interval and
+	// opens a new one charged to the same index: no double counting,
+	// no lost time, and exactly one End needed afterwards.
+	s := NewStages("a", "b")
+	s.Attach()
+	defer s.Detach()
+	buf := make([]float64, 20)
+	s.Begin(0)
+	blas.Dcopy(20, buf, 1, buf, 1)
+	s.Begin(0) // re-Begin of the active stage
+	blas.Dcopy(20, buf, 1, buf, 1)
+	s.End()
+	if got := s.Counts[0].Ops[blas.KernelDcopy].Calls; got != 2 {
+		t.Fatalf("re-Begin lost counts: %d dcopy calls", got)
+	}
+	if s.Current() != -1 {
+		t.Fatal("one End must close a re-Begun stage")
+	}
+	s.End() // extra End stays safe
+}
+
+func TestAddWallAndSnapshot(t *testing.T) {
+	s := NewStages("a", "b")
+	s.AddWall(0, 1.5)
+	s.AddWall(1, 0.5)
+	s.AddWall(-1, 99) // out of range: ignored
+	s.AddWall(2, 99)
+	if s.Wall[0] != 1.5 || s.Wall[1] != 0.5 {
+		t.Fatalf("Wall = %v", s.Wall)
+	}
+	before := s.Snapshot()
+	s.AddWall(0, 1.0)
+	after := s.Snapshot()
+	if d := after.Wall[0] - before.Wall[0]; d != 1.0 {
+		t.Fatalf("snapshot delta = %v", d)
+	}
+	if before.Wall[0] != 1.5 {
+		t.Fatal("Snapshot must copy, not alias")
+	}
+	s.Reset()
+	if s.Wall[0] != 0 || s.Wall[1] != 0 {
+		t.Fatal("Reset must zero Wall")
+	}
 }
