@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: check build vet fmt test race bench-baseline
+.PHONY: check build vet fmt test race bench-baseline bench-ckpt race-ckpt
 
 build:
 	$(GO) build ./...
@@ -30,4 +30,15 @@ race:
 bench-baseline:
 	BENCH_BASELINE=1 $(GO) test ./internal/bench -run TestWriteEngineBaseline -count=1 -v
 
-check: build vet fmt race
+# Regenerate the committed checkpoint-store baseline (BENCH_ckpt.json
+# at the repo root). Run after intentional store/writer changes and
+# commit the diff.
+bench-ckpt:
+	BENCH_CKPT=1 $(GO) test ./internal/bench -run TestWriteCkptBaseline -count=1 -v
+
+# The async writer is the only real host-side concurrency in the repo;
+# hammer it under the race detector beyond the single pass `race` gives.
+race-ckpt:
+	$(GO) test -race -count=2 ./internal/ckpt
+
+check: build vet fmt race race-ckpt

@@ -1,0 +1,60 @@
+// Command ckptbench measures what durable checkpointing costs. The
+// host-side table drives the same serial NS2D run with no durability,
+// a synchronous writer, and the async double-buffered writer at an
+// equal cadence, separating exposed from hidden write time. The
+// virtual-side table writes a Nektar-F state through the simulated
+// cluster's cost model as node-local restart files vs striped 1/P-th
+// shards, pricing the striping penalty per machine — the quantified
+// version of the paper's choice of local restart files over a parallel
+// file system.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"nektar/internal/bench"
+)
+
+func main() {
+	nt := flag.Int("nt", bench.PaperCkptbench.Nt, "NS2D O-grid sectors (host-side probe)")
+	nr := flag.Int("nr", bench.PaperCkptbench.Nr, "NS2D O-grid rings")
+	order := flag.Int("order", bench.PaperCkptbench.Order, "polynomial order")
+	steps := flag.Int("steps", bench.PaperCkptbench.Steps, "measured steps")
+	every := flag.Int("every", bench.PaperCkptbench.Every, "checkpoint cadence, steps")
+	dir := flag.String("dir", "", "root the host-side stores here (default: a temp dir, removed afterwards)")
+	machines := flag.String("machines", strings.Join(bench.PaperCkptbench.Machines, ","), "comma-separated machine list for the striping table")
+	procs := flag.Int("procs", bench.PaperCkptbench.Procs, "rank count for the striping table (power of two)")
+	disk := flag.Float64("disk", bench.PaperCkptbench.DiskMBs, "node-local disk bandwidth, MB/s")
+	flag.Parse()
+
+	cfg := bench.CkptbenchConfig{
+		Nt: *nt, Nr: *nr, Order: *order,
+		Steps: *steps, Every: *every,
+		Dir:      *dir,
+		Machines: strings.Split(*machines, ","),
+		Procs:    *procs,
+		DiskMBs:  *disk,
+	}
+
+	// Validate up front so a bad flag fails with an actionable message
+	// instead of a mid-run panic.
+	if err := bench.ValidateCkptbench(cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "ckptbench: %v\n", err)
+		os.Exit(2)
+	}
+
+	_, tables, err := bench.RunCkptbench(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, tbl := range tables {
+		if i > 0 {
+			fmt.Println()
+		}
+		tbl.Write(os.Stdout)
+	}
+}

@@ -27,12 +27,14 @@ func main() {
 	mtbf := flag.String("mtbf", joinFloats(bench.PaperFaultbench.MTBFHours), "comma-separated per-node MTBF values, hours")
 	recovery := flag.Bool("recovery", true, "also run the measured crash-recovery demonstration")
 	seed := flag.Int64("seed", 1, "fault-plan seed for the recovery demonstration")
+	stripe := flag.Bool("stripe", false, "price checkpoints as striped parallel writes (1/P-th shards exchanged over the interconnect) instead of node-local files")
 	flag.Parse()
 
 	cfg := bench.PaperFaultbench
 	cfg.Machine = *machine
 	cfg.Procs = *procs
 	cfg.DiskMBs = *disk
+	cfg.Stripe = *stripe
 	cfg.IntervalSteps = nil
 	for _, s := range strings.Split(*intervals, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(s))

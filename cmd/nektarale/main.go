@@ -12,7 +12,7 @@ import (
 	"strings"
 
 	"nektar/internal/bench"
-	"nektar/internal/engine"
+	"nektar/internal/cliutil"
 )
 
 func main() {
@@ -20,18 +20,22 @@ func main() {
 	procs := flag.String("procs", "16,32,64,128", "comma-separated processor counts")
 	stages := flag.Bool("stages", false, "print Figures 15-16 region breakdowns")
 	trace := flag.String("trace", "", "write the engine's per-step JSONL event stream (all cells, all ranks) to this file")
+	ckptDir := flag.String("ckptdir", "", "write per-cell durable checkpoints under this directory (simulated write cost)")
+	ckptEvery := flag.Int("ckpt-every", 0, "checkpoint cadence in steps (requires -ckptdir)")
 	flag.Parse()
 
 	cfg := bench.PaperALE
 	cfg.Machines = strings.Split(*machines, ",")
-	if *trace != "" {
-		f, err := os.Create(*trace)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer f.Close()
-		cfg.Trace = engine.NewTracer(f)
+	tracer, closeTrace, err := cliutil.Tracer(*trace)
+	if err != nil {
+		log.Fatal(err)
 	}
+	defer closeTrace()
+	cfg.Trace = tracer
+	if err := cliutil.CheckpointFlags(*ckptDir, *ckptEvery); err != nil {
+		log.Fatal(err)
+	}
+	cfg.CkptDir, cfg.CkptEvery = *ckptDir, *ckptEvery
 	cfg.Procs = nil
 	for _, p := range strings.Split(*procs, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(p))

@@ -123,6 +123,25 @@ var experiments = []experiment{
 		demo.Write(w)
 		return nil
 	}},
+	{"ckptbench", "durable checkpoint store: async vs sync, local vs striped", func(w io.Writer, quick bool) error {
+		cfg := bench.PaperCkptbench
+		if quick {
+			cfg.Nt, cfg.Nr, cfg.Order = 12, 3, 4
+			cfg.Steps = 6
+			cfg.Procs = 2
+		}
+		_, tables, err := bench.RunCkptbench(cfg)
+		if err != nil {
+			return err
+		}
+		for i, tbl := range tables {
+			if i > 0 {
+				fmt.Fprintln(w)
+			}
+			tbl.Write(w)
+		}
+		return nil
+	}},
 	{"supervise", "self-healing runtime: crash+freeze campaign", func(w io.Writer, quick bool) error {
 		cfg := bench.PaperSupervise
 		if quick {

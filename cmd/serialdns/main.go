@@ -10,7 +10,7 @@ import (
 	"os"
 
 	"nektar/internal/bench"
-	"nektar/internal/engine"
+	"nektar/internal/cliutil"
 )
 
 func main() {
@@ -20,17 +20,21 @@ func main() {
 	steps := flag.Int("steps", bench.PaperSerial.Steps, "measured steps")
 	stages := flag.Bool("stages", false, "print Figure 12 stage breakdowns")
 	trace := flag.String("trace", "", "write the engine's per-step JSONL event stream to this file")
+	ckptDir := flag.String("ckptdir", "", "write durable checkpoints into this directory (async background writer)")
+	ckptEvery := flag.Int("ckpt-every", 0, "checkpoint cadence in steps (requires -ckptdir)")
 	flag.Parse()
 
 	cfg := bench.SerialConfig{Nt: *nt, Nr: *nr, Order: *order, Steps: *steps}
-	if *trace != "" {
-		f, err := os.Create(*trace)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer f.Close()
-		cfg.Trace = engine.NewTracer(f)
+	tracer, closeTrace, err := cliutil.Tracer(*trace)
+	if err != nil {
+		log.Fatal(err)
 	}
+	defer closeTrace()
+	cfg.Trace = tracer
+	if err := cliutil.CheckpointFlags(*ckptDir, *ckptEvery); err != nil {
+		log.Fatal(err)
+	}
+	cfg.CkptDir, cfg.CkptEvery = *ckptDir, *ckptEvery
 	res, _, err := bench.RunSerial(cfg)
 	if err != nil {
 		log.Fatal(err)

@@ -27,6 +27,7 @@ func main() {
 	crashFrac := flag.Float64("crash-frac", cfg.CrashFrac, "crash node 1 at this fraction of the reference wall, in [0,1) (0 disables)")
 	stallFrac := flag.Float64("stall-frac", cfg.StallFrac, "freeze node 0 at this fraction of the reference wall, in [0,1) (0 disables)")
 	seed := flag.Int64("seed", cfg.Seed, "fault-plan seed")
+	ckptDir := flag.String("ckptdir", "", "back the faulted campaign's checkpoints with a durable on-disk store here (directory must start empty)")
 	flag.Parse()
 
 	cfg.Machine = *machine
@@ -38,6 +39,7 @@ func main() {
 	cfg.CrashFrac = *crashFrac
 	cfg.StallFrac = *stallFrac
 	cfg.Seed = *seed
+	cfg.CkptDir = *ckptDir
 
 	// Validate up front so a bad flag fails with an actionable message
 	// instead of a mid-run panic.

@@ -3,7 +3,9 @@ package bench
 import (
 	"fmt"
 	"math"
+	"path/filepath"
 
+	"nektar/internal/ckpt"
 	"nektar/internal/core"
 	"nektar/internal/engine"
 	"nektar/internal/machine"
@@ -50,6 +52,14 @@ type ALEConfig struct {
 	// Trace, when set, receives the engine's per-step event stream for
 	// every measured cell (all ranks interleaved).
 	Trace *engine.Tracer
+
+	// CkptDir, when set, gives every measured cell its own durable
+	// checkpoint store under it (<machine>-p<P>/), written every
+	// CkptEvery steps through the simulated cost model at CkptDiskMBs
+	// per node-local disk.
+	CkptDir     string
+	CkptEvery   int
+	CkptDiskMBs float64
 }
 
 // PaperALE is the paper's Table 3 setup: 15,870 elements, order 4,
@@ -59,9 +69,10 @@ var PaperALE = ALEConfig{
 	PaperElems: 15870, PaperOrder: 4,
 	PressureIters: 90, HelmIters: 26,
 	MatrixFreeCalA: 1.0, MatrixFreeCalBC: 0.9,
-	Steps:    1,
-	Machines: []string{"AP3000", "NCSA", "SP2-Silver", "SP2-Thin2", "RoadRunner-myr"},
-	Procs:    []int{16, 32, 64, 128},
+	Steps:       1,
+	Machines:    []string{"AP3000", "NCSA", "SP2-Silver", "SP2-Thin2", "RoadRunner-myr"},
+	Procs:       []int{16, 32, 64, 128},
+	CkptDiskMBs: 20,
 }
 
 // ALEResult is one (machine, P) cell of Table 3.
@@ -172,6 +183,14 @@ func RunALE(cfg ALEConfig) ([]ALEResult, error) {
 
 func runALECell(mach *machine.Machine, p int, cfg ALEConfig, scale *core.ALEScale) (*ALEResult, error) {
 	res := &ALEResult{Machine: mach.Name, P: p}
+	var store *ckpt.DirStore
+	if cfg.CkptDir != "" {
+		var serr error
+		store, serr = ckpt.NewDirStore(filepath.Join(cfg.CkptDir, fmt.Sprintf("%s-p%d", mach.Name, p)))
+		if serr != nil {
+			return nil, serr
+		}
+	}
 	_, _, err := simnet.Run(p, mach.Net, func(n *simnet.Node) {
 		comm := mpi.World(n)
 		m2, err := mesh.WingSection(cfg.ProbeOrder, cfg.ProbeNt, cfg.ProbeNr)
@@ -205,6 +224,11 @@ func runALECell(mach *machine.Machine, p int, cfg ALEConfig, scale *core.ALEScal
 		loop := engine.Loop{Solver: ns, Steps: ns.StepCount() + cfg.Steps,
 			Rank: comm.Rank(), Watchdog: engine.Watchdog{Disabled: true},
 			Trace: cfg.Trace}
+		if store != nil {
+			loop.Sink = &ckpt.SimWriter{Kind: "nsale", Store: store, Comm: comm,
+				DiskMBs: cfg.CkptDiskMBs, Trace: cfg.Trace}
+			loop.CheckpointEvery = cfg.CkptEvery
+		}
 		if _, lerr := loop.Run(); lerr != nil {
 			panic(lerr)
 		}

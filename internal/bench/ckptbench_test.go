@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+func quickCkptbench(t *testing.T) CkptbenchConfig {
+	t.Helper()
+	return CkptbenchConfig{
+		Nt: 12, Nr: 3, Order: 4,
+		Steps: 6, Every: 2,
+		Dir:      t.TempDir(),
+		Machines: []string{"RoadRunner-eth"},
+		Procs:    2,
+		DiskMBs:  20,
+	}
+}
+
+// The acceptance criterion of the async writer: at an equal cadence the
+// double-buffered background writer exposes less write time to the step
+// loop than the synchronous writer (the hidden remainder overlaps with
+// stepping).
+func TestCkptbenchAsyncHidesWriteTime(t *testing.T) {
+	cfg := quickCkptbench(t)
+	res, tables, err := RunCkptbench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("want 2 tables (host + striped), got %d", len(tables))
+	}
+	// The probe ramps 2 steps then measures cfg.Steps; the loop stages a
+	// snapshot at each cadence step before the last plus the final state
+	// (steps 4, 6 and the final step 8 here).
+	if want := 3; res.Snapshots != want {
+		t.Fatalf("snapshots = %d, want %d", res.Snapshots, want)
+	}
+	if res.Ratio <= 1 {
+		t.Errorf("compression ratio %.3f, want > 1 for smooth solver state", res.Ratio)
+	}
+	if res.AsyncExposedS >= res.SyncExposedS {
+		t.Errorf("async exposed %.6fs >= sync exposed %.6fs: the background writer hid nothing",
+			res.AsyncExposedS, res.SyncExposedS)
+	}
+	if res.AsyncHiddenS <= 0 {
+		t.Errorf("async hidden write time %.6fs, want > 0", res.AsyncHiddenS)
+	}
+	if len(res.Striped) != 1 {
+		t.Fatalf("striped rows = %d, want 1", len(res.Striped))
+	}
+	sc := res.Striped[0]
+	if sc.LocalS <= 0 || sc.StripedS <= 0 {
+		t.Fatalf("non-positive virtual write costs: local %g, striped %g", sc.LocalS, sc.StripedS)
+	}
+	// On commodity Ethernet the shard exchange makes striping strictly
+	// more expensive than node-local restart files — the paper's call.
+	if sc.StripedS <= sc.LocalS {
+		t.Errorf("RoadRunner-eth striped %.6gs <= local %.6gs, want a striping penalty",
+			sc.StripedS, sc.LocalS)
+	}
+}
+
+// TestWriteCkptBaseline regenerates BENCH_ckpt.json (the committed
+// ckptbench baseline) when BENCH_CKPT=1 is set; `make bench-ckpt` runs
+// it.
+func TestWriteCkptBaseline(t *testing.T) {
+	if os.Getenv("BENCH_CKPT") == "" {
+		t.Skip("set BENCH_CKPT=1 to regenerate BENCH_ckpt.json")
+	}
+	res, _, err := RunCkptbench(PaperCkptbench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("../../BENCH_ckpt.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

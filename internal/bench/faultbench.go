@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"nektar/internal/ckpt"
 	"nektar/internal/core"
 	"nektar/internal/engine"
 	"nektar/internal/fault"
@@ -28,7 +29,10 @@ import (
 // (delta = time to write one checkpoint), minimized at the classic
 // tau_opt = sqrt(2*delta*theta). delta is measured, not assumed: a
 // probe Nektar-F run on the simulated machine serializes real solver
-// state and prices the bytes against the cluster's disk bandwidth.
+// state and writes it through the simulated parallel-write cost model
+// (ckpt.SimWriter) — node-local restart files by default, striped
+// 1/P-th shards with Stripe — so the Young table prices the framed,
+// compressed record plus any network traffic the write mode incurs.
 // A second, measured experiment injects a seeded node crash and
 // recovers through core.RunFourierRecovery, reporting the actual
 // virtual-wall overhead of the crash-recovery round trip.
@@ -45,6 +49,9 @@ type FaultbenchConfig struct {
 	// paper's clusters did; the Beowulf literature reports ~10-30 MB/s
 	// commodity IDE disks in this era).
 	DiskMBs float64
+	// Stripe writes each checkpoint as striped 1/P-th shards through
+	// the network instead of node-local restart files.
+	Stripe bool
 	// IntervalSteps are the checkpoint intervals to tabulate.
 	IntervalSteps []int
 	// MTBFHours are the per-node MTBF columns.
@@ -73,9 +80,10 @@ var PaperFaultbench = FaultbenchConfig{
 type FaultbenchResult struct {
 	Machine        string
 	Procs          int
+	WriteMode      string  // "local" or "striped"
 	StepWallS      float64 // measured max per-step virtual wall
-	CheckpointMB   float64 // measured max per-rank checkpoint size
-	DeltaS         float64 // checkpoint write time at DiskMBs
+	CheckpointMB   float64 // measured max per-rank checkpoint size (raw)
+	DeltaS         float64 // measured virtual write cost (ckpt.SimWriter)
 	ClusterMTBFS   []float64
 	OptimalTauS    []float64
 	OptimalTauStep []int
@@ -132,11 +140,15 @@ func RunFaultbench(cfg FaultbenchConfig) (*FaultbenchResult, *report.Table, erro
 	if err != nil {
 		return nil, nil, err
 	}
-	res := &FaultbenchResult{Machine: cfg.Machine, Procs: cfg.Procs}
+	mode := ckpt.WriteLocal
+	if cfg.Stripe {
+		mode = ckpt.WriteStriped
+	}
+	res := &FaultbenchResult{Machine: cfg.Machine, Procs: cfg.Procs, WriteMode: mode.String()}
 
 	// Probe run: real solver state, priced machine, measured per-step
-	// wall and checkpoint bytes.
-	var wallPerStep, ckptBytes float64
+	// wall, checkpoint bytes, and write cost.
+	var wallPerStep, ckptBytes, deltaS float64
 	_, _, err = simnet.Run(cfg.Procs, mach.Net, func(n *simnet.Node) {
 		comm := mpi.World(n)
 		m, merr := mesh.BluffBody(cfg.Order, cfg.ProbeNt, cfg.ProbeNr)
@@ -159,9 +171,16 @@ func RunFaultbench(cfg FaultbenchConfig) (*FaultbenchResult, *report.Table, erro
 		}
 		comm.Barrier()
 		perStep := (comm.Wtime() - w0) / float64(cfg.Steps)
-		mx := comm.Allreduce([]float64{perStep, float64(len(lres.Final))}, mpi.Max)
+		// Measure delta by actually writing the final state through the
+		// simulated parallel-write cost model: framing, compression, and
+		// (striped) the all-to-all shard exchange are all priced.
+		sw := &ckpt.SimWriter{Kind: "nsf", Comm: comm, DiskMBs: cfg.DiskMBs, Mode: mode}
+		if werr := sw.Submit(ns.StepCount(), lres.Final, true); werr != nil {
+			panic(werr)
+		}
+		mx := comm.Allreduce([]float64{perStep, float64(len(lres.Final)), sw.LastCostS()}, mpi.Max)
 		if comm.Rank() == 0 {
-			wallPerStep, ckptBytes = mx[0], mx[1]
+			wallPerStep, ckptBytes, deltaS = mx[0], mx[1], mx[2]
 		}
 	})
 	if err != nil {
@@ -169,9 +188,7 @@ func RunFaultbench(cfg FaultbenchConfig) (*FaultbenchResult, *report.Table, erro
 	}
 	res.StepWallS = wallPerStep
 	res.CheckpointMB = ckptBytes / 1e6
-	// All ranks write their restart file concurrently to node-local
-	// disk, so delta is one rank's bytes over one disk's bandwidth.
-	res.DeltaS = ckptBytes / (cfg.DiskMBs * 1e6)
+	res.DeltaS = deltaS
 
 	// Young sweep: rows = checkpoint interval, columns = node MTBF.
 	cols := []string{"ckpt interval (steps / s)"}
@@ -181,8 +198,8 @@ func RunFaultbench(cfg FaultbenchConfig) (*FaultbenchResult, *report.Table, erro
 		cols = append(cols, fmt.Sprintf("node MTBF %gh", h))
 	}
 	title := fmt.Sprintf(
-		"Faultbench: expected overhead (%% of run), Young's model — %s, P=%d, delta=%.3gs (%.2f MB @ %g MB/s), step=%.3gs",
-		cfg.Machine, cfg.Procs, res.DeltaS, res.CheckpointMB, cfg.DiskMBs, res.StepWallS)
+		"Faultbench: expected overhead (%% of run), Young's model — %s, P=%d, measured delta=%.3gs (%s write, %.2f MB raw @ %g MB/s disk), step=%.3gs",
+		cfg.Machine, cfg.Procs, res.DeltaS, res.WriteMode, res.CheckpointMB, cfg.DiskMBs, res.StepWallS)
 	tbl := report.NewTable(title, cols...)
 	for _, steps := range cfg.IntervalSteps {
 		tau := float64(steps) * res.StepWallS

@@ -2,8 +2,10 @@ package bench
 
 import (
 	"fmt"
+	"path/filepath"
 
 	"nektar/internal/blas"
+	"nektar/internal/ckpt"
 	"nektar/internal/core"
 	"nektar/internal/engine"
 	"nektar/internal/machine"
@@ -35,6 +37,15 @@ type FourierConfig struct {
 	// Trace, when set, receives the engine's per-step event stream for
 	// every measured cell (all ranks interleaved).
 	Trace *engine.Tracer
+
+	// CkptDir, when set, gives every measured cell its own durable
+	// checkpoint store under it (<machine>-p<P>/), written every
+	// CkptEvery steps through the simulated cost model: each rank's
+	// record is priced as a node-local restart-file write at
+	// CkptDiskMBs, and that time lands in the cell's wall clock.
+	CkptDir     string
+	CkptEvery   int
+	CkptDiskMBs float64
 }
 
 // PaperFourier is the paper's Table 2 setup.
@@ -47,7 +58,8 @@ var PaperFourier = FourierConfig{
 		"AP3000", "NCSA", "SP2-Silver", "SP2-Thin2",
 		"RoadRunner-eth", "RoadRunner-myr", "Muses",
 	},
-	Procs: []int{2, 4, 8, 16, 32, 64, 128},
+	Procs:       []int{2, 4, 8, 16, 32, 64, 128},
+	CkptDiskMBs: 20,
 }
 
 // FourierResult is one (machine, P) cell of Table 2.
@@ -156,6 +168,14 @@ func RunFourier(cfg FourierConfig) ([]FourierResult, error) {
 func runFourierCell(mach *machine.Machine, p int, cfg FourierConfig, probe, paper *solveStats) (*FourierResult, error) {
 	res := &FourierResult{Machine: mach.Name, P: p}
 	sc := fourierScale(&mach.CPU, probe, paper)
+	var store *ckpt.DirStore
+	if cfg.CkptDir != "" {
+		var serr error
+		store, serr = ckpt.NewDirStore(filepath.Join(cfg.CkptDir, fmt.Sprintf("%s-p%d", mach.Name, p)))
+		if serr != nil {
+			return nil, serr
+		}
+	}
 	_, _, err := simnet.Run(p, mach.Net, func(n *simnet.Node) {
 		comm := mpi.World(n)
 		m, err := mesh.BluffBody(cfg.Order, cfg.ProbeNt, cfg.ProbeNr)
@@ -176,6 +196,11 @@ func runFourierCell(mach *machine.Machine, p int, cfg FourierConfig, probe, pape
 		loop := engine.Loop{Solver: ns, Steps: ns.StepCount() + cfg.Steps,
 			Rank: comm.Rank(), Watchdog: engine.Watchdog{Disabled: true},
 			Trace: cfg.Trace}
+		if store != nil {
+			loop.Sink = &ckpt.SimWriter{Kind: "nsf", Store: store, Comm: comm,
+				DiskMBs: cfg.CkptDiskMBs, Trace: cfg.Trace}
+			loop.CheckpointEvery = cfg.CkptEvery
+		}
 		if _, lerr := loop.Run(); lerr != nil {
 			panic(lerr)
 		}

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 
+	"nektar/internal/ckpt"
 	"nektar/internal/core"
 	"nektar/internal/engine"
 	"nektar/internal/machine"
@@ -21,6 +22,13 @@ type SerialConfig struct {
 	// Trace, when set, receives the engine's per-step event stream for
 	// the measured steps.
 	Trace *engine.Tracer
+
+	// CkptDir, when set, streams a durable checkpoint every CkptEvery
+	// steps (plus the final state) into an on-disk store there, written
+	// by the async background writer so the step loop only pays the
+	// marshal.
+	CkptDir   string
+	CkptEvery int
 }
 
 // PaperSerial is the paper's discretization: 902 elements at
@@ -78,6 +86,16 @@ func RunSerial(cfg SerialConfig) ([]SerialResult, *timing.Stages, error) {
 	st.Attach()
 	loop := engine.Loop{Solver: ns, Steps: ns.StepCount() + cfg.Steps,
 		Watchdog: engine.Watchdog{Disabled: true}, Trace: cfg.Trace}
+	if cfg.CkptDir != "" {
+		store, serr := ckpt.NewDirStore(cfg.CkptDir)
+		if serr != nil {
+			return nil, nil, serr
+		}
+		w := ckpt.NewAsyncWriter(store, ckpt.WriterConfig{Kind: "ns2d", Trace: cfg.Trace})
+		defer w.Close()
+		loop.Sink = w
+		loop.CheckpointEvery = cfg.CkptEvery
+	}
 	_, lerr := loop.Run()
 	st.Detach()
 	if lerr != nil {

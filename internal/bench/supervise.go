@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 
+	"nektar/internal/ckpt"
 	"nektar/internal/core"
 	"nektar/internal/fault"
 	"nektar/internal/machine"
@@ -41,6 +42,13 @@ type SuperviseConfig struct {
 	// that only the heartbeat detector can end the attempt.
 	StallDurS float64
 	Seed      int64
+
+	// CkptDir, when set, backs the faulted campaign's checkpoints with
+	// a durable on-disk store (framed, compressed, CRC-verified): the
+	// rollback step then comes from records that verify on every rank
+	// rather than from the in-memory staging area. The directory must
+	// start empty — leftover records warm-start the campaign.
+	CkptDir string
 }
 
 // PaperSupervise is the default campaign: the paper's Ethernet Beowulf
@@ -149,6 +157,13 @@ func RunSupervise(cfg SuperviseConfig) (*report.Table, error) {
 	faulted := sup
 	faulted.Faults = plan
 	faulted.Heartbeat.InitialInterval = ref.VirtualWall / float64(cfg.Steps)
+	if cfg.CkptDir != "" {
+		store, serr := ckpt.NewDirStore(cfg.CkptDir)
+		if serr != nil {
+			return nil, serr
+		}
+		faulted.Store, faulted.Kind = store, cfg.Solver
+	}
 	got, err := supervisor.Run(faulted)
 	if err != nil {
 		return nil, fmt.Errorf("bench: supervised faulted run: %w", err)

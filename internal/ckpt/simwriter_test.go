@@ -1,0 +1,95 @@
+package ckpt
+
+import (
+	"testing"
+
+	"nektar/internal/machine"
+	"nektar/internal/mpi"
+	"nektar/internal/simnet"
+)
+
+// writeCost measures one collective checkpoint write's max virtual
+// cost over ranks on the named machine.
+func writeCost(t *testing.T, machName string, procs, stateBytes int, mode WriteMode, diskMBs float64) float64 {
+	t.Helper()
+	mach, err := machine.ByName(machName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cost float64
+	_, _, err = simnet.Run(procs, mach.Net, func(n *simnet.Node) {
+		comm := mpi.World(n)
+		w := &SimWriter{Kind: "nsf", Store: NewMemStore(), Comm: comm,
+			DiskMBs: diskMBs, Mode: mode}
+		if err := w.Submit(10, payload(byte(n.Rank), stateBytes), false); err != nil {
+			panic(err)
+		}
+		mx := comm.Allreduce([]float64{w.LastCostS()}, mpi.Max)
+		if comm.Rank() == 0 {
+			cost = mx[0]
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cost
+}
+
+// The striped model must price the network: on the slow Ethernet
+// cluster, striping a checkpoint across P node-local disks costs
+// strictly more virtual time than each rank writing its own restart
+// file — the measured version of the paper's choice of local restart
+// files — while on Myrinet the penalty shrinks.
+func TestStripedWriteCostsNetworkTime(t *testing.T) {
+	const procs, state = 4, 200_000
+	const disk = 20 // MB/s commodity IDE
+	localEth := writeCost(t, "RoadRunner-eth", procs, state, WriteLocal, disk)
+	stripedEth := writeCost(t, "RoadRunner-eth", procs, state, WriteStriped, disk)
+	if localEth <= 0 {
+		t.Fatalf("local write cost %g", localEth)
+	}
+	if stripedEth <= localEth {
+		t.Fatalf("striping over Ethernet priced at %gs, local %gs — network not charged", stripedEth, localEth)
+	}
+	localMyr := writeCost(t, "RoadRunner-myr", procs, state, WriteLocal, disk)
+	stripedMyr := writeCost(t, "RoadRunner-myr", procs, state, WriteStriped, disk)
+	ethPenalty := stripedEth - localEth
+	myrPenalty := stripedMyr - localMyr
+	if myrPenalty >= ethPenalty {
+		t.Fatalf("Myrinet striping penalty %gs not below Ethernet's %gs", myrPenalty, ethPenalty)
+	}
+}
+
+// The cost model is deterministic: same machine, same bytes, same
+// virtual price.
+func TestSimWriterDeterministic(t *testing.T) {
+	a := writeCost(t, "RoadRunner-eth", 4, 50_000, WriteStriped, 20)
+	b := writeCost(t, "RoadRunner-eth", 4, 50_000, WriteStriped, 20)
+	if a != b {
+		t.Fatalf("striped write cost not deterministic: %g vs %g", a, b)
+	}
+}
+
+// SimWriter with a store persists verifiable records for every rank.
+func TestSimWriterPersists(t *testing.T) {
+	mach, err := machine.ByName("RoadRunner-eth")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewMemStore()
+	const procs = 4
+	_, _, err = simnet.Run(procs, mach.Net, func(n *simnet.Node) {
+		comm := mpi.World(n)
+		w := &SimWriter{Kind: "nsf", Store: s, Comm: comm, DiskMBs: 20, Mode: WriteStriped}
+		if err := w.Submit(3, payload(byte(n.Rank), 10_000), false); err != nil {
+			panic(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	step, states, err := Latest(s, procs)
+	if err != nil || step != 3 || len(states) != procs {
+		t.Fatalf("Latest: step=%d err=%v", step, err)
+	}
+}

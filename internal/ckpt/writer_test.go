@@ -1,0 +1,176 @@
+package ckpt
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"nektar/internal/engine"
+)
+
+func TestAsyncWriterDurableAfterDrain(t *testing.T) {
+	s := NewMemStore()
+	var trace bytes.Buffer
+	w := NewAsyncWriter(s, WriterConfig{Kind: "nsf", Rank: 2, Trace: engine.NewTracer(&trace)})
+	defer w.Close()
+	const n = 20
+	for i := 1; i <= n; i++ {
+		if err := w.Submit(i, payload(byte(i), 1500), i == n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= n; i++ {
+		state, m, err := s.Open(i, 2)
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		if m.Kind != "nsf" || !bytes.Equal(state, payload(byte(i), 1500)) {
+			t.Fatalf("step %d stored wrong record", i)
+		}
+	}
+	st := w.Stats()
+	if st.Snapshots != n || st.RawBytes != n*1500 || st.StoredBytes <= 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	evs, err := engine.ReadEvents(&trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dones := 0
+	for _, e := range evs {
+		if e.Ev != engine.EvCkptDone {
+			continue
+		}
+		dones++
+		if e.Stored <= 0 || e.Ratio <= 1 || e.Bytes != 1500 {
+			t.Fatalf("ckpt_done event %+v", e)
+		}
+		if e.Final != (e.Step == n) {
+			t.Fatalf("final flag wrong on %+v", e)
+		}
+	}
+	if dones != n {
+		t.Fatalf("%d ckpt_done events, want %d", dones, n)
+	}
+}
+
+// A drained writer must stay usable: one writer serves a campaign of
+// Loop runs, each of which drains on exit.
+func TestAsyncWriterReusableAfterDrain(t *testing.T) {
+	s := NewMemStore()
+	w := NewAsyncWriter(s, WriterConfig{Kind: "nsf"})
+	defer w.Close()
+	for round := 0; round < 3; round++ {
+		if err := w.Submit(round+1, payload(1, 100), false); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Drain(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	steps, _ := s.Steps()
+	if len(steps) != 3 {
+		t.Fatalf("steps %v", steps)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Submit(9, payload(1, 10), false); err == nil {
+		t.Fatal("closed writer accepted a submit")
+	}
+}
+
+// errStore fails every put.
+type errStore struct{ Store }
+
+func (errStore) Put(Meta, []byte) (Stats, error) {
+	return Stats{}, errors.New("disk full")
+}
+
+func TestAsyncWriterSurfacesWriteErrors(t *testing.T) {
+	w := NewAsyncWriter(errStore{NewMemStore()}, WriterConfig{})
+	defer w.Close()
+	_ = w.Submit(1, payload(1, 10), false)
+	if err := w.Drain(); err == nil {
+		t.Fatal("write error lost")
+	}
+	// After a failed write, further submissions are refused with it.
+	if err := w.Submit(2, payload(1, 10), false); err == nil {
+		t.Fatal("writer kept accepting after a write error")
+	}
+}
+
+// The writer applies retention after every put, so a long run's store
+// stays bounded without the step loop ever doing GC work.
+func TestAsyncWriterRetention(t *testing.T) {
+	s := NewMemStore()
+	w := NewAsyncWriter(s, WriterConfig{Kind: "nsf", Retention: Retention{KeepLast: 3}})
+	defer w.Close()
+	for i := 1; i <= 10; i++ {
+		if err := w.Submit(i, payload(byte(i), 200), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	steps, _ := s.Steps()
+	if fmt.Sprint(steps) != "[8 9 10]" {
+		t.Fatalf("retained steps %v", steps)
+	}
+}
+
+// Concurrent Submit/Drain/Stats from multiple goroutines must be
+// race-clean (the CI race step runs this package).
+func TestAsyncWriterConcurrency(t *testing.T) {
+	s := NewMemStore()
+	w := NewAsyncWriter(s, WriterConfig{Kind: "nsf"})
+	defer w.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				_ = w.Submit(g*100+i, payload(byte(i), 300), false)
+				_ = w.Stats()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	steps, _ := s.Steps()
+	if len(steps) != 100 {
+		t.Fatalf("%d records stored, want 100", len(steps))
+	}
+}
+
+func TestSyncWriterStoresAndTraces(t *testing.T) {
+	s := NewMemStore()
+	var trace bytes.Buffer
+	w := NewSyncWriter(s, WriterConfig{Kind: "ns2d", Trace: engine.NewTracer(&trace)})
+	if err := w.Submit(5, payload(2, 800), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Open(5, 0); err != nil {
+		t.Fatal(err)
+	}
+	st := w.Stats()
+	if st.Snapshots != 1 || st.ExposedS <= 0 || st.HiddenS != 0 {
+		t.Fatalf("sync stats %+v", st)
+	}
+	evs, err := engine.ReadEvents(&trace)
+	if err != nil || len(evs) != 1 || evs[0].Ev != engine.EvCkptDone || !evs[0].Final {
+		t.Fatalf("trace %v err %v", evs, err)
+	}
+}

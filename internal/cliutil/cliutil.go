@@ -1,0 +1,43 @@
+// Package cliutil holds the flag-handling helpers shared by the
+// command-line front ends, so each command does not re-implement the
+// same tracer-file and checkpoint-flag plumbing.
+package cliutil
+
+import (
+	"fmt"
+	"os"
+
+	"nektar/internal/ckpt"
+	"nektar/internal/engine"
+)
+
+// Tracer opens the -trace file and wraps it in an engine tracer. An
+// empty path means tracing is off: a nil tracer and a no-op closer, so
+// callers can defer the close unconditionally.
+func Tracer(path string) (*engine.Tracer, func() error, error) {
+	if path == "" {
+		return nil, func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return engine.NewTracer(f), f.Close, nil
+}
+
+// CheckpointFlags validates the -ckptdir/-ckpt-every flag pair and
+// creates the store directory, so an unwritable path or a missing
+// interval fails before any solver work starts.
+func CheckpointFlags(dir string, every int) error {
+	if dir == "" {
+		if every > 0 {
+			return fmt.Errorf("-ckpt-every %d needs -ckptdir to write into", every)
+		}
+		return nil
+	}
+	if every < 1 {
+		return fmt.Errorf("-ckptdir %q needs a positive -ckpt-every interval, got %d", dir, every)
+	}
+	_, err := ckpt.NewDirStore(dir)
+	return err
+}

@@ -1,0 +1,59 @@
+package cliutil
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nektar/internal/engine"
+)
+
+func TestTracerOffIsNil(t *testing.T) {
+	tr, closeFn, err := Tracer("")
+	if err != nil || tr != nil {
+		t.Fatalf("tr=%v err=%v", tr, err)
+	}
+	if err := closeFn(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTracerWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	tr, closeFn, err := Tracer(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Emit(engine.Event{Ev: engine.EvStep, Step: 1})
+	if err := closeFn(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	evs, err := engine.ReadEvents(f)
+	if err != nil || len(evs) != 1 || evs[0].Ev != engine.EvStep {
+		t.Fatalf("evs=%v err=%v", evs, err)
+	}
+}
+
+func TestCheckpointFlags(t *testing.T) {
+	if err := CheckpointFlags("", 0); err != nil {
+		t.Fatalf("off: %v", err)
+	}
+	if err := CheckpointFlags("", 5); err == nil {
+		t.Fatal("interval without a directory accepted")
+	}
+	if err := CheckpointFlags(filepath.Join(t.TempDir(), "ck"), 0); err == nil {
+		t.Fatal("directory without an interval accepted")
+	}
+	dir := filepath.Join(t.TempDir(), "ck")
+	if err := CheckpointFlags(dir, 5); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+		t.Fatalf("store directory not created: %v", err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"nektar/internal/ckpt"
 	"nektar/internal/engine"
 	"nektar/internal/machine"
 	"nektar/internal/mesh"
@@ -57,6 +58,15 @@ type Recovery struct {
 	// Trace receives the engine's per-step event stream plus rollback
 	// markers when attempts resume from a committed checkpoint.
 	Trace *engine.Tracer
+
+	// Store, when set, makes every staged checkpoint durable (framed,
+	// compressed, CRC-protected — see internal/ckpt) and the commit
+	// rule corruption-aware: an attempt resumes from the newest step
+	// whose records verify on every rank, falling back past torn or
+	// bit-flipped records. A pre-populated store also warm-starts the
+	// whole run (cross-process resume). Kind tags the records.
+	Store ckpt.Store
+	Kind  string
 }
 
 // FourierRecovery configures a fault-tolerant Fourier run.
@@ -146,6 +156,17 @@ func RunRecovery(rc Recovery) (*RecoveryResult, error) {
 	// The committed checkpoint: the newest step every rank has staged.
 	committedStep := -1
 	var committed [][]byte
+	// A durable store may already hold a usable checkpoint from an
+	// earlier (killed) process — resume from it.
+	if rc.Store != nil {
+		s, states, serr := ckpt.Latest(rc.Store, rc.Procs)
+		if serr != nil {
+			return nil, fmt.Errorf("core: reading checkpoint store: %w", serr)
+		}
+		if s >= 0 {
+			committedStep, committed = s, states
+		}
+	}
 
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		var inj simnet.Injector
@@ -186,6 +207,11 @@ func RunRecovery(rc Recovery) (*RecoveryResult, error) {
 				CheckpointEvery: rc.CheckpointEvery,
 				OnCheckpoint: func(step int, state []byte) {
 					staged[n.Rank][step] = state
+					if rc.Store != nil {
+						if _, perr := rc.Store.Put(ckpt.Meta{Kind: rc.Kind, Rank: n.Rank, Step: step}, state); perr != nil {
+							panic(perr)
+						}
+					}
 					if rc.CheckpointCostS > 0 {
 						comm.Sleep(rc.CheckpointCostS)
 					}
@@ -213,7 +239,18 @@ func RunRecovery(rc Recovery) (*RecoveryResult, error) {
 			return nil, fmt.Errorf("core: recovery attempt %d failed without a crash: %w", attempt, err)
 		}
 		res.Crashes = append(res.Crashes, ce)
-		if s := commitNewest(staged, rc.Procs); s > committedStep {
+		if rc.Store != nil {
+			// Re-read through the store so the commit is what actually
+			// verifies on disk: a torn or bit-flipped record demotes its
+			// step and Latest falls back to the previous complete one.
+			s, states, serr := ckpt.Latest(rc.Store, rc.Procs)
+			if serr != nil {
+				return nil, fmt.Errorf("core: reading checkpoint store after crash: %w", serr)
+			}
+			if s > committedStep {
+				committedStep, committed = s, states
+			}
+		} else if s := commitNewest(staged, rc.Procs); s > committedStep {
 			committedStep = s
 			committed = make([][]byte, rc.Procs)
 			for r := 0; r < rc.Procs; r++ {

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"nektar/internal/ckpt"
+	"nektar/internal/engine"
+	"nektar/internal/fault"
+	"nektar/internal/mpi"
+	"nektar/internal/simnet"
+)
+
+// nsfStoreRecovery is the shared fault-tolerant Fourier run the
+// durable-store tests drive through the generic harness.
+func nsfStoreRecovery(t *testing.T) Recovery {
+	t.Helper()
+	return Recovery{
+		Procs: 2,
+		Model: aleTestNet(),
+		NewSolver: func(rank int, comm *mpi.Comm) (engine.Solver, error) {
+			ns, err := NewNSF(channelMesh(t, 4, 3, 2, 3), nsfChannelCfg(0.1, 2e-3), comm, nil)
+			if err != nil {
+				return nil, err
+			}
+			ns.SetUniformInitial(1, 0)
+			return ns, nil
+		},
+		Steps:           8,
+		CheckpointEvery: 2,
+		CheckpointCostS: 1e-4,
+	}
+}
+
+// TestRecoveryKilledRunCorruptedStoreBitIdentical is the PR's e2e
+// acceptance criterion: a run is killed mid-flight (the process gone,
+// only its on-disk store left behind), the newest checkpoint record is
+// then damaged on disk, and a fresh process warm-starts from the
+// previous valid checkpoint to a final state bit-identical to an
+// uninterrupted run.
+func TestRecoveryKilledRunCorruptedStoreBitIdentical(t *testing.T) {
+	base := nsfStoreRecovery(t)
+	ref, err := RunRecovery(base)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	if ref.Attempts != 1 {
+		t.Fatalf("reference run took %d attempts", ref.Attempts)
+	}
+
+	// The "killed" run: a crash with no retry budget plays the role of
+	// an operator's kill -9 — the process dies, the store survives.
+	store, err := ckpt.NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	killed := base
+	killed.Store, killed.Kind = store, "nsf"
+	killed.MaxAttempts = 1
+	killed.Plans = []simnet.Injector{fault.NewPlan(1).Crash(1, 0.8*ref.VirtualWall)}
+	if _, err := RunRecovery(killed); err == nil {
+		t.Fatal("killed run reported success")
+	}
+	steps, err := store.Steps()
+	if err != nil || len(steps) < 2 {
+		t.Fatalf("store after the kill holds steps %v (err %v); need at least two to corrupt one", steps, err)
+	}
+	newest, prev := steps[len(steps)-1], steps[len(steps)-2]
+
+	// Damage the newest record on disk the way a dying node does — one
+	// flipped bit in rank 1's file.
+	path := store.Path(newest, 1)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x10
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if s, _, lerr := ckpt.Latest(store, base.Procs); lerr != nil || s != prev {
+		t.Fatalf("Latest = %d (err %v), want fallback to step %d past the damaged step %d", s, lerr, prev, newest)
+	}
+
+	// A fresh fault-free process over the same store must resume from
+	// the surviving checkpoint, not recompute from scratch.
+	resumed := base
+	resumed.Store, resumed.Kind = store, "nsf"
+	got, err := RunRecovery(resumed)
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if got.Attempts != 1 {
+		t.Fatalf("resumed run took %d attempts, want 1", got.Attempts)
+	}
+	if want := base.Steps - prev; got.StepsComputed != want {
+		t.Errorf("resumed run computed %d steps, want %d (warm start from step %d)", got.StepsComputed, want, prev)
+	}
+	if len(got.Final) != len(ref.Final) {
+		t.Fatalf("final state count %d, want %d", len(got.Final), len(ref.Final))
+	}
+	for r := range ref.Final {
+		if !bytes.Equal(ref.Final[r], got.Final[r]) {
+			t.Fatalf("rank %d: resumed final state differs from the uninterrupted reference (not bit-identical)", r)
+		}
+	}
+}
+
+// An empty durable store must behave exactly like no store: the run
+// starts from step 0 and leaves verifiable records behind.
+func TestRecoveryEmptyStoreCleanStart(t *testing.T) {
+	base := nsfStoreRecovery(t)
+	ref, err := RunRecovery(base)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+
+	stored := base
+	stored.Store, stored.Kind = ckpt.NewMemStore(), "nsf"
+	got, err := RunRecovery(stored)
+	if err != nil {
+		t.Fatalf("stored run: %v", err)
+	}
+	if got.StepsComputed != base.Steps {
+		t.Errorf("computed %d steps, want %d (no warm start from an empty store)", got.StepsComputed, base.Steps)
+	}
+	for r := range ref.Final {
+		if !bytes.Equal(ref.Final[r], got.Final[r]) {
+			t.Fatalf("rank %d: store-enabled run diverged from the storeless reference", r)
+		}
+	}
+	s, states, err := ckpt.Latest(stored.Store, base.Procs)
+	if err != nil || s != 6 || len(states) != base.Procs {
+		t.Fatalf("store after the run: Latest = %d (err %v), want the last mid-run checkpoint (6)", s, err)
+	}
+}

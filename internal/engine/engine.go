@@ -136,11 +136,16 @@ type Loop struct {
 	Rank int
 
 	// CheckpointEvery stages a checkpoint every so many steps (0
-	// disables; the final state is not a checkpoint). OnCheckpoint
-	// receives the serialized state and owns staging it and charging
-	// any I/O cost.
+	// disables; the final state is not handed to OnCheckpoint).
+	// OnCheckpoint receives the serialized state and owns staging it
+	// and charging any I/O cost.
 	CheckpointEvery int
 	OnCheckpoint    func(step int, state []byte)
+	// Sink, when set, receives every marshalled snapshot — the mid-run
+	// checkpoints and the final state — for durable storage (see
+	// internal/ckpt). The loop drains it on every exit path, so a
+	// returned Run means every submitted snapshot is on the medium.
+	Sink CheckpointSink
 
 	// Poll is the pre-step halt check (collective for parallel runs);
 	// returning true ends the loop with Outcome Halted.
@@ -157,11 +162,33 @@ type Loop struct {
 	Trace *Tracer
 }
 
-// Run executes the loop to its outcome. Errors are serialization
-// failures only (a checkpoint that cannot encode); solver and
-// communication failures panic, matching the simulated cluster's
-// crash-unwinding model.
+// CheckpointSink receives marshalled snapshots for durable storage off
+// the step loop's critical path. Submit may buffer (an asynchronous
+// writer) or persist inline charging its cost (a simulated-disk
+// writer); final marks the run's end-state snapshot. Drain blocks
+// until everything submitted is durable and returns the first write
+// error. internal/ckpt provides the implementations.
+type CheckpointSink interface {
+	Submit(step int, state []byte, final bool) error
+	Drain() error
+}
+
+// Run executes the loop to its outcome. Errors are serialization or
+// checkpoint-sink failures only; solver and communication failures
+// panic, matching the simulated cluster's crash-unwinding model. When
+// a Sink is configured it is drained on every exit path, so a returned
+// Run means every submitted snapshot is durable.
 func (l *Loop) Run() (Result, error) {
+	res, err := l.run()
+	if l.Sink != nil {
+		if derr := l.Sink.Drain(); derr != nil && err == nil {
+			err = derr
+		}
+	}
+	return res, err
+}
+
+func (l *Loop) run() (Result, error) {
 	s := l.Solver
 	wdEvery := l.Watchdog.Every
 	if wdEvery < 1 {
@@ -218,17 +245,16 @@ func (l *Loop) Run() (Result, error) {
 			l.PostStep(step)
 		}
 		if l.CheckpointEvery > 0 && step%l.CheckpointEvery == 0 && step < l.Steps {
-			state, err := Marshal(s)
-			if err != nil {
+			if _, err := l.snapshot(step, false); err != nil {
 				return res, err
-			}
-			l.trace(Event{Ev: EvCheckpoint, Rank: l.Rank, Step: step, Bytes: len(state)})
-			if l.OnCheckpoint != nil {
-				l.OnCheckpoint(step, state)
 			}
 		}
 	}
-	final, err := Marshal(s)
+	// The final state takes the same marshal/trace/sink path as a
+	// mid-run checkpoint (marked final) — it is not an untraced special
+	// case — but is returned in the Result rather than handed to
+	// OnCheckpoint, whose contract is mid-run staging only.
+	final, err := l.snapshot(s.StepCount(), true)
 	if err != nil {
 		return res, err
 	}
@@ -236,6 +262,27 @@ func (l *Loop) Run() (Result, error) {
 	res.Outcome = Completed
 	l.trace(Event{Ev: EvDone, Rank: l.Rank, Step: s.StepCount()})
 	return res, nil
+}
+
+// snapshot is the one marshal path: it serializes the solver, emits
+// the checkpoint trace event, and feeds the sink (ckpt_begin marks the
+// hand-off; the sink emits ckpt_done when the record is durable).
+func (l *Loop) snapshot(step int, final bool) ([]byte, error) {
+	state, err := Marshal(l.Solver)
+	if err != nil {
+		return nil, err
+	}
+	l.trace(Event{Ev: EvCheckpoint, Rank: l.Rank, Step: step, Bytes: len(state), Final: final})
+	if l.Sink != nil {
+		l.trace(Event{Ev: EvCkptBegin, Rank: l.Rank, Step: step, Bytes: len(state), Final: final})
+		if err := l.Sink.Submit(step, state, final); err != nil {
+			return nil, err
+		}
+	}
+	if !final && l.OnCheckpoint != nil {
+		l.OnCheckpoint(step, state)
+	}
+	return state, nil
 }
 
 // trace emits e when tracing is on.

@@ -251,11 +251,23 @@ func TestLoopTraceEvents(t *testing.T) {
 		t.Fatal(err)
 	}
 	count := map[string]int{}
+	finals := 0
 	for _, e := range evs {
 		count[e.Ev]++
+		if e.Ev == EvCheckpoint && e.Final {
+			finals++
+			if e.Step != 3 {
+				t.Fatalf("final snapshot traced at step %d", e.Step)
+			}
+		}
 	}
-	if count[EvStep] != 3 || count[EvStage] != 3 || count[EvCheckpoint] != 1 || count[EvDone] != 1 {
+	// Two checkpoint events: the step-2 mid-run checkpoint and the
+	// final-state snapshot, which takes the same traced path.
+	if count[EvStep] != 3 || count[EvStage] != 3 || count[EvCheckpoint] != 2 || count[EvDone] != 1 {
 		t.Fatalf("event counts %v", count)
+	}
+	if finals != 1 {
+		t.Fatalf("%d final-flagged checkpoint events", finals)
 	}
 	for _, e := range evs {
 		if e.Ev == EvStage && (e.Stage != "work" || e.WallS != 1) {
@@ -264,5 +276,94 @@ func TestLoopTraceEvents(t *testing.T) {
 		if e.Ev == EvStep && e.WallS != 1 {
 			t.Fatalf("step event %+v", e)
 		}
+	}
+}
+
+// recordingSink captures Submit/Drain calls for loop-contract tests.
+type recordingSink struct {
+	steps   []int
+	finals  []bool
+	drained int
+	subErr  error
+	drnErr  error
+}
+
+func (r *recordingSink) Submit(step int, state []byte, final bool) error {
+	r.steps = append(r.steps, step)
+	r.finals = append(r.finals, final)
+	return r.subErr
+}
+
+func (r *recordingSink) Drain() error {
+	r.drained++
+	return r.drnErr
+}
+
+func TestLoopSinkReceivesCheckpointsAndFinal(t *testing.T) {
+	s := newFakeSolver(func(step int) float64 { return 1 })
+	sink := &recordingSink{}
+	loop := Loop{Solver: s, Steps: 5, CheckpointEvery: 2, Sink: sink,
+		Watchdog: Watchdog{Disabled: true}}
+	res, err := loop.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Completed {
+		t.Fatalf("outcome %v", res.Outcome)
+	}
+	// Mid-run checkpoints at 2 and 4, then the final snapshot at 5.
+	if len(sink.steps) != 3 || sink.steps[0] != 2 || sink.steps[1] != 4 || sink.steps[2] != 5 {
+		t.Fatalf("sink steps %v", sink.steps)
+	}
+	if sink.finals[0] || sink.finals[1] || !sink.finals[2] {
+		t.Fatalf("sink finals %v", sink.finals)
+	}
+	if sink.drained != 1 {
+		t.Fatalf("drained %d times", sink.drained)
+	}
+}
+
+func TestLoopSinkDrainedOnHalt(t *testing.T) {
+	s := newFakeSolver(func(step int) float64 { return 1 })
+	sink := &recordingSink{}
+	polls := 0
+	loop := Loop{Solver: s, Steps: 100, CheckpointEvery: 1, Sink: sink,
+		Poll:     func() bool { polls++; return polls > 3 },
+		Watchdog: Watchdog{Disabled: true}}
+	res, err := loop.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Halted {
+		t.Fatalf("outcome %v", res.Outcome)
+	}
+	if sink.drained != 1 {
+		t.Fatalf("halted run drained %d times", sink.drained)
+	}
+	for _, f := range sink.finals {
+		if f {
+			t.Fatal("halted run must not submit a final snapshot")
+		}
+	}
+}
+
+func TestLoopSinkErrorsSurface(t *testing.T) {
+	s := newFakeSolver(func(step int) float64 { return 1 })
+	sink := &recordingSink{subErr: io.ErrClosedPipe}
+	loop := Loop{Solver: s, Steps: 4, CheckpointEvery: 2, Sink: sink,
+		Watchdog: Watchdog{Disabled: true}}
+	if _, err := loop.Run(); err == nil {
+		t.Fatal("submit error did not surface")
+	}
+	if sink.drained != 1 {
+		t.Fatal("failed run must still drain the sink")
+	}
+
+	s2 := newFakeSolver(func(step int) float64 { return 1 })
+	sink2 := &recordingSink{drnErr: io.ErrShortWrite}
+	loop2 := Loop{Solver: s2, Steps: 4, Sink: sink2,
+		Watchdog: Watchdog{Disabled: true}}
+	if _, err := loop2.Run(); err != io.ErrShortWrite {
+		t.Fatalf("drain error did not surface: %v", err)
 	}
 }

@@ -15,7 +15,14 @@ import (
 //	step        one solver step finished; host_s/priced_s/wall_s are
 //	            the step's totals across all stages
 //	stage       per-stage share of one step (only stages that did work)
-//	checkpoint  a checkpoint of bytes size was staged at step
+//	checkpoint  a checkpoint of bytes size was staged at step (final
+//	            marks the run's end-state snapshot)
+//	ckpt_begin  the marshalled state was handed to the checkpoint sink
+//	            (exposed durable-write lifecycle starts)
+//	ckpt_done   the sink made the record durable: stored/ratio are the
+//	            framed size and compression ratio, hidden_s the write
+//	            time overlapped with stepping, exposed_s the time the
+//	            step loop actually blocked (backpressure)
 //	rollback    a run resumed from the checkpoint at step (attempt is
 //	            the relaunch index)
 //	trip        the watchdog ended the run: max_abs/finite explain why
@@ -25,6 +32,8 @@ const (
 	EvStep       = "step"
 	EvStage      = "stage"
 	EvCheckpoint = "checkpoint"
+	EvCkptBegin  = "ckpt_begin"
+	EvCkptDone   = "ckpt_done"
 	EvRollback   = "rollback"
 	EvTrip       = "trip"
 	EvHalt       = "halt"
@@ -46,6 +55,14 @@ type Event struct {
 	Attempt int     `json:"attempt,omitempty"`
 	MaxAbs  float64 `json:"max_abs,omitempty"`
 	Finite  *bool   `json:"finite,omitempty"`
+
+	// Durable-write fields (ckpt_begin/ckpt_done, see internal/ckpt).
+	Stored   int     `json:"stored,omitempty"`
+	Ratio    float64 `json:"ratio,omitempty"`
+	HiddenS  float64 `json:"hidden_s,omitempty"`
+	ExposedS float64 `json:"exposed_s,omitempty"`
+	// Final marks the run's end-state snapshot (checkpoint events).
+	Final bool `json:"final,omitempty"`
 }
 
 // Tracer serializes events from concurrently stepping ranks onto one

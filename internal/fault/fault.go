@@ -34,6 +34,7 @@ type Plan struct {
 	degrades   []degradeWindow
 	stalls     []stallWindow
 	rankStalls []rankStall
+	corrupts   []recordCorrupt
 
 	rng *rand.Rand // for sampled (MTBF-style) events at build time
 
@@ -59,6 +60,21 @@ type stallWindow struct {
 type rankStall struct {
 	rank    int
 	at, dur float64
+}
+
+// recordCorrupt damages the checkpoint record a rank writes at a step.
+type corruptMode int
+
+const (
+	corruptTorn corruptMode = iota // truncate to keepFrac of the frame
+	corruptBit                     // flip one bit
+)
+
+type recordCorrupt struct {
+	step, rank int
+	mode       corruptMode
+	keepFrac   float64 // torn writes
+	bit        int     // bit flips
 }
 
 // NewPlan returns an empty plan whose sampled events (CrashRandom) and
@@ -183,6 +199,65 @@ func (p *Plan) StallRank(rank int, at, dur float64) *Plan {
 	return p
 }
 
+// TornWrite truncates the checkpoint record rank writes at step to
+// keepFrac of its framed bytes — the partial write a crash leaves
+// behind on real hardware (the DirStore's rename makes this impossible
+// for a clean process exit; the injector models power loss and buggy
+// firmware). The store's CRC trailer must catch it on read.
+func (p *Plan) TornWrite(step, rank int, keepFrac float64) *Plan {
+	if rank < 0 || step < 0 {
+		p.setErr("fault: torn write at negative step %d or rank %d", step, rank)
+		return p
+	}
+	if keepFrac < 0 || keepFrac >= 1 || math.IsNaN(keepFrac) {
+		p.setErr("fault: torn write keeping %g of the record is outside [0, 1)", keepFrac)
+		return p
+	}
+	p.corrupts = append(p.corrupts, recordCorrupt{step: step, rank: rank, mode: corruptTorn, keepFrac: keepFrac})
+	return p
+}
+
+// FlipBit flips one bit of the checkpoint record rank writes at step —
+// silent media corruption. The bit index counts from the start of the
+// frame and wraps modulo the frame length, so any non-negative index
+// is deterministic regardless of record size.
+func (p *Plan) FlipBit(step, rank, bit int) *Plan {
+	if rank < 0 || step < 0 {
+		p.setErr("fault: bit flip at negative step %d or rank %d", step, rank)
+		return p
+	}
+	if bit < 0 {
+		p.setErr("fault: bit flip at negative bit index %d", bit)
+		return p
+	}
+	p.corrupts = append(p.corrupts, recordCorrupt{step: step, rank: rank, mode: corruptBit, bit: bit})
+	return p
+}
+
+// CorruptRecord implements the checkpoint store's write-path injector
+// (see ckpt.Corrupter; structural, like the simnet.Injector methods):
+// it applies every scheduled corruption matching (step, rank) to the
+// framed record and passes everything else through untouched.
+func (p *Plan) CorruptRecord(step, rank int, frame []byte) []byte {
+	for _, c := range p.corrupts {
+		if c.step != step || c.rank != rank {
+			continue
+		}
+		switch c.mode {
+		case corruptTorn:
+			frame = frame[:int(float64(len(frame))*c.keepFrac)]
+		case corruptBit:
+			if len(frame) > 0 {
+				out := append([]byte(nil), frame...)
+				bit := c.bit % (8 * len(out))
+				out[bit/8] ^= 1 << (bit % 8)
+				frame = out
+			}
+		}
+	}
+	return frame
+}
+
 // Validate checks the fully-built plan against a run shape: ranks is
 // the number of ranks (or physical nodes when the plan is node-keyed),
 // horizon the expected virtual duration in seconds (0 = unknown, skips
@@ -224,6 +299,11 @@ func (p *Plan) Validate(ranks int, horizon float64) error {
 	for _, d := range p.degrades {
 		if d.src >= ranks || d.dst >= ranks {
 			return fmt.Errorf("fault: degrade window on link %d->%d out of range for a %d-rank run", d.src, d.dst, ranks)
+		}
+	}
+	for _, c := range p.corrupts {
+		if c.rank >= ranks {
+			return fmt.Errorf("fault: record corruption on rank %d out of range for a %d-rank run", c.rank, ranks)
 		}
 	}
 	return nil
@@ -268,6 +348,14 @@ func (p *Plan) String() string {
 	}
 	for _, s := range p.rankStalls {
 		parts = append(parts, fmt.Sprintf("freeze(rank=%d,t=%.4gs,dur=%.4gs)", s.rank, s.at, s.dur))
+	}
+	for _, c := range p.corrupts {
+		switch c.mode {
+		case corruptTorn:
+			parts = append(parts, fmt.Sprintf("torn(step=%d,rank=%d,keep=%.3g)", c.step, c.rank, c.keepFrac))
+		case corruptBit:
+			parts = append(parts, fmt.Sprintf("bitflip(step=%d,rank=%d,bit=%d)", c.step, c.rank, c.bit))
+		}
 	}
 	if p.err != nil {
 		parts = append(parts, fmt.Sprintf("INVALID: %v", p.err))

@@ -276,3 +276,76 @@ func TestRankStallEarliestWins(t *testing.T) {
 		t.Errorf("String() omits the freeze schedule: %s", p)
 	}
 }
+
+func TestCorruptRecordTornAndBitFlip(t *testing.T) {
+	frame := make([]byte, 1000)
+	for i := range frame {
+		frame[i] = byte(i)
+	}
+	p := NewPlan(1).TornWrite(6, 1, 0.5).FlipBit(9, 0, 12345)
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// Non-matching (step, rank) pass through untouched, same backing
+	// array (no copy on the hot path).
+	if got := p.CorruptRecord(6, 0, frame); len(got) != len(frame) || &got[0] != &frame[0] {
+		t.Fatal("non-matching record was not passed through")
+	}
+	torn := p.CorruptRecord(6, 1, frame)
+	if len(torn) != 500 {
+		t.Fatalf("torn write kept %d of %d bytes, want 500", len(torn), len(frame))
+	}
+	flipped := p.CorruptRecord(9, 0, frame)
+	if len(flipped) != len(frame) {
+		t.Fatalf("bit flip changed the length to %d", len(flipped))
+	}
+	diff := 0
+	for i := range frame {
+		if frame[i] != flipped[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("bit flip changed %d bytes, want exactly 1", diff)
+	}
+	// The flip must not mutate the caller's frame in place.
+	if frame[(12345%(8*1000))/8] != byte((12345%(8*1000))/8%256) {
+		t.Fatal("bit flip mutated the original frame")
+	}
+	// Deterministic: same plan, same damage.
+	again := p.CorruptRecord(9, 0, frame)
+	if string(again) != string(flipped) {
+		t.Fatal("bit flip not deterministic")
+	}
+}
+
+func TestCorruptionBuilderValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		plan *Plan
+		want string
+	}{
+		{"torn negative rank", NewPlan(1).TornWrite(3, -1, 0.5), "negative step"},
+		{"torn keepFrac one", NewPlan(1).TornWrite(3, 0, 1.0), "outside [0, 1)"},
+		{"torn keepFrac NaN", NewPlan(1).TornWrite(3, 0, math.NaN()), "outside [0, 1)"},
+		{"flip negative bit", NewPlan(1).FlipBit(3, 0, -1), "negative bit index"},
+	}
+	for _, tc := range cases {
+		if err := tc.plan.Err(); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Err() = %v, want %q", tc.name, tc.plan.Err(), tc.want)
+		}
+	}
+	// Out-of-range corruption ranks are caught at install time.
+	p := NewPlan(1).TornWrite(3, 8, 0.5)
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ValidatePlan(4); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("ValidatePlan = %v, want out-of-range complaint", err)
+	}
+	// String mentions the schedule.
+	s := NewPlan(1).TornWrite(6, 1, 0.5).FlipBit(9, 0, 3).String()
+	if !strings.Contains(s, "torn(step=6,rank=1") || !strings.Contains(s, "bitflip(step=9,rank=0,bit=3)") {
+		t.Errorf("String() = %s", s)
+	}
+}

@@ -9,7 +9,8 @@ import (
 // TraceBreakdown aggregates a recorded engine event stream into a
 // per-stage table: events, priced seconds, and virtual-wall seconds
 // per stage (first-seen order), followed by marker rows summarizing
-// the steps, checkpoints, rollbacks, trips, and halts the run saw.
+// the steps, checkpoints, durable writes, rollbacks, trips, and halts
+// the run saw.
 // This rebuilds the paper's per-stage breakdowns offline from a trace
 // instead of from live instrumentation.
 func TraceBreakdown(evs []engine.Event, title string) *Table {
@@ -21,6 +22,8 @@ func TraceBreakdown(evs []engine.Event, title string) *Table {
 	stages := map[string]*agg{}
 	var steps, ckpts, ckptBytes, rollbacks, trips, halts, dones int
 	var stepPriced, stepWall float64
+	var writes, storedBytes int
+	var writeHidden, writeExposed float64
 	for _, e := range evs {
 		switch e.Ev {
 		case engine.EvStage:
@@ -40,6 +43,11 @@ func TraceBreakdown(evs []engine.Event, title string) *Table {
 		case engine.EvCheckpoint:
 			ckpts++
 			ckptBytes += e.Bytes
+		case engine.EvCkptDone:
+			writes++
+			storedBytes += e.Stored
+			writeHidden += e.HiddenS
+			writeExposed += e.ExposedS
 		case engine.EvRollback:
 			rollbacks++
 		case engine.EvTrip:
@@ -60,6 +68,11 @@ func TraceBreakdown(evs []engine.Event, title string) *Table {
 		fmt.Sprintf("%.4g", stepPriced), fmt.Sprintf("%.4g", stepWall))
 	t.AddRow("[checkpoints]", fmt.Sprintf("%d", ckpts),
 		fmt.Sprintf("%d bytes", ckptBytes), "")
+	if writes > 0 {
+		t.AddRow("[durable writes]", fmt.Sprintf("%d", writes),
+			fmt.Sprintf("%d bytes stored", storedBytes),
+			fmt.Sprintf("%.4g exposed + %.4g hidden", writeExposed, writeHidden))
+	}
 	t.AddRow("[rollbacks]", fmt.Sprintf("%d", rollbacks), "", "")
 	if trips > 0 {
 		t.AddRow("[watchdog trips]", fmt.Sprintf("%d", trips), "", "")

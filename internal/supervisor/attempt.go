@@ -3,6 +3,7 @@ package supervisor
 import (
 	"math"
 
+	"nektar/internal/ckpt"
 	"nektar/internal/engine"
 	"nektar/internal/mpi"
 	"nektar/internal/simnet"
@@ -262,6 +263,11 @@ func (a *attempt) worker(n *simnet.Node) {
 		CheckpointEvery: a.cfg.CheckpointEvery,
 		OnCheckpoint: func(step int, state []byte) {
 			a.staged[n.Rank][step] = state
+			if a.cfg.Store != nil {
+				if _, perr := a.cfg.Store.Put(ckpt.Meta{Kind: a.cfg.Kind, Rank: n.Rank, Step: step}, state); perr != nil {
+					panic(perr)
+				}
+			}
 			if a.cfg.CheckpointCostS > 0 {
 				n.Sleep(a.cfg.CheckpointCostS)
 			}

@@ -1,0 +1,69 @@
+package supervisor_test
+
+import (
+	"testing"
+
+	"nektar/internal/ckpt"
+	"nektar/internal/fault"
+	"nektar/internal/supervisor"
+)
+
+// A supervised campaign writing through a durable store must roll back
+// past a damaged checkpoint: the crash and the torn record share one
+// fault plan (the plan is both the simnet injector and the store's
+// corrupter), and the rollback lands on the newest checkpoint that
+// verifies on every rank — not the newest one staged.
+func TestSupervisedCrashTornCheckpointFallsBack(t *testing.T) {
+	cfg := baseConfig(2, nsfFactory(t))
+	ref := runReference(t, cfg)
+
+	// Checkpoints land at steps 2, 4, 6. The node dies mid-step-6, so
+	// steps 2 and 4 are staged — but rank 1's step-4 record was torn
+	// mid-write, leaving step 2 as the newest verifiable rollback point.
+	store := ckpt.NewMemStore()
+	plan := fault.NewPlan(1).
+		Crash(1, 5.5/8*ref.VirtualWall).
+		TornWrite(4, 1, 0.5)
+	store.SetCorrupter(plan)
+	cfg.Store, cfg.Kind = store, "nsf"
+	cfg.Faults = plan
+	tuneDetector(&cfg, ref)
+	got, err := supervisor.Run(cfg)
+	if err != nil {
+		t.Fatalf("supervised run: %v", err)
+	}
+	if got.Attempts != 2 || len(got.Failures) != 1 {
+		t.Fatalf("attempts=%d failures=%+v, want one crash and one retry", got.Attempts, got.Failures)
+	}
+	f := got.Failures[0]
+	if f.Cause != supervisor.CauseCrash || f.Rank != 1 {
+		t.Fatalf("failure = %+v, want rank 1 crash", f)
+	}
+	if f.RestartStep != 2 {
+		t.Fatalf("restarted from step %d, want 2 (fallback past the torn step-4 record)", f.RestartStep)
+	}
+	assertBitIdentical(t, ref, got)
+}
+
+// A flipped bit must demote a checkpoint exactly like a torn write.
+func TestSupervisedCrashBitFlipFallsBack(t *testing.T) {
+	cfg := baseConfig(2, nsfFactory(t))
+	ref := runReference(t, cfg)
+
+	store := ckpt.NewMemStore()
+	plan := fault.NewPlan(1).
+		Crash(1, 5.5/8*ref.VirtualWall).
+		FlipBit(4, 0, 777)
+	store.SetCorrupter(plan)
+	cfg.Store, cfg.Kind = store, "nsf"
+	cfg.Faults = plan
+	tuneDetector(&cfg, ref)
+	got, err := supervisor.Run(cfg)
+	if err != nil {
+		t.Fatalf("supervised run: %v", err)
+	}
+	if got.Attempts != 2 || got.Failures[0].RestartStep != 2 {
+		t.Fatalf("attempts=%d failures=%+v, want a retry from step 2", got.Attempts, got.Failures)
+	}
+	assertBitIdentical(t, ref, got)
+}

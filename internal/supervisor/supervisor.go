@@ -35,6 +35,7 @@ import (
 	"math"
 	"strings"
 
+	"nektar/internal/ckpt"
 	"nektar/internal/engine"
 	"nektar/internal/mpi"
 	"nektar/internal/simnet"
@@ -128,6 +129,15 @@ type Config struct {
 
 	Heartbeat HeartbeatConfig
 	Watchdog  WatchdogConfig
+
+	// Store, when set, makes every staged checkpoint durable (framed,
+	// compressed, CRC-protected — internal/ckpt) and the rollback rule
+	// corruption-aware: after a failure the supervisor resumes from the
+	// newest step whose records verify on every rank, falling back past
+	// torn or bit-flipped records. A pre-populated store warm-starts
+	// the whole campaign (cross-process resume). Kind tags the records.
+	Store ckpt.Store
+	Kind  string
 }
 
 // Cause classifies a failure.
@@ -243,6 +253,17 @@ func Run(cfg Config) (*Result, error) {
 	res := &Result{}
 	committedStep := -1
 	var committed [][]byte
+	// A durable store may already hold a usable checkpoint from an
+	// earlier (killed) process — resume the campaign from it.
+	if cfg.Store != nil {
+		s, states, serr := ckpt.Latest(cfg.Store, cfg.Procs)
+		if serr != nil {
+			return nil, fmt.Errorf("supervisor: reading checkpoint store: %w", serr)
+		}
+		if s >= 0 {
+			committedStep, committed = s, states
+		}
+	}
 
 	for attemptNo := 0; attemptNo < maxAttempts; attemptNo++ {
 		a := newAttempt(&cfg, pool, attemptNo, committedStep, committed)
@@ -297,8 +318,19 @@ func Run(cfg Config) (*Result, error) {
 		// Commit the newest checkpoint present on every rank; a trip
 		// exits before staging, so corrupt state never gets here. Doing
 		// this before recording failures lets each Failure carry the
-		// step the next attempt actually resumes from.
-		if s := a.commitNewest(); s > committedStep {
+		// step the next attempt actually resumes from. With a durable
+		// store the commit re-reads through CRC verification, so a torn
+		// or bit-flipped record demotes its step and the rollback lands
+		// on the previous complete checkpoint.
+		if cfg.Store != nil {
+			s, states, serr := ckpt.Latest(cfg.Store, cfg.Procs)
+			if serr != nil {
+				return nil, fmt.Errorf("supervisor: reading checkpoint store after failure: %w", serr)
+			}
+			if s > committedStep {
+				committedStep, committed = s, states
+			}
+		} else if s := a.commitNewest(); s > committedStep {
 			committedStep = s
 			committed = make([][]byte, cfg.Procs)
 			for r := 0; r < cfg.Procs; r++ {
