@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: check build vet fmt test race bench-baseline bench-ckpt race-ckpt
+.PHONY: check build vet fmt test race bench-baseline bench-ckpt bench-simnet race-ckpt race-simnet
 
 build:
 	$(GO) build ./...
@@ -36,9 +36,25 @@ bench-baseline:
 bench-ckpt:
 	BENCH_CKPT=1 $(GO) test ./internal/bench -run TestWriteCkptBaseline -count=1 -v
 
-# The async writer is the only real host-side concurrency in the repo;
-# hammer it under the race detector beyond the single pass `race` gives.
+# The async writer is the only real host-side concurrency in the repo
+# besides the parallel simnet scheduler; hammer it under the race
+# detector beyond the single pass `race` gives.
 race-ckpt:
 	$(GO) test -race -count=2 ./internal/ckpt
 
-check: build vet fmt race race-ckpt
+# Force the host-parallel simnet scheduler (SchedAuto falls back to
+# serial on one core) and put every layer that runs rank goroutines —
+# the simulator itself, the MPI layer, all three solvers, faults, and
+# the supervisor — under the race detector.
+race-simnet:
+	NEKTAR_SIMNET_SCHED=parallel $(GO) test -race -count=1 \
+		./internal/simnet ./internal/mpi ./internal/fault \
+		./internal/core ./internal/supervisor ./internal/bench
+
+# Regenerate the committed scheduler-speedup baseline
+# (BENCH_simnet.json at the repo root). The speedups only mean
+# something relative to the recorded GOMAXPROCS/core count.
+bench-simnet:
+	BENCH_SIMNET=1 $(GO) test ./internal/bench -run TestWriteSimnetBaseline -count=1 -v
+
+check: build vet fmt race race-ckpt race-simnet

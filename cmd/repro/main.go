@@ -181,6 +181,18 @@ var experiments = []experiment{
 			cfg.Machine, cfg.Workload, cfg.Procs, cfg.Steps, cfg.CheckpointEvery, len(evs))).Write(w)
 		return nil
 	}},
+	{"simbench", "simnet scheduler: host wall-clock, serial vs parallel", func(w io.Writer, quick bool) error {
+		cfg := bench.PaperSimbench
+		if quick {
+			cfg = bench.QuickSimbench
+		}
+		_, tbl, err := bench.RunSimbench(cfg)
+		if err != nil {
+			return err
+		}
+		tbl.Write(w)
+		return nil
+	}},
 	{"table3_fig15-16_nektarale", "Nektar-ALE flapping wing: Table 3 + Figures 15-16", func(w io.Writer, quick bool) error {
 		cfg := bench.PaperALE
 		if quick {

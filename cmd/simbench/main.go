@@ -1,0 +1,60 @@
+// Command simbench measures what the host-parallel simnet scheduler
+// buys: each cell runs one registered workload at one rank count under
+// the serial and the parallel scheduler, verifies the two runs agree
+// bit-for-bit on every rank's virtual clocks, and reports the real
+// host wall-clock of both with the speedup. GOMAXPROCS and the host
+// core count are printed alongside, since they bound the speedup.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"nektar/internal/bench"
+)
+
+// parseCells turns "nsf:8,nsf:32,nsale:16" into the sweep cells.
+func parseCells(s string) ([]bench.SimbenchCell, error) {
+	var cells []bench.SimbenchCell
+	for _, part := range strings.Split(s, ",") {
+		wl, ps, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("cell %q: want workload:procs", part)
+		}
+		p, err := strconv.Atoi(ps)
+		if err != nil {
+			return nil, fmt.Errorf("cell %q: %v", part, err)
+		}
+		cells = append(cells, bench.SimbenchCell{Workload: wl, Procs: p})
+	}
+	return cells, nil
+}
+
+func defaultCells() string {
+	parts := make([]string, len(bench.PaperSimbench.Cells))
+	for i, c := range bench.PaperSimbench.Cells {
+		parts[i] = fmt.Sprintf("%s:%d", c.Workload, c.Procs)
+	}
+	return strings.Join(parts, ",")
+}
+
+func main() {
+	cellsFlag := flag.String("cells", defaultCells(), "comma-separated workload:procs cells")
+	steps := flag.Int("steps", bench.PaperSimbench.Steps, "solver steps per run")
+	flag.Parse()
+
+	cells, err := parseCells(*cellsFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+		os.Exit(2)
+	}
+	_, tbl, err := bench.RunSimbench(bench.SimbenchConfig{Cells: cells, Steps: *steps})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tbl.Write(os.Stdout)
+}

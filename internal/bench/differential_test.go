@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"testing"
+
+	"nektar/internal/engine"
+	"nektar/internal/fault"
+	"nektar/internal/machine"
+	"nektar/internal/mpi"
+	"nektar/internal/simnet"
+)
+
+// Scheduler equivalence over the real solvers: every registered
+// workload, run under the serial and the parallel simnet scheduler,
+// with and without a fault plan, must produce bit-identical per-rank
+// virtual wall/cpu clocks and bit-identical solver trajectories
+// (compared as hashes of the checkpoint stream — pure slices and ints,
+// so equal state encodes to equal bytes within one process).
+
+type diffRun struct {
+	wall, cpu []float64
+	hashes    []string
+	errStr    string
+}
+
+func runWorkloadDiff(t *testing.T, wlName string, p, steps int, sched simnet.Scheduler, plan *fault.Plan) diffRun {
+	t.Helper()
+	wl, err := WorkloadByName(wlName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach := machine.Muses()
+	model := *mach.Net
+	model.Scheduler = sched
+	var inj simnet.Injector
+	if plan != nil {
+		inj = plan
+	}
+	hashes := make([]string, p)
+	wall, cpu, runErr := simnet.RunWithFaults(p, &model, inj, func(n *simnet.Node) {
+		comm := mpi.World(n)
+		s, err := wl.New(comm, &mach.CPU)
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i < steps; i++ {
+			s.Step()
+		}
+		b, err := engine.Marshal(s)
+		if err != nil {
+			panic(err)
+		}
+		sum := sha256.Sum256(b)
+		hashes[n.Rank] = hex.EncodeToString(sum[:])
+	})
+	return diffRun{wall: wall, cpu: cpu, hashes: hashes, errStr: fmt.Sprint(runErr)}
+}
+
+// diffPlan builds the fault plan for the faulty half of the matrix:
+// link degradation, a NIC stall window, and a rank stall — faults the
+// raw-mode solver communicators survive (drops and crashes are covered
+// differentially at the primitive level in internal/simnet).
+func diffPlan(p int) *fault.Plan {
+	plan := fault.NewPlan(11).
+		DegradeLink(0, 1, 1e-3, 1e9, 2, 2.5).
+		StallNIC(0, 2e-3, 6e-3).
+		StallRank(p-1, 1e-3, 4e-3)
+	if err := plan.Err(); err != nil {
+		panic(err)
+	}
+	return plan
+}
+
+func TestSchedulerDifferentialWorkloads(t *testing.T) {
+	ranks := map[string]int{"nsf": 4, "nsale": 3}
+	for _, name := range WorkloadNames() {
+		p, ok := ranks[name]
+		if !ok {
+			p = 4 // power-of-two default for workloads registered later
+		}
+		for _, faulty := range []bool{false, true} {
+			label := fmt.Sprintf("%s/p=%d/faults=%v", name, p, faulty)
+			var planS, planP *fault.Plan
+			if faulty {
+				planS, planP = diffPlan(p), diffPlan(p)
+			}
+			const steps = 2
+			serial := runWorkloadDiff(t, name, p, steps, simnet.SchedSerial, planS)
+			par := runWorkloadDiff(t, name, p, steps, simnet.SchedParallel, planP)
+			if serial.errStr != par.errStr {
+				t.Fatalf("%s: error diverged:\nserial:   %s\nparallel: %s", label, serial.errStr, par.errStr)
+			}
+			for r := 0; r < p; r++ {
+				if math.Float64bits(serial.wall[r]) != math.Float64bits(par.wall[r]) {
+					t.Errorf("%s: rank %d wall clock diverged: serial %v parallel %v",
+						label, r, serial.wall[r], par.wall[r])
+				}
+				if math.Float64bits(serial.cpu[r]) != math.Float64bits(par.cpu[r]) {
+					t.Errorf("%s: rank %d cpu clock diverged: serial %v parallel %v",
+						label, r, serial.cpu[r], par.cpu[r])
+				}
+				if serial.hashes[r] != par.hashes[r] {
+					t.Errorf("%s: rank %d trajectory hash diverged:\nserial:   %s\nparallel: %s",
+						label, r, serial.hashes[r], par.hashes[r])
+				}
+			}
+		}
+	}
+}

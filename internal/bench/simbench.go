@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"time"
+
+	"nektar/internal/machine"
+	"nektar/internal/mpi"
+	"nektar/internal/report"
+	"nektar/internal/simnet"
+)
+
+// Simbench: what does the host-parallel simnet scheduler buy? Each
+// cell runs one registered workload at one rank count twice — once
+// under the serial one-rank-at-a-time scheduler, once under the
+// conservative parallel scheduler — and records real host wall-clock
+// for both. The two runs must agree bit-for-bit on every rank's
+// virtual wall and cpu clock (the parallel scheduler's contract); a
+// divergence fails the bench rather than producing a number for a
+// broken scheduler.
+//
+// The speedup is bounded by the host's core count: rank host work
+// (mesh build, operator factorization, the solver flops that drive
+// calibrated virtual time) overlaps, while shared-state events still
+// admit one at a time. BENCH_simnet.json records GOMAXPROCS and the
+// host CPU count next to the numbers so a 1-core CI box's ~1x is not
+// mistaken for a regression of the >=4x an 8-core host reaches.
+
+// SimbenchCell names one workload x rank-count measurement.
+type SimbenchCell struct {
+	Workload string
+	Procs    int
+}
+
+// SimbenchConfig parametrizes the sweep.
+type SimbenchConfig struct {
+	Cells []SimbenchCell
+	// Steps per run (after construction; kept small — the scheduler
+	// comparison needs overlap, not convergence).
+	Steps int
+}
+
+// PaperSimbench covers the tentpole's target cells: Nektar-F at the
+// paper's small/mid/large processor counts and Nektar-ALE at two.
+var PaperSimbench = SimbenchConfig{
+	Cells: []SimbenchCell{
+		{"nsf", 8}, {"nsf", 32}, {"nsf", 128},
+		{"nsale", 16}, {"nsale", 64},
+	},
+	Steps: 2,
+}
+
+// QuickSimbench is the budget-limited registry variant.
+var QuickSimbench = SimbenchConfig{
+	Cells: []SimbenchCell{{"nsf", 8}, {"nsale", 16}},
+	Steps: 2,
+}
+
+// SimbenchCellResult is one measured cell.
+type SimbenchCellResult struct {
+	Workload string
+	Procs    int
+
+	SerialHostS   float64 // real host seconds, serial scheduler
+	ParallelHostS float64 // real host seconds, parallel scheduler
+	Speedup       float64 // SerialHostS / ParallelHostS
+
+	// VirtualWallS is the max per-rank virtual wall clock — identical
+	// between the two runs by construction (verified).
+	VirtualWallS float64
+}
+
+// SimbenchResult is the schema of BENCH_simnet.json.
+type SimbenchResult struct {
+	// GoMaxProcs and NumCPU qualify every speedup below: the parallel
+	// scheduler cannot beat the core budget it ran with.
+	GoMaxProcs int
+	NumCPU     int
+	Steps      int
+	Cells      []SimbenchCellResult
+}
+
+// runSimbenchOnce runs one workload x procs cell under one scheduler
+// and returns the per-rank virtual clocks plus the real host seconds.
+func runSimbenchOnce(wl Workload, p, steps int, sched simnet.Scheduler) (wall, cpu []float64, hostS float64, err error) {
+	mach := machine.Muses()
+	model := *mach.Net
+	model.Scheduler = sched
+	t0 := time.Now()
+	wall, cpu, err = simnet.Run(p, &model, func(n *simnet.Node) {
+		comm := mpi.World(n)
+		s, err := wl.New(comm, &mach.CPU)
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i < steps; i++ {
+			s.Step()
+		}
+	})
+	return wall, cpu, time.Since(t0).Seconds(), err
+}
+
+// RunSimbench executes the sweep and renders the comparison table.
+func RunSimbench(cfg SimbenchConfig) (*SimbenchResult, *report.Table, error) {
+	res := &SimbenchResult{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Steps:      cfg.Steps,
+	}
+	for _, cell := range cfg.Cells {
+		wl, err := WorkloadByName(cell.Workload)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := ValidateWorkloadRanks(wl, cell.Procs); err != nil {
+			return nil, nil, err
+		}
+		wallS, cpuS, serialS, err := runSimbenchOnce(wl, cell.Procs, cfg.Steps, simnet.SchedSerial)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bench: simbench %s P=%d serial: %w", cell.Workload, cell.Procs, err)
+		}
+		wallP, cpuP, parS, err := runSimbenchOnce(wl, cell.Procs, cfg.Steps, simnet.SchedParallel)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bench: simbench %s P=%d parallel: %w", cell.Workload, cell.Procs, err)
+		}
+		// The contract the speedup is worthless without.
+		var maxWall float64
+		for r := 0; r < cell.Procs; r++ {
+			if math.Float64bits(wallS[r]) != math.Float64bits(wallP[r]) ||
+				math.Float64bits(cpuS[r]) != math.Float64bits(cpuP[r]) {
+				return nil, nil, fmt.Errorf(
+					"bench: simbench %s P=%d: virtual clocks diverged between schedulers at rank %d (wall %v vs %v, cpu %v vs %v)",
+					cell.Workload, cell.Procs, r, wallS[r], wallP[r], cpuS[r], cpuP[r])
+			}
+			maxWall = max(maxWall, wallS[r])
+		}
+		res.Cells = append(res.Cells, SimbenchCellResult{
+			Workload:      cell.Workload,
+			Procs:         cell.Procs,
+			SerialHostS:   serialS,
+			ParallelHostS: parS,
+			Speedup:       serialS / parS,
+			VirtualWallS:  maxWall,
+		})
+	}
+
+	tbl := report.NewTable(
+		fmt.Sprintf("Simbench: host wall-clock, serial vs parallel simnet scheduler (GOMAXPROCS=%d, host cores=%d, %d steps)",
+			res.GoMaxProcs, res.NumCPU, res.Steps),
+		"workload", "P", "serial host s", "parallel host s", "speedup", "virtual wall s")
+	for _, c := range res.Cells {
+		tbl.AddRow(c.Workload, fmt.Sprintf("%d", c.Procs),
+			fmt.Sprintf("%.3f", c.SerialHostS), fmt.Sprintf("%.3f", c.ParallelHostS),
+			fmt.Sprintf("%.2fx", c.Speedup), fmt.Sprintf("%.4f", c.VirtualWallS))
+	}
+	return res, tbl, nil
+}

@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestSimbenchQuick runs the budget-limited sweep: it both exercises
+// RunSimbench end to end and re-checks the scheduler-equivalence
+// contract it enforces (RunSimbench fails on any virtual-clock
+// divergence between the serial and parallel runs).
+func TestSimbenchQuick(t *testing.T) {
+	res, tbl, err := RunSimbench(QuickSimbench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != len(QuickSimbench.Cells) {
+		t.Fatalf("got %d cells, want %d", len(res.Cells), len(QuickSimbench.Cells))
+	}
+	for _, c := range res.Cells {
+		if c.SerialHostS <= 0 || c.ParallelHostS <= 0 || c.VirtualWallS <= 0 {
+			t.Errorf("%s P=%d: non-positive measurement: %+v", c.Workload, c.Procs, c)
+		}
+	}
+	if tbl == nil {
+		t.Fatal("nil table")
+	}
+}
+
+// TestWriteSimnetBaseline regenerates BENCH_simnet.json (the committed
+// scheduler-speedup baseline) when BENCH_SIMNET=1 is set; `make
+// bench-simnet` runs it. The file records GOMAXPROCS and the host core
+// count next to the speedups — the numbers only mean something
+// relative to the core budget they ran with.
+func TestWriteSimnetBaseline(t *testing.T) {
+	if os.Getenv("BENCH_SIMNET") == "" {
+		t.Skip("set BENCH_SIMNET=1 to regenerate BENCH_simnet.json")
+	}
+	res, _, err := RunSimbench(PaperSimbench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("../../BENCH_simnet.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

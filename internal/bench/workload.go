@@ -58,7 +58,9 @@ var workloads = map[string]Workload{
 			if err != nil {
 				return nil, err
 			}
-			m, err := mesh.ExtrudeQuads(m2, 2, 2, 0, 1)
+			// Three extruded layers give 72 elements, enough for the
+			// demonstration sweeps to decompose across 64 ranks.
+			m, err := mesh.ExtrudeQuads(m2, 2, 3, 0, 1)
 			if err != nil {
 				return nil, err
 			}

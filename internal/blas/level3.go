@@ -216,21 +216,77 @@ func Dtrsm(s Side, ul Uplo, t Transpose, d Diag, m, n int, alpha float64, a []fl
 		return
 	}
 	// Side == Right: each row of B is an independent triangular solve
-	// x * op(A) = b, i.e. op(A)^T x^T = b^T.
-	tt := Trans
-	if t == Trans {
-		tt = NoTrans
-	}
+	// x * op(A) = b. Substituting along the row keeps both the B row and
+	// the accessed row of A stride-1: NoTrans spreads each solved x_l
+	// through row l of A (axpy form), Trans gathers x_j as a dot with
+	// row j of A. (The old per-row Dtrsv fallback walked A down a column
+	// with stride lda on every step.)
 	for i := 0; i < m; i++ {
-		Dtrsv(ul, tt, d, n, a, lda, b[i*ldb:i*ldb+n], 1)
+		bi := b[i*ldb : i*ldb+n]
+		switch {
+		case ul == Upper && t == NoTrans:
+			// b_j = sum_{l<=j} x_l A[l][j]: forward sweep, spread x_l
+			// into b[l+1:] along row l of A.
+			for l := 0; l < n; l++ {
+				if d == NonUnit {
+					bi[l] /= a[l*lda+l]
+				}
+				v := bi[l]
+				if v == 0 {
+					continue
+				}
+				tail := bi[l+1:]
+				arow := a[l*lda+l+1 : l*lda+n]
+				for j, av := range arow {
+					tail[j] -= v * av
+				}
+			}
+		case ul == Lower && t == NoTrans:
+			// b_j = sum_{l>=j} x_l A[l][j]: backward sweep.
+			for l := n - 1; l >= 0; l-- {
+				if d == NonUnit {
+					bi[l] /= a[l*lda+l]
+				}
+				v := bi[l]
+				if v == 0 {
+					continue
+				}
+				arow := a[l*lda : l*lda+l]
+				for j, av := range arow {
+					bi[j] -= v * av
+				}
+			}
+		case ul == Lower && t == Trans:
+			// b_j = sum_{l<=j} x_l A[j][l]: forward sweep, gather x_j as
+			// a dot of the solved prefix with row j of A.
+			for j := 0; j < n; j++ {
+				var sum float64
+				arow := a[j*lda : j*lda+j]
+				for l, av := range arow {
+					sum += bi[l] * av
+				}
+				bi[j] -= sum
+				if d == NonUnit {
+					bi[j] /= a[j*lda+j]
+				}
+			}
+		default: // Upper, Trans
+			// b_j = sum_{l>=j} x_l A[j][l]: backward sweep, dot with the
+			// solved suffix.
+			for j := n - 1; j >= 0; j-- {
+				var sum float64
+				arow := a[j*lda+j+1 : j*lda+n]
+				tail := bi[j+1:]
+				for l, av := range arow {
+					sum += tail[l] * av
+				}
+				bi[j] -= sum
+				if d == NonUnit {
+					bi[j] /= a[j*lda+j]
+				}
+			}
+		}
 	}
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // Dsyrk performs the symmetric rank-k update C = alpha*A*A^T + beta*C
@@ -242,6 +298,27 @@ func Dsyrk(ul Uplo, t Transpose, n, k int, alpha float64, a []float64, lda int, 
 		return
 	}
 	record(KernelDgemm, n*n*k/2, n*n*k, 8*(n*k+n*n))
+	if t == NoTrans {
+		// Rows of A are the vectors: stride-1 dot products.
+		for i := 0; i < n; i++ {
+			var j0, j1 int
+			if ul == Lower {
+				j0, j1 = 0, i+1
+			} else {
+				j0, j1 = i, n
+			}
+			for j := j0; j < j1; j++ {
+				sum := Ddot(k, a[i*lda:], 1, a[j*lda:], 1)
+				c[i*ldc+j] = alpha*sum + beta*c[i*ldc+j]
+			}
+		}
+		return
+	}
+	// Trans: C = alpha*A^T*A + beta*C with A k-by-n. The columns of A
+	// are the vectors, so the per-element Ddot walked A with stride lda
+	// twice per entry. Instead scale the triangle once and accumulate
+	// rank-1 updates row by row: each row of A streams stride-1 through
+	// the triangle, the same axpy formulation as gemmKernel.
 	for i := 0; i < n; i++ {
 		var j0, j1 int
 		if ul == Lower {
@@ -249,14 +326,35 @@ func Dsyrk(ul Uplo, t Transpose, n, k int, alpha float64, a []float64, lda int, 
 		} else {
 			j0, j1 = i, n
 		}
-		for j := j0; j < j1; j++ {
-			var sum float64
-			if t == NoTrans {
-				sum = Ddot(k, a[i*lda:], 1, a[j*lda:], 1)
-			} else {
-				sum = Ddot(k, a[i:], lda, a[j:], lda)
+		row := c[i*ldc+j0 : i*ldc+j1]
+		if beta == 0 {
+			for j := range row {
+				row[j] = 0
 			}
-			c[i*ldc+j] = alpha*sum + beta*c[i*ldc+j]
+		} else if beta != 1 {
+			for j := range row {
+				row[j] *= beta
+			}
+		}
+	}
+	for l := 0; l < k; l++ {
+		arow := a[l*lda : l*lda+n]
+		for i := 0; i < n; i++ {
+			av := alpha * arow[i]
+			if av == 0 {
+				continue
+			}
+			if ul == Lower {
+				crow := c[i*ldc : i*ldc+i+1]
+				for j, v := range arow[:i+1] {
+					crow[j] += av * v
+				}
+			} else {
+				crow := c[i*ldc+i : i*ldc+n]
+				for j, v := range arow[i:n] {
+					crow[j] += av * v
+				}
+			}
 		}
 	}
 }

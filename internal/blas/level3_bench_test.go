@@ -1,0 +1,73 @@
+package blas
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Benchmarks for the level-3 routines the paper's condensed solvers
+// lean on. Dsyrk(Trans) and Dtrsm(Right) are the two kernels that used
+// to walk matrices with stride-lda inner loops; these benchmarks pin
+// their throughput so regressions show up in `go test -bench`.
+
+func benchMatrix(n int) []float64 {
+	m := make([]float64, n*n)
+	for i := range m {
+		m[i] = 1 + float64(i%7)*0.25
+	}
+	// Strong diagonal so triangular solves stay well-conditioned.
+	for i := 0; i < n; i++ {
+		m[i*n+i] = float64(n)
+	}
+	return m
+}
+
+func BenchmarkDsyrkTrans(b *testing.B) {
+	for _, n := range []int{32, 64, 128} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			a := benchMatrix(n)
+			c := make([]float64, n*n)
+			b.SetBytes(int64(8 * n * n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Dsyrk(Lower, Trans, n, n, 1.0, a, n, 0.0, c, n)
+			}
+		})
+	}
+}
+
+func BenchmarkDsyrkNoTrans(b *testing.B) {
+	for _, n := range []int{32, 64, 128} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			a := benchMatrix(n)
+			c := make([]float64, n*n)
+			b.SetBytes(int64(8 * n * n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Dsyrk(Lower, NoTrans, n, n, 1.0, a, n, 0.0, c, n)
+			}
+		})
+	}
+}
+
+func BenchmarkDtrsmRight(b *testing.B) {
+	for _, n := range []int{32, 64, 128} {
+		for _, ul := range []Uplo{Lower, Upper} {
+			for _, t := range []Transpose{NoTrans, Trans} {
+				name := fmt.Sprintf("n=%d/ul=%v/t=%v", n, ul, t)
+				b.Run(name, func(b *testing.B) {
+					a := benchMatrix(n)
+					x := make([]float64, n*n)
+					for i := range x {
+						x[i] = float64(i%5) * 0.5
+					}
+					b.SetBytes(int64(8 * n * n))
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						Dtrsm(Right, ul, t, NonUnit, n, n, 1.0, a, n, x, n)
+					}
+				})
+			}
+		}
+	}
+}

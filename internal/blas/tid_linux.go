@@ -1,0 +1,10 @@
+//go:build linux
+
+package blas
+
+import "syscall"
+
+// threadID returns a stable identifier for the calling OS thread. The
+// caller must be locked to its thread (runtime.LockOSThread) for the
+// id to stay meaningful across calls.
+func threadID() (int, bool) { return syscall.Gettid(), true }

@@ -1,0 +1,7 @@
+//go:build !linux
+
+package blas
+
+// threadID is unavailable on this platform: per-thread recording is
+// disabled and simnet falls back to its serial scheduler.
+func threadID() (int, bool) { return 0, false }

@@ -62,6 +62,76 @@ type NS2D struct {
 
 	step   int
 	stages *timing.Stages
+
+	scr ns2dScratch // Step workspace, reused across steps
+}
+
+// ns2dScratch is Step's reusable workspace. Every buffer here is either
+// fully overwritten before it is read or explicitly zeroed where a
+// stage accumulates into it, so reuse is bit-identical to the fresh
+// allocations it replaces. The velocity and nonlinear quadrature fields
+// (uq, nq2) are deliberately NOT here: pushHistory retains their inner
+// slices across steps for the multistep scheme.
+type ns2dScratch struct {
+	coefs [][2][]float64 // per-element modal velocity
+	uhat  [][2][]float64 // per-element u_hat at quadrature
+	grad  [][]float64    // PhysGrad output pair (max NQuad)
+	gradP [][]float64
+	tmp   []float64 // max NQuad
+	dpar  []float64
+	f     []float64
+	out   []float64 // max NModes
+	pcoef []float64
+	g     []float64 // max edge quadrature points
+	tr    []float64
+	prhs  []float64    // AP.NGlobal
+	vrhs  [2][]float64 // AV.NGlobal
+}
+
+// ensureScratch builds the workspace on first use (it is not part of
+// the checkpointed state, so a restored solver rebuilds it lazily).
+func (ns *NS2D) ensureScratch() *ns2dScratch {
+	s := &ns.scr
+	if s.coefs != nil {
+		return s
+	}
+	nel := len(ns.M.Elems)
+	s.coefs = make([][2][]float64, nel)
+	s.uhat = make([][2][]float64, nel)
+	maxNQ, maxNM := 0, 0
+	for ei, el := range ns.M.Elems {
+		for c := 0; c < 2; c++ {
+			s.coefs[ei][c] = make([]float64, el.Ref.NModes)
+			s.uhat[ei][c] = make([]float64, el.Ref.NQuad)
+		}
+		maxNQ = max(maxNQ, el.Ref.NQuad)
+		maxNM = max(maxNM, el.Ref.NModes)
+	}
+	maxQ1 := 0
+	for _, eq := range ns.fluxEdges {
+		maxQ1 = max(maxQ1, len(eq.Points1D))
+	}
+	s.grad = [][]float64{make([]float64, maxNQ), make([]float64, maxNQ)}
+	s.gradP = [][]float64{make([]float64, maxNQ), make([]float64, maxNQ)}
+	s.tmp = make([]float64, maxNQ)
+	s.dpar = make([]float64, maxNQ)
+	s.f = make([]float64, maxNQ)
+	s.out = make([]float64, maxNM)
+	s.pcoef = make([]float64, maxNM)
+	s.g = make([]float64, maxQ1)
+	s.tr = make([]float64, maxQ1)
+	s.prhs = make([]float64, ns.AP.NGlobal)
+	s.vrhs = [2][]float64{make([]float64, ns.AV.NGlobal), make([]float64, ns.AV.NGlobal)}
+	return s
+}
+
+// zerof clears a scratch buffer with a plain loop. Not a BLAS call on
+// purpose: the recorded operation counts price the simulated machines,
+// and buffer reuse must not change what the fresh make() used to cost.
+func zerof(x []float64) {
+	for i := range x {
+		x[i] = 0
+	}
 }
 
 // Stages exposes the per-stage instrumentation (engine.Solver).
@@ -208,18 +278,19 @@ func (ns *NS2D) Step() {
 	beta := ssBeta[ord-1]
 	dt, nu := ns.Cfg.Dt, ns.Cfg.Nu
 	st := ns.stages
+	scr := ns.ensureScratch()
 
 	// --- Stage 1: modal -> quadrature transforms.
 	st.Begin(0)
-	coefs := make([][2][]float64, nel)
+	coefs := scr.coefs
 	uq := make([][2][]float64, nel)
 	for ei, el := range m.Elems {
 		for c := 0; c < 2; c++ {
-			coef := make([]float64, el.Ref.NModes)
+			coef := coefs[ei][c]
 			ns.AV.Scatter(ei, ns.U[c], coef)
+			// phys stays freshly allocated: pushHistory retains it.
 			phys := make([]float64, el.Ref.NQuad)
 			el.BwdTrans(coef, phys)
-			coefs[ei][c] = coef
 			uq[ei][c] = phys
 		}
 	}
@@ -227,17 +298,17 @@ func (ns *NS2D) Step() {
 	// --- Stage 2: nonlinear terms N = -(V.grad)V in quadrature space.
 	st.Begin(1)
 	nq2 := make([][2][]float64, nel)
+	grad := scr.grad
 	for ei, el := range m.Elems {
 		nq := el.Ref.NQuad
-		grad := [][]float64{make([]float64, nq), make([]float64, nq)}
 		for c := 0; c < 2; c++ {
 			el.PhysGrad(coefs[ei][c], grad)
+			// nl stays freshly allocated: pushHistory retains it.
 			nl := make([]float64, nq)
 			// nl = -(u * du_c/dx + v * du_c/dy)
 			blas.Dvmul(nq, uq[ei][0], 1, grad[0], 1, nl, 1)
-			tmp := make([]float64, nq)
-			blas.Dvmul(nq, uq[ei][1], 1, grad[1], 1, tmp, 1)
-			blas.Daxpy(nq, 1, tmp, 1, nl, 1)
+			blas.Dvmul(nq, uq[ei][1], 1, grad[1], 1, scr.tmp, 1)
+			blas.Daxpy(nq, 1, scr.tmp, 1, nl, 1)
 			blas.Dscal(nq, -1, nl, 1)
 			nq2[ei][c] = nl
 		}
@@ -247,16 +318,16 @@ func (ns *NS2D) Step() {
 	st.Begin(2)
 	ns.histN = pushHistory(ns.histN, nq2, ord)
 	ns.histU = pushHistory(ns.histU, uq, ord)
-	uhat := make([][2][]float64, nel)
+	uhat := scr.uhat
 	for ei, el := range m.Elems {
 		nq := el.Ref.NQuad
 		for c := 0; c < 2; c++ {
-			h := make([]float64, nq)
+			h := uhat[ei][c]
+			zerof(h)
 			for j := 0; j < ord; j++ {
 				blas.Daxpy(nq, alpha[j], ns.histU[j][c][ei], 1, h, 1)
 				blas.Daxpy(nq, dt*beta[j], ns.histN[j][c][ei], 1, h, 1)
 			}
-			uhat[ei][c] = h
 		}
 		_ = el
 	}
@@ -264,20 +335,20 @@ func (ns *NS2D) Step() {
 	// --- Stage 4: pressure Poisson RHS: (1/dt) [ int u_hat . grad(phi)
 	// - boundary flux ].
 	st.Begin(3)
-	prhs := make([]float64, ns.AP.NGlobal)
+	prhs := scr.prhs
+	zerof(prhs)
 	for ei, el := range m.Elems {
 		n, nq := el.Ref.NModes, el.Ref.NQuad
-		out := make([]float64, n)
-		tmp := make([]float64, nq)
-		dpar := make([]float64, nq)
+		out := scr.out[:n]
+		zerof(out)
 		for c := 0; c < 2; c++ {
 			// tmp = u_hat_c * WJ
-			blas.Dvmul(nq, uhat[ei][c], 1, el.WJ, 1, tmp, 1)
+			blas.Dvmul(nq, uhat[ei][c], 1, el.WJ, 1, scr.tmp, 1)
 			// out[m] += sum_q dphi_m/dx_c(q) tmp[q], via parametric
 			// derivatives and the metric (sum-factorized).
 			for d := 0; d < 2; d++ {
-				blas.Dvmul(nq, tmp, 1, el.DxiDx[d][c], 1, dpar, 1)
-				el.Ref.IProductDerivAdd(d, 1.0/dt, dpar, out)
+				blas.Dvmul(nq, scr.tmp, 1, el.DxiDx[d][c], 1, scr.dpar, 1)
+				el.Ref.IProductDerivAdd(d, 1.0/dt, scr.dpar, out)
 			}
 		}
 		ns.AP.Gather(ei, out, prhs)
@@ -287,8 +358,9 @@ func (ns *NS2D) Step() {
 	for _, eq := range ns.fluxEdges {
 		el := eq.Elem
 		q1 := len(eq.Points1D)
-		g := make([]float64, q1)
-		tr := make([]float64, q1)
+		g := scr.g[:q1]
+		zerof(g)
+		tr := scr.tr[:q1]
 		for c := 0; c < 2; c++ {
 			eq.EvalPhys(uhat[el.ID][c], tr)
 			nrm := eq.Nx
@@ -298,7 +370,8 @@ func (ns *NS2D) Step() {
 			blas.Daxpy(q1, nrm, tr, 1, g, 1)
 		}
 		blas.Dscal(q1, -1/dt, g, 1)
-		out := make([]float64, el.Ref.NModes)
+		out := scr.out[:el.Ref.NModes]
+		zerof(out)
 		eq.AccumulateFlux(g, out)
 		ns.AP.Gather(el.ID, out, prhs)
 	}
@@ -309,15 +382,18 @@ func (ns *NS2D) Step() {
 
 	// --- Stage 6: viscous RHS: f = (u_hat - dt grad p) / (nu dt).
 	st.Begin(5)
-	vrhs := [2][]float64{make([]float64, ns.AV.NGlobal), make([]float64, ns.AV.NGlobal)}
+	vrhs := scr.vrhs
+	zerof(vrhs[0])
+	zerof(vrhs[1])
 	for ei, el := range m.Elems {
 		nq := el.Ref.NQuad
-		pcoef := make([]float64, el.Ref.NModes)
+		pcoef := scr.pcoef[:el.Ref.NModes]
 		ns.AP.Scatter(ei, ns.P, pcoef)
-		gradP := [][]float64{make([]float64, nq), make([]float64, nq)}
+		gradP := scr.gradP
 		el.PhysGrad(pcoef, gradP)
-		out := make([]float64, el.Ref.NModes)
-		f := make([]float64, nq)
+		// out is fully overwritten by IProduct, f by Dcopy: no zeroing.
+		out := scr.out[:el.Ref.NModes]
+		f := scr.f[:nq]
 		for c := 0; c < 2; c++ {
 			blas.Dcopy(nq, uhat[ei][c], 1, f, 1)
 			blas.Daxpy(nq, -dt, gradP[c], 1, f, 1)

@@ -196,9 +196,12 @@ func (l *Loop) run() (Result, error) {
 	}
 	res := Result{}
 	baseline := -1.0
-	var snap timing.Snapshot
+	// snap/cur are a reused snapshot pair: traceStep refills cur and the
+	// swap makes it the next step's baseline, so tracing allocates
+	// nothing per step.
+	var snap, cur timing.Snapshot
 	if l.Trace != nil {
-		snap = s.Stages().Snapshot()
+		s.Stages().SnapshotInto(&snap)
 	}
 	for s.StepCount() < l.Steps {
 		if l.Poll != nil && l.Poll() {
@@ -213,7 +216,8 @@ func (l *Loop) run() (Result, error) {
 			l.OnStep(step)
 		}
 		if l.Trace != nil {
-			snap = l.traceStep(step, snap)
+			l.traceStep(step, &snap, &cur)
+			snap, cur = cur, snap
 		}
 
 		if !l.Watchdog.Disabled && step%wdEvery == 0 {
@@ -293,10 +297,12 @@ func (l *Loop) trace(e Event) {
 }
 
 // traceStep emits the step event plus one stage event per stage that
-// did work this step, and returns the new snapshot.
-func (l *Loop) traceStep(step int, prev timing.Snapshot) timing.Snapshot {
+// did work this step. prev holds the accumulators at the previous step
+// boundary; cur is a scratch snapshot refilled here (the caller swaps
+// the pair afterwards).
+func (l *Loop) traceStep(step int, prev, cur *timing.Snapshot) {
 	st := l.Solver.Stages()
-	cur := st.Snapshot()
+	st.SnapshotInto(cur)
 	var hostS, pricedS, wallS float64
 	for i, name := range st.Names {
 		dh := cur.Seconds[i] - prev.Seconds[i]
@@ -320,5 +326,4 @@ func (l *Loop) traceStep(step int, prev timing.Snapshot) timing.Snapshot {
 		Ev: EvStep, Rank: l.Rank, Step: step,
 		HostS: hostS, PricedS: pricedS, WallS: wallS,
 	})
-	return cur
 }

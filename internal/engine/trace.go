@@ -69,8 +69,9 @@ type Event struct {
 // JSONL stream. The simulated cluster runs ranks as goroutines, so the
 // writer is mutex-guarded.
 type Tracer struct {
-	mu  sync.Mutex
-	enc *json.Encoder
+	mu      sync.Mutex
+	enc     *json.Encoder
+	scratch Event // reused encode target, guarded by mu
 }
 
 // NewTracer wraps w in a tracer. The caller owns closing w.
@@ -82,9 +83,12 @@ func NewTracer(w io.Writer) *Tracer {
 func (t *Tracer) Emit(e Event) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	// Copying into the tracer-owned scratch keeps the argument from
+	// escaping; the step loop emits several events per step.
+	t.scratch = e
 	// Encoding can only fail on the writer; a trace is advisory
 	// instrumentation, so a broken sink must not kill the run.
-	_ = t.enc.Encode(&e)
+	_ = t.enc.Encode(&t.scratch)
 }
 
 // ReadEvents parses a JSONL trace stream back into events, for report

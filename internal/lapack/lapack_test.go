@@ -116,7 +116,7 @@ func buildBandSPD(rng *rand.Rand, n, kd int) (*BandStorage, []float64) {
 	band := NewBandStorage(n, kd)
 	dense := make([]float64, n*n)
 	for i := 0; i < n; i++ {
-		for j := maxInt(0, i-kd); j < i; j++ {
+		for j := max(0, i-kd); j < i; j++ {
 			v := rng.NormFloat64() * 0.3
 			band.Set(i, j, v)
 			dense[i*n+j] = v
@@ -127,13 +127,6 @@ func buildBandSPD(rng *rand.Rand, n, kd int) (*BandStorage, []float64) {
 		dense[i*n+i] = d
 	}
 	return band, dense
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 func TestDpbtrfDpbtrs(t *testing.T) {
@@ -170,7 +163,7 @@ func TestDpbtrfMatchesDenseCholesky(t *testing.T) {
 			return false
 		}
 		for i := 0; i < n; i++ {
-			for j := maxInt(0, i-kd); j <= i; j++ {
+			for j := max(0, i-kd); j <= i; j++ {
 				if math.Abs(band.At(i, j)-dense[i*n+j]) > 1e-9 {
 					return false
 				}

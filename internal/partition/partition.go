@@ -104,6 +104,12 @@ func Partition(g *Graph, k int) ([]int, error) {
 		return nil, fmt.Errorf("partition: k must be >= 1")
 	}
 	n := g.N()
+	if k > n {
+		// Empty parts would leave ranks with no elements and break the
+		// halo-exchange pattern downstream (observed as a deadlock, not
+		// an error) — refuse up front.
+		return nil, fmt.Errorf("partition: cannot split %d vertices into %d parts", n, k)
+	}
 	part := make([]int, n)
 	if k == 1 {
 		return part, nil

@@ -61,7 +61,25 @@ type Model struct {
 	// BackplaneMBs caps the aggregate inter-node traffic (an
 	// oversubscribed Ethernet switch); 0 = full crossbar.
 	BackplaneMBs float64
+	// Scheduler selects the simulator's execution strategy (serial or
+	// host-parallel); both produce bit-identical virtual-time results.
+	// The NEKTAR_SIMNET_SCHED environment variable overrides it.
+	Scheduler Scheduler
 }
+
+// Scheduler selects how simnet executes the rank goroutines.
+type Scheduler int
+
+const (
+	// SchedAuto (the default) uses the parallel scheduler whenever the
+	// platform supports it, the run has at least two ranks, and more
+	// than one host core is available (GOMAXPROCS > 1).
+	SchedAuto Scheduler = iota
+	// SchedSerial forces the original one-rank-at-a-time scheduler.
+	SchedSerial
+	// SchedParallel forces the host-parallel conservative scheduler.
+	SchedParallel
+)
 
 // nodeOf returns the SMP node that hosts a rank.
 func (m *Model) nodeOf(rank int) int {

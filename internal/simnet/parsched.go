@@ -1,0 +1,368 @@
+package simnet
+
+// Host-parallel conservative scheduler.
+//
+// The serial scheduler (simnet.go) runs one rank goroutine at a time:
+// it elects the runnable rank with the smallest (virtual clock, rank)
+// pair, lets it run one slice — host work followed by one Node call's
+// shared-state mutations — and repeats. That makes every run
+// deterministic but leaves all host cores except one idle while the
+// ranks' real numeric work (the BLAS flops that drive the calibrated
+// virtual time) executes.
+//
+// The parallel scheduler exploits one structural invariant: a rank's
+// virtual clock only changes inside Node calls. Between a release (the
+// end of one Node call's mutations) and the rank's next Node call, its
+// election key is frozen — so the scheduler always knows every rank's
+// next event time even while the rank is off running host code on
+// another core. It can therefore run the serial election loop
+// unchanged: elect the minimum (key, rank); if that rank is still "in
+// flight" (running host code), wait for it to arrive at its next Node
+// call; admit it; run the call's shared-state mutations alone; repeat.
+// Host work overlaps freely across cores; shared-state events are
+// admitted in exactly the serial order, so message matching, resource
+// booking, fault firing and the virtual clocks are bit-identical to
+// the serial scheduler. DESIGN.md §10 gives the full argument.
+//
+// Two refinements keep the common path fast and the fault semantics
+// exact:
+//
+//   - Compute/Sleep touch only the rank's own clock, invisible to every
+//     other rank, so they skip admission entirely: the rank bumps its
+//     clock and releases (updating its frozen key) without parking.
+//     A long compute phase never serializes against the event loop.
+//
+//   - A rank whose release-time clock has passed its injected crash
+//     (or stall-adjusted crash) time must not run further host code:
+//     the serial scheduler would kill it at its next resume, before any
+//     of that code. It parks as "doomed", stays electable at its key,
+//     and the crash fires at its admission — same global order, no
+//     speculative side effects.
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+
+	"nektar/internal/blas"
+)
+
+// SchedulerEnv is the environment variable that overrides
+// Model.Scheduler for a whole process: "serial" or "parallel". The
+// Makefile's race-simnet target and the differential tests use it.
+const SchedulerEnv = "NEKTAR_SIMNET_SCHED"
+
+// resolveScheduler decides whether a run uses the parallel scheduler.
+// Single-rank runs and platforms without thread-keyed BLAS recording
+// (which per-rank operation counting needs once ranks overlap) fall
+// back to serial. SchedAuto additionally requires more than one host
+// core: with GOMAXPROCS=1 no host work can overlap and the admission
+// protocol is pure overhead. Forcing SchedParallel still works on one
+// core — the differential and race suites depend on that.
+func resolveScheduler(m *Model, p int) bool {
+	mode := m.Scheduler
+	switch os.Getenv(SchedulerEnv) {
+	case "serial":
+		mode = SchedSerial
+	case "parallel":
+		mode = SchedParallel
+	}
+	if mode == SchedSerial || p < 2 || !blas.ThreadRecordingSupported() {
+		return false
+	}
+	return mode == SchedParallel || runtime.GOMAXPROCS(0) > 1
+}
+
+// rankState tracks where a rank goroutine is in the parallel
+// scheduler's protocol. Transitions by the rank itself happen under
+// par.mu; the scheduler moves a rank to stAdmitted under par.mu before
+// resuming it, so a rank always reads its own status race-free.
+type rankState int
+
+const (
+	// stInFlight: running host code (or about to); its key is frozen.
+	stInFlight rankState = iota
+	// stArrived: parked at the top of a Node call, awaiting admission.
+	stArrived
+	// stAdmitted: executing a Node call's shared-state mutations; the
+	// scheduler waits for its release.
+	stAdmitted
+	// stParked: parked at a blocked yield. blockKind distinguishes a
+	// true block (not electable, except RecvDeadline at its deadline)
+	// from a woken rank awaiting re-election (blockKind == blockNone).
+	stParked
+	// stDoomed: parked at release because the rank's clock passed its
+	// injected crash time; electable at its key, dies on admission.
+	stDoomed
+	// stDone: goroutine finished (completed, crashed, or poisoned).
+	stDone
+)
+
+// parSched is the shared state of the parallel scheduler.
+type parSched struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	live int // ranks not yet stDone
+}
+
+// lockPar/unlockPar guard state that an admitted rank shares with
+// concurrently running rank goroutines (a sender entering Wait is the
+// only Node-side writer that can run outside admission). They are
+// no-ops under the serial scheduler, whose one-at-a-time execution
+// needs no lock.
+func (c *cluster) lockPar() {
+	if c.par != nil {
+		c.par.mu.Lock()
+	}
+}
+
+func (c *cluster) unlockPar() {
+	if c.par != nil {
+		c.par.mu.Unlock()
+	}
+}
+
+// applyStallLocked fires a due rank-stall fault. The serial scheduler
+// applies stalls in its election scan, which a parked runnable rank
+// passes through before it can be elected again; the parallel
+// equivalents of that instant are a rank's transition back to in-flight
+// or doomed (release), its wake from a blocked park, and launch.
+// Caller holds par.mu.
+func (c *cluster) applyStallLocked(n *Node) {
+	if c.stallAt == nil || c.stallFired[n.Rank] || n.clock < c.stallAt[n.Rank] {
+		return
+	}
+	c.stallFired[n.Rank] = true
+	if d := c.stallDur[n.Rank]; d > 0 {
+		n.clock += d
+		n.key += d
+	}
+}
+
+// parBegin is the admission gate at the top of every Node call that
+// touches shared simulator state. The rank arrives with its election
+// key frozen at its last release and parks until the scheduler admits
+// it in global (key, rank) order. Re-entrant: a rank already admitted
+// (woken inside a receive or wait loop) passes straight through.
+func (n *Node) begin() {
+	c := n.net
+	if c.par == nil || n.status == stAdmitted {
+		return
+	}
+	ps := c.par
+	ps.mu.Lock()
+	n.status = stArrived
+	ps.cond.Broadcast()
+	ps.mu.Unlock()
+	<-n.resume
+	if n.poison {
+		panic(poisonSignal{})
+	}
+	// No crash check here: the serial scheduler fires a crash at the
+	// start of a slice, which corresponds to parYield's release (below),
+	// not to arrival — the mutations this admission is about to run are
+	// still part of the rank's current slice.
+}
+
+// parYield ends a Node call under the parallel scheduler: the event's
+// mutations are complete, so publish the rank's next election key and
+// either return to in-flight host execution or park (blocked, or doomed
+// by a pending crash). Mirrors the serial yield()'s park/resume
+// contract: a parked rank returns from parYield admitted (woken) — or
+// panics if poisoned or crashed.
+func (c *cluster) parYield(n *Node) {
+	ps := c.par
+	ps.mu.Lock()
+	n.key = n.clock
+	if n.blockKind == blockNone {
+		c.applyStallLocked(n)
+		if c.crashAt == nil || c.crashed[n.Rank] || n.clock < c.crashAt[n.Rank] {
+			n.status = stInFlight
+			ps.cond.Broadcast()
+			ps.mu.Unlock()
+			return
+		}
+		n.status = stDoomed
+	} else {
+		n.status = stParked
+	}
+	ps.cond.Broadcast()
+	ps.mu.Unlock()
+	<-n.resume
+	if n.poison {
+		panic(poisonSignal{})
+	}
+	n.maybeCrash()
+}
+
+// parReleaseEarly releases admission without ending the rank's current
+// slice: RecvDeadline's timeout branch returns to the body mid-slice,
+// so stall and crash checks wait for the slice's real end (the next
+// yield), matching the serial scheduler.
+func (c *cluster) parReleaseEarly(n *Node) {
+	ps := c.par
+	ps.mu.Lock()
+	n.key = n.clock
+	n.status = stInFlight
+	ps.cond.Broadcast()
+	ps.mu.Unlock()
+}
+
+// parWait is Wait under the parallel scheduler. The transfer-complete
+// flag is written by the receiver's consume under par.mu, and a sender
+// can reach Wait while the receiver is mid-admission, so the check and
+// the decision to park must be one atomic step — otherwise the wake
+// could slip between them. Both racy orderings converge on the serial
+// outcome: a sender that parks just before the receiver completes the
+// rendezvous is woken and re-elected at the same key the serial
+// scheduler would have used, and a sender that observes the completed
+// transfer proceeds exactly as the serial slice would.
+func (n *Node) parWait(r *Request) {
+	c := n.net
+	ps := c.par
+	ps.mu.Lock()
+	for !r.m.xferDone {
+		n.blockKind = blockSendRendezvous
+		n.waitSend = r.m
+		n.key = n.clock
+		n.status = stParked
+		ps.cond.Broadcast()
+		ps.mu.Unlock()
+		<-n.resume
+		if n.poison {
+			panic(poisonSignal{})
+		}
+		n.maybeCrash()
+		ps.mu.Lock()
+		n.waitSend = nil
+	}
+	ps.mu.Unlock()
+	n.clock = max(n.clock, r.m.ready)
+	r.m = nil
+}
+
+// parRank is the goroutine wrapper for one rank under the parallel
+// scheduler. The goroutine is locked to its OS thread so package blas
+// can key the rank's operation-count recording by thread id — the
+// process-global recorder cannot span ranks once they run concurrently.
+func (c *cluster) parRank(n *Node, body func(*Node), wg *sync.WaitGroup) {
+	defer wg.Done()
+	runtime.LockOSThread()
+	bound := blas.BindThreadRecorder()
+	defer func() {
+		if bound {
+			blas.UnbindThreadRecorder()
+		}
+		runtime.UnlockOSThread()
+	}()
+	defer func() {
+		if r := recover(); r != nil {
+			switch r.(type) {
+			case crashSignal, poisonSignal:
+				// Expected unwinding; the cause is recorded elsewhere.
+			default:
+				c.failOnce(fmt.Errorf("simnet: rank %d panicked: %v", n.Rank, r))
+			}
+		}
+		ps := c.par
+		ps.mu.Lock()
+		n.done = true
+		n.status = stDone
+		ps.live--
+		ps.cond.Broadcast()
+		ps.mu.Unlock()
+	}()
+	// The serial scheduler applies a stall due at t=0 before the rank's
+	// first election; the parallel rank starts in flight, so apply it
+	// before any body code can observe the clock.
+	ps := c.par
+	ps.mu.Lock()
+	c.applyStallLocked(n)
+	ps.cond.Broadcast()
+	ps.mu.Unlock()
+	body(n)
+}
+
+// parRun is the parallel scheduler loop: the serial election over
+// (key, rank) with two extra states — waiting for an elected in-flight
+// rank to arrive at its next event, and waiting for an admitted rank to
+// release.
+func (c *cluster) parRun() {
+	ps := c.par
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	for ps.live > 0 {
+		// Election: smallest (key, rank) over in-flight, arrived, woken
+		// and doomed ranks, plus ranks blocked in RecvDeadline at their
+		// deadlines — the serial scheduler's candidate set exactly.
+		var pick *Node
+		pickTimeout := false
+		var pickKey float64
+		for _, n := range c.nodes {
+			var k float64
+			timeout := false
+			switch n.status {
+			case stInFlight, stArrived, stDoomed:
+				k = n.key
+			case stParked:
+				switch n.blockKind {
+				case blockNone:
+					k = n.key
+				case blockRecvDeadline:
+					k, timeout = n.deadline, true
+				default:
+					continue
+				}
+			default:
+				continue
+			}
+			if pick == nil || k < pickKey || (k == pickKey && n.Rank < pick.Rank) {
+				pick, pickKey, pickTimeout = n, k, timeout
+			}
+		}
+		if pick == nil {
+			// Deadlock: every live rank is parked blocked with no wake-up
+			// time. Diagnose, then poison them (same as serial).
+			c.failOnce(c.deadlockError(ps.live))
+			for _, n := range c.nodes {
+				if n.status == stParked {
+					n.poison = true
+					ps.mu.Unlock()
+					n.resume <- struct{}{}
+					ps.mu.Lock()
+					for n.status != stDone {
+						ps.cond.Wait()
+					}
+				}
+			}
+			continue
+		}
+		if pick.status == stInFlight {
+			// The elected rank is still running host code. Nothing else
+			// may be admitted before it, so wait for it to transition:
+			// arrive at a Node call, park in Wait, finish — or move its
+			// own key with an admission-free Compute/Sleep release, which
+			// may change the election. Other ranks' host work continues
+			// on the remaining cores meanwhile.
+			k := pick.key
+			for pick.status == stInFlight && pick.key == k {
+				ps.cond.Wait()
+			}
+			continue // re-elect
+		}
+		if pickTimeout {
+			// A RecvDeadline wait expired: wake the rank with its timeout
+			// flag set; it advances its own clock (serial semantics).
+			pick.blockKind = blockNone
+			pick.timedOut = true
+		}
+		pick.status = stAdmitted
+		ps.mu.Unlock()
+		pick.resume <- struct{}{}
+		ps.mu.Lock()
+		for pick.status == stAdmitted {
+			ps.cond.Wait()
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package simnet
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"testing"
+
+	"nektar/internal/blas"
+)
+
+// Differential tests: the parallel conservative scheduler must produce
+// bit-identical virtual clocks and identical errors to the serial
+// scheduler for any program, network model, and fault plan. The bodies
+// below deliberately hit every primitive — eager and rendezvous sends,
+// nonblocking Wait, self-sends, wildcard and deadline receives,
+// Compute/Sleep — and the fault plans cover drops, link degradation,
+// NIC stalls, rank stalls, and crashes (including the induced
+// survivor deadlock).
+
+// runBoth runs the same body under both schedulers and asserts exactly
+// equal per-rank wall/cpu clocks and identical error text.
+func runBoth(t *testing.T, label string, p int, model Model, inj Injector, body func(*Node)) {
+	t.Helper()
+	serial := model
+	serial.Scheduler = SchedSerial
+	par := model
+	par.Scheduler = SchedParallel
+	wallS, cpuS, errS := RunWithFaults(p, &serial, inj, body)
+	wallP, cpuP, errP := RunWithFaults(p, &par, inj, body)
+	es, ep := fmt.Sprint(errS), fmt.Sprint(errP)
+	if es != ep {
+		t.Fatalf("%s: error diverged:\nserial:   %s\nparallel: %s", label, es, ep)
+	}
+	for r := 0; r < p; r++ {
+		if math.Float64bits(wallS[r]) != math.Float64bits(wallP[r]) {
+			t.Errorf("%s: rank %d wall clock diverged: serial %v parallel %v", label, r, wallS[r], wallP[r])
+		}
+		if math.Float64bits(cpuS[r]) != math.Float64bits(cpuP[r]) {
+			t.Errorf("%s: rank %d cpu clock diverged: serial %v parallel %v", label, r, cpuS[r], cpuP[r])
+		}
+	}
+}
+
+// diffModels returns network models spanning the simulator's feature
+// space: pure eager, rendezvous, SMP nodes with a shared backplane,
+// and a half-duplex shared wire.
+func diffModels() map[string]Model {
+	return map[string]Model{
+		"eager": {
+			Name:  "diff-eager",
+			Inter: LinkModel{LatencyUS: 100, BandwidthMBs: 12, OverheadUS: 30, CPUCopyMBs: 50},
+		},
+		"rendezvous": {
+			Name:  "diff-rendezvous",
+			Inter: LinkModel{LatencyUS: 20, BandwidthMBs: 100, OverheadUS: 5, CPUCopyMBs: 0, EagerLimit: 4096},
+		},
+		"smp-backplane": {
+			Name:         "diff-smp",
+			Inter:        LinkModel{LatencyUS: 80, BandwidthMBs: 10, OverheadUS: 25, CPUCopyMBs: 40, EagerLimit: 8192},
+			Intra:        LinkModel{LatencyUS: 2, BandwidthMBs: 300, OverheadUS: 1},
+			RanksPerNode: 2,
+			BackplaneMBs: 15,
+		},
+		"half-duplex": {
+			Name:  "diff-half",
+			Inter: LinkModel{LatencyUS: 120, BandwidthMBs: 10, OverheadUS: 35, CPUCopyMBs: 45, HalfDuplex: true},
+		},
+	}
+}
+
+// diffBody is the primitive-coverage program: every rank computes,
+// exchanges eager and rendezvous rings, self-sends, probes a deadline
+// that times out, sleeps, and finishes with a lossy send acknowledged
+// under a deadline (the reliability-layer shape).
+func diffBody(n *Node) {
+	p := n.P
+	next := (n.Rank + 1) % p
+	prev := (n.Rank + p - 1) % p
+
+	n.Compute(1e-4 * float64(n.Rank+1))
+
+	// Eager ring.
+	n.Send(next, 1, []float64{float64(n.Rank)})
+	n.Recv(prev, 1)
+
+	// Rendezvous-sized ring with an overlapped Wait.
+	big := make([]float64, 1500)
+	for i := range big {
+		big[i] = float64(n.Rank*3 + i)
+	}
+	r := n.Isend(next, 2, big)
+	n.Compute(5e-5)
+	n.Recv(prev, 2)
+	n.Wait(r)
+
+	// Self-send and a wildcard receive.
+	n.Send(n.Rank, 3, []float64{42})
+	n.Recv(AnySource, 3)
+
+	// A deadline that always expires (nobody sends tag 9).
+	if _, ok := n.RecvDeadline(prev, 9, n.Clock()+2e-4); ok {
+		panic("unexpected message on tag 9")
+	}
+	n.Compute(1e-5)
+	n.Sleep(3e-5)
+
+	// Lossy payload with a deadline-based ack, retried once: the shape
+	// the mpi reliability layer drives, including the drop path when a
+	// plan is installed.
+	for attempt := 0; attempt < 2; attempt++ {
+		n.SendLossy(next, 4, []float64{float64(attempt)})
+		if _, ok := n.RecvDeadline(next, 5, n.Clock()+8e-4); ok {
+			break
+		}
+	}
+	for {
+		m, ok := n.RecvDeadline(prev, 4, n.Clock()+8e-4)
+		if !ok {
+			break
+		}
+		n.SendControl(prev, 5, m)
+	}
+
+	// Final eager ring so post-fault clocks keep interacting.
+	n.Send(next, 6, []float64{n.Clock()})
+	n.Recv(prev, 6)
+}
+
+func TestSchedulerDifferentialFaultFree(t *testing.T) {
+	for name, model := range diffModels() {
+		for _, p := range []int{2, 3, 5} {
+			runBoth(t, fmt.Sprintf("%s/p=%d", name, p), p, model, nil, diffBody)
+		}
+	}
+}
+
+func TestSchedulerDifferentialWithFaults(t *testing.T) {
+	mkInj := func(p int) Injector {
+		return &testStaller{
+			testInjector: testInjector{
+				drop: func(src, dst, n int, t float64) bool {
+					// Lose the first lossy payload on one ring edge.
+					return src == 0 && dst == 1%p && n == 2
+				},
+				factors: func(src, dst int, t float64) (float64, float64) {
+					if src == 0 && t > 1e-4 {
+						return 2.5, 3
+					}
+					return 1, 1
+				},
+				stall: func(node int, t float64) float64 {
+					if node == 0 && t < 3e-4 {
+						return 3e-4
+					}
+					return 0
+				},
+			},
+			rank:  p - 1,
+			start: 2e-4,
+			dur:   4e-4,
+		}
+	}
+	for name, model := range diffModels() {
+		for _, p := range []int{2, 3, 5} {
+			runBoth(t, fmt.Sprintf("%s/p=%d", name, p), p, model, mkInj(p), diffBody)
+		}
+	}
+}
+
+func TestSchedulerDifferentialWithCrash(t *testing.T) {
+	// Rank 1 dies mid-run; depending on the model the survivors either
+	// ride their deadline receives to completion or deadlock on the
+	// plain receives. Both outcomes — clocks, crash report, deadlock
+	// diagnosis — must be identical across schedulers.
+	mkInj := func() Injector {
+		return &testInjector{crash: func(rank int) float64 {
+			if rank == 1 {
+				return 6e-4
+			}
+			return math.Inf(1)
+		}}
+	}
+	for name, model := range diffModels() {
+		for _, p := range []int{2, 3} {
+			runBoth(t, fmt.Sprintf("%s/p=%d", name, p), p, model, mkInj(), diffBody)
+		}
+	}
+}
+
+func TestResolveScheduler(t *testing.T) {
+	if !blas.ThreadRecordingSupported() {
+		t.Skip("platform cannot key BLAS recording by thread")
+	}
+	// SchedAuto only goes parallel with real cores to overlap on;
+	// forced parallel ignores the core count.
+	multiCore := runtime.GOMAXPROCS(0) > 1
+	cases := []struct {
+		env  string
+		mode Scheduler
+		p    int
+		want bool
+	}{
+		{"", SchedAuto, 8, multiCore},
+		{"", SchedAuto, 1, false},
+		{"", SchedSerial, 8, false},
+		{"", SchedParallel, 8, true},
+		{"serial", SchedParallel, 8, false},
+		{"serial", SchedAuto, 8, false},
+		{"parallel", SchedSerial, 8, true},
+	}
+	for _, c := range cases {
+		t.Setenv(SchedulerEnv, c.env)
+		m := &Model{Scheduler: c.mode}
+		if got := resolveScheduler(m, c.p); got != c.want {
+			t.Errorf("resolveScheduler(env=%q, mode=%v, p=%d) = %v, want %v",
+				c.env, c.mode, c.p, got, c.want)
+		}
+	}
+}

@@ -122,6 +122,13 @@ type Node struct {
 	// harness uses it to charge full-size transfer times while moving
 	// validation-scale data.
 	phantom float64
+
+	// Parallel-scheduler state (parsched.go; unused when net.par is
+	// nil): the protocol state and the rank's frozen election key — the
+	// virtual time of its next shared-state event, published at each
+	// release. Guarded by net.par.mu.
+	status rankState
+	key    float64
 }
 
 // SetPhantomFactor sets the message-size multiplier used for timing
@@ -182,8 +189,11 @@ type Request struct {
 	m *message
 }
 
-// cluster is the shared simulator state; Node methods synchronize
-// through the scheduler so only one rank goroutine runs at a time.
+// cluster is the shared simulator state. Node methods synchronize
+// through the scheduler: under the serial scheduler only one rank
+// goroutine runs at a time; under the parallel scheduler (parsched.go)
+// rank host code runs concurrently but shared-state mutations are
+// admitted one at a time in the same (virtual time, rank) order.
 type cluster struct {
 	model *Model
 	nodes []*Node
@@ -200,8 +210,13 @@ type cluster struct {
 
 	// woken collects ranks unblocked since the last scheduler merge;
 	// appended only by the single running rank, drained only by the
-	// scheduler between handoffs.
+	// scheduler between handoffs. Serial scheduler only — the parallel
+	// scheduler's election scans rank states directly.
 	woken []int
+
+	// par is the parallel scheduler's state; nil under the serial
+	// scheduler, which also turns every lockPar/unlockPar into a no-op.
+	par *parSched
 
 	// Fault injection (nil when the cluster is perfect).
 	inj     Injector
@@ -312,6 +327,19 @@ func RunWithFaults(p int, model *Model, inj Injector, body func(n *Node)) (wall,
 		}
 	}
 	var wg sync.WaitGroup
+	if resolveScheduler(model, p) {
+		// Parallel conservative scheduler: rank host code overlaps on
+		// real cores, shared-state events admitted in serial order.
+		c.par = &parSched{live: p}
+		c.par.cond = sync.NewCond(&c.par.mu)
+		for i := 0; i < p; i++ {
+			wg.Add(1)
+			go c.parRank(c.nodes[i], body, &wg)
+		}
+		c.parRun()
+		wg.Wait()
+		return c.collect(p)
+	}
 	for i := 0; i < p; i++ {
 		wg.Add(1)
 		n := c.nodes[i]
@@ -428,7 +456,12 @@ func RunWithFaults(p int, model *Model, inj Injector, body func(n *Node)) (wall,
 
 	wg.Wait()
 	<-schedDone
+	return c.collect(p)
+}
 
+// collect gathers the per-rank virtual clocks and the run's error after
+// every rank goroutine has exited.
+func (c *cluster) collect(p int) (wall, cpu []float64, err error) {
 	wall = make([]float64, p)
 	cpu = make([]float64, p)
 	for i, n := range c.nodes {
@@ -500,6 +533,10 @@ func (c *cluster) deadlockError(running int) error {
 
 // yield hands control back to the scheduler and waits to be resumed.
 func (n *Node) yield() {
+	if n.net.par != nil {
+		n.net.parYield(n)
+		return
+	}
 	n.net.schedCh <- n.Rank
 	<-n.resume
 	if n.poison {
@@ -516,7 +553,8 @@ func (n *Node) yield() {
 // correctly reorders the rank against other ranks' receive deadlines.
 // A stall scheduled before a crash on the same rank can push the clock
 // past the crash time, in which case the crash wins — checked by
-// maybeCrash at the rank's next resume.
+// maybeCrash at the rank's next resume. Serial scheduler only; the
+// parallel scheduler uses applyStallLocked at the equivalent instants.
 func (n *Node) maybeStall() {
 	c := n.net
 	if c.stallAt == nil || c.stallFired[n.Rank] {
@@ -548,6 +586,7 @@ func (n *Node) maybeCrash() {
 	if n.cpu > t {
 		n.cpu = t
 	}
+	c.lockPar()
 	c.crashed[n.Rank] = true
 	for _, peer := range c.nodes {
 		if peer == n || peer.done {
@@ -556,9 +595,14 @@ func (n *Node) maybeCrash() {
 		if (peer.blockKind == blockRecv || peer.blockKind == blockRecvDeadline) &&
 			peer.waitKey != nil && peer.waitKey.src == n.Rank {
 			peer.blockKind = blockNone
-			c.woken = append(c.woken, peer.Rank)
+			if c.par != nil {
+				c.applyStallLocked(peer)
+			} else {
+				c.woken = append(c.woken, peer.Rank)
+			}
 		}
 	}
+	c.unlockPar()
 	panic(crashSignal{})
 }
 
@@ -638,6 +682,7 @@ func (n *Node) SendControl(dst, tag int, data []float64) {
 }
 
 func (n *Node) isend(dst, tag int, data []float64, forceEager, droppable bool) (*Request, bool) {
+	n.begin()
 	if dst == n.Rank {
 		// Self-send: buffer locally with no network cost.
 		cp := append([]float64(nil), data...)
@@ -693,19 +738,25 @@ func (n *Node) isend(dst, tag int, data []float64, forceEager, droppable bool) (
 		return &Request{m: m}, !dropped
 	}
 	// Rendezvous: if the receiver is already waiting, transfer now;
-	// otherwise park until it posts the matching receive.
+	// otherwise park until it posts the matching receive. The receiver's
+	// block state is read under the parallel scheduler's lock: a
+	// non-admitted peer can be writing its own block state concurrently
+	// only inside Wait, which takes the same lock.
+	c.lockPar()
 	if (dstNode.blockKind == blockRecv || dstNode.blockKind == blockRecvDeadline) &&
 		dstNode.waitKey != nil && matches(*dstNode.waitKey, m.key) {
-		start := maxf(n.clock, dstNode.clock) + n.linkLatency(link, dst, maxf(n.clock, dstNode.clock)) // handshake
+		start := max(n.clock, dstNode.clock) + n.linkLatency(link, dst, max(n.clock, dstNode.clock)) // handshake
 		m.arrive = n.reserveTransfer(dst, size, start, link)
 		m.ready = m.arrive - link.LatencyUS*us // payload has left the NIC
 		m.xferDone = true
-		n.deliver(dstNode, m)
+		n.deliverLocked(dstNode, m)
+		c.unlockPar()
 		n.yield()
 		return &Request{m: m}, true
 	}
 	m.arrive = -1
-	n.deliver(dstNode, m)
+	n.deliverLocked(dstNode, m)
+	c.unlockPar()
 	n.yield()
 	return &Request{m: m}, true
 }
@@ -729,13 +780,17 @@ func (n *Node) Wait(r *Request) {
 	if r.m == nil {
 		return
 	}
+	if n.net.par != nil {
+		n.parWait(r)
+		return
+	}
 	for !r.m.xferDone {
 		n.blockKind = blockSendRendezvous
 		n.waitSend = r.m
 		n.yield()
 		n.waitSend = nil
 	}
-	n.clock = maxf(n.clock, r.m.ready)
+	n.clock = max(n.clock, r.m.ready)
 	r.m = nil
 }
 
@@ -777,12 +832,12 @@ func (n *Node) reserveTransfer(dst, size int, start float64, link *LinkModel) fl
 		// fault exposure beyond whole-node crashes).
 		return start + lat + xfer
 	}
-	egBegin := maxf(start, c.egressFree[srcNode])
+	egBegin := max(start, c.egressFree[srcNode])
 	if c.inj != nil {
-		egBegin = maxf(egBegin, c.inj.StallUntil(srcNode, egBegin))
+		egBegin = max(egBegin, c.inj.StallUntil(srcNode, egBegin))
 	}
 	if link.HalfDuplex {
-		egBegin = maxf(egBegin, c.ingressFree[srcNode])
+		egBegin = max(egBegin, c.ingressFree[srcNode])
 	}
 	egEnd := egBegin + xfer
 	c.egressFree[srcNode] = egEnd
@@ -791,22 +846,22 @@ func (n *Node) reserveTransfer(dst, size int, start float64, link *LinkModel) fl
 	}
 	pathEnd := egEnd
 	if c.model.BackplaneMBs > 0 {
-		bpBegin := maxf(egBegin, c.bpFree)
+		bpBegin := max(egBegin, c.bpFree)
 		bpEnd := bpBegin + float64(size)/(c.model.BackplaneMBs*mb)
 		c.bpFree = bpEnd
-		pathEnd = maxf(pathEnd, bpEnd)
+		pathEnd = max(pathEnd, bpEnd)
 	}
 	arrive := pathEnd + lat
 	// Cut-through ingress serialization: the receive wire is busy for
 	// the transfer duration ending at arrival.
-	inBegin := maxf(arrive-xfer, c.ingressFree[dstNode])
+	inBegin := max(arrive-xfer, c.ingressFree[dstNode])
 	if c.inj != nil {
-		inBegin = maxf(inBegin, c.inj.StallUntil(dstNode, inBegin))
+		inBegin = max(inBegin, c.inj.StallUntil(dstNode, inBegin))
 	}
 	arrive = inBegin + xfer
 	c.ingressFree[dstNode] = arrive
 	if link.HalfDuplex {
-		c.egressFree[dstNode] = maxf(c.egressFree[dstNode], arrive)
+		c.egressFree[dstNode] = max(c.egressFree[dstNode], arrive)
 	}
 	return arrive
 }
@@ -814,12 +869,28 @@ func (n *Node) reserveTransfer(dst, size int, start float64, link *LinkModel) fl
 // deliver places a message in the destination inbox and unblocks the
 // destination if it is waiting for it.
 func (n *Node) deliver(dst *Node, m *message) {
+	n.net.lockPar()
+	n.deliverLocked(dst, m)
+	n.net.unlockPar()
+}
+
+// deliverLocked is deliver with the parallel scheduler's lock already
+// held (no-op lock under the serial scheduler).
+func (n *Node) deliverLocked(dst *Node, m *message) {
+	c := n.net
 	dst.inbox[m.key] = append(dst.inbox[m.key], m)
 	if (dst.blockKind == blockRecv || dst.blockKind == blockRecvDeadline) &&
 		dst.waitKey != nil && matches(*dst.waitKey, m.key) {
 		dst.blockKind = blockNone
 		dst.waitKey = nil
-		n.net.woken = append(n.net.woken, dst.Rank)
+		if c.par != nil {
+			// Woken: electable again at its parked key. The serial
+			// scheduler's election scan would apply a due stall before
+			// the rank could be picked; do it at the wake instant.
+			c.applyStallLocked(dst)
+		} else {
+			c.woken = append(c.woken, dst.Rank)
+		}
 	}
 }
 
@@ -833,6 +904,7 @@ const (
 // returns its payload. The rank's clock advances to the later of its
 // own time and the message's arrival time.
 func (n *Node) Recv(src, tag int) []float64 {
+	n.begin()
 	key := msgKey{src, tag}
 	for {
 		if m := n.takeMatch(key); m != nil {
@@ -850,12 +922,18 @@ func (n *Node) Recv(src, tag int) []float64 {
 // src == AnySource the crash check is skipped (any live rank could
 // still satisfy the receive) and the call behaves like Recv.
 func (n *Node) RecvErr(src, tag int) ([]float64, error) {
+	n.begin()
 	key := msgKey{src, tag}
 	for {
 		if m := n.takeMatch(key); m != nil {
 			return n.consume(m), nil
 		}
 		if src != AnySource && n.net.isCrashed(src) {
+			if n.net.par != nil {
+				// Returning mid-slice: release admission like the
+				// serial scheduler's yield-free error return.
+				n.net.parReleaseEarly(n)
+			}
 			return nil, fmt.Errorf("simnet: rank %d: peer rank %d crashed at t=%.6gs with no message for tag %d pending",
 				n.Rank, src, n.net.crashAt[src], tag)
 		}
@@ -871,12 +949,16 @@ func (n *Node) RecvErr(src, tag int) ([]float64, error) {
 // advances to the deadline on a timeout. The reliability layer's ack
 // timers are built on this.
 func (n *Node) RecvDeadline(src, tag int, deadline float64) ([]float64, bool) {
+	n.begin()
 	key := msgKey{src, tag}
 	for {
 		if m := n.takeMatch(key); m != nil {
 			return n.consume(m), true
 		}
 		if n.clock >= deadline {
+			if n.net.par != nil {
+				n.net.parReleaseEarly(n)
+			}
 			return nil, false
 		}
 		n.blockKind = blockRecvDeadline
@@ -889,6 +971,9 @@ func (n *Node) RecvDeadline(src, tag int, deadline float64) ([]float64, bool) {
 			if n.clock < deadline {
 				n.clock = deadline
 			}
+			if n.net.par != nil {
+				n.net.parReleaseEarly(n)
+			}
 			return nil, false
 		}
 	}
@@ -899,19 +984,29 @@ func (n *Node) RecvDeadline(src, tag int, deadline float64) ([]float64, bool) {
 // receive-side protocol copies.
 func (n *Node) consume(m *message) []float64 {
 	if m.rendezv && !m.xferDone {
-		// Transfer has not started: run the rendezvous now.
-		link := n.net.model.link(m.sender.Rank, n.Rank)
-		start := maxf(m.posted, n.clock) + m.sender.linkLatency(link, n.Rank, maxf(m.posted, n.clock))
+		// Transfer has not started: run the rendezvous now. Under the
+		// parallel scheduler the sender may be concurrently entering
+		// Wait, so the completion flag and the sender's block state are
+		// accessed under the scheduler lock (Wait takes the same lock).
+		c := n.net
+		link := c.model.link(m.sender.Rank, n.Rank)
+		start := max(m.posted, n.clock) + m.sender.linkLatency(link, n.Rank, max(m.posted, n.clock))
+		c.lockPar()
 		m.arrive = m.sender.reserveTransfer(n.Rank, m.size, start, link)
 		m.ready = m.arrive - link.LatencyUS*us
 		m.xferDone = true
 		// Unblock the sender if it is parked in Wait on this message.
 		if m.sender.blockKind == blockSendRendezvous && m.sender.waitSend == m {
 			m.sender.blockKind = blockNone
-			n.net.woken = append(n.net.woken, m.sender.Rank)
+			if c.par != nil {
+				c.applyStallLocked(m.sender)
+			} else {
+				c.woken = append(c.woken, m.sender.Rank)
+			}
 		}
+		c.unlockPar()
 	}
-	n.clock = maxf(n.clock, m.arrive)
+	n.clock = max(n.clock, m.arrive)
 	if m.sender != nil {
 		link := n.net.model.link(m.sender.Rank, n.Rank)
 		if link.CPUCopyMBs > 0 {
@@ -975,11 +1070,4 @@ func (c *cluster) blockedRanks() []int {
 	}
 	sort.Ints(out)
 	return out
-}
-
-func maxf(a, b float64) float64 {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -232,8 +232,7 @@ func TestBackplaneContention(t *testing.T) {
 	mk := func(backplane float64) float64 {
 		model := fastModel()
 		model.BackplaneMBs = backplane
-		var latest float64
-		_, _, err := Run(4, model, func(n *Node) {
+		wall, _, err := Run(4, model, func(n *Node) {
 			size := 12500 // 100 KB
 			switch n.Rank {
 			case 0:
@@ -242,15 +241,14 @@ func TestBackplaneContention(t *testing.T) {
 				n.Send(3, 0, make([]float64, size))
 			case 2, 3:
 				n.Recv(n.Rank-2, 0)
-				if c := n.Clock(); c > latest {
-					latest = c
-				}
 			}
 		})
 		if err != nil {
 			t.Fatal(err)
 		}
-		return latest
+		// The receivers end right after their Recv, so their final wall
+		// clocks are the arrival times.
+		return max(wall[2], wall[3])
 	}
 	free := mk(0)     // full crossbar
 	capped := mk(100) // backplane = one link
@@ -292,20 +290,16 @@ func TestHalfDuplexSharesWire(t *testing.T) {
 	mk := func(half bool) float64 {
 		model := fastModel()
 		model.Inter.HalfDuplex = half
-		var latest float64
-		_, _, err := Run(2, model, func(n *Node) {
+		wall, _, err := Run(2, model, func(n *Node) {
 			// Simultaneous bidirectional exchange.
 			other := 1 - n.Rank
 			n.Send(other, 0, make([]float64, 12500))
 			n.Recv(other, 0)
-			if c := n.Clock(); c > latest {
-				latest = c
-			}
 		})
 		if err != nil {
 			t.Fatal(err)
 		}
-		return latest
+		return max(wall[0], wall[1])
 	}
 	full := mk(false)
 	half := mk(true)

@@ -139,11 +139,19 @@ type Snapshot struct {
 
 // Snapshot copies the current per-stage second accumulators.
 func (s *Stages) Snapshot() Snapshot {
-	return Snapshot{
-		Seconds: append([]float64(nil), s.Seconds...),
-		Priced:  append([]float64(nil), s.Priced...),
-		Wall:    append([]float64(nil), s.Wall...),
-	}
+	var snap Snapshot
+	s.SnapshotInto(&snap)
+	return snap
+}
+
+// SnapshotInto copies the current per-stage second accumulators into
+// dst, reusing dst's slices. The engine's per-step tracing refreshes a
+// scratch snapshot pair this way instead of allocating three slices
+// every step.
+func (s *Stages) SnapshotInto(dst *Snapshot) {
+	dst.Seconds = append(dst.Seconds[:0], s.Seconds...)
+	dst.Priced = append(dst.Priced[:0], s.Priced...)
+	dst.Wall = append(dst.Wall[:0], s.Wall...)
 }
 
 // Percent returns each stage's share (0-100) of a per-stage metric
