@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: check build vet fmt test race bench-baseline bench-ckpt bench-simnet race-ckpt race-simnet
+.PHONY: check build vet fmt test race bench-baseline bench-ckpt bench-simnet bench-adapt race-ckpt race-simnet race-policy
 
 build:
 	$(GO) build ./...
@@ -57,4 +57,18 @@ race-simnet:
 bench-simnet:
 	BENCH_SIMNET=1 $(GO) test ./internal/bench -run TestWriteSimnetBaseline -count=1 -v
 
-check: build vet fmt race race-ckpt race-simnet
+# Regenerate the committed adaptive-resilience baseline
+# (BENCH_adapt.json at the repo root): the fault-swept differential of
+# the adaptive policy against the static checkpoint-cadence sweep. The
+# run enforces the acceptance bars (within 5% of the best static in
+# every cell, >= 20% better than the worst in at least one).
+bench-adapt:
+	BENCH_ADAPT=1 $(GO) test ./internal/bench -run TestWriteAdaptBaseline -count=1 -v
+
+# The adaptive-resilience layer (estimator, cadence controller, writer
+# selection, escalation ladder) runs inside every rank goroutine and
+# the supervisor's monitor; keep it race-clean under repetition.
+race-policy:
+	$(GO) test -race -count=2 ./internal/policy ./internal/supervisor
+
+check: build vet fmt race race-ckpt race-simnet race-policy

@@ -1,0 +1,115 @@
+// Command adaptbench measures the adaptive resilience layer against
+// the static checkpoint-cadence baseline it replaces. For each
+// (machine, MTBF regime) cell it runs the same seeded fault campaigns
+// under a sweep of static cadences and under the adaptive policy
+// (online MTBF estimation driving Young's-formula retuning plus
+// runtime writer selection), and reports mean time-to-solution, the
+// adaptive-vs-static ratios, and the policy end state. Every campaign
+// is audited bit-identical to a fault-free reference. The committed
+// baseline BENCH_adapt.json is this sweep at the default
+// configuration (`make bench-adapt` regenerates it).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"nektar/internal/bench"
+)
+
+func main() {
+	def := bench.PaperAdaptbench
+	machines := flag.String("machines", strings.Join(def.Machines, ","), "comma-separated simulated machines (see internal/machine)")
+	procs := flag.Int("procs", def.Procs, "solver rank count (power of two for nsf)")
+	spares := flag.Int("spares", def.Spares, "hot-spare node count (at least -procs: the planted hazard spans the spare pool)")
+	steps := flag.Int("steps", def.Steps, "solver steps per campaign")
+	disk := flag.Float64("disk", def.DiskMBs, "virtual checkpoint store bandwidth, MB/s")
+	intervals := flag.String("intervals", joinInts(def.StaticIntervals), "comma-separated static checkpoint cadences to sweep, steps")
+	seedEvery := flag.Int("seed-every", def.SeedInterval, "cadence the adaptive controller starts from, steps")
+	fracs := flag.String("mtbf-frac", joinFloats(def.MTBFFracs), "comma-separated per-node MTBF regimes, as fractions of the fault-free wall")
+	seeds := flag.Int("seeds", def.Seeds, "fault-plan draws averaged per cell")
+	seed := flag.Int64("seed", def.Seed, "base fault-plan seed")
+	quick := flag.Bool("quick", false, "run the budget configuration (one machine, one regime, one draw)")
+	jsonPath := flag.String("json", "", "also write the result as JSON to this file")
+	flag.Parse()
+
+	cfg := def
+	if *quick {
+		cfg = bench.QuickAdaptbench
+	} else {
+		cfg.Procs = *procs
+		cfg.Spares = *spares
+		cfg.Steps = *steps
+		cfg.DiskMBs = *disk
+		cfg.SeedInterval = *seedEvery
+		cfg.Seeds = *seeds
+		cfg.Seed = *seed
+		cfg.Machines = nil
+		for _, s := range strings.Split(*machines, ",") {
+			cfg.Machines = append(cfg.Machines, strings.TrimSpace(s))
+		}
+		cfg.StaticIntervals = nil
+		for _, s := range strings.Split(*intervals, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "adaptbench: -intervals %q: %q is not an integer step count\n", *intervals, strings.TrimSpace(s))
+				os.Exit(2)
+			}
+			cfg.StaticIntervals = append(cfg.StaticIntervals, v)
+		}
+		cfg.MTBFFracs = nil
+		for _, s := range strings.Split(*fracs, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "adaptbench: -mtbf-frac %q: %q is not a number\n", *fracs, strings.TrimSpace(s))
+				os.Exit(2)
+			}
+			cfg.MTBFFracs = append(cfg.MTBFFracs, v)
+		}
+	}
+
+	// Validate up front so a bad flag fails with an actionable message
+	// instead of a mid-run panic.
+	if err := bench.ValidateAdaptbench(cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "adaptbench: %v\n", err)
+		os.Exit(2)
+	}
+
+	res, tbl, err := bench.RunAdaptbench(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tbl.Write(os.Stdout)
+	fmt.Printf("\nadaptive vs best static, worst cell: %+.1f%%; vs worst static, best cell: %.1f%% faster\n",
+		100*(res.MaxVsBest-1), 100*res.MaxGainVsWorst)
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonPath, append(buf, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func joinInts(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = strconv.Itoa(x)
+	}
+	return strings.Join(parts, ",")
+}
+
+func joinFloats(xs []float64) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = strconv.FormatFloat(x, 'g', -1, 64)
+	}
+	return strings.Join(parts, ",")
+}

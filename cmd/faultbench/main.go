@@ -17,6 +17,8 @@ import (
 	"strings"
 
 	"nektar/internal/bench"
+	"nektar/internal/cliutil"
+	"nektar/internal/policy"
 )
 
 func main() {
@@ -28,7 +30,19 @@ func main() {
 	recovery := flag.Bool("recovery", true, "also run the measured crash-recovery demonstration")
 	seed := flag.Int64("seed", 1, "fault-plan seed for the recovery demonstration")
 	stripe := flag.Bool("stripe", false, "price checkpoints as striped parallel writes (1/P-th shards exchanged over the interconnect) instead of node-local files")
+	adapt := flag.String("adapt", "static", "resilience policy; faultbench tabulates the static baseline only (run cmd/adaptbench for the adaptive layer)")
 	flag.Parse()
+
+	// Faultbench's offline Young's-model table IS the static baseline
+	// the adaptive layer is measured against: accept only -adapt static
+	// and point anything else at the live differential benchmark.
+	if mode, err := cliutil.PolicyMode(*adapt); err != nil {
+		fmt.Fprintf(os.Stderr, "faultbench: %v\n", err)
+		os.Exit(2)
+	} else if mode != policy.Static {
+		fmt.Fprintf(os.Stderr, "faultbench: -adapt %s: this command tabulates the static checkpoint-cadence baseline; the %s policy runs live in cmd/adaptbench\n", mode, mode)
+		os.Exit(2)
+	}
 
 	cfg := bench.PaperFaultbench
 	cfg.Machine = *machine
@@ -44,15 +58,12 @@ func main() {
 		}
 		cfg.IntervalSteps = append(cfg.IntervalSteps, v)
 	}
-	cfg.MTBFHours = nil
-	for _, s := range strings.Split(*mtbf, ",") {
-		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "faultbench: -mtbf %q: %q is not a number of hours\n", *mtbf, strings.TrimSpace(s))
-			os.Exit(2)
-		}
-		cfg.MTBFHours = append(cfg.MTBFHours, v)
+	hours, err := cliutil.ParseMTBFHours(*mtbf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "faultbench: %v\n", err)
+		os.Exit(2)
 	}
+	cfg.MTBFHours = hours
 
 	// Validate up front so a bad flag fails with an actionable message
 	// instead of a mid-run panic.

@@ -155,6 +155,20 @@ var experiments = []experiment{
 		}
 		return err
 	}},
+	{"adaptbench", "adaptive resilience vs static checkpoint cadence, fault-swept", func(w io.Writer, quick bool) error {
+		cfg := bench.PaperAdaptbench
+		if quick {
+			cfg = bench.QuickAdaptbench
+		}
+		res, tbl, err := bench.RunAdaptbench(cfg)
+		if err != nil {
+			return err
+		}
+		tbl.Write(w)
+		fmt.Fprintf(w, "\nadaptive vs best static, worst cell: %+.1f%%; vs worst static, best cell: %.1f%% faster\n",
+			100*(res.MaxVsBest-1), 100*res.MaxGainVsWorst)
+		return nil
+	}},
 	{"trace", "engine per-step JSONL trace of a crash-recovery run", func(w io.Writer, quick bool) error {
 		cfg := bench.PaperTrace
 		if quick {

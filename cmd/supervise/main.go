@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"nektar/internal/bench"
+	"nektar/internal/cliutil"
 )
 
 func main() {
@@ -28,6 +29,8 @@ func main() {
 	stallFrac := flag.Float64("stall-frac", cfg.StallFrac, "freeze node 0 at this fraction of the reference wall, in [0,1) (0 disables)")
 	seed := flag.Int64("seed", cfg.Seed, "fault-plan seed")
 	ckptDir := flag.String("ckptdir", "", "back the faulted campaign's checkpoints with a durable on-disk store here (directory must start empty)")
+	adapt := flag.String("adapt", "static", "resilience policy for the campaign: static, pinned, or adaptive")
+	mtbf := flag.String("mtbf", "", "per-node MTBF prior in hours of virtual time (required by -adapt adaptive)")
 	flag.Parse()
 
 	cfg.Machine = *machine
@@ -40,9 +43,26 @@ func main() {
 	cfg.StallFrac = *stallFrac
 	cfg.Seed = *seed
 	cfg.CkptDir = *ckptDir
+	cfg.Policy = *adapt
 
 	// Validate up front so a bad flag fails with an actionable message
 	// instead of a mid-run panic.
+	if _, err := cliutil.PolicyMode(*adapt); err != nil {
+		fmt.Fprintf(os.Stderr, "supervise: %v\n", err)
+		os.Exit(2)
+	}
+	if *mtbf != "" {
+		hours, err := cliutil.ParseMTBFHours(*mtbf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "supervise: %v\n", err)
+			os.Exit(2)
+		}
+		if len(hours) != 1 {
+			fmt.Fprintf(os.Stderr, "supervise: -mtbf takes exactly one value, got %d\n", len(hours))
+			os.Exit(2)
+		}
+		cfg.MTBFHours = hours[0]
+	}
 	if err := bench.ValidateSupervise(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "supervise: %v\n", err)
 		os.Exit(2)

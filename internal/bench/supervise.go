@@ -10,6 +10,7 @@ import (
 	"nektar/internal/fault"
 	"nektar/internal/machine"
 	"nektar/internal/mpi"
+	"nektar/internal/policy"
 	"nektar/internal/report"
 	"nektar/internal/supervisor"
 )
@@ -49,6 +50,17 @@ type SuperviseConfig struct {
 	// rather than from the in-memory staging area. The directory must
 	// start empty — leftover records warm-start the campaign.
 	CkptDir string
+
+	// Policy selects the resilience policy for the faulted campaign:
+	// "static" (the default, empty means static), "pinned", or
+	// "adaptive" (see internal/policy). Under "adaptive" the campaign
+	// retunes its checkpoint cadence from the observed failures and the
+	// report gains a policy end-state row.
+	Policy string
+	// MTBFHours seeds the adaptive policy's per-node MTBF prior, in
+	// hours of virtual time. Required (positive) when Policy is
+	// "adaptive"; ignored otherwise.
+	MTBFHours float64
 }
 
 // PaperSupervise is the default campaign: the paper's Ethernet Beowulf
@@ -94,6 +106,15 @@ func ValidateSupervise(cfg SuperviseConfig) error {
 	}
 	if cfg.StallFrac > 0 && cfg.StallDurS <= 0 {
 		return fmt.Errorf("bench: a stall needs a positive duration, got %g", cfg.StallDurS)
+	}
+	if cfg.Policy != "" {
+		mode, err := policy.ModeByName(cfg.Policy)
+		if err != nil {
+			return err
+		}
+		if mode == policy.Adaptive && cfg.MTBFHours <= 0 {
+			return fmt.Errorf("bench: the adaptive policy needs a positive per-node MTBF prior in hours, got %g", cfg.MTBFHours)
+		}
 	}
 	return nil
 }
@@ -157,6 +178,20 @@ func RunSupervise(cfg SuperviseConfig) (*report.Table, error) {
 	faulted := sup
 	faulted.Faults = plan
 	faulted.Heartbeat.InitialInterval = ref.VirtualWall / float64(cfg.Steps)
+	mode := policy.Static
+	if cfg.Policy != "" {
+		if mode, err = policy.ModeByName(cfg.Policy); err != nil {
+			return nil, err
+		}
+	}
+	if mode != policy.Static {
+		faulted.Adapt = &policy.Config{Mode: mode}
+		if mode == policy.Adaptive {
+			// The flag gives a per-node MTBF; the controller's prior is
+			// the cluster-level rate (any of the Procs workers failing).
+			faulted.Adapt.PriorMTBFS = cfg.MTBFHours * 3600 / float64(cfg.Procs)
+		}
+	}
 	if cfg.CkptDir != "" {
 		store, serr := ckpt.NewDirStore(cfg.CkptDir)
 		if serr != nil {
@@ -199,6 +234,15 @@ func RunSupervise(cfg SuperviseConfig) (*report.Table, error) {
 	tbl.AddRow("crash+freeze campaign", fmt.Sprintf("%d", got.Attempts),
 		fmt.Sprintf("%d (%s)", len(got.Failures), strings.Join(handled, "; ")),
 		fmt.Sprintf("%d", got.StepsComputed), fmt.Sprintf("%.4g", got.VirtualWall), verdictCol)
+	if mode != policy.Static {
+		// The policy end state, in the campaign row's shape: what the
+		// controllers converged to and how often the ladder fired.
+		tbl.AddRow(fmt.Sprintf("policy end state (%s)", mode), "—",
+			fmt.Sprintf("%d escalation(s)", len(got.Escalations)),
+			fmt.Sprintf("ckpt every %d", got.FinalInterval),
+			fmt.Sprintf("MTBF est %.3g", got.MTBFEstimateS),
+			got.WriteMode+" writes")
+	}
 	if !identical {
 		return tbl, fmt.Errorf("bench: recovered trajectory is NOT bit-identical to the reference")
 	}

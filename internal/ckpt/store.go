@@ -202,11 +202,22 @@ func DecodeRecord(frame []byte) (Meta, []byte, error) {
 // and (-1, nil, nil) means the store holds nothing usable. Only
 // backend I/O failures (listing errors) are returned as errors.
 func Latest(s Store, procs int) (int, [][]byte, error) {
+	return LatestBelow(s, procs, -1)
+}
+
+// LatestBelow is Latest restricted to steps strictly below the given
+// bound; below < 0 means unbounded. The adaptive escalation ladder
+// uses it to roll back one commit deeper when resuming from the newest
+// checkpoint keeps tripping the watchdog at the same step.
+func LatestBelow(s Store, procs, below int) (int, [][]byte, error) {
 	steps, err := s.Steps()
 	if err != nil {
 		return -1, nil, err
 	}
 	for i := len(steps) - 1; i >= 0; i-- {
+		if below >= 0 && steps[i] >= below {
+			continue
+		}
 		states := make([][]byte, procs)
 		ok := true
 		for r := 0; r < procs; r++ {

@@ -64,6 +64,8 @@ type AsyncWriter struct {
 	closed  bool
 	err     error // first write error, surfaced by Submit/Drain
 	stats   WriterStats
+
+	done chan struct{} // closed when the background goroutine exits
 }
 
 type asyncJob struct {
@@ -75,7 +77,7 @@ type asyncJob struct {
 
 // NewAsyncWriter starts the background writer over store.
 func NewAsyncWriter(store Store, cfg WriterConfig) *AsyncWriter {
-	w := &AsyncWriter{store: store, cfg: cfg}
+	w := &AsyncWriter{store: store, cfg: cfg, done: make(chan struct{})}
 	w.cond = sync.NewCond(&w.mu)
 	go w.loop()
 	return w
@@ -120,14 +122,24 @@ func (w *AsyncWriter) Drain() error {
 	return w.err
 }
 
-// Close drains and stops the background goroutine. The writer rejects
-// further submissions.
+// Close drains, stops the background goroutine, and waits for it to
+// exit. It is idempotent and safe to defer around a solver step that
+// may panic: the in-flight snapshot is made durable (or its error
+// surfaced) before the goroutine is released, so a panicking run never
+// leaks the writer goroutine or loses a submitted snapshot. The writer
+// rejects further submissions.
 func (w *AsyncWriter) Close() error {
 	err := w.Drain()
 	w.mu.Lock()
 	if !w.closed {
 		w.closed = true
 		w.cond.Broadcast()
+	}
+	w.mu.Unlock()
+	<-w.done // goroutine exit, so Close-then-leak-check is race-free
+	w.mu.Lock()
+	if err == nil {
+		err = w.err
 	}
 	w.mu.Unlock()
 	return err
@@ -142,6 +154,7 @@ func (w *AsyncWriter) Stats() WriterStats {
 
 // loop is the background writer goroutine.
 func (w *AsyncWriter) loop() {
+	defer close(w.done)
 	for {
 		w.mu.Lock()
 		for w.pending == nil && !w.closed {

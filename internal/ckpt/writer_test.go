@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"nektar/internal/engine"
 )
@@ -172,5 +174,53 @@ func TestSyncWriterStoresAndTraces(t *testing.T) {
 	evs, err := engine.ReadEvents(&trace)
 	if err != nil || len(evs) != 1 || evs[0].Ev != engine.EvCkptDone || !evs[0].Final {
 		t.Fatalf("trace %v err %v", evs, err)
+	}
+}
+
+// A panic in the solver step must not leak the writer goroutine: the
+// deferred Close waits for the background worker to exit and keeps the
+// already-submitted snapshot durable. Close is also idempotent — the
+// normal-exit path may have closed the writer already.
+func TestAsyncWriterCloseOnPanicPath(t *testing.T) {
+	s := NewMemStore()
+	w := NewAsyncWriter(s, WriterConfig{Kind: "ns2d"})
+
+	before := runtime.NumGoroutine()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected the simulated solver panic")
+			}
+		}()
+		defer func() {
+			if err := w.Close(); err != nil {
+				t.Errorf("deferred Close: %v", err)
+			}
+		}()
+		if err := w.Submit(3, payload(1, 2048), false); err != nil {
+			t.Fatal(err)
+		}
+		panic("solver step blew up")
+	}()
+
+	// Close returned, so the goroutine has exited (the done channel is
+	// closed before Close returns)...
+	for i := 0; i < 50 && runtime.NumGoroutine() > before; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > before {
+		t.Errorf("goroutines %d after Close, started with %d — writer goroutine leaked", got, before)
+	}
+	// ...and the in-flight snapshot is durable despite the panic.
+	if _, _, err := s.Open(3, 0); err != nil {
+		t.Errorf("snapshot not durable after panic-path Close: %v", err)
+	}
+	// Idempotent: a second Close is a no-op, not a deadlock or panic.
+	if err := w.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	// The closed writer rejects new snapshots with an error, not a hang.
+	if err := w.Submit(9, payload(1, 16), false); err == nil {
+		t.Error("Submit on a closed writer must fail")
 	}
 }

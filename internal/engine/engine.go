@@ -17,6 +17,7 @@
 package engine
 
 import (
+	"fmt"
 	"io"
 
 	"nektar/internal/timing"
@@ -141,6 +142,13 @@ type Loop struct {
 	// and charging any I/O cost.
 	CheckpointEvery int
 	OnCheckpoint    func(step int, state []byte)
+	// Cadence, when set, replaces the static CheckpointEvery rule with
+	// a live policy (see internal/policy's Young's-formula controller):
+	// it is consulted once per completed step, in step order, and its
+	// verdict decides whether that step stages a checkpoint. Setting
+	// both Cadence and CheckpointEvery is a configuration error — the
+	// two rules would be ambiguous.
+	Cadence CadencePolicy
 	// Sink, when set, receives every marshalled snapshot — the mid-run
 	// checkpoints and the final state — for durable storage (see
 	// internal/ckpt). The loop drains it on every exit path, so a
@@ -162,6 +170,17 @@ type Loop struct {
 	Trace *Tracer
 }
 
+// CadencePolicy decides the live checkpoint cadence. ShouldCheckpoint
+// is consulted exactly once per completed step (ascending step order,
+// never for the final step, whose snapshot is unconditional), so an
+// implementation may advance internal state in the call. In a parallel
+// run every rank must reach the same verdict at the same step —
+// checkpoint staging is collective — so implementations must be
+// deterministic functions of rank-identical inputs.
+type CadencePolicy interface {
+	ShouldCheckpoint(step int) bool
+}
+
 // CheckpointSink receives marshalled snapshots for durable storage off
 // the step loop's critical path. Submit may buffer (an asynchronous
 // writer) or persist inline charging its cost (a simulated-disk
@@ -173,12 +192,39 @@ type CheckpointSink interface {
 	Drain() error
 }
 
-// Run executes the loop to its outcome. Errors are serialization or
-// checkpoint-sink failures only; solver and communication failures
-// panic, matching the simulated cluster's crash-unwinding model. When
-// a Sink is configured it is drained on every exit path, so a returned
-// Run means every submitted snapshot is durable.
+// Validate checks the loop configuration and returns a descriptive
+// error for each way a run cannot work: a nil Solver, a negative
+// checkpoint interval (a negative modulus would checkpoint on
+// arbitrary steps instead of never), a negative watchdog period
+// (silently clamping it would sample every step, the opposite of what
+// a negative value suggests the caller wanted), or an ambiguous
+// cadence (both the static interval and a live policy set).
+func (l *Loop) Validate() error {
+	if l.Solver == nil {
+		return fmt.Errorf("engine: Loop.Solver is nil — the loop has nothing to step")
+	}
+	if l.CheckpointEvery < 0 {
+		return fmt.Errorf("engine: negative CheckpointEvery %d — use 0 to disable checkpointing", l.CheckpointEvery)
+	}
+	if l.Watchdog.Every < 0 {
+		return fmt.Errorf("engine: negative Watchdog.Every %d — use 0 for the every-step default or Disabled to turn the watchdog off", l.Watchdog.Every)
+	}
+	if l.Cadence != nil && l.CheckpointEvery > 0 {
+		return fmt.Errorf("engine: both CheckpointEvery (%d) and a live Cadence policy are set — pick one checkpoint rule", l.CheckpointEvery)
+	}
+	return nil
+}
+
+// Run executes the loop to its outcome. Errors are configuration,
+// serialization, or checkpoint-sink failures only; solver and
+// communication failures panic, matching the simulated cluster's
+// crash-unwinding model. When a Sink is configured it is drained on
+// every exit path, so a returned Run means every submitted snapshot is
+// durable.
 func (l *Loop) Run() (Result, error) {
+	if err := l.Validate(); err != nil {
+		return Result{}, err
+	}
 	res, err := l.run()
 	if l.Sink != nil {
 		if derr := l.Sink.Drain(); derr != nil && err == nil {
@@ -248,7 +294,7 @@ func (l *Loop) run() (Result, error) {
 		if l.PostStep != nil {
 			l.PostStep(step)
 		}
-		if l.CheckpointEvery > 0 && step%l.CheckpointEvery == 0 && step < l.Steps {
+		if step < l.Steps && l.stageAt(step) {
 			if _, err := l.snapshot(step, false); err != nil {
 				return res, err
 			}
@@ -266,6 +312,16 @@ func (l *Loop) run() (Result, error) {
 	res.Outcome = Completed
 	l.trace(Event{Ev: EvDone, Rank: l.Rank, Step: s.StepCount()})
 	return res, nil
+}
+
+// stageAt is the checkpoint-cadence rule for one completed mid-run
+// step: the live policy when one is wired, the static interval
+// otherwise.
+func (l *Loop) stageAt(step int) bool {
+	if l.Cadence != nil {
+		return l.Cadence.ShouldCheckpoint(step)
+	}
+	return l.CheckpointEvery > 0 && step%l.CheckpointEvery == 0
 }
 
 // snapshot is the one marshal path: it serializes the solver, emits

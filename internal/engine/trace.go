@@ -28,16 +28,30 @@ import (
 //	trip        the watchdog ended the run: max_abs/finite explain why
 //	halt        a supervisor halt order ended the run at step
 //	done        the run reached its target step count
+//
+// The adaptive-resilience layer (internal/policy) adds two events:
+//
+//	policy_switch  a live policy changed its decision: policy names the
+//	               controller ("cadence" or "writer"), from/to the old
+//	               and new settings, and the evidence rides along
+//	               (mtbf_s/delta_s/interval for cadence, exposed or
+//	               cost ratios for writer selection)
+//	escalate       the adaptive watchdog ladder took its next recovery
+//	               rung: to is the action ("retry-dt", "rollback",
+//	               "convict"), dt_scale the time-step reduction in
+//	               force after the decision
 const (
-	EvStep       = "step"
-	EvStage      = "stage"
-	EvCheckpoint = "checkpoint"
-	EvCkptBegin  = "ckpt_begin"
-	EvCkptDone   = "ckpt_done"
-	EvRollback   = "rollback"
-	EvTrip       = "trip"
-	EvHalt       = "halt"
-	EvDone       = "done"
+	EvStep         = "step"
+	EvStage        = "stage"
+	EvCheckpoint   = "checkpoint"
+	EvCkptBegin    = "ckpt_begin"
+	EvCkptDone     = "ckpt_done"
+	EvRollback     = "rollback"
+	EvTrip         = "trip"
+	EvHalt         = "halt"
+	EvDone         = "done"
+	EvPolicySwitch = "policy_switch"
+	EvEscalate     = "escalate"
 )
 
 // Event is one trace record.
@@ -63,6 +77,15 @@ type Event struct {
 	ExposedS float64 `json:"exposed_s,omitempty"`
 	// Final marks the run's end-state snapshot (checkpoint events).
 	Final bool `json:"final,omitempty"`
+
+	// Adaptive-policy fields (policy_switch/escalate, internal/policy).
+	Policy   string  `json:"policy,omitempty"`
+	From     string  `json:"from,omitempty"`
+	To       string  `json:"to,omitempty"`
+	MTBFS    float64 `json:"mtbf_s,omitempty"`
+	DeltaS   float64 `json:"delta_s,omitempty"`
+	Interval int     `json:"interval,omitempty"`
+	DtScale  float64 `json:"dt_scale,omitempty"`
 }
 
 // Tracer serializes events from concurrently stepping ranks onto one

@@ -1,0 +1,157 @@
+package policy
+
+import (
+	"math"
+	"strconv"
+
+	"nektar/internal/engine"
+)
+
+// CadenceController is the live checkpoint-cadence policy
+// (engine.CadencePolicy): it fires checkpoints on a step interval it
+// retunes with Young's formula as the MTBF estimate and the measured
+// per-checkpoint cost evolve.
+//
+// Young's first-order result: with checkpoint period tau (seconds),
+// per-checkpoint cost delta, and mean time between failures theta, the
+// fractional overhead is
+//
+//	overhead(tau) ~= delta/tau + tau/(2*theta)
+//
+// (amortized write cost plus expected recomputation loss), minimized
+// at tau_opt = sqrt(2*delta*theta). The controller converts tau_opt to
+// a step interval with the measured mean step duration, clamps it to
+// [MinInterval, MaxInterval], and applies hysteresis: a retune smaller
+// than HysteresisFrac of the current interval is noise and is ignored.
+//
+// Determinism contract: in a parallel run every rank holds its own
+// controller instance, and checkpoint staging is collective, so every
+// instance must make identical decisions. Observe must therefore be
+// fed rank-identical inputs (the supervisor Allreduce-Maxes the
+// measured cost and step duration before calling it) at identical
+// steps (checkpoint boundaries — which all ranks share by
+// construction). ShouldCheckpoint is then a pure function of shared
+// state.
+type CadenceController struct {
+	cfg Config
+
+	interval int
+	anchor   int // step the current interval was adopted at; fires at anchor + k*interval
+
+	deltaS float64 // EW per-checkpoint cost, seconds
+	stepS  float64 // EW per-step duration, seconds
+	nobs   int
+
+	rank int // only the rank-0 controller carries a tracer
+}
+
+// YoungInterval is Young's optimal checkpoint period in seconds:
+// sqrt(2 * delta * theta) for per-checkpoint cost delta and MTBF
+// theta.
+func YoungInterval(deltaS, thetaS float64) float64 {
+	if deltaS <= 0 || thetaS <= 0 {
+		return 0
+	}
+	return math.Sqrt(2 * deltaS * thetaS)
+}
+
+// YoungOverhead is the first-order fractional overhead of period tauS.
+func YoungOverhead(deltaS, tauS, thetaS float64) float64 {
+	if tauS <= 0 || thetaS <= 0 {
+		return math.Inf(1)
+	}
+	return deltaS/tauS + tauS/(2*thetaS)
+}
+
+// NewCadence builds a controller at cfg.InitialInterval anchored at
+// step 0, so the firing grid {k*interval} matches the static
+// CheckpointEvery rule — a pinned controller reproduces a static run
+// exactly, including across restarts. rank labels trace events; pass
+// the Config's Trace only to rank 0's instance so a parallel run
+// emits each switch once.
+func NewCadence(cfg Config, rank int) *CadenceController {
+	cfg = cfg.WithDefaults()
+	return &CadenceController{cfg: cfg, interval: cfg.InitialInterval, rank: rank}
+}
+
+// Adopt restores persisted cadence state — a previous attempt's
+// (interval, anchor) — so a retuned cadence survives rollback. Every
+// rank's controller must adopt the same state.
+func (c *CadenceController) Adopt(interval, anchor int) {
+	if interval >= 1 {
+		c.interval = interval
+	}
+	if anchor >= 0 {
+		c.anchor = anchor
+	}
+}
+
+// Interval returns the current cadence in steps; Anchor the step it
+// was adopted at (fires at anchor + k*interval).
+func (c *CadenceController) Interval() int { return c.interval }
+func (c *CadenceController) Anchor() int   { return c.anchor }
+
+// ShouldCheckpoint implements engine.CadencePolicy.
+func (c *CadenceController) ShouldCheckpoint(step int) bool {
+	d := step - c.anchor
+	return d > 0 && d%c.interval == 0
+}
+
+// Observe feeds one checkpoint's measurements: the write's cost in
+// seconds, the mean per-step duration since the previous checkpoint,
+// and the current MTBF estimate. All three must be rank-identical
+// (Allreduce them first). Called at the checkpoint step the
+// measurements belong to. In Pinned mode (Hold) the supervisor never
+// calls Observe, so a pinned run adds no measurement traffic.
+func (c *CadenceController) Observe(step int, costS, stepWallS, mtbfS float64) {
+	a := c.cfg.Alpha
+	if c.nobs == 0 {
+		c.deltaS, c.stepS = costS, stepWallS
+	} else {
+		c.deltaS = (1-a)*c.deltaS + a*costS
+		c.stepS = (1-a)*c.stepS + a*stepWallS
+	}
+	c.nobs++
+	if c.cfg.Mode != Adaptive || c.stepS <= 0 {
+		return
+	}
+
+	tau := YoungInterval(c.deltaS, mtbfS)
+	want := int(math.Round(tau / c.stepS))
+	if want < c.cfg.MinInterval {
+		want = c.cfg.MinInterval
+	}
+	if want > c.cfg.MaxInterval {
+		want = c.cfg.MaxInterval
+	}
+	// Hysteresis: ignore retunes within the noise band.
+	band := int(math.Ceil(c.cfg.HysteresisFrac * float64(c.interval)))
+	if band < 1 {
+		band = 1
+	}
+	diff := want - c.interval
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff < band {
+		return
+	}
+	if c.cfg.Trace != nil && c.rank == 0 {
+		c.cfg.Trace.Emit(engine.Event{
+			Ev: engine.EvPolicySwitch, Rank: c.rank, Step: step,
+			Policy: "cadence",
+			From:   strconv.Itoa(c.interval), To: strconv.Itoa(want),
+			MTBFS: mtbfS, DeltaS: c.deltaS, Interval: want,
+		})
+	}
+	c.interval = want
+	// Re-anchor at the current checkpoint so the next fire is exactly
+	// one new interval out (every rank re-anchors at the same step).
+	c.anchor = step
+}
+
+// DeltaS returns the EW per-checkpoint cost estimate (seconds).
+func (c *CadenceController) DeltaS() float64 { return c.deltaS }
+
+// StepS returns the EW per-step duration estimate (seconds).
+func (c *CadenceController) StepS() float64 { return c.stepS }

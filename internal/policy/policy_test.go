@@ -1,0 +1,339 @@
+package policy
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"nektar/internal/ckpt"
+	"nektar/internal/engine"
+	"nektar/internal/machine"
+	"nektar/internal/mpi"
+	"nektar/internal/simnet"
+)
+
+func TestModeByName(t *testing.T) {
+	for name, want := range map[string]Mode{"static": Static, "adaptive": Adaptive, "pinned": Pinned} {
+		got, err := ModeByName(name)
+		if err != nil || got != want {
+			t.Errorf("ModeByName(%q) = %v, %v", name, got, err)
+		}
+	}
+	_, err := ModeByName("clairvoyant")
+	if err == nil || !strings.Contains(err.Error(), "registered policies are adaptive, pinned, static") {
+		t.Errorf("unknown-name error = %v, must list registered policies", err)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{Mode: Adaptive}).Validate(); err == nil {
+		t.Error("adaptive mode without a prior must be rejected")
+	}
+	if err := (Config{Mode: Adaptive, PriorMTBFS: 100}).Validate(); err != nil {
+		t.Errorf("valid adaptive config rejected: %v", err)
+	}
+	if err := (Config{PriorMTBFS: -1}).Validate(); err == nil {
+		t.Error("negative prior must be rejected")
+	}
+}
+
+func TestMTBFEstimator(t *testing.T) {
+	e := NewMTBFEstimator(1000, 0.5)
+	if got := e.MTBFS(); got != 1000 {
+		t.Fatalf("prior MTBF = %v, want 1000", got)
+	}
+	// Failures every 100s pull the EW mean from the prior toward 100.
+	e.ObserveFailure(0, 100)
+	e.ObserveFailure(1, 200)
+	e.ObserveFailure(0, 300)
+	if got := e.MTBFS(); got >= 1000 || got <= 100 {
+		t.Errorf("MTBF = %v after 100s-interval failures, want in (100, 1000)", got)
+	}
+	prev := e.MTBFS()
+	for tt := 400.0; tt <= 1200; tt += 100 {
+		e.ObserveFailure(2, tt)
+	}
+	if got := e.MTBFS(); got >= prev || math.Abs(got-100) > 50 {
+		t.Errorf("MTBF = %v after many 100s intervals, want converging toward 100", got)
+	}
+	if e.Failures() != 12 {
+		t.Errorf("Failures = %d, want 12", e.Failures())
+	}
+	if e.RankMTBFS(7) != 0 {
+		t.Error("rank 7 never failed, want 0")
+	}
+	if e.RankMTBFS(0) <= 0 {
+		t.Error("rank 0 failed twice, want a positive estimate")
+	}
+}
+
+func TestMTBFEstimatorFloorsBursts(t *testing.T) {
+	e := NewMTBFEstimator(10, 1) // alpha 1: newest observation wins
+	e.ObserveFailure(0, 50)
+	e.ObserveFailure(1, 50) // simultaneous: zero interval
+	if got := e.MTBFS(); got < minMTBFS {
+		t.Errorf("MTBF = %v below floor after burst", got)
+	}
+}
+
+func TestYoungFormulas(t *testing.T) {
+	const delta, theta = 2.0, 400.0
+	opt := YoungInterval(delta, theta)
+	if want := math.Sqrt(2 * delta * theta); math.Abs(opt-want) > 1e-12 {
+		t.Fatalf("YoungInterval = %v, want %v", opt, want)
+	}
+	// The optimum minimizes the first-order overhead.
+	at := YoungOverhead(delta, opt, theta)
+	if YoungOverhead(delta, opt/2, theta) <= at || YoungOverhead(delta, opt*2, theta) <= at {
+		t.Error("overhead not minimized at Young's interval")
+	}
+	if YoungInterval(0, theta) != 0 || YoungInterval(delta, 0) != 0 {
+		t.Error("degenerate inputs must yield 0")
+	}
+}
+
+func TestCadenceMatchesStaticGrid(t *testing.T) {
+	c := NewCadence(Config{Mode: Pinned, InitialInterval: 7}, 0)
+	for step := 1; step <= 50; step++ {
+		if got, want := c.ShouldCheckpoint(step), step%7 == 0; got != want {
+			t.Fatalf("step %d: ShouldCheckpoint = %v, want static %v", step, got, want)
+		}
+	}
+}
+
+func TestCadenceRetunesByYoung(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := Config{
+		Mode: Adaptive, PriorMTBFS: 1, InitialInterval: 10,
+		Alpha: 1, Trace: engine.NewTracer(&buf),
+	}
+	c := NewCadence(cfg, 0)
+	// delta=2s, theta=400s, step=1s -> tau_opt = 40s -> 40 steps.
+	c.Observe(10, 2, 1, 400)
+	if got := c.Interval(); got != 40 {
+		t.Fatalf("Interval = %d after observe, want Young's 40", got)
+	}
+	if c.Anchor() != 10 {
+		t.Errorf("Anchor = %d, want the retune step 10", c.Anchor())
+	}
+	// Next fire is one new interval past the retune step.
+	if c.ShouldCheckpoint(40) || !c.ShouldCheckpoint(50) {
+		t.Error("firing grid not re-anchored at the retune step")
+	}
+	evs, err := engine.ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || evs[0].Ev != engine.EvPolicySwitch || evs[0].Policy != "cadence" ||
+		evs[0].From != "10" || evs[0].To != "40" || evs[0].MTBFS != 400 {
+		t.Errorf("policy_switch event = %+v", evs)
+	}
+}
+
+func TestCadenceClampsAndHysteresis(t *testing.T) {
+	cfg := Config{Mode: Adaptive, PriorMTBFS: 1, InitialInterval: 10,
+		MinInterval: 2, MaxInterval: 50, HysteresisFrac: 0.25, Alpha: 1}
+	c := NewCadence(cfg, 0)
+	// Absurdly cheap checkpoints + huge MTBF -> clamp at MaxInterval.
+	c.Observe(10, 1e-6, 1, 1e12)
+	if got := c.Interval(); got != 50 {
+		t.Fatalf("Interval = %d, want MaxInterval clamp 50", got)
+	}
+	// Absurdly expensive failures -> clamp at MinInterval.
+	c.Observe(50, 10, 1, 1e-6)
+	if got := c.Interval(); got != 2 {
+		t.Fatalf("Interval = %d, want MinInterval clamp 2", got)
+	}
+	// A retune within the hysteresis band is suppressed: current 2,
+	// band = ceil(0.25*2) = 1, so a move to 3 might fire but a move to
+	// 2 (no change) certainly cannot; check a genuinely small move.
+	c2 := NewCadence(cfg, 0)
+	// tau_opt = sqrt(2*2*25) = 10s -> 10 steps: |10-10| = 0 < band.
+	c2.Observe(10, 2, 1, 25)
+	if got := c2.Interval(); got != 10 {
+		t.Fatalf("Interval = %d, hysteresis must hold 10", got)
+	}
+}
+
+func TestCadencePinnedNeverRetunes(t *testing.T) {
+	c := NewCadence(Config{Mode: Pinned, InitialInterval: 5, Alpha: 1}, 0)
+	c.Observe(5, 100, 1, 1e9) // evidence screaming for a retune
+	if got := c.Interval(); got != 5 {
+		t.Fatalf("pinned Interval = %d, want held 5", got)
+	}
+}
+
+func TestCadenceAdopt(t *testing.T) {
+	c := NewCadence(Config{Mode: Adaptive, PriorMTBFS: 1, InitialInterval: 10}, 0)
+	c.Adopt(8, 24)
+	if c.Interval() != 8 || c.Anchor() != 24 {
+		t.Fatalf("Adopt gave interval %d anchor %d", c.Interval(), c.Anchor())
+	}
+	if c.ShouldCheckpoint(24) || !c.ShouldCheckpoint(32) {
+		t.Error("adopted grid must fire at anchor + k*interval only")
+	}
+}
+
+func TestLadderEscalates(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLadder(Config{RetryBudget: 2, RollbackBudget: 1, DtFactor: 0.5,
+		Trace: engine.NewTracer(&buf)})
+	wantActions := []Action{ActionRetryDt, ActionRetryDt, ActionRollback, ActionConvict, ActionConvict}
+	wantScales := []float64{0.5, 0.25, 0.25, 0.25, 0.25}
+	for i, want := range wantActions {
+		d := l.Decide(i, 3, 100+i)
+		if d.Action != want || math.Abs(d.DtScale-wantScales[i]) > 1e-12 {
+			t.Fatalf("trip %d: decision %v scale %v, want %v scale %v",
+				i, d.Action, d.DtScale, want, wantScales[i])
+		}
+	}
+	evs, err := engine.ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != len(wantActions) {
+		t.Fatalf("%d escalate events, want %d", len(evs), len(wantActions))
+	}
+	for i, e := range evs {
+		if e.Ev != engine.EvEscalate || e.To != wantActions[i].String() || e.Rank != 3 {
+			t.Errorf("event %d = %+v", i, e)
+		}
+	}
+}
+
+// slowStore delays every Put so the sync writer's exposed time
+// dominates the probe window.
+type slowStore struct {
+	ckpt.Store
+	delay time.Duration
+}
+
+func (s *slowStore) Put(m ckpt.Meta, state []byte) (ckpt.Stats, error) {
+	time.Sleep(s.delay)
+	return s.Store.Put(m, state)
+}
+
+func TestAdaptiveSinkPromotesToAsync(t *testing.T) {
+	var buf bytes.Buffer
+	store := &slowStore{Store: ckpt.NewMemStore(), delay: 3 * time.Millisecond}
+	s := NewAdaptiveSink(Config{Mode: Adaptive, ProbeAfter: 2, MaxExposedFrac: 0.02,
+		Trace: engine.NewTracer(&buf)}, store, ckpt.WriterConfig{Kind: "t", Rank: 0})
+	defer s.Close()
+	state := bytes.Repeat([]byte{7}, 1024)
+	for step := 1; step <= 4; step++ {
+		if err := s.Submit(step*10, state, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Mode() != "async" {
+		t.Fatalf("writer mode %q after slow-store probe, want async", s.Mode())
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Snapshots != 4 {
+		t.Fatalf("snapshots %d, want 4", st.Snapshots)
+	}
+	evs, err := engine.ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sw *engine.Event
+	for i := range evs {
+		if evs[i].Ev == engine.EvPolicySwitch {
+			sw = &evs[i]
+		}
+	}
+	if sw == nil || sw.Policy != "writer" || sw.From != "sync" || sw.To != "async" || sw.ExposedS <= 0 {
+		t.Errorf("policy_switch = %+v", sw)
+	}
+}
+
+func TestAdaptiveSinkHoldsWhenStatic(t *testing.T) {
+	store := &slowStore{Store: ckpt.NewMemStore(), delay: 3 * time.Millisecond}
+	s := NewAdaptiveSink(Config{Mode: Static, ProbeAfter: 2}, store, ckpt.WriterConfig{Kind: "t"})
+	defer s.Close()
+	for step := 1; step <= 4; step++ {
+		if err := s.Submit(step, []byte("x"), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Mode() != "sync" {
+		t.Fatalf("static-mode writer promoted to %q", s.Mode())
+	}
+}
+
+// runSelector drives a SimSelector through submits checkpoints on the
+// given fabric and returns rank 0's final write mode and probe
+// penalty.
+func runSelector(t *testing.T, model *simnet.Model, mode Mode, submits int) (string, float64) {
+	t.Helper()
+	var wmode string
+	var penalty float64
+	_, _, err := simnet.Run(4, model, func(n *simnet.Node) {
+		comm := mpi.World(n)
+		w := &ckpt.SimWriter{Kind: "t", Comm: comm, DiskMBs: 20}
+		sel := NewSimSelector(Config{Mode: mode, ProbeAfter: 2, MaxStripePenalty: 2}, w)
+		// Incompressible payload (LCG fill), so the framed record keeps
+		// its size and disk time — not per-message latency — dominates
+		// the write, as with real solver states.
+		state := make([]byte, 100_000)
+		x := uint32(n.Rank + 1)
+		for i := range state {
+			x = x*1664525 + 1013904223
+			state[i] = byte(x >> 24)
+		}
+		for i := 1; i <= submits; i++ {
+			if err := sel.Submit(i*5, state, false); err != nil {
+				panic(err)
+			}
+		}
+		if comm.Rank() == 0 {
+			wmode, penalty = sel.Mode(), sel.Penalty()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wmode, penalty
+}
+
+func TestSimSelectorRejectsStripingOnEthernet(t *testing.T) {
+	mach, err := machine.ByName("RoadRunner-eth")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mode, penalty := runSelector(t, mach.Net, Adaptive, 3)
+	if mode != "local" {
+		t.Fatalf("write mode %q on Ethernet, want local (penalty %.2f)", mode, penalty)
+	}
+	if penalty <= 2 {
+		t.Errorf("measured striping penalty %.2f on Ethernet, expected > 2x", penalty)
+	}
+}
+
+func TestSimSelectorPromotesOnFastFabric(t *testing.T) {
+	// A kernel-bypass-class fabric: microsecond latency, memory-bus
+	// bandwidth — striping costs barely more than the local write.
+	fast := &simnet.Model{
+		Name:  "fast-fabric",
+		Inter: simnet.LinkModel{LatencyUS: 2, BandwidthMBs: 10_000},
+	}
+	mode, penalty := runSelector(t, fast, Adaptive, 3)
+	if mode != "striped" {
+		t.Fatalf("write mode %q on fast fabric (penalty %.2f), want striped", mode, penalty)
+	}
+	if penalty <= 0 || penalty > 2 {
+		t.Errorf("penalty %.2f out of promotion range", penalty)
+	}
+}
+
+func TestSimSelectorStaticNeverProbes(t *testing.T) {
+	fast := &simnet.Model{Name: "fast", Inter: simnet.LinkModel{LatencyUS: 2, BandwidthMBs: 10_000}}
+	mode, _ := runSelector(t, fast, Static, 4)
+	if mode != "local" {
+		t.Fatalf("static-mode selector switched to %q", mode)
+	}
+}

@@ -1,0 +1,218 @@
+package policy
+
+import (
+	"time"
+
+	"nektar/internal/ckpt"
+	"nektar/internal/engine"
+	"nektar/internal/mpi"
+)
+
+// AdaptiveSink is the host-side runtime writer selector
+// (engine.CheckpointSink): it starts with the conservative synchronous
+// writer, measures the exposed checkpoint time over a probe window,
+// and promotes to the asynchronous writer when checkpoints are
+// actually costing the step loop more than MaxExposedFrac of its wall
+// time. The promotion is one-way (the async writer is strictly less
+// exposed at equal cadence — BENCH_ckpt.json measures ~10x less) and
+// is emitted as a policy_switch event carrying the measured evidence.
+type AdaptiveSink struct {
+	cfg   Config
+	store ckpt.Store
+	wcfg  ckpt.WriterConfig
+
+	sync  *ckpt.SyncWriter
+	async *ckpt.AsyncWriter
+
+	submits int
+	t0      time.Time
+}
+
+// NewAdaptiveSink starts a selector in sync mode over store.
+func NewAdaptiveSink(cfg Config, store ckpt.Store, wcfg ckpt.WriterConfig) *AdaptiveSink {
+	cfg = cfg.WithDefaults()
+	return &AdaptiveSink{
+		cfg: cfg, store: store, wcfg: wcfg,
+		sync: ckpt.NewSyncWriter(store, wcfg),
+	}
+}
+
+// Submit implements engine.CheckpointSink.
+func (s *AdaptiveSink) Submit(step int, state []byte, final bool) error {
+	if s.async != nil {
+		return s.async.Submit(step, state, final)
+	}
+	if s.submits == 0 {
+		s.t0 = time.Now()
+	}
+	err := s.sync.Submit(step, state, final)
+	s.submits++
+	if err != nil || s.cfg.Mode != Adaptive || s.submits < s.cfg.ProbeAfter {
+		return err
+	}
+	// Probe verdict: exposed fraction of wall time since the first
+	// submit. Below the bound, sync is fine and the probe re-arms one
+	// window out (a workload whose states grow can still promote
+	// later).
+	elapsed := time.Since(s.t0).Seconds()
+	exposed := s.sync.Stats().ExposedS
+	if elapsed <= 0 {
+		return nil
+	}
+	frac := exposed / elapsed
+	if frac <= s.cfg.MaxExposedFrac {
+		s.submits = 0
+		return nil
+	}
+	if s.cfg.Trace != nil {
+		s.cfg.Trace.Emit(engine.Event{
+			Ev: engine.EvPolicySwitch, Rank: s.wcfg.Rank, Step: step,
+			Policy: "writer", From: "sync", To: "async",
+			ExposedS: exposed, WallS: elapsed,
+		})
+	}
+	s.async = ckpt.NewAsyncWriter(s.store, s.wcfg)
+	return nil
+}
+
+// Drain implements engine.CheckpointSink.
+func (s *AdaptiveSink) Drain() error {
+	if s.async != nil {
+		return s.async.Drain()
+	}
+	return s.sync.Drain()
+}
+
+// Close releases the async writer's goroutine, if one was promoted.
+// Idempotent and defer-safe.
+func (s *AdaptiveSink) Close() error {
+	if s.async != nil {
+		return s.async.Close()
+	}
+	return s.sync.Drain()
+}
+
+// Mode reports the writer currently in force ("sync" or "async").
+func (s *AdaptiveSink) Mode() string {
+	if s.async != nil {
+		return "async"
+	}
+	return "sync"
+}
+
+// Stats merges the counters of whichever writers have run.
+func (s *AdaptiveSink) Stats() ckpt.WriterStats {
+	st := s.sync.Stats()
+	if s.async != nil {
+		ast := s.async.Stats()
+		st.Snapshots += ast.Snapshots
+		st.RawBytes += ast.RawBytes
+		st.StoredBytes += ast.StoredBytes
+		st.ExposedS += ast.ExposedS
+		st.HiddenS += ast.HiddenS
+	}
+	return st
+}
+
+// SimSelector is the simulated-cluster writer selector
+// (engine.CheckpointSink): it wraps a ckpt.SimWriter that starts in
+// local mode and, at the ProbeAfter-th checkpoint, prices one striped
+// write through the calibrated network to decide whether striping is
+// affordable on this fabric. Striped restart shards read back at the
+// aggregate disk bandwidth of the whole cluster, so promotion pays
+// when the measured write penalty is below MaxStripePenalty; on the
+// paper's Ethernet (penalty ~6.4x) it never fires, on a low-latency
+// fabric it does.
+//
+// The probe is collective (all ranks submit at the same steps, so all
+// probe at the same step) and the verdict is an Allreduce-Max of the
+// measured costs, so every rank promotes — or doesn't — identically.
+type SimSelector struct {
+	cfg Config
+	// W is the wrapped writer; the selector mutates W.Mode.
+	W *ckpt.SimWriter
+
+	submits int
+	probed  bool
+	// evidence from the probe, for reports
+	localCostS   float64
+	stripedCostS float64
+}
+
+// NewSimSelector wraps w (which must start in local mode).
+func NewSimSelector(cfg Config, w *ckpt.SimWriter) *SimSelector {
+	cfg = cfg.WithDefaults()
+	w.Mode = ckpt.WriteLocal
+	return &SimSelector{cfg: cfg, W: w}
+}
+
+// Submit implements engine.CheckpointSink.
+func (s *SimSelector) Submit(step int, state []byte, final bool) error {
+	if err := s.W.Submit(step, state, final); err != nil {
+		return err
+	}
+	if final {
+		return nil
+	}
+	s.submits++
+	if s.cfg.Mode != Adaptive || s.probed || s.submits < s.cfg.ProbeAfter {
+		return nil
+	}
+	s.probed = true
+	local := s.W.LastCostS()
+	// Price a striped write of the same state through the same comm
+	// and disks, without persisting: a scratch writer with no store is
+	// the pure cost model. The probe itself is charged to the virtual
+	// clock — measurements aren't free — and is collective, so every
+	// rank pays it at the same step.
+	probe := &ckpt.SimWriter{
+		Kind: s.W.Kind, Comm: s.W.Comm, DiskMBs: s.W.DiskMBs,
+		Mode: ckpt.WriteStriped,
+	}
+	if err := probe.Submit(step, state, false); err != nil {
+		return err
+	}
+	striped := probe.LastCostS()
+	// The verdict must be identical on every rank: agree on the
+	// worst-case costs.
+	costs := s.W.Comm.Allreduce([]float64{local, striped}, mpi.Max)
+	s.localCostS, s.stripedCostS = costs[0], costs[1]
+	if s.localCostS <= 0 || s.stripedCostS > s.cfg.MaxStripePenalty*s.localCostS {
+		return nil // striping too expensive on this fabric
+	}
+	if s.cfg.Trace != nil && s.W.Comm.Rank() == 0 {
+		s.cfg.Trace.Emit(engine.Event{
+			Ev: engine.EvPolicySwitch, Rank: 0, Step: step,
+			Policy: "writer", From: "local", To: "striped",
+			DeltaS: s.stripedCostS, HostS: s.localCostS,
+		})
+	}
+	s.W.Mode = ckpt.WriteStriped
+	return nil
+}
+
+// Adopt restores persisted selector state — a previous attempt's
+// write mode and probe flag — so the probe runs once per campaign,
+// not once per restart.
+func (s *SimSelector) Adopt(mode ckpt.WriteMode, probed bool) {
+	s.W.Mode = mode
+	s.probed = probed
+}
+
+// Probed reports whether the striping probe has run.
+func (s *SimSelector) Probed() bool { return s.probed }
+
+// Drain implements engine.CheckpointSink.
+func (s *SimSelector) Drain() error { return s.W.Drain() }
+
+// Mode reports the write mode currently in force.
+func (s *SimSelector) Mode() string { return s.W.Mode.String() }
+
+// Penalty returns the probe's measured striped/local cost ratio, or 0
+// before the probe has run.
+func (s *SimSelector) Penalty() float64 {
+	if !s.probed || s.localCostS <= 0 {
+		return 0
+	}
+	return s.stripedCostS / s.localCostS
+}

@@ -1,0 +1,101 @@
+package supervisor
+
+import (
+	"nektar/internal/ckpt"
+	"nektar/internal/policy"
+)
+
+// adaptRuntime is the adaptive layer's campaign-level state: the
+// pieces that must survive across attempts (the controllers inside an
+// attempt die with its rank goroutines). The supervisor's control
+// path is serial, so no locking.
+type adaptRuntime struct {
+	cfg    policy.Config
+	est    *policy.MTBFEstimator
+	ladder *policy.Ladder
+
+	// dtScale is the escalation ladder's current time-step reduction,
+	// applied through NewTunedSolver on every subsequent attempt.
+	dtScale float64
+	// interval/anchor persist the cadence controller's state: a retune
+	// survives the rollback that follows a failure.
+	interval int
+	anchor   int
+	// writeMode/probed persist the writer selector's verdict: the
+	// striping probe runs once per campaign.
+	writeMode ckpt.WriteMode
+	probed    bool
+	penalty   float64
+}
+
+// newAdaptRuntime resolves cfg (CheckpointEvery seeds the initial
+// interval when the policy config leaves it default) and builds the
+// campaign state.
+func newAdaptRuntime(ac policy.Config, checkpointEvery int) (*adaptRuntime, error) {
+	if ac.InitialInterval == 0 && checkpointEvery > 0 {
+		ac.InitialInterval = checkpointEvery
+	}
+	ac = ac.WithDefaults()
+	if err := ac.Validate(); err != nil {
+		return nil, err
+	}
+	return &adaptRuntime{
+		cfg:       ac,
+		est:       policy.NewMTBFEstimator(ac.PriorMTBFS, ac.Alpha),
+		ladder:    policy.NewLadder(ac),
+		dtScale:   1,
+		interval:  ac.InitialInterval,
+		writeMode: ckpt.WriteLocal,
+	}, nil
+}
+
+// attemptState freezes the runtime for one attempt: every rank of the
+// attempt must see identical policy inputs (the cadence decision is
+// collective), so the MTBF estimate is sampled once here and held.
+func (rt *adaptRuntime) attemptState() *attemptAdapt {
+	return &attemptAdapt{
+		cfg:       rt.cfg,
+		mtbfS:     rt.est.MTBFS(),
+		interval:  rt.interval,
+		anchor:    rt.anchor,
+		writeMode: rt.writeMode,
+		probed:    rt.probed,
+		dtScale:   rt.dtScale,
+	}
+}
+
+// absorb reads back the state rank 0's controllers reached, so the
+// next attempt resumes the tuning instead of restarting it. On a
+// crashed attempt the controllers still hold their last consistent
+// pre-crash state (policy decisions are collective, so every rank
+// agreed on it).
+func (rt *adaptRuntime) absorb(ad *attemptAdapt) {
+	if ad.ctl != nil {
+		rt.interval = ad.ctl.Interval()
+		rt.anchor = ad.ctl.Anchor()
+	}
+	if ad.sel != nil {
+		rt.writeMode = ad.sel.W.Mode
+		rt.probed = ad.sel.Probed()
+		if p := ad.sel.Penalty(); p > 0 {
+			rt.penalty = p
+		}
+	}
+}
+
+// attemptAdapt is the adaptive layer's per-attempt state handed to the
+// rank bodies: frozen campaign inputs plus rank 0's live controllers
+// for post-run read-back. Rank goroutines are serialized by the
+// simulator and only rank 0 writes the read-back slots.
+type attemptAdapt struct {
+	cfg       policy.Config
+	mtbfS     float64
+	interval  int
+	anchor    int
+	writeMode ckpt.WriteMode
+	probed    bool
+	dtScale   float64
+
+	ctl *policy.CadenceController
+	sel *policy.SimSelector
+}

@@ -6,6 +6,7 @@ import (
 	"nektar/internal/ckpt"
 	"nektar/internal/engine"
 	"nektar/internal/mpi"
+	"nektar/internal/policy"
 	"nektar/internal/simnet"
 )
 
@@ -64,6 +65,9 @@ type attempt struct {
 	trips    []*Trip
 	stepsRun []int
 	verdict  *verdict
+
+	// ad is the adaptive layer's per-attempt state (nil = static run).
+	ad *attemptAdapt
 
 	// Resolved knobs.
 	hbEvery     int
@@ -207,7 +211,16 @@ func (a *attempt) worker(n *simnet.Node) {
 	if a.cfg.Rel != nil {
 		comm.SetReliability(a.cfg.Rel)
 	}
-	s, err := a.cfg.NewSolver(comm)
+	var s Solver
+	if a.cfg.NewTunedSolver != nil {
+		scale := 1.0
+		if a.ad != nil {
+			scale = a.ad.dtScale
+		}
+		s, err = a.cfg.NewTunedSolver(comm, scale)
+	} else {
+		s, err = a.cfg.NewSolver(comm)
+	}
 	if err != nil {
 		panic(err)
 	}
@@ -217,6 +230,32 @@ func (a *attempt) worker(n *simnet.Node) {
 			panic(lerr)
 		}
 	}
+
+	// Adaptive wiring: every rank builds its own cadence controller
+	// (decisions are collective, so all instances hold identical state)
+	// and, when checkpoint writes are priced through the cluster model,
+	// its own writer selector. Rank 0's instances are read back by the
+	// supervisor after the attempt.
+	var ctl *policy.CadenceController
+	var sel *policy.SimSelector
+	if a.ad != nil {
+		ctl = policy.NewCadence(a.ad.cfg, n.Rank)
+		ctl.Adopt(a.ad.interval, a.ad.anchor)
+		if a.cfg.SimDiskMBs > 0 {
+			w := &ckpt.SimWriter{Kind: a.cfg.Kind, Comm: comm,
+				DiskMBs: a.cfg.SimDiskMBs, Mode: a.ad.writeMode}
+			sel = policy.NewSimSelector(a.ad.cfg, w)
+			sel.Adopt(a.ad.writeMode, a.ad.probed)
+		}
+		if n.Rank == 0 {
+			a.ad.ctl, a.ad.sel = ctl, sel
+		}
+	}
+	// Per-step duration measurement for the cadence controller: virtual
+	// time since the last checkpoint divided by the steps in between.
+	lastMark := n.Clock()
+	stepsSince := 0
+
 	wd := &a.cfg.Watchdog
 	loop := engine.Loop{
 		Solver: s, Steps: a.cfg.Steps, Rank: n.Rank,
@@ -235,7 +274,10 @@ func (a *attempt) worker(n *simnet.Node) {
 		},
 		// Per-step accounting goes through the shared slot immediately
 		// after each step, so it survives a crash unwinding this rank.
-		OnStep: func(int) { a.stepsRun[n.Rank]++ },
+		OnStep: func(int) {
+			a.stepsRun[n.Rank]++
+			stepsSince++
+		},
 		Watchdog: engine.Watchdog{
 			Disabled: wd.Disabled, Every: a.wdEvery,
 			MaxAbs: wd.MaxAbs, MaxGrowth: wd.MaxGrowth,
@@ -268,10 +310,39 @@ func (a *attempt) worker(n *simnet.Node) {
 					panic(perr)
 				}
 			}
-			if a.cfg.CheckpointCostS > 0 {
+			t0 := n.Clock()
+			if sel != nil {
+				// Priced through the cluster's disk/network model, in
+				// the write mode the runtime selector has chosen.
+				if serr := sel.Submit(step, state, false); serr != nil {
+					panic(serr)
+				}
+			} else if a.cfg.CheckpointCostS > 0 {
 				n.Sleep(a.cfg.CheckpointCostS)
 			}
+			if a.ad != nil && a.ad.cfg.Mode == policy.Adaptive {
+				// Live retune: agree on the worst-case measured cost and
+				// step duration (the collective keeps every rank's
+				// controller state identical), then apply Young's
+				// formula. Pinned mode skips this entirely — no extra
+				// traffic, so the virtual clock matches a static run.
+				cost := n.Clock() - t0
+				stepWall := 0.0
+				if stepsSince > 0 {
+					stepWall = (t0 - lastMark) / float64(stepsSince)
+				}
+				v := comm.Allreduce([]float64{stepWall, cost}, mpi.Max)
+				ctl.Observe(step, v[1], v[0], a.ad.mtbfS)
+			}
+			lastMark = n.Clock()
+			stepsSince = 0
 		},
+	}
+	if a.ad != nil {
+		// The live policy replaces the static rule (setting both is an
+		// engine configuration error).
+		loop.CheckpointEvery = 0
+		loop.Cadence = ctl
 	}
 	res, err := loop.Run()
 	if err != nil {

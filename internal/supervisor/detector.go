@@ -50,12 +50,18 @@ func NewPhiDetector(threshold, seedInterval float64, window int) *PhiDetector {
 }
 
 // Observe records a heartbeat arriving at virtual time t. Time must
-// not run backwards; a duplicate arrival at the same instant counts as
-// a zero interval.
+// not run backwards. A duplicate arrival at the same instant (or an
+// out-of-order one, clamped to zero) refreshes the liveness mark but
+// contributes no interval: zero-width intervals carry no information
+// about the heartbeat cadence, and admitting them would collapse the
+// mean — a burst of duplicates used to drag Deadline() down to
+// essentially "now", turning the next quiet moment into a false
+// suspicion.
 func (d *PhiDetector) Observe(t float64) {
 	dt := t - d.last
-	if dt < 0 {
-		dt = 0
+	if dt <= 0 {
+		d.last = math.Max(d.last, t)
+		return
 	}
 	d.window = append(d.window, dt)
 	d.sum += dt

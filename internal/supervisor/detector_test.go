@@ -68,13 +68,71 @@ func TestPhiDetectorDefaults(t *testing.T) {
 	if d.threshold != 8 || d.wmax != 32 || d.sum != 1 {
 		t.Errorf("defaults = threshold %v window %v seed-sum %v", d.threshold, d.wmax, d.sum)
 	}
-	// Time running backwards must not corrupt the window.
+	// Time running backwards must not corrupt the window, and must not
+	// rewind the liveness mark: the rank was provably alive at t=5, so
+	// a late-delivered t=3 heartbeat cannot reopen suspicion of the
+	// interval before it.
 	d.Observe(5)
 	d.Observe(3)
-	if d.Last() != 3 {
-		t.Errorf("Last = %v after out-of-order observe", d.Last())
+	if d.Last() != 5 {
+		t.Errorf("Last = %v after out-of-order observe, want monotonic 5", d.Last())
 	}
-	if d.Phi(4) <= 0 {
+	if d.Phi(4) != 0 {
+		t.Error("Phi must stay 0 before the newest liveness mark")
+	}
+	if d.Phi(6) <= 0 {
 		t.Error("Phi must be positive after silence")
+	}
+}
+
+func TestPhiDetectorWindowOfOne(t *testing.T) {
+	// wmax=1 keeps only the newest interval: the seed is evicted by the
+	// first real interval and the timeout tracks the last gap alone.
+	d := NewPhiDetector(8, 100, 1)
+	d.Observe(2)
+	d.Observe(3)
+	want := 3 + 8*math.Ln10*1 // mean is exactly the last interval (1s)
+	if dl := d.Deadline(); math.Abs(dl-want) > 1e-9 {
+		t.Errorf("Deadline = %v, want %v", dl, want)
+	}
+}
+
+func TestPhiDetectorDuplicateTimestamps(t *testing.T) {
+	// A burst of heartbeats at one instant (message coalescing) must
+	// not collapse the mean interval: zero-width gaps say nothing about
+	// cadence. Before the fix each duplicate appended a 0 to the
+	// window, dragging Deadline toward "now" and making the next normal
+	// gap a false suspicion.
+	d := NewPhiDetector(8, 1, 8)
+	for i := 1; i <= 4; i++ {
+		d.Observe(float64(i))
+	}
+	before := d.Deadline() - d.Last()
+	for i := 0; i < 16; i++ {
+		d.Observe(4) // duplicates: refresh liveness, no interval
+	}
+	after := d.Deadline() - d.Last()
+	if math.Abs(after-before) > 1e-9 {
+		t.Errorf("duplicate observes moved the margin: %v -> %v", before, after)
+	}
+	if d.Last() != 4 {
+		t.Errorf("Last = %v, want 4", d.Last())
+	}
+}
+
+func TestPhiDetectorDeadlineBeforeFirstHeartbeat(t *testing.T) {
+	// Before any heartbeat the detector acts as if one arrived at t=0
+	// with the seed cadence: Deadline is finite (a rank that never
+	// checks in is eventually suspected) and Phi(0) starts at zero.
+	d := NewPhiDetector(8, 2, 8)
+	if d.Last() != 0 {
+		t.Errorf("Last = %v before first heartbeat, want 0", d.Last())
+	}
+	if p := d.Phi(0); p != 0 {
+		t.Errorf("Phi(0) = %v, want 0", p)
+	}
+	want := 8 * math.Ln10 * 2
+	if dl := d.Deadline(); math.Abs(dl-want) > 1e-9 {
+		t.Errorf("Deadline = %v, want seed-driven %v", dl, want)
 	}
 }

@@ -38,6 +38,7 @@ import (
 	"nektar/internal/ckpt"
 	"nektar/internal/engine"
 	"nektar/internal/mpi"
+	"nektar/internal/policy"
 	"nektar/internal/simnet"
 )
 
@@ -138,6 +139,26 @@ type Config struct {
 	// the whole campaign (cross-process resume). Kind tags the records.
 	Store ckpt.Store
 	Kind  string
+
+	// Adapt, when set, turns on the adaptive-resilience layer
+	// (internal/policy): the live Young's-formula cadence replaces
+	// CheckpointEvery (which then seeds the initial interval), the MTBF
+	// estimator feeds on the campaign's failure history, checkpoint
+	// writes go through the runtime writer selector, and watchdog trips
+	// climb the escalation ladder instead of plain rollback-and-retry.
+	// In policy.Pinned mode the controllers are installed but held, and
+	// the run stays bit-identical — in trajectory AND virtual wall
+	// time — to a static run at the same cadence.
+	Adapt *policy.Config
+	// NewTunedSolver supersedes NewSolver when set: dtScale carries the
+	// escalation ladder's current time-step reduction (1 = nominal).
+	// Required for the ladder's retry-dt rung to have any effect.
+	NewTunedSolver func(comm *mpi.Comm, dtScale float64) (Solver, error)
+	// SimDiskMBs, when > 0 with Adapt set, prices each checkpoint
+	// through a per-rank ckpt.SimWriter over the cluster's calibrated
+	// disk/network model — in the write mode the runtime selector
+	// chooses — instead of the flat CheckpointCostS sleep.
+	SimDiskMBs float64
 }
 
 // Cause classifies a failure.
@@ -201,6 +222,26 @@ type Result struct {
 	FinalStates [][]byte
 	// Replacements is the spare-pool history of the campaign.
 	Replacements []simnet.Replacement
+
+	// Escalations lists the adaptive ladder's decisions, in trip order
+	// (adaptive runs only).
+	Escalations []Escalation
+	// MTBFEstimateS, FinalInterval, and WriteMode snapshot the adaptive
+	// layer's end state: the cluster MTBF estimate (virtual seconds),
+	// the cadence in force, and the writer mode selected (adaptive runs
+	// only; zero values otherwise).
+	MTBFEstimateS float64
+	FinalInterval int
+	WriteMode     string
+}
+
+// Escalation records one adaptive-ladder decision.
+type Escalation struct {
+	Attempt int
+	Rank    int
+	Step    int
+	Action  string
+	DtScale float64
 }
 
 // RetryError is the structured give-up error: the retry budget or the
@@ -229,8 +270,8 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Procs < 1 || cfg.Steps < 1 {
 		return nil, fmt.Errorf("supervisor: need at least one rank and one step")
 	}
-	if cfg.NewSolver == nil {
-		return nil, fmt.Errorf("supervisor: NewSolver is required")
+	if cfg.NewSolver == nil && cfg.NewTunedSolver == nil {
+		return nil, fmt.Errorf("supervisor: NewSolver (or NewTunedSolver) is required")
 	}
 	if cfg.Model == nil {
 		return nil, fmt.Errorf("supervisor: Model is required")
@@ -250,9 +291,25 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 
+	// Adaptive layer: campaign-level controller state (nil = static).
+	var rt *adaptRuntime
+	if cfg.Adapt != nil {
+		if rt, err = newAdaptRuntime(*cfg.Adapt, cfg.CheckpointEvery); err != nil {
+			return nil, err
+		}
+	}
+
 	res := &Result{}
 	committedStep := -1
 	var committed [][]byte
+	// commitLog is the in-memory commit history (newest last) backing
+	// the ladder's deeper-rollback rung when no durable store records
+	// it for us.
+	type memCommit struct {
+		step   int
+		states [][]byte
+	}
+	var commitLog []memCommit
 	// A durable store may already hold a usable checkpoint from an
 	// earlier (killed) process — resume the campaign from it.
 	if cfg.Store != nil {
@@ -267,10 +324,16 @@ func Run(cfg Config) (*Result, error) {
 
 	for attemptNo := 0; attemptNo < maxAttempts; attemptNo++ {
 		a := newAttempt(&cfg, pool, attemptNo, committedStep, committed)
+		if rt != nil {
+			a.ad = rt.attemptState()
+		}
 		wall, _, runErr := simnet.RunWithFaults(cfg.Procs+1, a.model, a.inj, a.body)
 		res.Attempts++
 		res.StepsComputed += a.stepsRun[0]
 		res.VirtualWall += a.attemptWall(wall)
+		if rt != nil {
+			rt.absorb(a.ad)
+		}
 
 		var ce *simnet.CrashError
 		isCrash := errors.As(runErr, &ce)
@@ -280,6 +343,11 @@ func Run(cfg Config) (*Result, error) {
 		if runErr == nil && a.completed() {
 			res.FinalStates = a.final
 			res.Replacements = pool.Replacements()
+			if rt != nil {
+				res.MTBFEstimateS = rt.est.MTBFS()
+				res.FinalInterval = rt.interval
+				res.WriteMode = rt.writeMode.String()
+			}
 			return res, nil
 		}
 
@@ -336,6 +404,7 @@ func Run(cfg Config) (*Result, error) {
 			for r := 0; r < cfg.Procs; r++ {
 				committed[r] = a.staged[r][s]
 			}
+			commitLog = append(commitLog, memCommit{step: s, states: committed})
 		}
 
 		// Hardware failures consume spares; the rank keeps its id and
@@ -357,8 +426,14 @@ func Run(cfg Config) (*Result, error) {
 				Attempt: attemptNo, Rank: r, Cause: c,
 				DetectedAt: detectedAt, RestartStep: committedStep, NewNode: newNode,
 			})
+			// Hardware failures feed the MTBF estimator at the
+			// campaign's cumulative virtual time of detection.
+			if rt != nil {
+				rt.est.ObserveFailure(r, res.VirtualWall)
+			}
 		}
-		// Watchdog trips roll back without consuming hardware.
+		// Watchdog trips roll back without consuming hardware — unless
+		// the adaptive ladder escalates to conviction below.
 		if len(trips) > 0 {
 			res.Trips = append(res.Trips, trips...)
 			for _, tr := range trips {
@@ -369,6 +444,59 @@ func Run(cfg Config) (*Result, error) {
 			}
 			if cfg.Watchdog.OnTrip != nil {
 				cfg.Watchdog.OnTrip(trips[0])
+			}
+			if rt == nil {
+				continue
+			}
+			// Escalation ladder: retry with reduced dt, then roll back
+			// one commit deeper, then convict the tripping rank's node.
+			tr := trips[0]
+			dec := rt.ladder.Decide(attemptNo, tr.Rank, tr.Step)
+			res.Escalations = append(res.Escalations, Escalation{
+				Attempt: attemptNo, Rank: tr.Rank, Step: tr.Step,
+				Action: dec.Action.String(), DtScale: dec.DtScale,
+			})
+			switch dec.Action {
+			case policy.ActionRetryDt:
+				rt.dtScale = dec.DtScale
+			case policy.ActionRollback:
+				// The restart state itself is suspect: demote the newest
+				// commit and recompute through the bad region. The
+				// demoted records are deleted (durable store) or dropped
+				// (memory log) so a later commit pass cannot resurrect
+				// them.
+				if committedStep < 0 {
+					break
+				}
+				drop := committedStep
+				if cfg.Store != nil {
+					s2, st2, serr := ckpt.LatestBelow(cfg.Store, cfg.Procs, drop)
+					if serr != nil {
+						return nil, fmt.Errorf("supervisor: reading checkpoint store for deep rollback: %w", serr)
+					}
+					committedStep, committed = s2, st2
+					if derr := cfg.Store.Delete(drop); derr != nil {
+						return nil, fmt.Errorf("supervisor: demoting checkpoint step %d: %w", drop, derr)
+					}
+				} else if n := len(commitLog); n > 0 {
+					commitLog = commitLog[:n-1]
+					if n >= 2 {
+						committedStep, committed = commitLog[n-2].step, commitLog[n-2].states
+					} else {
+						committedStep, committed = -1, nil
+					}
+				}
+			case policy.ActionConvict:
+				newNode, rerr := pool.Replace(tr.Rank)
+				if rerr != nil {
+					return nil, &RetryError{Reason: "spare pool exhausted", Attempts: res.Attempts, Failures: res.Failures}
+				}
+				for i := len(res.Failures) - 1; i >= 0; i-- {
+					if res.Failures[i].Cause == CauseWatchdog && res.Failures[i].Rank == tr.Rank {
+						res.Failures[i].NewNode = newNode
+						break
+					}
+				}
 			}
 		}
 	}
