@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: check build vet fmt test race bench-baseline bench-ckpt bench-simnet bench-adapt race-ckpt race-simnet race-policy
+.PHONY: check build vet fmt test race bench-baseline bench-ckpt bench-simnet bench-adapt bench-farm race-ckpt race-simnet race-policy race-farm
 
 build:
 	$(GO) build ./...
@@ -71,4 +71,18 @@ bench-adapt:
 race-policy:
 	$(GO) test -race -count=2 ./internal/policy ./internal/supervisor
 
-check: build vet fmt race race-ckpt race-simnet race-policy
+# Regenerate the committed job-farm chaos baseline (BENCH_farm.json at
+# the repo root): the full paper campaign — thousands of jobs, >= 20
+# daemon SIGKILLs — with the zero-loss / zero-dup / bit-identity audit
+# enforced.
+bench-farm:
+	BENCH_FARM=1 $(GO) test ./internal/bench -run TestWriteFarmBaseline -count=1 -v
+
+# The farm daemon runs a worker pool, retry timers, an HTTP server, and
+# chaos injection against one mutex-guarded state machine; hammer it
+# (and the quick subprocess chaos campaign) under the race detector.
+race-farm:
+	$(GO) test -race -count=1 ./internal/farm \
+		&& $(GO) test -race -count=1 ./internal/bench -run TestFarmbenchChaos
+
+check: build vet fmt race race-ckpt race-simnet race-policy race-farm

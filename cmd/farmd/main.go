@@ -1,0 +1,23 @@
+// Command farmd serves the crash-safe job farm: an HTTP/JSON service
+// whose whole state machine — admission queue, running attempts, retry
+// backoffs, results — survives SIGKILL via a write-ahead journal and
+// per-job durable checkpoints. Restarting farmd on the same -dir
+// replays the journal, re-admits queued jobs, and resumes interrupted
+// runs from their newest verified checkpoint.
+//
+//	farmd -dir /var/lib/nektar-farm -addr :8080 -workers 8
+//
+// SIGTERM drains gracefully: admissions stop, running jobs checkpoint
+// and park, the journal closes clean.
+package main
+
+import (
+	"os"
+
+	"nektar/internal/farm"
+)
+
+func main() {
+	farm.MaybeDaemon() // allow use as a re-exec image, harmless otherwise
+	os.Exit(farm.DaemonMain(os.Args[1:], nil))
+}

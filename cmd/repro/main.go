@@ -19,6 +19,7 @@ import (
 
 	"nektar/internal/bench"
 	"nektar/internal/engine"
+	"nektar/internal/farm"
 	"nektar/internal/report"
 )
 
@@ -195,6 +196,22 @@ var experiments = []experiment{
 			cfg.Machine, cfg.Workload, cfg.Procs, cfg.Steps, cfg.CheckpointEvery, len(evs))).Write(w)
 		return nil
 	}},
+	{"farmbench", "job-farm chaos campaign: SIGKILL the daemon, audit the ledger", func(w io.Writer, quick bool) error {
+		cfg := bench.PaperFarmbench
+		if quick {
+			cfg = bench.QuickFarmbench
+		}
+		res, tbl, err := bench.RunFarmbench(cfg)
+		if err != nil {
+			return err
+		}
+		tbl.Write(w)
+		if res.LostAcked != 0 || res.DupResults != 0 || res.HashMismatches != 0 {
+			return fmt.Errorf("farmbench: crash-safety audit failed: lost=%d dup=%d mismatch=%d",
+				res.LostAcked, res.DupResults, res.HashMismatches)
+		}
+		return nil
+	}},
 	{"simbench", "simnet scheduler: host wall-clock, serial vs parallel", func(w io.Writer, quick bool) error {
 		cfg := bench.PaperSimbench
 		if quick {
@@ -242,6 +259,7 @@ func experimentNames() []string {
 }
 
 func main() {
+	farm.MaybeDaemon() // farmbench re-execs this binary as its daemon image
 	outdir := flag.String("outdir", "", "write per-experiment files to this directory instead of stdout")
 	quick := flag.Bool("quick", false, "limit processor counts and steps for a fast pass")
 	flag.Usage = func() {

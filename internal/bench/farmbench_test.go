@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"nektar/internal/farm"
+)
+
+// TestMain lets this test binary serve as the farm-daemon image: when
+// the chaos harness re-execs it with the daemon environment set,
+// MaybeDaemon runs farmd and exits instead of running the tests.
+func TestMain(m *testing.M) {
+	farm.MaybeDaemon()
+	os.Exit(m.Run())
+}
+
+func TestFarmbenchValidate(t *testing.T) {
+	if err := ValidateFarmbench(QuickFarmbench); err != nil {
+		t.Fatalf("quick config invalid: %v", err)
+	}
+	bad := QuickFarmbench
+	bad.Jobs = 0
+	if err := ValidateFarmbench(bad); err == nil {
+		t.Fatal("zero jobs accepted")
+	}
+	bad = QuickFarmbench
+	bad.KillEveryMS = 0
+	if err := ValidateFarmbench(bad); err == nil {
+		t.Fatal("zero kill cadence accepted")
+	}
+}
+
+// TestFarmbenchChaos is the tier-1 crash-safety audit: a real daemon
+// subprocess, real SIGKILLs, and the three zero-tolerance ledger
+// checks.
+func TestFarmbenchChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess chaos campaign; skipped in -short")
+	}
+	cfg := QuickFarmbench
+	cfg.Dir = t.TempDir()
+	res, tbl, err := RunFarmbench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.Write(os.Stderr)
+	if res.LostAcked != 0 {
+		t.Errorf("lost %d acknowledged jobs, want 0", res.LostAcked)
+	}
+	if res.DupResults != 0 {
+		t.Errorf("%d duplicate results, want 0", res.DupResults)
+	}
+	if res.HashMismatches != 0 {
+		t.Errorf("%d hash mismatches vs uninterrupted reference, want 0", res.HashMismatches)
+	}
+	if res.FailedJobs != 0 {
+		t.Errorf("%d jobs failed outright, want 0", res.FailedJobs)
+	}
+	if res.DaemonKills < cfg.DaemonKills {
+		t.Errorf("injected %d daemon kills, want %d", res.DaemonKills, cfg.DaemonKills)
+	}
+	if res.JobsPerSec <= 0 {
+		t.Errorf("jobs/s = %g, want > 0", res.JobsPerSec)
+	}
+}
+
+// TestWriteFarmBaseline regenerates BENCH_farm.json (the committed
+// farmbench baseline) when BENCH_FARM=1 is set, and enforces the
+// acceptance bars: >= 20 SIGKILL cycles with zero lost acked jobs,
+// zero duplicate results, zero hash mismatches. `make bench-farm` runs
+// it.
+func TestWriteFarmBaseline(t *testing.T) {
+	if os.Getenv("BENCH_FARM") == "" {
+		t.Skip("set BENCH_FARM=1 to regenerate BENCH_farm.json")
+	}
+	res, tbl, err := RunFarmbench(PaperFarmbench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.Write(os.Stderr)
+	if res.DaemonKills < 20 {
+		t.Fatalf("baseline needs >= 20 SIGKILL cycles, got %d", res.DaemonKills)
+	}
+	if res.LostAcked != 0 || res.DupResults != 0 || res.HashMismatches != 0 || res.FailedJobs != 0 {
+		t.Fatalf("crash-safety audit failed: lost=%d dup=%d mismatch=%d failed=%d",
+			res.LostAcked, res.DupResults, res.HashMismatches, res.FailedJobs)
+	}
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("../../BENCH_farm.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_farm.json:\n%s", buf)
+}

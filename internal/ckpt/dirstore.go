@@ -1,21 +1,26 @@
 package ckpt
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"syscall"
 )
 
 // DirStore keeps one framed record per file under a root directory —
 // the restart files of the paper's production runs. File names encode
 // the address (step-%08d.rank-%04d.nkc) so the store is listable
-// without an index, and writes go through a temp-file rename so a
-// crash mid-write leaves at worst a stray .tmp, never a half-named
-// record. (A torn write INSIDE the payload is still possible on real
-// hardware; the CRC trailer exists to catch exactly that on read.)
+// without an index, and writes are durable against host crash: the
+// frame goes to a temp file which is fsynced, atomically renamed into
+// place, and sealed by an fsync of the directory itself, so a crash at
+// any instant leaves either the old record, the new record, or a stray
+// .tmp — never a half-visible newest snapshot whose name exists but
+// whose bytes were lost with the page cache. (A torn write INSIDE the
+// payload is still caught by the CRC trailer on read.)
 type DirStore struct {
 	dir string
 
@@ -64,14 +69,54 @@ func (s *DirStore) Put(m Meta, state []byte) (Stats, error) {
 		frame = s.corrupter.CorruptRecord(m.Step, m.Rank, frame)
 	}
 	path := s.Path(m.Step, m.Rank)
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, frame, 0o644); err != nil {
-		return Stats{}, fmt.Errorf("ckpt: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		return Stats{}, fmt.Errorf("ckpt: %w", err)
+	if err := WriteFileAtomic(path, frame); err != nil {
+		return Stats{}, err
 	}
 	return Stats{Raw: len(state), Stored: len(frame)}, nil
+}
+
+// WriteFileAtomic persists data at path with full crash durability:
+// temp file, fsync, atomic rename, directory fsync. Without the final
+// directory sync the rename itself can be lost on power failure,
+// resurrecting the old record — acceptable — or, worse on some
+// filesystems, leaving the new name pointing at unwritten blocks; the
+// fsync ordering rules both out.
+func WriteFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	return SyncDir(filepath.Dir(path))
+}
+
+// SyncDir fsyncs a directory so a just-renamed entry survives a crash.
+// Filesystems that cannot sync a directory handle (returning EINVAL or
+// similar) get best-effort semantics rather than a spurious failure.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return fmt.Errorf("ckpt: syncing %s: %w", dir, err)
+	}
+	return nil
 }
 
 // Open implements Store.

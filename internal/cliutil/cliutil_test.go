@@ -88,3 +88,34 @@ func TestCheckpointFlags(t *testing.T) {
 		t.Fatalf("store directory not created: %v", err)
 	}
 }
+
+func TestCheckpointFlagsRejectsConflicts(t *testing.T) {
+	// -ckptdir with -ckpt-every 0 must be one actionable error naming
+	// both flags, not a silent no-checkpoint run.
+	err := CheckpointFlags(filepath.Join(t.TempDir(), "ck"), 0)
+	if err == nil {
+		t.Fatal("-ckptdir with -ckpt-every 0 accepted")
+	}
+	for _, want := range []string{"-ckptdir", "-ckpt-every"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not name %s", err, want)
+		}
+	}
+	// A negative cadence is rejected whether or not a directory rides
+	// along (it used to pass silently with no -ckptdir).
+	for _, dir := range []string{"", filepath.Join(t.TempDir(), "neg")} {
+		err := CheckpointFlags(dir, -2)
+		if err == nil {
+			t.Fatalf("negative cadence accepted (dir=%q)", dir)
+		}
+		if !strings.Contains(err.Error(), "-ckpt-every -2") {
+			t.Errorf("error %q does not show the offending value", err)
+		}
+	}
+	// The negative-cadence path must not create the directory.
+	dir := filepath.Join(t.TempDir(), "notcreated")
+	_ = CheckpointFlags(dir, -1)
+	if _, serr := os.Stat(dir); !os.IsNotExist(serr) {
+		t.Fatalf("store directory created despite invalid flags: %v", serr)
+	}
+}

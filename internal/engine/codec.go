@@ -9,8 +9,11 @@ import (
 
 // The one checkpoint codec. Every solver serializes its state struct
 // through these helpers, so the wire format (deterministic gob: equal
-// trajectories give byte-identical checkpoints) is decided in exactly
-// one place.
+// trajectories give byte-identical checkpoints within one process) is
+// decided in exactly one place. Across processes the raw bytes are
+// NOT stable — gob assigns wire type IDs from a process-global
+// counter in first-encounter order — so cross-process identity checks
+// must compare canonical content (see farm.HashState), not streams.
 
 // EncodeState writes st as a gob stream.
 func EncodeState(w io.Writer, st any) error {

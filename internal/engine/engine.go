@@ -158,6 +158,14 @@ type Loop struct {
 	// Poll is the pre-step halt check (collective for parallel runs);
 	// returning true ends the loop with Outcome Halted.
 	Poll func() bool
+	// FinalOnHalt makes a Poll-ordered halt take the same snapshot path
+	// as completion: the state at the halted step boundary is marshalled
+	// into Result.Final and submitted to the Sink (marked final), so a
+	// drained run can be parked durably and resumed later. Off by
+	// default — a plain halt leaves only the cadence checkpoints. A
+	// watchdog trip never snapshots regardless: corrupt state must not
+	// reach the store.
+	FinalOnHalt bool
 	// OnStep fires immediately after each Step, before the watchdog.
 	OnStep func(step int)
 	// PostStep fires after the watchdog verdict clears, before the
@@ -252,6 +260,13 @@ func (l *Loop) run() (Result, error) {
 	for s.StepCount() < l.Steps {
 		if l.Poll != nil && l.Poll() {
 			res.Outcome = Halted
+			if l.FinalOnHalt {
+				final, err := l.snapshot(s.StepCount(), true)
+				if err != nil {
+					return res, err
+				}
+				res.Final = final
+			}
 			l.trace(Event{Ev: EvHalt, Rank: l.Rank, Step: s.StepCount()})
 			return res, nil
 		}

@@ -132,6 +132,62 @@ func TestLoopHaltPoll(t *testing.T) {
 	}
 }
 
+func TestLoopFinalOnHaltParksState(t *testing.T) {
+	// With FinalOnHalt a drain-style halt snapshots the halted state: it
+	// reaches both Result.Final and the sink (marked final), and a fresh
+	// solver restored from it finishes bit-identically to an
+	// uninterrupted run.
+	s := newFakeSolver(func(step int) float64 { return float64(step * step) })
+	sink := &recordingSink{}
+	polls := 0
+	loop := Loop{
+		Solver: s, Steps: 10, FinalOnHalt: true, Sink: sink,
+		Poll:     func() bool { polls++; return polls > 4 },
+		Watchdog: Watchdog{Disabled: true},
+	}
+	res, err := loop.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Halted || res.StepsRun != 4 {
+		t.Fatalf("outcome %v stepsRun %d", res.Outcome, res.StepsRun)
+	}
+	if len(res.Final) == 0 {
+		t.Fatal("FinalOnHalt halt returned no state")
+	}
+	if len(sink.steps) != 1 || sink.steps[0] != 4 || !sink.finals[0] {
+		t.Fatalf("sink got steps %v finals %v, want one final submit at step 4", sink.steps, sink.finals)
+	}
+
+	resumed := newFakeSolver(func(step int) float64 { return float64(step * step) })
+	if err := Restore(resumed, res.Final); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := (&Loop{Solver: resumed, Steps: 10, Watchdog: Watchdog{Disabled: true}}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	straight := newFakeSolver(func(step int) float64 { return float64(step * step) })
+	r3, err := (&Loop{Solver: straight, Steps: 10, Watchdog: Watchdog{Disabled: true}}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r2.Final, r3.Final) {
+		t.Fatal("run resumed from a parked halt differs from the uninterrupted run")
+	}
+
+	// A watchdog trip must never snapshot, FinalOnHalt or not.
+	bad := newFakeSolver(func(step int) float64 { return math.NaN() })
+	badSink := &recordingSink{}
+	resT, err := (&Loop{Solver: bad, Steps: 10, FinalOnHalt: true, Sink: badSink}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resT.Outcome != Tripped || len(badSink.steps) != 0 || resT.Final != nil {
+		t.Fatalf("tripped run staged state: outcome %v, sink %v", resT.Outcome, badSink.steps)
+	}
+}
+
 func TestLoopWatchdogNaNTrips(t *testing.T) {
 	s := newFakeSolver(func(step int) float64 {
 		if step == 3 {

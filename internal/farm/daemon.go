@@ -1,0 +1,118 @@
+package farm
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// DaemonMain is the farmd entry point: parse flags, recover the farm
+// from its state directory, serve the HTTP API, and on SIGTERM/SIGINT
+// run the drain protocol (stop admitting, checkpoint and park running
+// jobs, close the journal) before exiting. It returns the process exit
+// code so main() stays a one-liner and tests can drive it.
+func DaemonMain(argv []string, logf func(format string, args ...any)) int {
+	fs := flag.NewFlagSet("farmd", flag.ContinueOnError)
+	dir := fs.String("dir", "", "farm state directory (journal + per-job checkpoints); required")
+	addr := fs.String("addr", "127.0.0.1:8080", "HTTP listen address")
+	workers := fs.Int("workers", 4, "execution pool size")
+	queueCap := fs.Int("queue-cap", 1024, "admission queue bound (0 = unbounded)")
+	chaos := fs.Bool("chaos", false, "enable the /v1/chaos/killworker fault-injection endpoint")
+	seed := fs.Int64("seed", 1, "retry-jitter RNG seed")
+	drainS := fs.Float64("drain-timeout", 30, "graceful-drain deadline in seconds")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	if logf == nil {
+		logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "farmd: "+format+"\n", args...)
+		}
+	}
+	if *dir == "" {
+		logf("a state directory is required: farmd -dir <path>")
+		return 2
+	}
+
+	f, err := Open(Config{
+		Dir: *dir, Workers: *workers, QueueCap: *queueCap,
+		Chaos: *chaos, Seed: *seed, Logf: logf,
+	})
+	if err != nil {
+		logf("%v", err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logf("%v", err)
+		return 1
+	}
+	srv := &http.Server{Handler: Handler(f)}
+	logf("serving on %s (dir=%s workers=%d)", ln.Addr(), *dir, *workers)
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigc:
+		logf("caught %s, draining", sig)
+	case err := <-errc:
+		logf("server failed: %v", err)
+		f.Close()
+		return 1
+	}
+
+	// Drain protocol: stop accepting connections' new work first (the
+	// farm rejects submissions the moment draining is set), then park
+	// the running jobs, then tear the listener down.
+	ctx, cancel := context.WithTimeout(context.Background(),
+		time.Duration(*drainS*float64(time.Second)))
+	defer cancel()
+	derr := f.Drain(ctx)
+	srv.Shutdown(ctx)
+	if derr != nil {
+		logf("drain incomplete: %v (journal replay will recover)", derr)
+		return 1
+	}
+	logf("drained cleanly")
+	return 0
+}
+
+// daemonEnv carries a farmd argv through a re-exec: the chaos harness
+// spawns the test binary itself as the daemon, which is how a Go test
+// gets a genuinely SIGKILLable process without shipping a second
+// binary.
+const daemonEnv = "NEKTAR_FARMD_ARGS"
+
+// MaybeDaemon checks whether this process was re-exec'd as a farm
+// daemon (daemonEnv holds a JSON argv) and, if so, runs it and exits.
+// Call it first thing in main()/TestMain of any binary the harness may
+// use as its daemon image.
+func MaybeDaemon() {
+	v, ok := os.LookupEnv(daemonEnv)
+	if !ok {
+		return
+	}
+	var argv []string
+	if err := json.Unmarshal([]byte(v), &argv); err != nil {
+		fmt.Fprintf(os.Stderr, "farmd: bad %s: %v\n", daemonEnv, err)
+		os.Exit(2)
+	}
+	os.Exit(DaemonMain(argv, nil))
+}
+
+// DaemonArgsEnv encodes argv for a MaybeDaemon re-exec (the harness's
+// side of the trick).
+func DaemonArgsEnv(argv []string) string {
+	b, _ := json.Marshal(argv)
+	return daemonEnv + "=" + string(b)
+}

@@ -1,0 +1,410 @@
+package farm
+
+import (
+	"testing"
+	"time"
+)
+
+func waitState(t *testing.T, f *Farm, id string, want ...JobState) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, ok := f.Status(id)
+		if !ok {
+			t.Fatalf("job %s vanished", id)
+		}
+		for _, w := range want {
+			if st.State == w {
+				return st
+			}
+		}
+		if st.State.Terminal() {
+			t.Fatalf("job %s ended %s (cause=%s err=%s), want %v", id, st.State, st.Cause, st.Err, want)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s, want %v", id, st.State, want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func spinSpec(seed int64, steps int) JobSpec {
+	return JobSpec{Workload: "spin", Steps: steps, Seed: seed, Work: 8, CkptEvery: 5}
+}
+
+// TestFarmRunsJobToReference submits a job and checks the daemon-side
+// result matches an uninterrupted in-process reference run.
+func TestFarmRunsJobToReference(t *testing.T) {
+	f, err := Open(Config{Dir: t.TempDir(), Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	spec := spinSpec(42, 30)
+	ref, err := RunSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, cached, err := f.Submit(spec)
+	if err != nil || cached {
+		t.Fatalf("Submit: cached=%v err=%v", cached, err)
+	}
+	st = waitState(t, f, st.ID, StateDone)
+	if st.Result == nil || st.Result.Hash != ref.Hash {
+		t.Fatalf("farm result %+v, reference %+v", st.Result, ref)
+	}
+}
+
+// TestFarmResultCache checks idempotent resubmission: an identical spec
+// maps onto the existing job, finished or in flight, and never runs
+// twice.
+func TestFarmResultCache(t *testing.T) {
+	f, err := Open(Config{Dir: t.TempDir(), Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	spec := spinSpec(7, 20)
+	st1, _, err := f.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, f, st1.ID, StateDone)
+	st2, cached, err := f.Submit(spec)
+	if err != nil || !cached || st2.ID != st1.ID {
+		t.Fatalf("resubmit: id=%s cached=%v err=%v, want cache hit on %s", st2.ID, cached, err, st1.ID)
+	}
+	if st2.Result == nil {
+		t.Fatal("cache hit without result")
+	}
+	// A different priority but same computation still hits the cache...
+	spec.Priority = 9
+	if _, cached, _ := f.Submit(spec); !cached {
+		t.Fatal("priority change broke the result-cache key")
+	}
+	// ...while a different seed is a different computation.
+	other := spinSpec(8, 20)
+	st3, cached, err := f.Submit(other)
+	if err != nil || cached {
+		t.Fatalf("distinct seed cached: %v %v", cached, err)
+	}
+	waitState(t, f, st3.ID, StateDone)
+}
+
+// TestFarmBackpressure fills a capped queue and checks over-admission
+// is rejected with a retry hint rather than queued or dropped.
+func TestFarmBackpressure(t *testing.T) {
+	f, err := Open(Config{Dir: t.TempDir(), Workers: 0, QueueCap: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, _, err := f.Submit(spinSpec(1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.Submit(spinSpec(2, 10)); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = f.Submit(spinSpec(3, 10))
+	busy, ok := err.(*BusyError)
+	if !ok {
+		t.Fatalf("over-cap submit: %v, want BusyError", err)
+	}
+	if busy.RetryAfter < time.Second {
+		t.Fatalf("RetryAfter = %s, want >= 1s", busy.RetryAfter)
+	}
+}
+
+// TestFarmChaosKillRetriesToSameHash kills the running attempt and
+// checks the retry resumes from the last durable checkpoint to the
+// bit-identical result.
+func TestFarmChaosKillRetriesToSameHash(t *testing.T) {
+	f, err := Open(Config{Dir: t.TempDir(), Workers: 1, Chaos: true,
+		BackoffBase: time.Millisecond, BackoffMax: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	spec := JobSpec{Workload: "spin", Steps: 4000, Seed: 99, Work: 64, CkptEvery: 50}
+	ref, err := RunSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _, err := f.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, f, st.ID, StateRunning)
+	if victim := f.KillWorker(); victim != st.ID {
+		t.Fatalf("KillWorker = %q, want %q", victim, st.ID)
+	}
+	final := waitState(t, f, st.ID, StateDone)
+	if final.Attempt < 2 {
+		t.Fatalf("attempt = %d, want a retry", final.Attempt)
+	}
+	if final.Cause != "crash" {
+		t.Fatalf("cause = %q, want crash", final.Cause)
+	}
+	if final.Result.Hash != ref.Hash {
+		t.Fatalf("post-crash result %s != reference %s", final.Result.Hash, ref.Hash)
+	}
+	stats := f.Snapshot()
+	if stats.Failures["crash"] == 0 || stats.KillsInjected == 0 {
+		t.Fatalf("chaos not accounted: %+v", stats)
+	}
+	if stats.MTBFEstimateS <= 0 {
+		t.Fatal("crash did not feed the MTBF estimator")
+	}
+}
+
+// TestFarmTimeoutExhaustsRetries gives a job an impossible deadline and
+// a small retry budget, and checks it fails with the timeout cause
+// after the right number of attempts.
+func TestFarmTimeoutExhaustsRetries(t *testing.T) {
+	f, err := Open(Config{Dir: t.TempDir(), Workers: 1,
+		BackoffBase: time.Millisecond, BackoffMax: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	spec := JobSpec{Workload: "spin", Steps: 1 << 30, Seed: 5, Work: 256,
+		TimeoutS: 0.02, Retries: 2, CkptEvery: 1 << 20}
+	st, _, err := f.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		cur, _ := f.Status(st.ID)
+		if cur.State == StateFailed {
+			if cur.Cause != "timeout" || cur.Attempt != 3 {
+				t.Fatalf("failed with cause=%q attempt=%d, want timeout after 3 attempts", cur.Cause, cur.Attempt)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never failed: %+v", cur)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestFarmCancel covers cancellation in the queued and running states.
+func TestFarmCancel(t *testing.T) {
+	f, err := Open(Config{Dir: t.TempDir(), Workers: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _, err := f.Submit(spinSpec(1, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := f.Cancel(st.ID); !ok || got.State != StateCancelled {
+		t.Fatalf("cancel queued: ok=%v state=%s", ok, got.State)
+	}
+	if _, ok := f.Cancel(st.ID); ok {
+		t.Fatal("cancelling a cancelled job reported ok")
+	}
+	f.Close()
+
+	f2, err := Open(Config{Dir: t.TempDir(), Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	long := JobSpec{Workload: "spin", Steps: 1 << 30, Seed: 2, Work: 64, CkptEvery: 1 << 20}
+	st2, _, err := f2.Submit(long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, f2, st2.ID, StateRunning)
+	if _, ok := f2.Cancel(st2.ID); !ok {
+		t.Fatal("cancel running returned false")
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		cur, _ := f2.Status(st2.ID)
+		if cur.State == StateCancelled {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("running job never cancelled: %+v", cur)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestFarmRecoveryRequeues abandons a farm mid-queue (the in-process
+// stand-in for SIGKILL: the journal is simply never closed) and checks
+// a fresh Open re-admits the queued work, dedups the submissions, and
+// runs everything to the reference results.
+func TestFarmRecoveryRequeues(t *testing.T) {
+	dir := t.TempDir()
+	f, err := Open(Config{Dir: dir, Workers: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []JobSpec{spinSpec(1, 20), spinSpec(2, 20), spinSpec(3, 20)}
+	var ids []string
+	for _, s := range specs {
+		st, _, err := f.Submit(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+	// No Close: the daemon "dies" here with three acknowledged jobs.
+
+	f2, err := Open(Config{Dir: dir, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	for i, id := range ids {
+		st, ok := f2.Status(id)
+		if !ok {
+			t.Fatalf("job %s lost across restart", id)
+		}
+		ref, _ := RunSpec(specs[i])
+		final := waitState(t, f2, st.ID, StateDone)
+		if final.Result.Hash != ref.Hash {
+			t.Fatalf("job %s: recovered result %s != reference %s", id, final.Result.Hash, ref.Hash)
+		}
+	}
+	// Resubmitting an acknowledged spec after restart is a cache hit,
+	// not a duplicate run.
+	if _, cached, _ := f2.Submit(specs[0]); !cached {
+		t.Fatal("recovered farm forgot the submission identity")
+	}
+}
+
+// TestFarmDrainParksAndResumes drains a farm mid-run and checks the
+// running job parks durably, then resumes on the next Open to the
+// bit-identical reference result.
+func TestFarmDrainParksAndResumes(t *testing.T) {
+	dir := t.TempDir()
+	f, err := Open(Config{Dir: dir, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := JobSpec{Workload: "spin", Steps: 300000, Seed: 11, Work: 16, CkptEvery: 5000}
+	ref, err := RunSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _, err := f.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, f, st.ID, StateRunning)
+	if err := f.Close(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	parked, _ := f.Status(st.ID)
+	if parked.State != StateParked && parked.State != StateDone {
+		t.Fatalf("after drain: state %s, want parked (or done)", parked.State)
+	}
+	if parked.State == StateParked && parked.CkptStep < 0 {
+		t.Fatal("parked without a durable checkpoint step")
+	}
+	// While draining, submissions are refused.
+	if _, _, err := f.Submit(spinSpec(12, 10)); err != ErrDraining {
+		t.Fatalf("submit while drained: %v, want ErrDraining", err)
+	}
+
+	f2, err := Open(Config{Dir: dir, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	final := waitState(t, f2, st.ID, StateDone)
+	if final.Result.Hash != ref.Hash {
+		t.Fatalf("parked/resumed result %s != reference %s", final.Result.Hash, ref.Hash)
+	}
+}
+
+// TestFarmNS2DJob runs the real Navier-Stokes workload through the
+// farm, including a chaos kill, proving the bit-identity argument on
+// actual solver state.
+func TestFarmNS2DJob(t *testing.T) {
+	f, err := Open(Config{Dir: t.TempDir(), Workers: 1, Chaos: true,
+		BackoffBase: time.Millisecond, BackoffMax: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	spec := JobSpec{Workload: "ns2d", Steps: 12, Seed: 3, CkptEvery: 3, TimeoutS: 120}
+	ref, err := RunSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _, err := f.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, f, st.ID, StateRunning)
+	f.KillWorker()
+	final := waitState(t, f, st.ID, StateDone)
+	if final.Result.Hash != ref.Hash {
+		t.Fatalf("ns2d post-crash result %s != reference %s", final.Result.Hash, ref.Hash)
+	}
+}
+
+// TestFarmJournalCompactsOnOpen drives enough transitions through a
+// farm that reopening compacts the journal, and checks nothing is lost.
+func TestFarmJournalCompactsOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	f, err := Open(Config{Dir: dir, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	var refs []Result
+	for i := int64(0); i < 150; i++ {
+		spec := JobSpec{Workload: "spin", Steps: 12, Seed: 1000 + i, Work: 4, CkptEvery: 2}
+		st, _, err := f.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+		if i < 5 {
+			r, _ := RunSpec(spec)
+			refs = append(refs, r)
+		}
+	}
+	for _, id := range ids {
+		waitState(t, f, id, StateDone)
+	}
+	before := f.jl.Count()
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if before <= 1024 {
+		t.Fatalf("test needs >1024 journal records to exercise compaction, got %d", before)
+	}
+
+	f2, err := Open(Config{Dir: dir, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	if after := f2.jl.Count(); after >= before/2 {
+		t.Fatalf("journal not compacted: %d -> %d records", before, after)
+	}
+	for i, id := range ids[:5] {
+		st, ok := f2.Status(id)
+		if !ok || st.State != StateDone || st.Result.Hash != refs[i].Hash {
+			t.Fatalf("job %s damaged by compaction: %+v", id, st)
+		}
+	}
+	// The compacted journal still replays: one more cycle.
+	f2.Close()
+	f3, err := Open(Config{Dir: dir, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f3.Close()
+	if st, ok := f3.Status(ids[0]); !ok || st.State != StateDone {
+		t.Fatalf("second reopen lost job: %+v", st)
+	}
+}

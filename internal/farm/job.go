@@ -1,0 +1,259 @@
+// Package farm is the crash-safe multi-tenant job service: the
+// "simulation-as-a-service" front end that turns the repo's supervised
+// solver runs into something a farm of commodity nodes can serve
+// unattended. The paper's question — can cheap PC/Linux clusters carry
+// real DNS workloads? — becomes, at service scale, whether the machine
+// *around* the solver survives the same abuse the solver already
+// does: the daemon itself being SIGKILLed mid-flight, workers dying
+// mid-step, clients resubmitting blindly.
+//
+// The answer is a write-ahead journal (journal.go, reusing
+// internal/ckpt's framed/CRC record format with fsync-and-atomic-
+// rename semantics) that logs every job transition before it is
+// acknowledged, so a restarted daemon replays the journal, re-admits
+// queued jobs, and resumes in-flight runs from their per-job
+// checkpoint namespace via the corruption-aware ckpt.Latest. Execution
+// is at-least-once — a crash between a durable checkpoint and the
+// journaled "done" re-runs the tail — but results are idempotent:
+// checkpoints are step-keyed (re-execution overwrites identical
+// records) and the trajectory is bit-deterministic, so every re-run
+// converges to the same final state and the journal keeps exactly one
+// result per job.
+package farm
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+)
+
+// JobState is the in-memory view of a job's position in the state
+// machine (the journal's submitted/admitted pair both collapse to
+// Queued here).
+type JobState string
+
+const (
+	StateQueued    JobState = "queued"
+	StateRunning   JobState = "running"
+	StateBackoff   JobState = "backoff" // waiting out a retry backoff
+	StateParked    JobState = "parked"  // checkpointed and halted by a drain
+	StateDone      JobState = "done"
+	StateFailed    JobState = "failed"
+	StateCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether a state can never transition again.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// JobSpec is a client's job description. Workload/Steps/Seed/Work and
+// the mesh knobs define *what* is computed (the result-cache key);
+// Priority/Tenant/TimeoutS/Retries define how the farm schedules it.
+type JobSpec struct {
+	// Workload names a registered farm workload ("spin", "ns2d").
+	Workload string `json:"workload"`
+	// Steps is the target step count.
+	Steps int `json:"steps"`
+	// Seed deterministically perturbs the initial state, so equal specs
+	// give bit-identical trajectories and distinct seeds give distinct
+	// jobs.
+	Seed int64 `json:"seed"`
+	// Work scales the spin workload's per-step arithmetic (0 = default).
+	Work int `json:"work,omitempty"`
+	// Nt, Nr, Order size the ns2d probe mesh (0 = defaults).
+	Nt    int `json:"nt,omitempty"`
+	Nr    int `json:"nr,omitempty"`
+	Order int `json:"order,omitempty"`
+
+	// CkptEvery is the durable-checkpoint cadence in steps (0 = a
+	// default derived from Steps).
+	CkptEvery int `json:"ckpt_every,omitempty"`
+	// Priority orders the queue (higher first; 0 is normal).
+	Priority int `json:"priority,omitempty"`
+	// Tenant is the fair-share accounting bucket ("" = "default").
+	Tenant string `json:"tenant,omitempty"`
+	// TimeoutS bounds one attempt's host wall time (0 = default).
+	TimeoutS float64 `json:"timeout_s,omitempty"`
+	// Retries is the retry budget beyond the first attempt (<0 = none,
+	// 0 = default).
+	Retries int `json:"retries,omitempty"`
+}
+
+// Key is the result-cache identity: a digest over the fields that
+// determine the computed trajectory, and nothing else — two clients
+// submitting the same computation at different priorities share one
+// result.
+func (s JobSpec) Key() string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%s|%d|%d|%d|%d|%d|%d",
+		s.Workload, s.Steps, s.Seed, s.Work, s.Nt, s.Nr, s.Order)))
+	return hex.EncodeToString(sum[:16])
+}
+
+// Result is one job's computed outcome: the step it finished at and
+// the digest of its final marshalled solver state (canonicalized, so
+// bit-identical trajectories give equal hashes in any process).
+type Result struct {
+	Hash  string `json:"hash"`
+	Steps int    `json:"steps"`
+	Bytes int    `json:"bytes"`
+}
+
+// HashState digests a marshalled solver state the way Result.Hash is
+// produced, for callers comparing farm results against reference runs.
+//
+// The digest covers the canonical content of the gob stream, not its
+// raw bytes: encoding/gob assigns wire type IDs from a process-global
+// counter in first-encounter order, so two processes (or one process
+// before/after encoding unrelated types) emit byte-different streams
+// for the same value. The farm's bit-identity audit compares daemon
+// results against reference runs computed in another process, so the
+// hash must skip the type-descriptor messages and the value message's
+// type-ID prefix — everything history-dependent — and digest only the
+// payload. A state that does not parse as gob is hashed raw.
+func HashState(state []byte) string {
+	sum := sha256.Sum256(canonicalGob(state))
+	return hex.EncodeToString(sum[:])
+}
+
+// canonicalGob extracts the type-ID-independent payload of a gob
+// stream: the body of each value message with its leading type ID
+// stripped, delimited by the message lengths. Descriptor messages
+// (negative type ID) are dropped entirely. The wire format is
+// documented and frozen ("may only be appended to"), so this parse is
+// stable. On any framing it does not understand it returns the input
+// unchanged — the hash is then raw-byte, exactly the old behavior.
+func canonicalGob(stream []byte) []byte {
+	out := make([]byte, 0, len(stream))
+	rest := stream
+	for len(rest) > 0 {
+		// Message framing: unsigned byte count, then that many bytes.
+		n, sz, ok := gobUint(rest)
+		if !ok || n > uint64(len(rest)-sz) {
+			return stream
+		}
+		body := rest[sz : sz+int(n)]
+		rest = rest[sz+int(n):]
+		// The body leads with the signed type ID: negative introduces a
+		// type descriptor, positive a value of that type.
+		id, idSz, ok := gobInt(body)
+		if !ok {
+			return stream
+		}
+		if id < 0 {
+			continue // descriptor: pure type-table bookkeeping, drop
+		}
+		// Keep the payload and its length so message boundaries still
+		// separate, but not the history-dependent ID.
+		payload := body[idSz:]
+		out = append(out, byte(len(payload)>>16), byte(len(payload)>>8), byte(len(payload)))
+		out = append(out, payload...)
+	}
+	return out
+}
+
+// gobUint decodes gob's unsigned-integer wire form: one byte if
+// < 128, else 256-b big-endian bytes follow.
+func gobUint(b []byte) (v uint64, size int, ok bool) {
+	if len(b) == 0 {
+		return 0, 0, false
+	}
+	if b[0] < 0x80 {
+		return uint64(b[0]), 1, true
+	}
+	n := int(-int8(b[0]))
+	if n < 1 || n > 8 || len(b) < 1+n {
+		return 0, 0, false
+	}
+	for _, c := range b[1 : 1+n] {
+		v = v<<8 | uint64(c)
+	}
+	return v, 1 + n, true
+}
+
+// gobInt decodes gob's signed-integer wire form: an unsigned value
+// whose low bit says "complement the rest".
+func gobInt(b []byte) (v int64, size int, ok bool) {
+	u, size, ok := gobUint(b)
+	if !ok {
+		return 0, 0, false
+	}
+	if u&1 != 0 {
+		return ^int64(u >> 1), size, true
+	}
+	return int64(u >> 1), size, true
+}
+
+// Job is the farm's record of one submission. All fields are guarded
+// by the farm's mutex.
+type Job struct {
+	ID      string   `json:"id"`
+	Spec    JobSpec  `json:"spec"`
+	State   JobState `json:"state"`
+	Attempt int      `json:"attempt"`
+	// CkptStep is the newest durably checkpointed step (-1 = none).
+	CkptStep int     `json:"ckpt_step"`
+	Result   *Result `json:"result,omitempty"`
+	// Cause classifies the most recent failure (crash, timeout,
+	// watchdog, error); empty for jobs that never failed.
+	Cause string `json:"cause,omitempty"`
+	Err   string `json:"err,omitempty"`
+
+	// scheduling state, never serialized. cancel and abort are atomic
+	// because the attempt's step loop reads them every step without
+	// taking the farm mutex.
+	seq    int64       // submission order, fair-queue tiebreak
+	cancel atomic.Bool // cancellation requested (Poll halts the attempt)
+	abort  atomic.Bool // chaos worker-kill requested (OnStep panics)
+}
+
+// JobStatus is the externally visible snapshot of a job (the HTTP
+// payload) — a copy, safe to hold after the farm's lock is released.
+type JobStatus struct {
+	ID       string   `json:"id"`
+	State    JobState `json:"state"`
+	Attempt  int      `json:"attempt"`
+	CkptStep int      `json:"ckpt_step"`
+	Priority int      `json:"priority,omitempty"`
+	Tenant   string   `json:"tenant,omitempty"`
+	Result   *Result  `json:"result,omitempty"`
+	Cause    string   `json:"cause,omitempty"`
+	Err      string   `json:"err,omitempty"`
+	// Cached marks a submission answered from the result cache / an
+	// existing identical live job.
+	Cached bool `json:"cached,omitempty"`
+}
+
+// EntryEv enumerates the journal's transition events.
+type EntryEv string
+
+const (
+	EvSubmitted    EntryEv = "submitted"
+	EvAdmitted     EntryEv = "admitted"
+	EvRunning      EntryEv = "running"
+	EvCheckpointed EntryEv = "checkpointed"
+	EvRetrying     EntryEv = "retrying"
+	EvParked       EntryEv = "parked"
+	EvDone         EntryEv = "done"
+	EvFailed       EntryEv = "failed"
+	EvCancelled    EntryEv = "cancelled"
+)
+
+// Entry is one journaled transition. The journal is the farm's only
+// durable state: everything in Farm.jobs is rebuilt by replaying these
+// in order.
+type Entry struct {
+	Seq int64   `json:"seq"`
+	Job string  `json:"job"`
+	Ev  EntryEv `json:"ev"`
+
+	Spec      *JobSpec `json:"spec,omitempty"`    // submitted
+	Attempt   int      `json:"attempt,omitempty"` // running / retrying / failed
+	Worker    int      `json:"worker,omitempty"`  // running
+	Step      int      `json:"step,omitempty"`    // checkpointed / parked / done
+	Cause     string   `json:"cause,omitempty"`   // retrying / failed
+	BackoffMS int64    `json:"backoff_ms,omitempty"`
+	Result    *Result  `json:"result,omitempty"` // done
+	Err       string   `json:"err,omitempty"`
+}

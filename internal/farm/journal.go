@@ -1,0 +1,225 @@
+package farm
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"nektar/internal/ckpt"
+)
+
+// Journal is the farm's write-ahead log: an append-only file of job
+// transitions, each framed with internal/ckpt's record format (magic,
+// version, kind tag, CRC-32 trailer) under a length prefix, and
+// fsynced before the append returns. A transition is acknowledged to a
+// client only after its entry is durable, so the journal is the
+// farm's source of truth across any crash.
+//
+// Crash anatomy the format survives:
+//   - SIGKILL between entries: the file ends at a record boundary and
+//     replays cleanly.
+//   - SIGKILL mid-append (torn tail): the final record fails its
+//     length or CRC check; Open truncates the file back to the last
+//     verified boundary. Nothing after a torn record is reachable —
+//     appends are strictly sequential — so truncation loses only the
+//     unacknowledged tail.
+//   - Host crash during compaction: the rewritten journal goes to a
+//     temp file, is fsynced, atomically renamed, and the directory
+//     fsynced (ckpt.WriteFileAtomic), so either the old or the new
+//     journal is visible, never a mix.
+type Journal struct {
+	mu    sync.Mutex
+	f     *os.File
+	path  string
+	seq   int64 // last assigned sequence number
+	count int   // records currently in the file
+}
+
+const (
+	walKind = "farmwal"
+	// maxWALRecord bounds one entry's frame; anything larger on disk is
+	// corruption, not data.
+	maxWALRecord = 1 << 20
+)
+
+// OpenJournal opens (creating if needed) the journal at path, replays
+// every verifiable entry, and truncates any torn tail so the file ends
+// at a record boundary ready for appends.
+func OpenJournal(path string) (*Journal, []Entry, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, nil, fmt.Errorf("farm: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("farm: %w", err)
+	}
+	entries, good, err := replay(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("farm: truncating torn journal tail: %w", err)
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("farm: %w", err)
+	}
+	if err := ckpt.SyncDir(filepath.Dir(path)); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	j := &Journal{f: f, path: path, count: len(entries)}
+	if n := len(entries); n > 0 {
+		j.seq = entries[n-1].Seq
+	}
+	return j, entries, nil
+}
+
+// replay decodes entries from the start of f, returning them with the
+// offset of the first byte past the last verifiable record. A torn or
+// corrupt record ends the replay — never an error — because a tail
+// that fails verification is exactly what a crash mid-append leaves.
+func replay(f *os.File) ([]Entry, int64, error) {
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, 0, fmt.Errorf("farm: reading journal: %w", err)
+	}
+	var entries []Entry
+	var off int64
+	for int64(len(data))-off >= 4 {
+		n := int64(binary.BigEndian.Uint32(data[off:]))
+		if n == 0 || n > maxWALRecord || off+4+n > int64(len(data)) {
+			break // torn or garbage length
+		}
+		m, payload, derr := ckpt.DecodeRecord(data[off+4 : off+4+n])
+		if derr != nil || m.Kind != walKind {
+			break // CRC/framing failure: torn tail
+		}
+		var e Entry
+		if json.Unmarshal(payload, &e) != nil {
+			break
+		}
+		entries = append(entries, e)
+		off += 4 + n
+	}
+	return entries, off, nil
+}
+
+// Append assigns sequence numbers, frames, writes, and fsyncs the
+// entries as one batch (one write, one sync). It returns only once
+// the batch is durable; a caller may acknowledge the transition to a
+// client the moment Append returns.
+func (j *Journal) Append(entries ...*Entry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("farm: append on closed journal")
+	}
+	startSeq := j.seq
+	var batch []byte
+	for _, e := range entries {
+		j.seq++
+		e.Seq = j.seq
+		frame, err := encodeEntry(e)
+		if err != nil {
+			j.seq = startSeq
+			return err
+		}
+		batch = append(batch, frame...)
+	}
+	if _, err := j.f.Write(batch); err != nil {
+		return fmt.Errorf("farm: journal write: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("farm: journal fsync: %w", err)
+	}
+	j.count += len(entries)
+	return nil
+}
+
+// encodeEntry frames one entry: length prefix + ckpt record whose
+// virtual "step" is the sequence number.
+func encodeEntry(e *Entry) ([]byte, error) {
+	payload, err := json.Marshal(e)
+	if err != nil {
+		return nil, fmt.Errorf("farm: %w", err)
+	}
+	rec, err := ckpt.EncodeRecord(ckpt.Meta{Kind: walKind, Step: int(e.Seq)}, payload)
+	if err != nil {
+		return nil, err
+	}
+	frame := make([]byte, 4+len(rec))
+	binary.BigEndian.PutUint32(frame, uint32(len(rec)))
+	copy(frame[4:], rec)
+	return frame, nil
+}
+
+// Count reports the number of records in the file.
+func (j *Journal) Count() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.count
+}
+
+// Compact atomically replaces the journal's contents with the given
+// entries (reassigning sequence numbers from 1), using temp-file +
+// fsync + rename + directory fsync so a crash mid-compaction leaves
+// either journal, never a hybrid. The farm calls it at startup once
+// the live state compresses to far fewer entries than the log holds.
+func (j *Journal) Compact(entries []Entry) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("farm: compact on closed journal")
+	}
+	var buf []byte
+	seq := int64(0)
+	for i := range entries {
+		seq++
+		entries[i].Seq = seq
+		frame, err := encodeEntry(&entries[i])
+		if err != nil {
+			return err
+		}
+		buf = append(buf, frame...)
+	}
+	if err := ckpt.WriteFileAtomic(j.path, buf); err != nil {
+		return err
+	}
+	// Swap the handle to the new file and position for appends.
+	nf, err := os.OpenFile(j.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("farm: reopening compacted journal: %w", err)
+	}
+	if _, err := nf.Seek(0, io.SeekEnd); err != nil {
+		nf.Close()
+		return fmt.Errorf("farm: %w", err)
+	}
+	j.f.Close()
+	j.f, j.seq, j.count = nf, seq, len(entries)
+	return nil
+}
+
+// Close flushes and closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Sync()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	return err
+}

@@ -1,0 +1,154 @@
+package farm
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openTestJournal(t *testing.T, path string) (*Journal, []Entry) {
+	t.Helper()
+	j, entries, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	return j, entries
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.nkj")
+	j, entries := openTestJournal(t, path)
+	if len(entries) != 0 {
+		t.Fatalf("fresh journal replayed %d entries", len(entries))
+	}
+	spec := &JobSpec{Workload: "spin", Steps: 10, Seed: 7}
+	if err := j.Append(
+		&Entry{Job: "j1", Ev: EvSubmitted, Spec: spec},
+		&Entry{Job: "j1", Ev: EvAdmitted},
+		&Entry{Job: "j1", Ev: EvRunning, Attempt: 1, Worker: 2},
+	); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := j.Append(&Entry{Job: "j1", Ev: EvDone, Step: 10,
+		Result: &Result{Hash: "abc", Steps: 10}}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	j2, replayed := openTestJournal(t, path)
+	defer j2.Close()
+	if len(replayed) != 4 {
+		t.Fatalf("replayed %d entries, want 4", len(replayed))
+	}
+	for i, e := range replayed {
+		if e.Seq != int64(i+1) {
+			t.Fatalf("entry %d has seq %d", i, e.Seq)
+		}
+	}
+	if replayed[0].Spec == nil || replayed[0].Spec.Seed != 7 {
+		t.Fatalf("submitted spec did not survive: %+v", replayed[0])
+	}
+	if replayed[3].Result == nil || replayed[3].Result.Hash != "abc" {
+		t.Fatalf("done result did not survive: %+v", replayed[3])
+	}
+}
+
+// TestJournalTornTail SIGKILLs on paper: a journal whose last append
+// was cut mid-record must replay every verified entry, drop the torn
+// tail, and accept new appends at the restored boundary.
+func TestJournalTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.nkj")
+	j, _ := openTestJournal(t, path)
+	for i := 0; i < 5; i++ {
+		if err := j.Append(&Entry{Job: "j1", Ev: EvCheckpointed, Step: i}); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	j.Close()
+
+	// Tear the tail three ways: a truncated frame, garbage with a
+	// plausible length prefix, and a lone partial length prefix.
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tears := map[string]func([]byte) []byte{
+		"truncated-frame": func(b []byte) []byte {
+			extra := make([]byte, 4)
+			binary.BigEndian.PutUint32(extra, 64)
+			return append(append(b, extra...), []byte("only-ten-b")...)
+		},
+		"garbage": func(b []byte) []byte {
+			extra := make([]byte, 4)
+			binary.BigEndian.PutUint32(extra, 16)
+			return append(append(b, extra...), make([]byte, 16)...)
+		},
+		"partial-prefix": func(b []byte) []byte { return append(b, 0x00, 0x00) },
+	}
+	for name, tear := range tears {
+		t.Run(name, func(t *testing.T) {
+			p := filepath.Join(t.TempDir(), "wal.nkj")
+			if err := os.WriteFile(p, tear(append([]byte{}, whole...)), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			j2, replayed := openTestJournal(t, p)
+			defer j2.Close()
+			if len(replayed) != 5 {
+				t.Fatalf("replayed %d entries, want 5", len(replayed))
+			}
+			fi, err := os.Stat(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fi.Size() != int64(len(whole)) {
+				t.Fatalf("torn tail not truncated: size %d, want %d", fi.Size(), len(whole))
+			}
+			if err := j2.Append(&Entry{Job: "j1", Ev: EvDone, Step: 5}); err != nil {
+				t.Fatalf("append after truncation: %v", err)
+			}
+			j2.Close()
+			_, again := openTestJournal(t, p)
+			if len(again) != 6 || again[5].Ev != EvDone {
+				t.Fatalf("post-truncation append did not replay: %+v", again)
+			}
+		})
+	}
+}
+
+func TestJournalCompact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.nkj")
+	j, _ := openTestJournal(t, path)
+	for i := 0; i < 50; i++ {
+		if err := j.Append(&Entry{Job: "j1", Ev: EvCheckpointed, Step: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	spec := &JobSpec{Workload: "spin", Steps: 50}
+	if err := j.Compact([]Entry{
+		{Job: "j1", Ev: EvSubmitted, Spec: spec},
+		{Job: "j1", Ev: EvDone, Step: 50, Result: &Result{Hash: "h"}},
+	}); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if j.Count() != 2 {
+		t.Fatalf("Count after compact = %d, want 2", j.Count())
+	}
+	// Appends continue on the compacted file with fresh sequence numbers.
+	if err := j.Append(&Entry{Job: "j2", Ev: EvSubmitted, Spec: spec}); err != nil {
+		t.Fatalf("append after compact: %v", err)
+	}
+	j.Close()
+	_, replayed := openTestJournal(t, path)
+	if len(replayed) != 3 {
+		t.Fatalf("replayed %d entries, want 3", len(replayed))
+	}
+	if replayed[0].Ev != EvSubmitted || replayed[1].Ev != EvDone || replayed[2].Job != "j2" {
+		t.Fatalf("wrong replay after compact: %+v", replayed)
+	}
+	if replayed[2].Seq != 3 {
+		t.Fatalf("post-compact seq = %d, want 3", replayed[2].Seq)
+	}
+}

@@ -1,0 +1,107 @@
+package farm
+
+import "sort"
+
+// fairQueue orders runnable jobs by priority with fair-share across
+// tenants: each Pop picks the highest-priority head-of-queue, breaking
+// priority ties in favor of the tenant that has been served the least,
+// then by submission order. A tenant flooding the farm with
+// equal-priority work therefore cannot starve the others — it only
+// raises its own served count and yields alternate slots — while a
+// genuinely higher-priority job still jumps every line.
+//
+// Not safe for concurrent use; the farm guards it with its mutex.
+type fairQueue struct {
+	tenants map[string]*tenantQueue
+	served  map[string]int64
+	size    int
+}
+
+type tenantQueue struct {
+	// jobs is kept sorted by (priority desc, seq asc); head is jobs[0].
+	jobs []*Job
+}
+
+func newFairQueue() *fairQueue {
+	return &fairQueue{tenants: map[string]*tenantQueue{}, served: map[string]int64{}}
+}
+
+func (q *fairQueue) Len() int { return q.size }
+
+// Push inserts a job in its tenant's queue, keeping the order
+// invariant.
+func (q *fairQueue) Push(j *Job) {
+	tenant := j.Spec.Tenant
+	tq := q.tenants[tenant]
+	if tq == nil {
+		tq = &tenantQueue{}
+		q.tenants[tenant] = tq
+	}
+	i := sort.Search(len(tq.jobs), func(i int) bool {
+		o := tq.jobs[i]
+		if o.Spec.Priority != j.Spec.Priority {
+			return o.Spec.Priority < j.Spec.Priority
+		}
+		return o.seq > j.seq
+	})
+	tq.jobs = append(tq.jobs, nil)
+	copy(tq.jobs[i+1:], tq.jobs[i:])
+	tq.jobs[i] = j
+	q.size++
+}
+
+// Pop removes and returns the next job to run, or nil when empty.
+func (q *fairQueue) Pop() *Job {
+	var best *Job
+	var bestTenant string
+	for tenant, tq := range q.tenants {
+		if len(tq.jobs) == 0 {
+			continue
+		}
+		head := tq.jobs[0]
+		if best == nil || headLess(q, head, tenant, best, bestTenant) {
+			best, bestTenant = head, tenant
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	tq := q.tenants[bestTenant]
+	tq.jobs = tq.jobs[1:]
+	if len(tq.jobs) == 0 {
+		delete(q.tenants, bestTenant)
+	}
+	q.served[bestTenant]++
+	q.size--
+	return best
+}
+
+// headLess reports whether candidate a (from tenant ta) should be
+// served before the current best b (from tenant tb).
+func headLess(q *fairQueue, a *Job, ta string, b *Job, tb string) bool {
+	if a.Spec.Priority != b.Spec.Priority {
+		return a.Spec.Priority > b.Spec.Priority
+	}
+	if q.served[ta] != q.served[tb] {
+		return q.served[ta] < q.served[tb]
+	}
+	return a.seq < b.seq
+}
+
+// Remove deletes a job by ID (a queued-state cancellation), reporting
+// whether it was present.
+func (q *fairQueue) Remove(id string) bool {
+	for tenant, tq := range q.tenants {
+		for i, j := range tq.jobs {
+			if j.ID == id {
+				tq.jobs = append(tq.jobs[:i], tq.jobs[i+1:]...)
+				if len(tq.jobs) == 0 {
+					delete(q.tenants, tenant)
+				}
+				q.size--
+				return true
+			}
+		}
+	}
+	return false
+}

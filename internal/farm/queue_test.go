@@ -1,0 +1,77 @@
+package farm
+
+import "testing"
+
+func qjob(id string, seq int64, tenant string, prio int) *Job {
+	return &Job{ID: id, seq: seq, Spec: JobSpec{Tenant: tenant, Priority: prio}}
+}
+
+func popOrder(q *fairQueue) []string {
+	var ids []string
+	for {
+		j := q.Pop()
+		if j == nil {
+			return ids
+		}
+		ids = append(ids, j.ID)
+	}
+}
+
+func TestQueuePriorityThenFIFO(t *testing.T) {
+	q := newFairQueue()
+	q.Push(qjob("a", 1, "t", 0))
+	q.Push(qjob("b", 2, "t", 5))
+	q.Push(qjob("c", 3, "t", 0))
+	q.Push(qjob("d", 4, "t", 5))
+	got := popOrder(q)
+	want := []string{"b", "d", "a", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", got, want)
+		}
+	}
+}
+
+// TestQueueFairShare floods the queue from one tenant and checks a
+// second tenant still gets every other slot.
+func TestQueueFairShare(t *testing.T) {
+	q := newFairQueue()
+	for i := int64(0); i < 6; i++ {
+		q.Push(qjob("hog", i+1, "hog", 0))
+	}
+	q.Push(qjob("x", 7, "polite", 0))
+	q.Push(qjob("y", 8, "polite", 0))
+	got := popOrder(q)
+	// First pop goes to the earliest seq (served counts tied at 0); from
+	// then on the polite tenant must never wait behind two hog jobs.
+	politeSeen := 0
+	for i, id := range got {
+		if id == "x" || id == "y" {
+			politeSeen++
+		}
+		if i == 3 && politeSeen == 0 {
+			t.Fatalf("polite tenant starved: order %v", got)
+		}
+	}
+	if politeSeen != 2 || len(got) != 8 {
+		t.Fatalf("lost jobs: order %v", got)
+	}
+}
+
+func TestQueueRemove(t *testing.T) {
+	q := newFairQueue()
+	q.Push(qjob("a", 1, "t", 0))
+	q.Push(qjob("b", 2, "t", 0))
+	if !q.Remove("a") {
+		t.Fatal("Remove(a) = false")
+	}
+	if q.Remove("a") {
+		t.Fatal("double Remove(a) = true")
+	}
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", q.Len())
+	}
+	if j := q.Pop(); j == nil || j.ID != "b" {
+		t.Fatalf("Pop = %v, want b", j)
+	}
+}

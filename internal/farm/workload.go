@@ -1,0 +1,210 @@
+package farm
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"nektar/internal/core"
+	"nektar/internal/engine"
+	"nektar/internal/mesh"
+	"nektar/internal/timing"
+)
+
+// Farm workloads are serial, host-run engine.Solver factories — the
+// unit of work a single farm worker executes. "spin" is a synthetic
+// deterministic kernel cheap enough to submit by the thousand (the
+// chaos harness's ammunition); "ns2d" is the real spectral/hp
+// Navier-Stokes probe, so the farm's bit-identity claims are proven on
+// actual solver state, not just a toy.
+
+// farmWorkload is one registered factory.
+type farmWorkload struct {
+	Description string
+	New         func(spec JobSpec) (engine.Solver, error)
+}
+
+var farmWorkloads = map[string]farmWorkload{
+	"spin": {
+		Description: "synthetic deterministic mixing kernel (fast, for load/chaos tests)",
+		New: func(spec JobSpec) (engine.Solver, error) {
+			work := spec.Work
+			if work <= 0 {
+				work = 256
+			}
+			return NewSpinSolver(spec.Seed, work), nil
+		},
+	},
+	"ns2d": {
+		Description: "serial 2D spectral/hp Navier-Stokes bluff-body probe",
+		New: func(spec JobSpec) (engine.Solver, error) {
+			nt, nr, order := spec.Nt, spec.Nr, spec.Order
+			if nt == 0 {
+				nt = 12
+			}
+			if nr == 0 {
+				nr = 3
+			}
+			if order == 0 {
+				order = 4
+			}
+			m, err := mesh.BluffBody(order, nt, nr)
+			if err != nil {
+				return nil, err
+			}
+			ns, err := core.NewNS2D(m, core.NS2DConfig{
+				Nu: 1.0 / 500, Dt: 2e-3, Order: 2,
+				VelDirichlet: map[string]core.VelBC{
+					"wall":   core.ConstantVel(0, 0),
+					"inflow": core.ConstantVel(1, 0),
+				},
+				PresDirichlet: map[string]bool{"outflow": true},
+			})
+			if err != nil {
+				return nil, err
+			}
+			// The seed perturbs the uniform inflow deterministically, so
+			// distinct seeds are distinct trajectories and equal seeds are
+			// bit-identical ones.
+			u := 1 + 1e-3*float64(mix64(uint64(spec.Seed))%1000)/1000
+			v := 1e-4 * float64(mix64(uint64(spec.Seed)+1)%1000) / 1000
+			ns.SetUniformInitial(u, v)
+			return ns, nil
+		},
+	},
+}
+
+// FarmWorkloadNames lists the registered workloads, sorted.
+func FarmWorkloadNames() []string {
+	names := make([]string, 0, len(farmWorkloads))
+	for n := range farmWorkloads {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NewSolver builds the solver a spec describes.
+func NewSolver(spec JobSpec) (engine.Solver, error) {
+	wl, ok := farmWorkloads[spec.Workload]
+	if !ok {
+		return nil, fmt.Errorf("farm: unknown workload %q: registered workloads are %s",
+			spec.Workload, strings.Join(FarmWorkloadNames(), ", "))
+	}
+	return wl.New(spec)
+}
+
+// Validate rejects specs the farm cannot run, before anything is
+// journaled or queued.
+func (s JobSpec) Validate() error {
+	if _, ok := farmWorkloads[s.Workload]; !ok {
+		return fmt.Errorf("farm: unknown workload %q: registered workloads are %s",
+			s.Workload, strings.Join(FarmWorkloadNames(), ", "))
+	}
+	if s.Steps < 1 {
+		return fmt.Errorf("farm: job needs a positive step count, got %d", s.Steps)
+	}
+	if s.CkptEvery < 0 {
+		return fmt.Errorf("farm: negative checkpoint cadence %d", s.CkptEvery)
+	}
+	if s.TimeoutS < 0 {
+		return fmt.Errorf("farm: negative timeout %gs", s.TimeoutS)
+	}
+	return nil
+}
+
+// RunSpec executes a spec uninterrupted in-process and returns its
+// Result — the reference the chaos harness compares daemon-computed
+// results against, and the cheapest way to answer "what should this
+// job produce?"
+func RunSpec(spec JobSpec) (Result, error) {
+	if err := spec.Validate(); err != nil {
+		return Result{}, err
+	}
+	s, err := NewSolver(spec)
+	if err != nil {
+		return Result{}, err
+	}
+	loop := engine.Loop{Solver: s, Steps: spec.Steps,
+		Watchdog: engine.Watchdog{Disabled: true}}
+	res, err := loop.Run()
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Hash: HashState(res.Final), Steps: spec.Steps, Bytes: len(res.Final)}, nil
+}
+
+// SpinSolver is the synthetic workload: a lattice of 64-bit lanes
+// mixed by a xorshift-style permutation every step. It is a real
+// engine.Solver — checkpointable, restorable, health-sampled — whose
+// step cost is tunable and whose trajectory is exactly reproducible,
+// which is all the chaos harness needs from physics.
+type SpinSolver struct {
+	st     spinState
+	work   int
+	stages *timing.Stages
+}
+
+type spinState struct {
+	Step  int
+	Lanes [16]uint64
+}
+
+// NewSpinSolver seeds a solver; work is the number of lattice mixes
+// per step (cost knob).
+func NewSpinSolver(seed int64, work int) *SpinSolver {
+	s := &SpinSolver{work: work, stages: timing.NewStages("mix")}
+	x := uint64(seed)
+	for i := range s.st.Lanes {
+		x = mix64(x + 0x9e3779b97f4a7c15)
+		s.st.Lanes[i] = x
+	}
+	return s
+}
+
+// mix64 is splitmix64's finalizer: a cheap, well-distributed bijection.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Step implements engine.Solver.
+func (s *SpinSolver) Step() {
+	l := &s.st.Lanes
+	for w := 0; w < s.work; w++ {
+		for i := range l {
+			l[i] = mix64(l[i] + l[(i+1)%len(l)] + uint64(w))
+		}
+	}
+	s.st.Step++
+}
+
+// StepCount implements engine.Solver.
+func (s *SpinSolver) StepCount() int { return s.st.Step }
+
+// Stages implements engine.Solver.
+func (s *SpinSolver) Stages() *timing.Stages { return s.stages }
+
+// Checkpoint implements engine.Solver.
+func (s *SpinSolver) Checkpoint(w io.Writer) error { return engine.EncodeState(w, &s.st) }
+
+// Restore implements engine.Solver.
+func (s *SpinSolver) Restore(r io.Reader) error {
+	var st spinState
+	if err := engine.DecodeState(r, &st); err != nil {
+		return err
+	}
+	s.st = st
+	return nil
+}
+
+// HealthSample implements engine.Solver: the lattice is always finite
+// and bounded, so the watchdog never trips on it.
+func (s *SpinSolver) HealthSample() (float64, bool) {
+	return float64(s.st.Lanes[0] >> 40), true
+}
