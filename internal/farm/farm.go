@@ -37,6 +37,10 @@ type Config struct {
 	// (defaults 50ms / 2s).
 	BackoffBase time.Duration
 	BackoffMax  time.Duration
+	// CompactMinRecords is the journal length below which compaction is
+	// never considered (0 = 1024). Compaction additionally requires the
+	// log to hold >3x its minimal replay size.
+	CompactMinRecords int
 	// Logf, when set, receives operational log lines.
 	Logf func(format string, args ...any)
 }
@@ -79,7 +83,6 @@ type Farm struct {
 	q     *fairQueue
 
 	nextID   int64
-	stopping bool
 	draining atomic.Bool
 
 	est      *policy.MTBFEstimator
@@ -125,6 +128,9 @@ func Open(cfg Config) (*Farm, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
+	if cfg.CompactMinRecords <= 0 {
+		cfg.CompactMinRecords = 1024
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
@@ -147,8 +153,11 @@ func Open(cfg Config) (*Farm, error) {
 		timers:   map[string]*time.Timer{},
 	}
 	f.cond = sync.NewCond(&f.mu)
+	f.mu.Lock()
 	f.replay(entries)
-	if err := f.maybeCompact(); err != nil {
+	err = f.maybeCompactLocked()
+	f.mu.Unlock()
+	if err != nil {
 		jl.Close()
 		return nil, err
 	}
@@ -238,18 +247,45 @@ func idNum(id string) int64 {
 	return n
 }
 
-// maybeCompact rewrites the journal as the minimal entry set
+// maybeCompactLocked rewrites the journal as the minimal entry set
 // reproducing the current state, once the log holds several times more
 // records than that minimum. Terminal jobs keep their spec and result
 // (the cache must survive); live jobs keep spec plus their replay
-// position.
-func (f *Farm) maybeCompact() error {
+// position. Called with f.mu held — at startup and after terminal
+// transitions, so a long-running daemon's log stays bounded instead of
+// growing until the next restart. f.mu excludes every journal writer
+// except a Submit append already past its reservation; that one
+// serializes on the journal's own lock and lands after the rewritten
+// file, where its (possibly duplicated) submitted entry replays
+// harmlessly.
+func (f *Farm) maybeCompactLocked() error {
+	c := f.jl.Count()
+	// Cheap gate first: replaying a job takes at least two entries
+	// (submitted plus verdict/admitted), so a log within 3x that floor
+	// cannot be worth the O(jobs) rewrite below.
+	if c <= f.cfg.CompactMinRecords || c <= 6*len(f.jobs) {
+		return nil
+	}
 	minimal := f.minimalEntries()
-	if f.jl.Count() <= 1024 || f.jl.Count() <= 3*len(minimal) {
+	if c <= 3*len(minimal) {
 		return nil
 	}
 	if err := f.jl.Compact(minimal); err != nil {
 		return err
+	}
+	// Compact renumbered the on-disk entries from 1; re-key the job
+	// table's seqs to the compacted submitted-entry numbers so
+	// post-compaction submissions sort after every existing job (the
+	// fair queue breaks priority ties by seq). The mapping is monotone —
+	// minimalEntries walks jobs in seq order — so the per-tenant sorted
+	// queue invariant survives the rewrite in place.
+	for i := range minimal {
+		if minimal[i].Ev != EvSubmitted {
+			continue
+		}
+		if j := f.jobs[minimal[i].Job]; j != nil {
+			j.seq = minimal[i].Seq
+		}
 	}
 	f.cfg.Logf("farm: compacted journal to %d records", len(minimal))
 	return nil
@@ -292,11 +328,15 @@ func (f *Farm) minimalEntries() []Entry {
 	return out
 }
 
-// appendLocked journals entries (caller holds f.mu). A journal that
-// can no longer persist transitions voids every durability promise the
-// farm has made, so the failure is fatal by design: better a dead
-// daemon than one acknowledging state it will forget.
-func (f *Farm) appendLocked(entries ...*Entry) {
+// appendDurable journals entries, taking only the journal's own lock —
+// callers may hold f.mu for transition ordering but are not required
+// to. A journal that can no longer persist transitions voids every
+// durability promise the farm has made, so the failure is fatal by
+// design: better a dead daemon than one acknowledging state it will
+// forget. (Oversized entries cannot reach here: every string a client
+// controls is bounded by JobSpec.Validate, and internal entries are a
+// few hundred bytes.)
+func (f *Farm) appendDurable(entries ...*Entry) {
 	if err := f.jl.Append(entries...); err != nil {
 		panic(fmt.Sprintf("farm: write-ahead journal failed, cannot guarantee durability: %v", err))
 	}
@@ -307,6 +347,12 @@ func (f *Farm) appendLocked(entries ...*Entry) {
 // an existing live or finished job (idempotent resubmission — a client
 // that crashed between its request and the response can safely send
 // again).
+//
+// The journal fsync runs outside the farm lock: the job is reserved in
+// the table (pending, invisible to the queue and the idempotency
+// cache's answers), the entry batch is made durable against only the
+// journal's own lock, and the job is published once durable. Read-only
+// API calls therefore never queue behind disk sync latency.
 func (f *Farm) Submit(spec JobSpec) (JobStatus, bool, error) {
 	if err := spec.Validate(); err != nil {
 		return JobStatus{}, false, err
@@ -314,28 +360,64 @@ func (f *Farm) Submit(spec JobSpec) (JobStatus, bool, error) {
 	if spec.Tenant == "" {
 		spec.Tenant = "default"
 	}
+	key := spec.Key()
+
 	f.mu.Lock()
-	defer f.mu.Unlock()
-	if f.draining.Load() || f.stopping {
-		return JobStatus{}, false, ErrDraining
-	}
-	if j, ok := f.jobs[f.byKey[spec.Key()]]; ok && j.State != StateFailed && j.State != StateCancelled {
-		return f.statusLocked(j), true, nil
+	for {
+		if f.draining.Load() {
+			f.mu.Unlock()
+			return JobStatus{}, false, ErrDraining
+		}
+		j, ok := f.jobs[f.byKey[key]]
+		if !ok || j.State == StateFailed || j.State == StateCancelled {
+			break
+		}
+		if !j.pending {
+			st := f.statusLocked(j)
+			f.mu.Unlock()
+			return st, true, nil
+		}
+		// An identical submission is mid-fsync; wait until its entry is
+		// durable so the cached ack is backed by the journal.
+		f.cond.Wait()
 	}
 	if f.cfg.QueueCap > 0 && f.q.Len() >= f.cfg.QueueCap {
-		return JobStatus{}, false, &BusyError{RetryAfter: f.retryAfterLocked()}
+		ra := f.retryAfterLocked()
+		f.mu.Unlock()
+		return JobStatus{}, false, &BusyError{RetryAfter: ra}
 	}
 	f.nextID++
 	id := fmt.Sprintf("j%08d", f.nextID)
-	j := &Job{ID: id, Spec: spec, State: StateQueued, CkptStep: -1}
+	j := &Job{ID: id, Spec: spec, State: StateQueued, CkptStep: -1, pending: true}
+	f.jobs[id] = j
+	f.byKey[key] = id
+	f.wg.Add(1) // Drain must wait out the in-flight append before closing the journal
+	f.mu.Unlock()
+
 	sub := Entry{Job: id, Ev: EvSubmitted, Spec: &spec}
 	adm := Entry{Job: id, Ev: EvAdmitted}
-	f.appendLocked(&sub, &adm) // one batch, one fsync: ack only after this
+	err := f.jl.Append(&sub, &adm) // one batch, one fsync: ack only after this
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	defer f.wg.Done()
+	j.pending = false
+	if err != nil {
+		delete(f.jobs, id)
+		if f.byKey[key] == id {
+			delete(f.byKey, key)
+		}
+		f.cond.Broadcast()
+		if errors.Is(err, ErrEntryTooLarge) {
+			// Validate bounds every client-controlled field, so this is a
+			// backstop; the job was never acknowledged or queued.
+			return JobStatus{}, false, err
+		}
+		panic(fmt.Sprintf("farm: write-ahead journal failed, cannot guarantee durability: %v", err))
+	}
 	j.seq = sub.Seq
-	f.jobs[id] = j
-	f.byKey[spec.Key()] = id
 	f.q.Push(j)
-	f.cond.Signal()
+	f.cond.Broadcast() // wake a worker and any identical-spec waiters
 	return f.statusLocked(j), false, nil
 }
 
@@ -399,7 +481,7 @@ func (f *Farm) Cancel(id string) (JobStatus, bool) {
 			delete(f.timers, id)
 		}
 		j.State = StateCancelled
-		f.appendLocked(&Entry{Job: id, Ev: EvCancelled})
+		f.appendDurable(&Entry{Job: id, Ev: EvCancelled})
 	default:
 		// Running (or being handed to a worker this instant): the step
 		// loop's Poll sees the flag and halts; the worker journals the
@@ -526,7 +608,7 @@ func (f *Farm) next() *Job {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	for {
-		if f.stopping || f.draining.Load() {
+		if f.draining.Load() {
 			return nil
 		}
 		if j := f.q.Pop(); j != nil {
@@ -546,7 +628,7 @@ func (f *Farm) runJob(w int, j *Job) {
 	j.Attempt++
 	j.State = StateRunning
 	f.attempts++
-	f.appendLocked(&Entry{Job: j.ID, Ev: EvRunning, Attempt: j.Attempt, Worker: w})
+	f.appendDurable(&Entry{Job: j.ID, Ev: EvRunning, Attempt: j.Attempt, Worker: w})
 	f.mu.Unlock()
 
 	t0 := time.Now()
@@ -568,7 +650,7 @@ func (f *Farm) runJob(w int, j *Job) {
 	case res.Outcome == engine.Completed:
 		r := &Result{Hash: HashState(res.Final), Steps: j.Spec.Steps, Bytes: len(res.Final)}
 		j.State, j.Result = StateDone, r
-		f.appendLocked(&Entry{Job: j.ID, Ev: EvDone, Step: j.Spec.Steps, Result: r})
+		f.appendDurable(&Entry{Job: j.ID, Ev: EvDone, Step: j.Spec.Steps, Result: r})
 		f.byKey[j.Spec.Key()] = j.ID
 		if f.ewmaJobS == 0 {
 			f.ewmaJobS = dur
@@ -577,14 +659,23 @@ func (f *Farm) runJob(w int, j *Job) {
 		}
 	case res.Outcome == engine.Halted && j.cancel.Load():
 		j.State = StateCancelled
-		f.appendLocked(&Entry{Job: j.ID, Ev: EvCancelled})
+		f.appendDurable(&Entry{Job: j.ID, Ev: EvCancelled})
 	case res.Outcome == engine.Halted:
 		// Draining: the state at the halt boundary is already durable in
 		// the job's store (FinalOnHalt submitted it to the sink).
 		j.State, j.CkptStep = StateParked, lastStep
-		f.appendLocked(&Entry{Job: j.ID, Ev: EvParked, Step: lastStep})
+		f.appendDurable(&Entry{Job: j.ID, Ev: EvParked, Step: lastStep})
 	case res.Outcome == engine.Tripped:
 		f.failLocked(j, w, "watchdog", "numerical-health watchdog tripped")
+	}
+	if j.State.Terminal() {
+		// Terminal transitions shrink the minimal replay set's distance to
+		// the log, so this is the moment a long-running daemon's journal
+		// can stop growing. Failure is non-fatal: the old log is intact
+		// and the next open retries.
+		if err := f.maybeCompactLocked(); err != nil {
+			f.cfg.Logf("farm: runtime journal compaction failed (next open retries): %v", err)
+		}
 	}
 }
 
@@ -629,10 +720,13 @@ func (f *Farm) attemptLoop(j *Job) (res engine.Result, lastStep int, err error) 
 		CheckpointEvery: cadence, Sink: sink, FinalOnHalt: true,
 		OnCheckpoint: func(step int, state []byte) {
 			// The sync sink made the record durable before this hook, so
-			// the journal never claims a checkpoint the store lacks.
+			// the journal never claims a checkpoint the store lacks. The
+			// append takes only the journal's own lock — per-job ordering
+			// holds because this goroutine writes every entry of this
+			// attempt — so status reads never wait out a checkpoint fsync.
+			f.appendDurable(&Entry{Job: j.ID, Ev: EvCheckpointed, Step: step})
 			f.mu.Lock()
 			j.CkptStep = step
-			f.appendLocked(&Entry{Job: j.ID, Ev: EvCheckpointed, Step: step})
 			f.mu.Unlock()
 		},
 		OnStep: func(step int) {
@@ -680,7 +774,7 @@ func (f *Farm) failLocked(j *Job, w int, cause, msg string) {
 	}
 	if j.Attempt > budget {
 		j.State = StateFailed
-		f.appendLocked(&Entry{Job: j.ID, Ev: EvFailed, Attempt: j.Attempt, Cause: cause, Err: msg})
+		f.appendDurable(&Entry{Job: j.ID, Ev: EvFailed, Attempt: j.Attempt, Cause: cause, Err: msg})
 		return
 	}
 	backoff := f.cfg.BackoffBase << (j.Attempt - 1)
@@ -691,9 +785,9 @@ func (f *Farm) failLocked(j *Job, w int, cause, msg string) {
 	// rebooting) must not march every victim back in lockstep.
 	backoff = time.Duration(float64(backoff) * (0.5 + f.rng.Float64()))
 	j.State = StateBackoff
-	f.appendLocked(&Entry{Job: j.ID, Ev: EvRetrying, Attempt: j.Attempt,
+	f.appendDurable(&Entry{Job: j.ID, Ev: EvRetrying, Attempt: j.Attempt,
 		Cause: cause, BackoffMS: backoff.Milliseconds()})
-	if f.draining.Load() || f.stopping {
+	if f.draining.Load() {
 		return // replay re-admits it
 	}
 	id := j.ID
@@ -706,7 +800,7 @@ func (f *Farm) requeue(id string) {
 	defer f.mu.Unlock()
 	delete(f.timers, id)
 	j := f.jobs[id]
-	if j == nil || j.State != StateBackoff || f.draining.Load() || f.stopping {
+	if j == nil || j.State != StateBackoff || f.draining.Load() {
 		return
 	}
 	j.State = StateQueued

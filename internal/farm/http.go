@@ -22,11 +22,22 @@ import (
 //
 // Every response body is JSON; errors arrive as {"error": "..."}.
 func Handler(f *Farm) http.Handler {
+	// maxJobBody caps a submission body (413 beyond it), the first of
+	// the bounds keeping client input out of the journal's record limit.
+	const maxJobBody = 64 << 10
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		// A JobSpec is a few hundred bytes; an unbounded body could
+		// otherwise grow a journal entry toward the WAL's record limit.
+		r.Body = http.MaxBytesReader(w, r.Body, maxJobBody)
 		var spec JobSpec
 		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("farm: bad job spec: %w", err))
+			code := http.StatusBadRequest
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				code = http.StatusRequestEntityTooLarge
+			}
+			writeErr(w, code, fmt.Errorf("farm: bad job spec: %w", err))
 			return
 		}
 		st, cached, err := f.Submit(spec)
@@ -37,6 +48,8 @@ func Handler(f *Farm) http.Handler {
 			writeErr(w, http.StatusTooManyRequests, err)
 		case errors.Is(err, ErrDraining):
 			writeErr(w, http.StatusServiceUnavailable, err)
+		case errors.Is(err, ErrEntryTooLarge):
+			writeErr(w, http.StatusRequestEntityTooLarge, err)
 		case err != nil:
 			writeErr(w, http.StatusBadRequest, err)
 		case cached:

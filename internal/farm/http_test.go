@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 )
@@ -171,5 +172,27 @@ func TestHTTPDraining503(t *testing.T) {
 	resp, _ := postJob(t, srv, spinSpec(9, 10))
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("submit while draining: %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestHTTPSubmitBodyTooLarge: submission bodies are capped far below
+// the journal's record bound; an oversized one gets 413, not a journal
+// entry that replay would treat as a torn tail.
+func TestHTTPSubmitBodyTooLarge(t *testing.T) {
+	_, srv := httpFarm(t, Config{Workers: 0})
+	payload := `{"workload":"spin","steps":1,"tenant":"` + strings.Repeat("a", 80<<10)
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body got %d, want 413", resp.StatusCode)
+	}
+	// A full-size but bounded spec still goes through.
+	resp2, st := postJob(t, srv, JobSpec{Workload: "spin", Steps: 1,
+		Tenant: strings.Repeat("t", MaxTenantLen)})
+	if resp2.StatusCode != http.StatusCreated || st.ID == "" {
+		t.Fatalf("bounded spec rejected: %d %+v", resp2.StatusCode, st)
 	}
 }

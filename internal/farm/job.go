@@ -48,6 +48,12 @@ func (s JobState) Terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateCancelled
 }
 
+// MaxTenantLen bounds the tenant name, the one client-controlled
+// string that is stored verbatim in journal entries. The bound keeps
+// every entry far under the journal's 1 MiB record limit (an entry at
+// that limit could never be appended — see ErrEntryTooLarge).
+const MaxTenantLen = 256
+
 // JobSpec is a client's job description. Workload/Steps/Seed/Work and
 // the mesh knobs define *what* is computed (the result-cache key);
 // Priority/Tenant/TimeoutS/Retries define how the farm schedules it.
@@ -72,7 +78,8 @@ type JobSpec struct {
 	CkptEvery int `json:"ckpt_every,omitempty"`
 	// Priority orders the queue (higher first; 0 is normal).
 	Priority int `json:"priority,omitempty"`
-	// Tenant is the fair-share accounting bucket ("" = "default").
+	// Tenant is the fair-share accounting bucket ("" = "default"; at
+	// most MaxTenantLen bytes).
 	Tenant string `json:"tenant,omitempty"`
 	// TimeoutS bounds one attempt's host wall time (0 = default).
 	TimeoutS float64 `json:"timeout_s,omitempty"`
@@ -203,9 +210,10 @@ type Job struct {
 	// scheduling state, never serialized. cancel and abort are atomic
 	// because the attempt's step loop reads them every step without
 	// taking the farm mutex.
-	seq    int64       // submission order, fair-queue tiebreak
-	cancel atomic.Bool // cancellation requested (Poll halts the attempt)
-	abort  atomic.Bool // chaos worker-kill requested (OnStep panics)
+	seq     int64       // submission order, fair-queue tiebreak
+	pending bool        // reserved by Submit, journal entry not yet durable
+	cancel  atomic.Bool // cancellation requested (Poll halts the attempt)
+	abort   atomic.Bool // chaos worker-kill requested (OnStep panics)
 }
 
 // JobStatus is the externally visible snapshot of a job (the HTTP

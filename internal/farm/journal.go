@@ -3,6 +3,7 @@ package farm
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -45,6 +46,14 @@ const (
 	// corruption, not data.
 	maxWALRecord = 1 << 20
 )
+
+// ErrEntryTooLarge rejects an entry whose encoded record would exceed
+// maxWALRecord. Replay treats any on-disk frame past that bound as a
+// torn tail, so an oversized entry that *were* appended would be
+// fsynced and acknowledged, then silently truncated away — along with
+// every later acknowledged record — at the next open. The one lie the
+// journal must never tell; the append fails instead.
+var ErrEntryTooLarge = errors.New("farm: journal entry exceeds the 1 MiB record bound")
 
 // OpenJournal opens (creating if needed) the journal at path, replays
 // every verifiable entry, and truncates any torn tail so the file ends
@@ -156,6 +165,9 @@ func encodeEntry(e *Entry) ([]byte, error) {
 	rec, err := ckpt.EncodeRecord(ckpt.Meta{Kind: walKind, Step: int(e.Seq)}, payload)
 	if err != nil {
 		return nil, err
+	}
+	if len(rec) > maxWALRecord {
+		return nil, fmt.Errorf("%w (%d bytes, %s for job %s)", ErrEntryTooLarge, len(rec), e.Ev, e.Job)
 	}
 	frame := make([]byte, 4+len(rec))
 	binary.BigEndian.PutUint32(frame, uint32(len(rec)))

@@ -2,6 +2,8 @@ package farm
 
 import (
 	"encoding/binary"
+	"errors"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"testing"
@@ -150,5 +152,52 @@ func TestJournalCompact(t *testing.T) {
 	}
 	if replayed[2].Seq != 3 {
 		t.Fatalf("post-compact seq = %d, want 3", replayed[2].Seq)
+	}
+}
+
+// TestJournalRejectsOversizedEntry: an entry whose frame would exceed
+// the replay bound must be refused before it is written. Replay treats
+// any on-disk frame past maxWALRecord as a torn tail, so an appended
+// oversized entry would be fsynced and acknowledged, then silently
+// truncated away — with every later acknowledged record — at the next
+// open.
+func TestJournalRejectsOversizedEntry(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.nkj")
+	j, _ := openTestJournal(t, path)
+	if err := j.Append(&Entry{Job: "j1", Ev: EvSubmitted,
+		Spec: &JobSpec{Workload: "spin", Steps: 1}}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	// Incompressible payload well past the 1 MiB frame bound even after
+	// the record codec's flate layer (random hex has 4 bits of entropy
+	// per byte, so 4 MiB cannot compress below ~2 MiB).
+	rng := rand.New(rand.NewSource(1))
+	big := make([]byte, 4<<20)
+	const hexdigits = "0123456789abcdef"
+	for i := range big {
+		big[i] = hexdigits[rng.Intn(16)]
+	}
+	err := j.Append(&Entry{Job: "j2", Ev: EvSubmitted,
+		Spec: &JobSpec{Workload: "spin", Steps: 1, Tenant: string(big)}})
+	if !errors.Is(err, ErrEntryTooLarge) {
+		t.Fatalf("oversized append returned %v, want ErrEntryTooLarge", err)
+	}
+	// The failed append must not have consumed a sequence number or
+	// poisoned the file: the next entry lands at seq 2 and both survive
+	// a replay.
+	good := &Entry{Job: "j3", Ev: EvSubmitted, Spec: &JobSpec{Workload: "spin", Steps: 1}}
+	if err := j.Append(good); err != nil {
+		t.Fatalf("Append after rejection: %v", err)
+	}
+	if good.Seq != 2 {
+		t.Fatalf("rejected append consumed a seq: next entry got %d, want 2", good.Seq)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	j2, replayed := openTestJournal(t, path)
+	defer j2.Close()
+	if len(replayed) != 2 || replayed[0].Job != "j1" || replayed[1].Job != "j3" {
+		t.Fatalf("replayed %+v, want j1 and j3", replayed)
 	}
 }

@@ -111,6 +111,9 @@ func (s JobSpec) Validate() error {
 	if s.TimeoutS < 0 {
 		return fmt.Errorf("farm: negative timeout %gs", s.TimeoutS)
 	}
+	if len(s.Tenant) > MaxTenantLen {
+		return fmt.Errorf("farm: tenant name is %d bytes, max %d", len(s.Tenant), MaxTenantLen)
+	}
 	return nil
 }
 
