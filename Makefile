@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: check build vet fmt test race bench-baseline bench-ckpt bench-simnet bench-adapt bench-farm race-ckpt race-simnet race-policy race-farm
+.PHONY: check build vet fmt test race bench-baseline bench-ckpt bench-simnet bench-adapt bench-farm race-ckpt race-simnet race-sched-single race-sched-multi race-policy race-farm
 
 build:
 	$(GO) build ./...
@@ -51,11 +51,27 @@ race-simnet:
 		./internal/simnet ./internal/mpi ./internal/fault \
 		./internal/core ./internal/supervisor ./internal/bench
 
+# The scheduler-equivalence suites (serial vs conservative-parallel
+# differential, relaxed statistical equivalence, resolver validation,
+# P=2048 capacity) must hold on both a single-core budget — where auto
+# falls back to serial and relaxed still has to make progress — and a
+# multi-core one, where the conservative scheduler must stay
+# bit-identical while goroutines genuinely interleave. Both pins run
+# race-enabled.
+race-sched-single:
+	GOMAXPROCS=1 $(GO) test -race -count=1 \
+		-run 'Scheduler|Relaxed|ManyRanks' ./internal/simnet ./internal/mpi
+race-sched-multi:
+	GOMAXPROCS=4 $(GO) test -race -count=1 \
+		-run 'Scheduler|Relaxed|ManyRanks' ./internal/simnet ./internal/mpi
+
 # Regenerate the committed scheduler-speedup baseline
-# (BENCH_simnet.json at the repo root). The speedups only mean
-# something relative to the recorded GOMAXPROCS/core count.
+# (BENCH_simnet.json at the repo root), including the relaxed-scheduler
+# capacity sweep to P=1024. The speedups only mean something relative
+# to the recorded GOMAXPROCS/core count; a 1-core host is refused
+# unless BENCH_SIMNET_FORCE=1 is also set.
 bench-simnet:
-	BENCH_SIMNET=1 $(GO) test ./internal/bench -run TestWriteSimnetBaseline -count=1 -v
+	BENCH_SIMNET=1 $(GO) test ./internal/bench -run TestWriteSimnetBaseline -count=1 -v -timeout 30m
 
 # Regenerate the committed adaptive-resilience baseline
 # (BENCH_adapt.json at the repo root): the fault-swept differential of

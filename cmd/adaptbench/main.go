@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"nektar/internal/bench"
+	"nektar/internal/cliutil"
 )
 
 func main() {
@@ -36,6 +37,7 @@ func main() {
 	seed := flag.Int64("seed", def.Seed, "base fault-plan seed")
 	quick := flag.Bool("quick", false, "run the budget configuration (one machine, one regime, one draw)")
 	jsonPath := flag.String("json", "", "also write the result as JSON to this file")
+	prof := cliutil.ProfileFlags(flag.CommandLine)
 	flag.Parse()
 
 	cfg := def
@@ -80,8 +82,15 @@ func main() {
 		os.Exit(2)
 	}
 
+	if err := prof.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "adaptbench: %v\n", err)
+		os.Exit(2)
+	}
 	res, tbl, err := bench.RunAdaptbench(cfg)
 	if err != nil {
+		log.Fatal(err)
+	}
+	if err := prof.Stop(); err != nil {
 		log.Fatal(err)
 	}
 	tbl.Write(os.Stdout)

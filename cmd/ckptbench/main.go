@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"nektar/internal/bench"
+	"nektar/internal/cliutil"
 )
 
 func main() {
@@ -29,6 +30,7 @@ func main() {
 	machines := flag.String("machines", strings.Join(bench.PaperCkptbench.Machines, ","), "comma-separated machine list for the striping table")
 	procs := flag.Int("procs", bench.PaperCkptbench.Procs, "rank count for the striping table (power of two)")
 	disk := flag.Float64("disk", bench.PaperCkptbench.DiskMBs, "node-local disk bandwidth, MB/s")
+	prof := cliutil.ProfileFlags(flag.CommandLine)
 	flag.Parse()
 
 	cfg := bench.CkptbenchConfig{
@@ -47,8 +49,15 @@ func main() {
 		os.Exit(2)
 	}
 
+	if err := prof.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "ckptbench: %v\n", err)
+		os.Exit(2)
+	}
 	_, tables, err := bench.RunCkptbench(cfg)
 	if err != nil {
+		log.Fatal(err)
+	}
+	if err := prof.Stop(); err != nil {
 		log.Fatal(err)
 	}
 	for i, tbl := range tables {

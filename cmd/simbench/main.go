@@ -4,6 +4,12 @@
 // bit-for-bit on every rank's virtual clocks, and reports the real
 // host wall-clock of both with the speedup. GOMAXPROCS and the host
 // core count are printed alongside, since they bound the speedup.
+//
+// -scale appends the relaxed-scheduler capacity sweep (the PMS and
+// Tanaka interconnect models at P=64..1024). -out writes the combined
+// result as the BENCH_simnet.json baseline; overwriting from a 1-core
+// host is refused unless -force, because core-starved speedups are
+// noise, not a baseline.
 package main
 
 import (
@@ -15,6 +21,7 @@ import (
 	"strings"
 
 	"nektar/internal/bench"
+	"nektar/internal/cliutil"
 )
 
 // parseCells turns "nsf:8,nsf:32,nsale:16" into the sweep cells.
@@ -45,6 +52,10 @@ func defaultCells() string {
 func main() {
 	cellsFlag := flag.String("cells", defaultCells(), "comma-separated workload:procs cells")
 	steps := flag.Int("steps", bench.PaperSimbench.Steps, "solver steps per run")
+	scale := flag.Bool("scale", false, "also run the relaxed-scheduler capacity sweep (PMS/Tanaka, P=64..1024)")
+	out := flag.String("out", "", "write the result as a BENCH_simnet.json baseline to this file")
+	force := flag.Bool("force", false, "allow -out to overwrite the baseline from a 1-core host")
+	prof := cliutil.ProfileFlags(flag.CommandLine)
 	flag.Parse()
 
 	cells, err := parseCells(*cellsFlag)
@@ -52,9 +63,34 @@ func main() {
 		fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
 		os.Exit(2)
 	}
-	_, tbl, err := bench.RunSimbench(bench.SimbenchConfig{Cells: cells, Steps: *steps})
+	if err := prof.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+		os.Exit(2)
+	}
+
+	res, tbl, err := bench.RunSimbench(bench.SimbenchConfig{Cells: cells, Steps: *steps})
 	if err != nil {
 		log.Fatal(err)
 	}
 	tbl.Write(os.Stdout)
+	if *scale {
+		scaleRes, scaleTbl, err := bench.RunScalebench(bench.PaperScalebench)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res.Scale = scaleRes
+		fmt.Println()
+		scaleTbl.Write(os.Stdout)
+	}
+
+	if err := prof.Stop(); err != nil {
+		log.Fatal(err)
+	}
+	if *out != "" {
+		if err := bench.WriteSimnetBaseline(*out, res, *force); err != nil {
+			fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("\nwrote %s (GOMAXPROCS=%d, host cores=%d)\n", *out, res.GoMaxProcs, res.NumCPU)
+	}
 }

@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"nektar/internal/machine"
+	"nektar/internal/mpi"
+	"nektar/internal/report"
+	"nektar/internal/simnet"
+)
+
+// Scalebench: project the paper's weak/strong scaling tables past the
+// machines it could buy. Each cell runs a synthetic spectral-element
+// communication skeleton — per-step local compute, a ring halo
+// exchange, and one Allreduce (the pressure-solve dot products) — on a
+// calibrated interconnect model at processor counts up to 1024. The
+// skeleton is pure simnet: no solver state, so the virtual-time tables
+// measure the network model, and the host cost stays low enough for
+// P=1024 sweeps under the relaxed scheduler.
+//
+// Weak scaling holds the per-rank work and halo fixed (the paper's
+// two-planes-per-processor Nektar-F setup); strong scaling divides a
+// fixed total problem across ranks. Both report virtual seconds per
+// step and the efficiency against the sweep's smallest rank count.
+
+// ScalebenchConfig parametrizes the sweep.
+type ScalebenchConfig struct {
+	Machines []string
+	Procs    []int // ascending; the first entry is the efficiency baseline
+	Steps    int
+
+	// HaloElems is the per-rank halo payload in float64 elements at the
+	// baseline rank count (weak: constant per rank; strong: scaled down
+	// with 1/P from the baseline).
+	HaloElems int
+	// ComputeS is the per-rank compute time per step at the baseline
+	// rank count, in virtual seconds (weak: constant; strong: 1/P).
+	ComputeS float64
+
+	// Scheduler runs the sweep's simulations; the capacity sweep uses
+	// SchedRelaxed (a P=1024 conservative run admits every event through
+	// one election and is prohibitively slow on a small host).
+	Scheduler simnet.Scheduler
+}
+
+// PaperScalebench is the committed capacity sweep: the PMS Fast
+// Ethernet and the Tanaka kernel-bypass GbE models from P=64 to
+// P=1024, relaxed scheduler.
+var PaperScalebench = ScalebenchConfig{
+	Machines:  []string{"PMS", "Tanaka"},
+	Procs:     []int{64, 256, 1024},
+	Steps:     2,
+	HaloElems: 4096, // 32 KB: rendezvous on both fabrics
+	ComputeS:  2e-4,
+	Scheduler: simnet.SchedRelaxed,
+}
+
+// QuickScalebench is the test-sized variant.
+var QuickScalebench = ScalebenchConfig{
+	Machines:  []string{"PMS", "Tanaka"},
+	Procs:     []int{8, 16},
+	Steps:     2,
+	HaloElems: 512,
+	ComputeS:  1e-4,
+	Scheduler: simnet.SchedRelaxed,
+}
+
+// ScaleCellResult is one machine x P x mode measurement.
+type ScaleCellResult struct {
+	Machine string
+	Procs   int
+	Mode    string // "weak" | "strong"
+
+	StepVirtualS float64 // max per-rank virtual wall seconds per step
+	HostS        float64 // real host seconds for the whole run
+	// Efficiency is T_base/T for weak scaling and T_base*(P_base/P)/T
+	// for strong scaling, both against the sweep's smallest P.
+	Efficiency float64
+}
+
+// ScalebenchResult is the recorded sweep.
+type ScalebenchResult struct {
+	Steps     int
+	Scheduler string
+	Cells     []ScaleCellResult
+}
+
+// scaleBody returns the communication skeleton for one cell.
+func scaleBody(cfg *ScalebenchConfig, p int, weak bool) func(*simnet.Node) {
+	compute := cfg.ComputeS
+	elems := cfg.HaloElems
+	if !weak {
+		base := cfg.Procs[0]
+		compute = cfg.ComputeS * float64(base) / float64(p)
+		elems = cfg.HaloElems * base / p
+		if elems < 16 {
+			elems = 16
+		}
+	}
+	steps := cfg.Steps
+	return func(n *simnet.Node) {
+		comm := mpi.World(n)
+		halo := make([]float64, elems)
+		next := (n.Rank + 1) % p
+		prev := (n.Rank + p - 1) % p
+		for s := 0; s < steps; s++ {
+			comm.Compute(compute)
+			comm.Sendrecv(next, 1000+s, halo, prev, 1000+s)
+			comm.Allreduce([]float64{float64(n.Rank)}, mpi.Sum)
+		}
+	}
+}
+
+// runScaleCell runs one machine x P x mode cell.
+func runScaleCell(cfg *ScalebenchConfig, mach *machine.Machine, p int, weak bool) (stepVirtualS, hostS float64, err error) {
+	if p > mach.MaxProcs {
+		return 0, 0, fmt.Errorf("bench: scalebench %s: P=%d exceeds MaxProcs=%d", mach.Name, p, mach.MaxProcs)
+	}
+	model := *mach.Net
+	model.Scheduler = cfg.Scheduler
+	t0 := time.Now()
+	wall, _, err := simnet.Run(p, &model, scaleBody(cfg, p, weak))
+	if err != nil {
+		return 0, 0, err
+	}
+	var maxWall float64
+	for _, w := range wall {
+		maxWall = max(maxWall, w)
+	}
+	return maxWall / float64(cfg.Steps), time.Since(t0).Seconds(), nil
+}
+
+// RunScalebench executes the sweep and renders the weak/strong tables.
+func RunScalebench(cfg ScalebenchConfig) (*ScalebenchResult, *report.Table, error) {
+	if len(cfg.Procs) == 0 {
+		return nil, nil, fmt.Errorf("bench: scalebench: empty processor list")
+	}
+	res := &ScalebenchResult{
+		Steps:     cfg.Steps,
+		Scheduler: cfg.Scheduler.String(),
+	}
+	for _, name := range cfg.Machines {
+		mach, err := machine.ByName(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, mode := range []string{"weak", "strong"} {
+			weak := mode == "weak"
+			var baseStep float64
+			for i, p := range cfg.Procs {
+				stepS, hostS, err := runScaleCell(&cfg, mach, p, weak)
+				if err != nil {
+					return nil, nil, fmt.Errorf("bench: scalebench %s %s P=%d: %w", name, mode, p, err)
+				}
+				if i == 0 {
+					baseStep = stepS
+				}
+				eff := baseStep / stepS
+				if !weak {
+					eff *= float64(cfg.Procs[0]) / float64(p)
+				}
+				res.Cells = append(res.Cells, ScaleCellResult{
+					Machine: name, Procs: p, Mode: mode,
+					StepVirtualS: stepS, HostS: hostS, Efficiency: eff,
+				})
+			}
+		}
+	}
+	tbl := report.NewTable(
+		fmt.Sprintf("Scalebench: halo+allreduce skeleton, virtual s/step (%s scheduler, %d steps)",
+			res.Scheduler, res.Steps),
+		"machine", "mode", "P", "virtual s/step", "efficiency", "host s")
+	for _, c := range res.Cells {
+		tbl.AddRow(c.Machine, c.Mode, fmt.Sprintf("%d", c.Procs),
+			fmt.Sprintf("%.6f", c.StepVirtualS), fmt.Sprintf("%.2f", c.Efficiency),
+			fmt.Sprintf("%.3f", c.HostS))
+	}
+	return res, tbl, nil
+}

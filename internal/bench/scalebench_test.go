@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"testing"
+
+	"nektar/internal/simnet"
+)
+
+// TestScalebenchQuick runs the test-sized weak/strong sweep on both
+// capacity-sweep interconnect models under the relaxed scheduler.
+func TestScalebenchQuick(t *testing.T) {
+	t.Setenv(simnet.SchedulerEnv, "")
+	res, tbl, err := RunScalebench(QuickScalebench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCells := len(QuickScalebench.Machines) * 2 * len(QuickScalebench.Procs)
+	if len(res.Cells) != wantCells {
+		t.Fatalf("got %d cells, want %d", len(res.Cells), wantCells)
+	}
+	if tbl == nil {
+		t.Fatal("nil table")
+	}
+	for _, c := range res.Cells {
+		if c.StepVirtualS <= 0 || c.Efficiency <= 0 {
+			t.Errorf("%s %s P=%d: non-positive measurement: %+v", c.Machine, c.Mode, c.Procs, c)
+		}
+		if c.Procs == QuickScalebench.Procs[0] && c.Efficiency != 1 {
+			t.Errorf("%s %s baseline efficiency = %v, want 1", c.Machine, c.Mode, c.Efficiency)
+		}
+	}
+	// The kernel-bypass GbE must beat the TCP Fast Ethernet per step at
+	// every rank count — the point of calibrating both.
+	perStep := map[string]map[int]float64{}
+	for _, c := range res.Cells {
+		if c.Mode != "weak" {
+			continue
+		}
+		if perStep[c.Machine] == nil {
+			perStep[c.Machine] = map[int]float64{}
+		}
+		perStep[c.Machine][c.Procs] = c.StepVirtualS
+	}
+	for _, p := range QuickScalebench.Procs {
+		if !(perStep["Tanaka"][p] < perStep["PMS"][p]) {
+			t.Errorf("P=%d: Tanaka %.6fs/step not below PMS %.6fs/step",
+				p, perStep["Tanaka"][p], perStep["PMS"][p])
+		}
+	}
+}
+
+// TestScalebenchRejectsOverMaxProcs: projecting a model past its
+// MaxProcs must fail loudly, not extrapolate silently.
+func TestScalebenchRejectsOverMaxProcs(t *testing.T) {
+	cfg := QuickScalebench
+	cfg.Machines = []string{"Muses"} // MaxProcs 4
+	if _, _, err := RunScalebench(cfg); err == nil {
+		t.Fatal("expected MaxProcs rejection for Muses at P=8")
+	}
+}

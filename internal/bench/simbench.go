@@ -80,6 +80,11 @@ type SimbenchResult struct {
 	NumCPU     int
 	Steps      int
 	Cells      []SimbenchCellResult
+
+	// Scale, when present, is the relaxed-scheduler capacity sweep
+	// (PMS/Tanaka interconnect models at P=64..1024) recorded alongside
+	// the scheduler-speedup cells.
+	Scale *ScalebenchResult `json:",omitempty"`
 }
 
 // runSimbenchOnce runs one workload x procs cell under one scheduler

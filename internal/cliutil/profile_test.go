@@ -1,0 +1,72 @@
+package cliutil
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestProfilesWriteFiles: the shared flag pair must produce non-empty
+// pprof files when both paths are set, and be a no-op when neither is.
+func TestProfilesWriteFiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	p := ProfileFlags(fs)
+	if err := fs.Parse([]string{"-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Some measured work so the CPU profile has something to sample.
+	sink := 0.0
+	for i := 0; i < 1_000_000; i++ {
+		sink += float64(i % 7)
+	}
+	_ = sink
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s: empty profile", path)
+		}
+	}
+}
+
+// TestProfilesNoFlags: Start/Stop with neither flag set must be inert.
+func TestProfilesNoFlags(t *testing.T) {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	p := ProfileFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProfilesBadPath: an unwritable -cpuprofile path must fail at
+// Start, before any measured work runs.
+func TestProfilesBadPath(t *testing.T) {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	p := ProfileFlags(fs)
+	if err := fs.Parse([]string{"-cpuprofile", filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.pprof")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err == nil {
+		p.Stop()
+		t.Fatal("expected error for unwritable -cpuprofile path")
+	}
+}

@@ -214,12 +214,14 @@ type Machine struct {
 // kernel efficiency order: dcopy, daxpy, ddot, dgemv, dgemm.
 
 // All returns the full fleet of modeled machines in the paper's order,
-// plus the M-VIA projection the paper anticipates.
+// plus the M-VIA projection the paper anticipates and the two
+// contemporaneous PC-cluster interconnects (PMS, Tanaka) used for the
+// large-P capacity sweeps.
 func All() []*Machine {
 	return []*Machine{
 		Muses(), MusesLAM(), MusesMVIA(), RoadRunnerEth(), RoadRunnerMyr(),
 		SP2Silver(), SP2Thin2(), P2SC(), Onyx2(), NCSA(), AP3000(),
-		T3E(), Hitachi(),
+		T3E(), Hitachi(), PMS(), Tanaka(),
 	}
 }
 
@@ -513,6 +515,80 @@ func T3E() *Machine {
 			Inter: simnet.LinkModel{LatencyUS: 14, BandwidthMBs: 310, OverheadUS: 1, EagerLimit: 4 << 10},
 		},
 		MaxProcs: 816,
+	}
+}
+
+// PMS is the Poor Man's Supercomputer (Csikor et al.,
+// hep-lat/9912059): the Eötvös University lattice-QCD cluster of
+// commodity PC nodes on switched 100 Mbit Ethernet over TCP. The link
+// is the era's textbook kernel-TCP stack — wire-limited ~11.5 MB/s,
+// tens-of-microseconds latency, and a heavy per-byte protocol copy on
+// both sides — which is exactly the regime where the source paper's
+// Ethernet runs stop scaling. MaxProcs is set far above the physical
+// 32-node machine so the capacity sweeps can project the fabric to
+// P=1024.
+func PMS() *Machine {
+	return &Machine{
+		Name: "PMS",
+		CPU: CPU{
+			Name:       "K6-2-450",
+			ClockMHz:   450,
+			PeakMFlops: 450,
+			Levels: []CacheLevel{
+				{Name: "L1", Size: 32 << 10, BandwidthMBs: 2900},
+				{Name: "mem", Size: 0, BandwidthMBs: 320},
+			},
+			// The K6-2's weak x87 pipeline keeps BLAS efficiency well
+			// below the Pentium II's at the same nominal clock.
+			Eff:            [5]float64{1, 0.35, 0.55, 0.45, 0.55},
+			GemmHalfN:      14,
+			CallOverheadUS: 0.45,
+			AppFactor:      1.10,
+		},
+		Net: &simnet.Model{
+			Name:  "pms-ethernet",
+			Inter: simnet.LinkModel{LatencyUS: 70, BandwidthMBs: 11.5, OverheadUS: 25, CPUCopyMBs: 60, EagerLimit: 16 << 10},
+		},
+		MaxProcs: 1024,
+	}
+}
+
+// Tanaka is the Institute for Fusion Science cluster (Tanaka,
+// physics/0407152): PC nodes on Gigabit Ethernet with a low-latency
+// kernel-bypass communication layer. The driver maps the NIC into user
+// space, so rendezvous transfers DMA directly between user buffers
+// (ZeroCopy — neither side pays a protocol copy) while small eager
+// packets still land in a preposted bounce buffer. Latency and
+// bandwidth follow the paper's reported ~20 us / wire-limited GbE
+// figures. MaxProcs again admits the projected P=1024 sweeps.
+func Tanaka() *Machine {
+	return &Machine{
+		Name: "Tanaka",
+		CPU: CPU{
+			Name:       "PentiumIII-800",
+			ClockMHz:   800,
+			PeakMFlops: 800,
+			Levels: []CacheLevel{
+				{Name: "L1", Size: 16 << 10, BandwidthMBs: 6400},
+				{Name: "L2", Size: 256 << 10, BandwidthMBs: 3200},
+				{Name: "mem", Size: 0, BandwidthMBs: 420},
+			},
+			Eff:            [5]float64{1, 0.48, 0.85, 0.62, 0.76},
+			GemmHalfN:      12,
+			CallOverheadUS: 0.30,
+			AppFactor:      1.02,
+		},
+		Net: &simnet.Model{
+			Name: "tanaka-gbe-bypass",
+			Inter: simnet.LinkModel{
+				LatencyUS: 20, BandwidthMBs: 110, OverheadUS: 2,
+				// Eager packets are copied out of the preposted bounce
+				// buffer at memcpy speed; ZeroCopy exempts rendezvous.
+				CPUCopyMBs: 350,
+				EagerLimit: 8 << 10, ZeroCopy: true,
+			},
+		},
+		MaxProcs: 1024,
 	}
 }
 

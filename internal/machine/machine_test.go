@@ -8,7 +8,7 @@ import (
 
 func TestAllMachinesWellFormed(t *testing.T) {
 	ms := All()
-	if len(ms) != 13 {
+	if len(ms) != 15 {
 		t.Fatalf("machine count = %d", len(ms))
 	}
 	seen := map[string]bool{}
@@ -229,6 +229,43 @@ func TestPCClusterVariantsShareCPU(t *testing.T) {
 		}
 		if m.CPU.PeakMFlops != base.PeakMFlops || m.CPU.ClockMHz != base.ClockMHz {
 			t.Fatalf("%s CPU differs from the shared PC node", name)
+		}
+	}
+}
+
+func TestPMSAndTanakaCalibration(t *testing.T) {
+	pms, err := ByName("PMS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tan, err := ByName("Tanaka")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PMS is a TCP-era Fast Ethernet: wire-capped bandwidth, a per-byte
+	// protocol copy, no kernel bypass.
+	if pms.Net.Inter.BandwidthMBs > 12.5 {
+		t.Fatal("PMS Fast Ethernet exceeds wire speed")
+	}
+	if pms.Net.Inter.CPUCopyMBs <= 0 || pms.Net.Inter.ZeroCopy {
+		t.Fatal("PMS must model a copying kernel-TCP stack")
+	}
+	// Tanaka's bypass driver: an order of magnitude less latency and
+	// overhead than PMS, GbE wire bandwidth, zero-copy rendezvous but a
+	// real bounce-buffer copy on eager packets.
+	if !(tan.Net.Inter.LatencyUS < pms.Net.Inter.LatencyUS/2) {
+		t.Fatal("Tanaka bypass latency should be far below PMS TCP")
+	}
+	if !(tan.Net.Inter.BandwidthMBs > 8*pms.Net.Inter.BandwidthMBs) {
+		t.Fatal("Tanaka GbE should carry ~10x the PMS wire bandwidth")
+	}
+	if !tan.Net.Inter.ZeroCopy || tan.Net.Inter.CPUCopyMBs <= 0 {
+		t.Fatal("Tanaka must pair ZeroCopy rendezvous with a bounce-buffer eager copy")
+	}
+	// Both are projection targets for the P=1024 capacity sweeps.
+	for _, m := range []*Machine{pms, tan} {
+		if m.MaxProcs < 1024 {
+			t.Fatalf("%s MaxProcs = %d, want >= 1024", m.Name, m.MaxProcs)
 		}
 	}
 }

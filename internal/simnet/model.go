@@ -13,6 +13,8 @@
 // models are calibrated in package machine from the paper's Figure 7.
 package simnet
 
+import "fmt"
+
 // LinkModel is a LogGP-style point-to-point channel model.
 type LinkModel struct {
 	// LatencyUS is the one-way zero-byte latency in microseconds
@@ -38,6 +40,14 @@ type LinkModel struct {
 	// HalfDuplex makes a node's send and receive share the same wire
 	// (early shared-media Ethernet).
 	HalfDuplex bool
+	// ZeroCopy marks a kernel-bypass transport whose rendezvous
+	// transfers move the payload by DMA directly between user buffers
+	// (RDMA-style), so neither side pays the CPUCopyMBs charge on
+	// rendezvous messages. Eager messages still pay it: they land in a
+	// preposted bounce buffer that must be copied out. Tanaka's
+	// kernel-bypass GbE driver (physics/0407152) is the calibrated
+	// example.
+	ZeroCopy bool
 }
 
 // Model describes a whole cluster network.
@@ -61,10 +71,20 @@ type Model struct {
 	// BackplaneMBs caps the aggregate inter-node traffic (an
 	// oversubscribed Ethernet switch); 0 = full crossbar.
 	BackplaneMBs float64
-	// Scheduler selects the simulator's execution strategy (serial or
-	// host-parallel); both produce bit-identical virtual-time results.
-	// The NEKTAR_SIMNET_SCHED environment variable overrides it.
+	// Scheduler selects the simulator's execution strategy. Serial and
+	// the host-parallel conservative scheduler produce bit-identical
+	// virtual-time results; SchedRelaxed trades bit-identity for
+	// concurrency (see RelaxWindowUS). The NEKTAR_SIMNET_SCHED
+	// environment variable overrides it.
 	Scheduler Scheduler
+	// RelaxWindowUS is the relaxed scheduler's admission window in
+	// virtual microseconds: ranks whose next event lies within this
+	// window of the globally earliest pending event run their
+	// shared-state slices concurrently, in whatever order the host
+	// provides. 0 selects the default window; the value is ignored
+	// unless the relaxed scheduler is selected. Must be finite and
+	// >= 0.
+	RelaxWindowUS float64
 }
 
 // Scheduler selects how simnet executes the rank goroutines.
@@ -79,7 +99,28 @@ const (
 	SchedSerial
 	// SchedParallel forces the host-parallel conservative scheduler.
 	SchedParallel
+	// SchedRelaxed selects the windowed relaxed scheduler: shared-state
+	// events within RelaxWindowUS of the global virtual-time floor are
+	// admitted concurrently. Runs are NOT bit-identical to serial (the
+	// event interleaving inside a window is host-dependent); use it for
+	// capacity sweeps where statistical equivalence suffices.
+	SchedRelaxed
 )
+
+// String names the scheduler mode for error messages and reports.
+func (s Scheduler) String() string {
+	switch s {
+	case SchedAuto:
+		return "auto"
+	case SchedSerial:
+		return "serial"
+	case SchedParallel:
+		return "parallel"
+	case SchedRelaxed:
+		return "relaxed"
+	}
+	return fmt.Sprintf("Scheduler(%d)", int(s))
+}
 
 // nodeOf returns the SMP node that hosts a rank.
 func (m *Model) nodeOf(rank int) int {

@@ -15,16 +15,17 @@ package simnet
 // end of one Node call's mutations) and the rank's next Node call, its
 // election key is frozen — so the scheduler always knows every rank's
 // next event time even while the rank is off running host code on
-// another core. It can therefore run the serial election loop
-// unchanged: elect the minimum (key, rank); if that rank is still "in
-// flight" (running host code), wait for it to arrive at its next Node
-// call; admit it; run the call's shared-state mutations alone; repeat.
-// Host work overlaps freely across cores; shared-state events are
-// admitted in exactly the serial order, so message matching, resource
-// booking, fault firing and the virtual clocks are bit-identical to
-// the serial scheduler. DESIGN.md §10 gives the full argument.
+// another core. It can therefore run the serial election unchanged:
+// elect the minimum (key, rank); if that rank is still "in flight"
+// (running host code), wait for it to arrive at its next Node call;
+// admit it; run the call's shared-state mutations alone; repeat. Host
+// work overlaps freely across cores; shared-state events are admitted
+// in exactly the serial order, so message matching, resource booking,
+// fault firing and the virtual clocks are bit-identical to the serial
+// scheduler. DESIGN.md §10 gives the full argument; §13 covers the
+// indexed election and admission batching below.
 //
-// Two refinements keep the common path fast and the fault semantics
+// Three refinements keep the common path fast and the fault semantics
 // exact:
 //
 //   - Compute/Sleep touch only the rank's own clock, invisible to every
@@ -38,9 +39,19 @@ package simnet
 //     of that code. It parks as "doomed", stays electable at its key,
 //     and the crash fires at its admission — same global order, no
 //     speculative side effects.
+//
+//   - Batched admission: a rank releasing an event whose next key still
+//     precedes every other electable candidate would win the very next
+//     election, so it keeps its admission and runs the next event
+//     without a park/elect/resume round trip. Election keys never
+//     decrease and every wake performed so far was done by this rank's
+//     own completed mutations, so no competing candidate can appear
+//     with a smaller key in between — the skipped election is a
+//     foregone conclusion and the admission order is unchanged.
 
 import (
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"sync"
@@ -49,29 +60,83 @@ import (
 )
 
 // SchedulerEnv is the environment variable that overrides
-// Model.Scheduler for a whole process: "serial" or "parallel". The
-// Makefile's race-simnet target and the differential tests use it.
+// Model.Scheduler for a whole process: "auto", "serial", "parallel" or
+// "relaxed". The Makefile's race-simnet target and the differential
+// tests use it. Any other non-empty value rejects the run.
 const SchedulerEnv = "NEKTAR_SIMNET_SCHED"
 
-// resolveScheduler decides whether a run uses the parallel scheduler.
+// defaultRelaxWindowUS is the relaxed admission window used when
+// Model.RelaxWindowUS is 0: wide enough to cover a typical
+// Ethernet-era latency (tens to ~200us) so neighbor exchanges overlap,
+// narrow enough that the virtual-time divergence stays small against
+// millisecond-scale compute steps.
+const defaultRelaxWindowUS = 250.0
+
+// schedKind is the resolved execution strategy for one run.
+type schedKind int
+
+const (
+	kindSerial schedKind = iota
+	kindParallel
+	kindRelaxed
+)
+
+// resolveScheduler validates the scheduler selection and decides which
+// execution strategy a run uses. Selection errors (an unknown
+// Model.Scheduler value, a bogus NEKTAR_SIMNET_SCHED override, an
+// invalid relaxed window) are reported up front with the valid menu.
 // Single-rank runs and platforms without thread-keyed BLAS recording
 // (which per-rank operation counting needs once ranks overlap) fall
 // back to serial. SchedAuto additionally requires more than one host
 // core: with GOMAXPROCS=1 no host work can overlap and the admission
-// protocol is pure overhead. Forcing SchedParallel still works on one
-// core — the differential and race suites depend on that.
-func resolveScheduler(m *Model, p int) bool {
+// protocol is pure overhead. Forcing SchedParallel or SchedRelaxed
+// still works on one core — the differential and race suites depend on
+// that.
+func resolveScheduler(m *Model, p int) (schedKind, error) {
 	mode := m.Scheduler
-	switch os.Getenv(SchedulerEnv) {
-	case "serial":
-		mode = SchedSerial
-	case "parallel":
-		mode = SchedParallel
+	switch mode {
+	case SchedAuto, SchedSerial, SchedParallel, SchedRelaxed:
+	default:
+		return kindSerial, fmt.Errorf(
+			"simnet: unknown Model.Scheduler %d (valid: SchedAuto, SchedSerial, SchedParallel, SchedRelaxed)", int(mode))
 	}
-	if mode == SchedSerial || p < 2 || !blas.ThreadRecordingSupported() {
-		return false
+	if env := os.Getenv(SchedulerEnv); env != "" {
+		switch env {
+		case "auto":
+			mode = SchedAuto
+		case "serial":
+			mode = SchedSerial
+		case "parallel":
+			mode = SchedParallel
+		case "relaxed":
+			mode = SchedRelaxed
+		default:
+			return kindSerial, fmt.Errorf(
+				"simnet: %s=%q is not a scheduler mode (valid: auto, serial, parallel, relaxed)", SchedulerEnv, env)
+		}
 	}
-	return mode == SchedParallel || runtime.GOMAXPROCS(0) > 1
+	if mode == SchedRelaxed {
+		if w := m.RelaxWindowUS; w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return kindSerial, fmt.Errorf(
+				"simnet: Model.RelaxWindowUS = %g: the relaxed admission window must be a finite number of microseconds >= 0 (0 selects the default %gus)",
+				w, defaultRelaxWindowUS)
+		}
+	}
+	if p < 2 || !blas.ThreadRecordingSupported() {
+		return kindSerial, nil
+	}
+	switch mode {
+	case SchedSerial:
+		return kindSerial, nil
+	case SchedParallel:
+		return kindParallel, nil
+	case SchedRelaxed:
+		return kindRelaxed, nil
+	}
+	if runtime.GOMAXPROCS(0) > 1 {
+		return kindParallel, nil
+	}
+	return kindSerial, nil
 }
 
 // rankState tracks where a rank goroutine is in the parallel
@@ -83,10 +148,11 @@ type rankState int
 const (
 	// stInFlight: running host code (or about to); its key is frozen.
 	stInFlight rankState = iota
-	// stArrived: parked at the top of a Node call, awaiting admission.
+	// stArrived: parked at the top of a Node call, awaiting admission
+	// (conservative), or parked at the window gate (relaxed).
 	stArrived
 	// stAdmitted: executing a Node call's shared-state mutations; the
-	// scheduler waits for its release.
+	// scheduler waits for its release. Conservative only.
 	stAdmitted
 	// stParked: parked at a blocked yield. blockKind distinguishes a
 	// true block (not electable, except RecvDeadline at its deadline)
@@ -94,16 +160,31 @@ const (
 	stParked
 	// stDoomed: parked at release because the rank's clock passed its
 	// injected crash time; electable at its key, dies on admission.
+	// Conservative only — the relaxed scheduler fires crashes at the
+	// release itself.
 	stDoomed
 	// stDone: goroutine finished (completed, crashed, or poisoned).
 	stDone
 )
 
-// parSched is the shared state of the parallel scheduler.
+// parSched is the shared state of the host-parallel schedulers
+// (conservative and relaxed).
 type parSched struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 	live int // ranks not yet stDone
+
+	// pq is the lazy election heap (elect.go); guarded by mu.
+	pq electPQ
+
+	// Relaxed mode (relaxed.go). window is the admission window in
+	// seconds; winEnd the current admission horizon (ratcheted floor +
+	// window), guarded by mu. big serializes relaxed shared-state
+	// slices; lock order is always big before mu.
+	relaxed bool
+	window  float64
+	winEnd  float64
+	big     sync.Mutex
 }
 
 // lockPar/unlockPar guard state that an admitted rank shares with
@@ -128,7 +209,8 @@ func (c *cluster) unlockPar() {
 // passes through before it can be elected again; the parallel
 // equivalents of that instant are a rank's transition back to in-flight
 // or doomed (release), its wake from a blocked park, and launch.
-// Caller holds par.mu.
+// Callers push a fresh election entry after the bump. Caller holds
+// par.mu (and, in relaxed mode, par.big — the bump writes the clock).
 func (c *cluster) applyStallLocked(n *Node) {
 	if c.stallAt == nil || c.stallFired[n.Rank] || n.clock < c.stallAt[n.Rank] {
 		return
@@ -140,14 +222,22 @@ func (c *cluster) applyStallLocked(n *Node) {
 	}
 }
 
-// parBegin is the admission gate at the top of every Node call that
+// begin is the admission gate at the top of every Node call that
 // touches shared simulator state. The rank arrives with its election
 // key frozen at its last release and parks until the scheduler admits
 // it in global (key, rank) order. Re-entrant: a rank already admitted
-// (woken inside a receive or wait loop) passes straight through.
+// (woken inside a receive or wait loop, or holding a batched
+// admission) passes straight through.
 func (n *Node) begin() {
 	c := n.net
-	if c.par == nil || n.status == stAdmitted {
+	if c.par == nil {
+		return
+	}
+	if c.par.relaxed {
+		c.relaxedBegin(n)
+		return
+	}
+	if n.status == stAdmitted {
 		return
 	}
 	ps := c.par
@@ -178,7 +268,16 @@ func (c *cluster) parYield(n *Node) {
 	if n.blockKind == blockNone {
 		c.applyStallLocked(n)
 		if c.crashAt == nil || c.crashed[n.Rank] || n.clock < c.crashAt[n.Rank] {
+			if n.status == stAdmitted && c.stillFirstLocked(n) {
+				// Batched admission: the next election would re-elect
+				// this rank, so keep the admission and skip the
+				// park/elect/resume handshake. The scheduler stays
+				// parked in its stAdmitted wait; no broadcast needed.
+				ps.mu.Unlock()
+				return
+			}
 			n.status = stInFlight
+			c.pushElect(n)
 			ps.cond.Broadcast()
 			ps.mu.Unlock()
 			return
@@ -187,6 +286,7 @@ func (c *cluster) parYield(n *Node) {
 	} else {
 		n.status = stParked
 	}
+	c.pushElect(n)
 	ps.cond.Broadcast()
 	ps.mu.Unlock()
 	<-n.resume
@@ -196,15 +296,38 @@ func (c *cluster) parYield(n *Node) {
 	n.maybeCrash()
 }
 
+// stillFirstLocked reports whether rank n's next event precedes every
+// other electable candidate, making the next election a foregone
+// conclusion. Sound because keys never decrease: a candidate that
+// would beat (n.key, n.Rank) would have to already exist, and every
+// wake since n's admission was performed by n's own completed
+// mutations, which pushed the corresponding entries before this check.
+// Caller holds par.mu.
+func (c *cluster) stillFirstLocked(n *Node) bool {
+	e, ok := c.minElect()
+	if !ok {
+		// No other candidate at all (entries for n itself are stale
+		// while it is admitted): every other rank is blocked, so n is
+		// trivially next.
+		return true
+	}
+	return n.key < e.key || (n.key == e.key && int32(n.Rank) < e.rank)
+}
+
 // parReleaseEarly releases admission without ending the rank's current
 // slice: RecvDeadline's timeout branch returns to the body mid-slice,
 // so stall and crash checks wait for the slice's real end (the next
 // yield), matching the serial scheduler.
 func (c *cluster) parReleaseEarly(n *Node) {
+	if c.par.relaxed {
+		c.relaxedReleaseEarly(n)
+		return
+	}
 	ps := c.par
 	ps.mu.Lock()
 	n.key = n.clock
 	n.status = stInFlight
+	c.pushElect(n)
 	ps.cond.Broadcast()
 	ps.mu.Unlock()
 }
@@ -239,11 +362,13 @@ func (n *Node) parWait(r *Request) {
 	}
 	ps.mu.Unlock()
 	n.clock = max(n.clock, r.m.ready)
+	m := r.m
 	r.m = nil
+	m.release()
 }
 
 // parRank is the goroutine wrapper for one rank under the parallel
-// scheduler. The goroutine is locked to its OS thread so package blas
+// schedulers. The goroutine is locked to its OS thread so package blas
 // can key the rank's operation-count recording by thread id — the
 // process-global recorder cannot span ranks once they run concurrently.
 func (c *cluster) parRank(n *Node, body func(*Node), wg *sync.WaitGroup) {
@@ -275,55 +400,45 @@ func (c *cluster) parRank(n *Node, body func(*Node), wg *sync.WaitGroup) {
 	}()
 	// The serial scheduler applies a stall due at t=0 before the rank's
 	// first election; the parallel rank starts in flight, so apply it
-	// before any body code can observe the clock.
+	// before any body code can observe the clock. In relaxed mode the
+	// clock write needs the slice lock (other ranks read clocks under
+	// it).
 	ps := c.par
+	if ps.relaxed {
+		ps.big.Lock()
+	}
 	ps.mu.Lock()
 	c.applyStallLocked(n)
+	c.pushElect(n)
 	ps.cond.Broadcast()
 	ps.mu.Unlock()
+	if ps.relaxed {
+		ps.big.Unlock()
+	}
 	body(n)
 }
 
-// parRun is the parallel scheduler loop: the serial election over
-// (key, rank) with two extra states — waiting for an elected in-flight
-// rank to arrive at its next event, and waiting for an admitted rank to
+// parRun is the conservative scheduler loop: the serial election over
+// (key, rank) — served by the lazy heap instead of a linear scan —
+// with two extra states: waiting for an elected in-flight rank to
+// arrive at its next event, and waiting for an admitted rank to
 // release.
 func (c *cluster) parRun() {
 	ps := c.par
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
 	for ps.live > 0 {
-		// Election: smallest (key, rank) over in-flight, arrived, woken
-		// and doomed ranks, plus ranks blocked in RecvDeadline at their
-		// deadlines — the serial scheduler's candidate set exactly.
-		var pick *Node
-		pickTimeout := false
-		var pickKey float64
-		for _, n := range c.nodes {
-			var k float64
-			timeout := false
-			switch n.status {
-			case stInFlight, stArrived, stDoomed:
-				k = n.key
-			case stParked:
-				switch n.blockKind {
-				case blockNone:
-					k = n.key
-				case blockRecvDeadline:
-					k, timeout = n.deadline, true
-				default:
-					continue
-				}
-			default:
+		e, ok := c.minElect()
+		if !ok {
+			// An empty heap normally means deadlock; rebuild from a
+			// full scan first so a missed push can never be
+			// misdiagnosed as one.
+			if c.rebuildElect() {
 				continue
 			}
-			if pick == nil || k < pickKey || (k == pickKey && n.Rank < pick.Rank) {
-				pick, pickKey, pickTimeout = n, k, timeout
-			}
-		}
-		if pick == nil {
-			// Deadlock: every live rank is parked blocked with no wake-up
-			// time. Diagnose, then poison them (same as serial).
+			// Deadlock: every live rank is parked blocked with no
+			// wake-up time. Diagnose, then poison them (same as
+			// serial).
 			c.failOnce(c.deadlockError(ps.live))
 			for _, n := range c.nodes {
 				if n.status == stParked {
@@ -338,26 +453,28 @@ func (c *cluster) parRun() {
 			}
 			continue
 		}
+		pick := c.nodes[e.rank]
 		if pick.status == stInFlight {
 			// The elected rank is still running host code. Nothing else
 			// may be admitted before it, so wait for it to transition:
 			// arrive at a Node call, park in Wait, finish — or move its
 			// own key with an admission-free Compute/Sleep release, which
 			// may change the election. Other ranks' host work continues
-			// on the remaining cores meanwhile.
+			// on the remaining cores meanwhile. Its heap entry stays;
+			// a key move makes it stale and the next minElect drops it.
 			k := pick.key
 			for pick.status == stInFlight && pick.key == k {
 				ps.cond.Wait()
 			}
 			continue // re-elect
 		}
-		if pickTimeout {
+		if e.timeout {
 			// A RecvDeadline wait expired: wake the rank with its timeout
 			// flag set; it advances its own clock (serial semantics).
 			pick.blockKind = blockNone
 			pick.timedOut = true
 		}
-		pick.status = stAdmitted
+		pick.status = stAdmitted // invalidates the rank's heap entries
 		ps.mu.Unlock()
 		pick.resume <- struct{}{}
 		ps.mu.Lock()

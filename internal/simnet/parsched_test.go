@@ -194,27 +194,101 @@ func TestResolveScheduler(t *testing.T) {
 	}
 	// SchedAuto only goes parallel with real cores to overlap on;
 	// forced parallel ignores the core count.
-	multiCore := runtime.GOMAXPROCS(0) > 1
+	autoKind := kindSerial
+	if runtime.GOMAXPROCS(0) > 1 {
+		autoKind = kindParallel
+	}
 	cases := []struct {
 		env  string
 		mode Scheduler
 		p    int
-		want bool
+		want schedKind
 	}{
-		{"", SchedAuto, 8, multiCore},
-		{"", SchedAuto, 1, false},
-		{"", SchedSerial, 8, false},
-		{"", SchedParallel, 8, true},
-		{"serial", SchedParallel, 8, false},
-		{"serial", SchedAuto, 8, false},
-		{"parallel", SchedSerial, 8, true},
+		{"", SchedAuto, 8, autoKind},
+		{"", SchedAuto, 1, kindSerial},
+		{"", SchedSerial, 8, kindSerial},
+		{"", SchedParallel, 8, kindParallel},
+		{"", SchedRelaxed, 8, kindRelaxed},
+		{"", SchedRelaxed, 1, kindSerial},
+		{"serial", SchedParallel, 8, kindSerial},
+		{"serial", SchedAuto, 8, kindSerial},
+		{"parallel", SchedSerial, 8, kindParallel},
+		{"relaxed", SchedSerial, 8, kindRelaxed},
+		{"auto", SchedSerial, 8, autoKind},
 	}
 	for _, c := range cases {
 		t.Setenv(SchedulerEnv, c.env)
 		m := &Model{Scheduler: c.mode}
-		if got := resolveScheduler(m, c.p); got != c.want {
+		got, err := resolveScheduler(m, c.p)
+		if err != nil {
+			t.Errorf("resolveScheduler(env=%q, mode=%v, p=%d) unexpected error: %v",
+				c.env, c.mode, c.p, err)
+			continue
+		}
+		if got != c.want {
 			t.Errorf("resolveScheduler(env=%q, mode=%v, p=%d) = %v, want %v",
 				c.env, c.mode, c.p, got, c.want)
+		}
+	}
+}
+
+func TestResolveSchedulerErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		env  string
+		m    Model
+	}{
+		{"bogus-env", "concurrent", Model{}},
+		{"bogus-env-spaces", " parallel", Model{}},
+		{"bogus-mode", "", Model{Scheduler: Scheduler(99)}},
+		{"negative-window", "", Model{Scheduler: SchedRelaxed, RelaxWindowUS: -1}},
+		{"nan-window", "", Model{Scheduler: SchedRelaxed, RelaxWindowUS: math.NaN()}},
+		{"inf-window", "", Model{Scheduler: SchedRelaxed, RelaxWindowUS: math.Inf(1)}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			t.Setenv(SchedulerEnv, c.env)
+			m := c.m
+			if _, err := resolveScheduler(&m, 8); err == nil {
+				t.Errorf("resolveScheduler(env=%q, mode=%v) = nil error, want error",
+					c.env, m.Scheduler)
+			}
+			// The validation error must also surface from the public
+			// entry point, before any goroutine is launched.
+			if _, _, err := RunWithFaults(2, &m, nil, func(n *Node) {}); err == nil {
+				t.Errorf("RunWithFaults(env=%q, mode=%v) = nil error, want error",
+					c.env, m.Scheduler)
+			}
+		})
+	}
+}
+
+// TestSchedulerDifferentialBatchBurst drives the batched-admission fast
+// path hard: rank clumps issue long runs of consecutive shared-state
+// events at nearly identical virtual times, so the same rank is
+// repeatedly the global minimum and must re-admit itself without a
+// scheduler round trip — while still interleaving bit-identically with
+// the other ranks' eager traffic.
+func TestSchedulerDifferentialBatchBurst(t *testing.T) {
+	body := func(n *Node) {
+		next := (n.Rank + 1) % n.P
+		prev := (n.Rank + n.P - 1) % n.P
+		for round := 0; round < 4; round++ {
+			// A burst of cheap sends: consecutive events from one rank
+			// with tiny clock increments (the batch fast path).
+			for i := 0; i < 12; i++ {
+				n.Send(next, 10+i, []float64{float64(i)})
+			}
+			for i := 0; i < 12; i++ {
+				n.Recv(prev, 10+i)
+			}
+			// Skew the clocks so a different rank owns the next burst.
+			n.Compute(1e-5 * float64((n.Rank+round)%n.P+1))
+		}
+	}
+	for name, model := range diffModels() {
+		for _, p := range []int{2, 4, 7} {
+			runBoth(t, fmt.Sprintf("%s/p=%d", name, p), p, model, nil, body)
 		}
 	}
 }

@@ -1,0 +1,276 @@
+package simnet
+
+// Relaxed windowed scheduler.
+//
+// The conservative scheduler (parsched.go) admits shared-state events
+// strictly in (virtual time, rank) order, which makes runs
+// bit-identical to serial but serializes every event through one
+// admission token. The relaxed scheduler trades that determinism for
+// concurrency: it maintains an admission horizon
+//
+//	winEnd = floor + window
+//
+// where floor is the smallest electable key (the same candidate set as
+// the conservative election, served by the same lazy heap), and lets
+// EVERY rank whose next event lies at or below the horizon run its
+// shared-state slice concurrently. Slices are serialized by one
+// mutation lock (par.big) so the simulator state stays consistent, but
+// the order in which ranks inside the window acquire it is whatever
+// the host OS provides — two events less than `window` apart in
+// virtual time may book NIC/backplane resources in either order, so
+// clocks, and with wildcard receives even trajectories, are NOT
+// bit-identical to serial. What is preserved: every rank still
+// executes its program order, messages still match per (source, tag)
+// FIFO, resource accounting is still exact for the order that
+// happened, and no event can run more than ~window ahead of the
+// currently earliest pending event (the horizon only ratchets forward;
+// a rank woken at an old key can briefly widen the true spread). Runs
+// under this mode are validated statistically — step counts, solver
+// invariants, virtual-time totals within tolerance — not by trajectory
+// hash. DESIGN.md §13 gives the full argument and the non-goals.
+//
+// Lock order: par.big (slice mutations, virtual clocks) before par.mu
+// (protocol state, election heap). parWait-style waiters take par.mu
+// only; clock writes always hold par.big.
+
+// relaxedBegin gates a Node call in relaxed mode: the rank parks until
+// its virtual time is inside the admission horizon, then enters the
+// slice by taking the mutation lock. Every Node call that reaches a
+// yield()/parReleaseEarly releases it.
+func (c *cluster) relaxedBegin(n *Node) {
+	c.relaxedGate(n)
+	c.par.big.Lock()
+}
+
+// relaxedGate parks the rank while its next-event key is beyond the
+// admission horizon. The scheduler moves the rank back to stInFlight
+// before resuming it, and the horizon only ratchets forward, so one
+// wake always suffices; the loop is defensive.
+func (c *cluster) relaxedGate(n *Node) {
+	ps := c.par
+	ps.mu.Lock()
+	n.key = n.clock
+	for n.key > ps.winEnd {
+		n.status = stArrived
+		// The rank's standing heap entry (pushed at its last release)
+		// already covers this candidacy, but the floor may now be this
+		// rank: wake the scheduler to recompute the horizon.
+		ps.cond.Broadcast()
+		ps.mu.Unlock()
+		<-n.resume
+		if n.poison {
+			panic(poisonSignal{})
+		}
+		ps.mu.Lock()
+	}
+	ps.mu.Unlock()
+}
+
+// relaxedYield ends a Node call in relaxed mode. Entered with par.big
+// held (taken by relaxedBegin or Compute/Sleep's sliceLock). For an
+// unblocked release it publishes the new key, fires due stalls and
+// crashes, releases the slice lock and paces against the horizon; for
+// a blocked yield it parks and re-enters the slice when woken.
+func (c *cluster) relaxedYield(n *Node) {
+	ps := c.par
+	if n.blockKind == blockNone {
+		ps.mu.Lock()
+		n.key = n.clock
+		c.applyStallLocked(n) // big held: the clock write is safe
+		crash := c.crashAt != nil && !c.crashed[n.Rank] && n.clock >= c.crashAt[n.Rank]
+		if !crash {
+			c.pushElect(n) // floor bookkeeping + scheduler wake
+			ps.mu.Unlock()
+			ps.big.Unlock()
+			c.relaxedGate(n)
+			return
+		}
+		ps.mu.Unlock()
+		ps.big.Unlock()
+		c.relaxedCrash(n) // panics crashSignal
+		return
+	}
+	// Blocked mid-call: park, hand the slice lock back, continue the
+	// slice when woken (by a delivery, a rendezvous completion, an
+	// expired deadline, or a peer's crash).
+	ps.mu.Lock()
+	n.key = n.clock
+	n.status = stParked
+	c.pushElect(n) // no-op unless blockRecvDeadline
+	ps.cond.Broadcast()
+	ps.mu.Unlock()
+	ps.big.Unlock()
+	<-n.resume
+	if n.poison {
+		panic(poisonSignal{})
+	}
+	c.relaxedMaybeCrash(n)
+	ps.big.Lock()
+}
+
+// relaxedReleaseEarly releases the slice lock on a mid-slice return
+// (RecvDeadline expiry, RecvErr's crashed-peer error) and publishes
+// the rank's advanced key for floor bookkeeping. The slice continues
+// in body code; stall/crash checks wait for its real end, like the
+// conservative parReleaseEarly.
+func (c *cluster) relaxedReleaseEarly(n *Node) {
+	ps := c.par
+	ps.mu.Lock()
+	n.key = n.clock
+	c.pushElect(n)
+	ps.mu.Unlock()
+	ps.big.Unlock()
+}
+
+// relaxedWait is Wait in relaxed mode: park until the rendezvous
+// transfer is booked. Identical in structure to parWait, except the
+// final send-completion clock advance needs the slice lock (other
+// ranks read clocks under it).
+func (n *Node) relaxedWait(r *Request) {
+	c := n.net
+	ps := c.par
+	ps.mu.Lock()
+	for !r.m.xferDone {
+		n.blockKind = blockSendRendezvous
+		n.waitSend = r.m
+		n.key = n.clock
+		n.status = stParked
+		ps.cond.Broadcast()
+		ps.mu.Unlock()
+		<-n.resume
+		if n.poison {
+			panic(poisonSignal{})
+		}
+		c.relaxedMaybeCrash(n)
+		ps.mu.Lock()
+		n.waitSend = nil
+	}
+	ps.mu.Unlock()
+	ps.big.Lock()
+	n.clock = max(n.clock, r.m.ready)
+	ps.big.Unlock()
+	m := r.m
+	r.m = nil
+	m.release()
+}
+
+// relaxedMaybeCrash fires the rank's injected crash if its clock has
+// passed the crash time. Called at wakes and releases — the relaxed
+// equivalents of the serial scheduler's resume instant.
+func (c *cluster) relaxedMaybeCrash(n *Node) {
+	if c.crashAt == nil || c.crashed[n.Rank] || n.clock < c.crashAt[n.Rank] {
+		return
+	}
+	c.relaxedCrash(n)
+}
+
+// relaxedCrash kills the rank: freeze its clock at the crash instant,
+// mark it dead, wake any rank blocked receiving from it (so
+// error-returning receives can diagnose the death), and unwind. Takes
+// big then mu — the relaxed lock order — and holds neither across the
+// panic.
+func (c *cluster) relaxedCrash(n *Node) {
+	ps := c.par
+	ps.big.Lock()
+	t := c.crashAt[n.Rank]
+	n.clock = t
+	if n.cpu > t {
+		n.cpu = t
+	}
+	ps.mu.Lock()
+	c.crashed[n.Rank] = true
+	for _, peer := range c.nodes {
+		if peer == n || peer.done {
+			continue
+		}
+		if (peer.blockKind == blockRecv || peer.blockKind == blockRecvDeadline) &&
+			peer.waitKey != nil && peer.waitKey.src == n.Rank {
+			peer.blockKind = blockNone
+			c.applyStallLocked(peer)
+			c.pushElect(peer)
+		}
+	}
+	ps.cond.Broadcast()
+	ps.mu.Unlock()
+	ps.big.Unlock()
+	panic(crashSignal{})
+}
+
+// relaxedRun is the relaxed scheduler loop: recompute the admission
+// horizon from the election floor and resume every parked candidate
+// inside it. Ranks already in flight inside the horizon need nothing
+// from the scheduler — their heap entries are kept only as floor
+// bookkeeping.
+func (c *cluster) relaxedRun() {
+	ps := c.par
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	var keep []electEntry
+	for ps.live > 0 {
+		e, ok := c.minElect()
+		if !ok {
+			if c.rebuildElect() {
+				continue
+			}
+			// Deadlock: every live rank is parked blocked with no
+			// wake-up time (window-gated and deadline-parked ranks are
+			// always electable, so they cannot be the cause).
+			c.failOnce(c.deadlockError(ps.live))
+			for _, n := range c.nodes {
+				if n.status == stParked || n.status == stArrived {
+					n.poison = true
+					ps.mu.Unlock()
+					n.resume <- struct{}{}
+					ps.mu.Lock()
+					for n.status != stDone {
+						ps.cond.Wait()
+					}
+				}
+			}
+			continue
+		}
+		if end := e.key + ps.window; end > ps.winEnd {
+			ps.winEnd = end
+		}
+		granted := 0
+		keep = keep[:0]
+		for {
+			e, ok := c.minElect()
+			if !ok || e.key > ps.winEnd {
+				break
+			}
+			ps.pq.pop()
+			pick := c.nodes[e.rank]
+			switch pick.status {
+			case stArrived, stParked:
+				if e.timeout {
+					pick.blockKind = blockNone
+					pick.timedOut = true
+				}
+				pick.status = stInFlight
+				// Leave an in-flight floor marker: until the rank ends its
+				// slice and publishes a new key, it is logically running at
+				// pick.key and must pin the horizon — otherwise the floor
+				// could ratchet off a far-future deadline and fire timeouts
+				// for messages the granted ranks are about to send.
+				keep = append(keep, electEntry{key: pick.key, rank: e.rank})
+				ps.mu.Unlock()
+				pick.resume <- struct{}{}
+				ps.mu.Lock()
+				granted++
+			case stInFlight:
+				// Already running inside the horizon; its entry is the
+				// floor bookkeeping — put it back after the sweep.
+				keep = append(keep, e)
+			}
+		}
+		for _, e := range keep {
+			ps.pq.push(e)
+		}
+		if granted == 0 {
+			// Nothing grantable until a rank parks, publishes a new
+			// key, or finishes; all three broadcast.
+			ps.cond.Wait()
+		}
+	}
+}

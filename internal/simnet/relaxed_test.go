@@ -1,0 +1,274 @@
+package simnet
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"nektar/internal/blas"
+)
+
+// Relaxed-scheduler suite. The relaxed scheduler is NOT bit-identical
+// to serial, so these tests validate statistical equivalence instead:
+// every rank completes the same program (same step counts, same
+// messages matched), per-rank virtual wall clocks agree with the
+// serial reference within a tolerance set by the admission window, and
+// fault handling (crashes, deadlock diagnosis, deadline expiry)
+// reaches the same qualitative outcome.
+
+// runRelaxed runs body under the relaxed scheduler with the env
+// override neutralized (CI exports NEKTAR_SIMNET_SCHED for the
+// conservative differential suites; it must not redirect these runs).
+func runRelaxed(t *testing.T, p int, model Model, inj Injector, body func(*Node)) ([]float64, []float64, error) {
+	t.Helper()
+	t.Setenv(SchedulerEnv, "")
+	m := model
+	m.Scheduler = SchedRelaxed
+	return RunWithFaults(p, &m, inj, body)
+}
+
+// runSerialRef runs the bit-exact serial reference.
+func runSerialRef(t *testing.T, p int, model Model, inj Injector, body func(*Node)) ([]float64, []float64, error) {
+	t.Helper()
+	t.Setenv(SchedulerEnv, "")
+	m := model
+	m.Scheduler = SchedSerial
+	return RunWithFaults(p, &m, inj, body)
+}
+
+// relaxTolerance bounds how far a relaxed run's per-rank wall clock may
+// drift from serial: reordering inside the admission window perturbs
+// resource-booking order, and each of the workload's O(steps) events
+// can land up to ~window away from its serial slot. A generous linear
+// bound — the suites assert equivalence, not tightness.
+func relaxTolerance(windowUS float64, steps int) float64 {
+	return windowUS * us * float64(steps+4)
+}
+
+// haloWorkload is workload A: a nearest-neighbour halo exchange with
+// per-rank compute imbalance, the dominant communication pattern of
+// the paper's spectral-element solver.
+func haloWorkload(steps int) func(*Node) {
+	return func(n *Node) {
+		next := (n.Rank + 1) % n.P
+		prev := (n.Rank + n.P - 1) % n.P
+		buf := make([]float64, 256)
+		for s := 0; s < steps; s++ {
+			n.Compute(2e-5 * float64(n.Rank%3+1))
+			r := n.Isend(next, s, buf)
+			n.Recv(prev, s)
+			n.Wait(r)
+		}
+	}
+}
+
+// treeWorkload is workload B: repeated binomial-tree reductions to rank
+// 0 followed by a broadcast — the allreduce shape, with deadline
+// receives so crashed-peer plans terminate.
+func treeWorkload(steps int) func(*Node) {
+	return func(n *Node) {
+		for s := 0; s < steps; s++ {
+			n.Compute(1e-5)
+			// Reduce to rank 0 over a binomial tree.
+			for bit := 1; bit < n.P; bit <<= 1 {
+				if n.Rank&(bit-1) != 0 {
+					continue
+				}
+				peer := n.Rank | bit
+				if n.Rank&bit != 0 || peer >= n.P {
+					if n.Rank&bit != 0 {
+						n.Send(n.Rank&^bit, 100+s, []float64{float64(n.Rank)})
+						break
+					}
+					continue
+				}
+				if _, ok := n.RecvDeadline(peer, 100+s, n.Clock()+5e-3); !ok {
+					return // peer died; bail out like the mpi layer would
+				}
+			}
+			// Broadcast back down.
+			for bit := 1; bit < n.P; bit <<= 1 {
+				if n.Rank&(bit-1) != 0 {
+					continue
+				}
+				if n.Rank&bit != 0 {
+					if _, ok := n.RecvDeadline(n.Rank&^bit, 200+s, n.Clock()+5e-3); !ok {
+						return
+					}
+					continue
+				}
+				if peer := n.Rank | bit; peer < n.P && peer != n.Rank {
+					n.SendControl(peer, 200+s, []float64{1})
+				}
+			}
+		}
+	}
+}
+
+// TestRelaxedStatisticalEquivalence is the seeded equivalence suite:
+// two workloads crossed with two fault plans (plus fault-free), run
+// under serial and relaxed, asserting completion, identical error
+// class, and per-rank wall clocks within the window-derived tolerance.
+func TestRelaxedStatisticalEquivalence(t *testing.T) {
+	if !blas.ThreadRecordingSupported() {
+		t.Skip("platform cannot key BLAS recording by thread")
+	}
+	const steps = 6
+	model := Model{
+		Name:          "relax-eq",
+		Inter:         LinkModel{LatencyUS: 50, BandwidthMBs: 50, OverheadUS: 10, CPUCopyMBs: 80, EagerLimit: 1024},
+		RelaxWindowUS: 100,
+	}
+	workloads := map[string]func(*Node){
+		"halo": haloWorkload(steps),
+		"tree": treeWorkload(steps),
+	}
+	// Fault plans are deterministic functions of (src,dst,seq,t): the
+	// same drops and degradations apply to both schedulers.
+	plans := map[string]func() Injector{
+		"fault-free": func() Injector { return nil },
+		"lossy-degraded": func() Injector {
+			return &testInjector{
+				drop: func(src, dst, seq int, _ float64) bool {
+					return src == 1 && seq == 1
+				},
+				factors: func(src, dst int, tm float64) (float64, float64) {
+					if src == 0 && tm > 1e-4 {
+						return 1.5, 2
+					}
+					return 1, 1
+				},
+			}
+		},
+		"stall": func() Injector {
+			return &testInjector{stall: func(node int, tm float64) float64 {
+				if node == 2 && tm < 2e-4 {
+					return 2e-4
+				}
+				return 0
+			}}
+		},
+	}
+	// steps*~3 events per step bounds the reordering drift.
+	tol := relaxTolerance(model.RelaxWindowUS, steps*4)
+	for wname, body := range workloads {
+		for pname, mk := range plans {
+			for _, p := range []int{4, 8} {
+				label := fmt.Sprintf("%s/%s/p=%d", wname, pname, p)
+				wallS, _, errS := runSerialRef(t, p, model, mk(), body)
+				wallR, _, errR := runRelaxed(t, p, model, mk(), body)
+				if (errS == nil) != (errR == nil) {
+					t.Errorf("%s: error class diverged: serial %v, relaxed %v", label, errS, errR)
+					continue
+				}
+				for r := 0; r < p; r++ {
+					if d := math.Abs(wallS[r] - wallR[r]); d > tol {
+						t.Errorf("%s: rank %d wall drift %.3g s exceeds tolerance %.3g s (serial %v relaxed %v)",
+							label, r, d, tol, wallS[r], wallR[r])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRelaxedCompletesLargeP checks the relaxed scheduler drives a
+// non-trivial rank count to completion with every clock finite and
+// positive.
+func TestRelaxedCompletesLargeP(t *testing.T) {
+	if !blas.ThreadRecordingSupported() {
+		t.Skip("platform cannot key BLAS recording by thread")
+	}
+	model := Model{
+		Name:  "relax-large",
+		Inter: LinkModel{LatencyUS: 20, BandwidthMBs: 110, OverheadUS: 2, EagerLimit: 8192, ZeroCopy: true},
+	}
+	const p = 64
+	wall, cpu, err := runRelaxed(t, p, model, nil, haloWorkload(4))
+	if err != nil {
+		t.Fatalf("relaxed run failed: %v", err)
+	}
+	for r := 0; r < p; r++ {
+		if !(wall[r] > 0) || math.IsInf(wall[r], 0) || math.IsNaN(wall[r]) {
+			t.Errorf("rank %d wall clock not finite-positive: %v", r, wall[r])
+		}
+		if cpu[r] < 0 || cpu[r] > wall[r]+1e-12 {
+			t.Errorf("rank %d cpu %v outside [0, wall=%v]", r, cpu[r], wall[r])
+		}
+	}
+}
+
+// TestRelaxedCrash injects a mid-run crash: survivors using deadline
+// receives must finish, the error must name the crashed rank, and the
+// crashed rank's clock must freeze at the crash instant — same
+// qualitative outcome as serial.
+func TestRelaxedCrash(t *testing.T) {
+	if !blas.ThreadRecordingSupported() {
+		t.Skip("platform cannot key BLAS recording by thread")
+	}
+	const crashT = 3e-4
+	inj := func() Injector {
+		return &testInjector{crash: func(rank int) float64 {
+			if rank == 1 {
+				return crashT
+			}
+			return math.Inf(1)
+		}}
+	}
+	model := Model{
+		Name:  "relax-crash",
+		Inter: LinkModel{LatencyUS: 50, BandwidthMBs: 50, OverheadUS: 10, CPUCopyMBs: 80},
+	}
+	_, _, errS := runSerialRef(t, 4, model, inj(), treeWorkload(8))
+	wall, _, errR := runRelaxed(t, 4, model, inj(), treeWorkload(8))
+	if errR == nil {
+		t.Fatal("relaxed run with crash returned nil error")
+	}
+	if !strings.Contains(fmt.Sprint(errR), "rank 1") {
+		t.Errorf("relaxed crash error does not name rank 1: %v", errR)
+	}
+	if (errS == nil) != (errR == nil) {
+		t.Errorf("error class diverged: serial %v relaxed %v", errS, errR)
+	}
+	if math.Float64bits(wall[1]) != math.Float64bits(crashT) {
+		t.Errorf("crashed rank clock = %v, want frozen at %v", wall[1], crashT)
+	}
+}
+
+// TestRelaxedDeadlock: a receive nobody serves must produce the
+// deadlock diagnosis, not a hang.
+func TestRelaxedDeadlock(t *testing.T) {
+	if !blas.ThreadRecordingSupported() {
+		t.Skip("platform cannot key BLAS recording by thread")
+	}
+	model := Model{
+		Name:  "relax-deadlock",
+		Inter: LinkModel{LatencyUS: 50, BandwidthMBs: 50},
+	}
+	_, _, err := runRelaxed(t, 3, model, nil, func(n *Node) {
+		n.Compute(1e-5 * float64(n.Rank+1))
+		n.Recv(n.Rank, 77) // no self-send posted: guaranteed deadlock
+	})
+	if err == nil {
+		t.Fatal("relaxed deadlocked run returned nil error")
+	}
+	if !strings.Contains(fmt.Sprint(err), "deadlock") {
+		t.Errorf("error does not diagnose deadlock: %v", err)
+	}
+}
+
+// TestRelaxedWindowDefault: RelaxWindowUS=0 selects the default window
+// and still completes.
+func TestRelaxedWindowDefault(t *testing.T) {
+	if !blas.ThreadRecordingSupported() {
+		t.Skip("platform cannot key BLAS recording by thread")
+	}
+	model := Model{
+		Name:  "relax-default-window",
+		Inter: LinkModel{LatencyUS: 20, BandwidthMBs: 100, OverheadUS: 5},
+	}
+	if _, _, err := runRelaxed(t, 4, model, nil, haloWorkload(3)); err != nil {
+		t.Fatalf("relaxed run with default window failed: %v", err)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Injector is the fault-injection hook set consulted by the simulator.
@@ -106,7 +107,7 @@ type Node struct {
 
 	// Pending received messages keyed by (source, tag); each entry is
 	// FIFO per key, matching MPI's non-overtaking guarantee.
-	inbox map[msgKey][]*message
+	inbox map[msgKey]*msgQueue
 	// If blocked in Recv, the key being waited for.
 	waitKey *msgKey
 	// If blocked in Wait for a rendezvous send, the message involved.
@@ -182,11 +183,77 @@ type message struct {
 	sender   *Node   // for rendezvous completion
 	size     int
 	posted   float64 // sender clock when the send was issued
+
+	// Pool bookkeeping: the struct (with its embedded Request) is
+	// recycled through msgPool once both owners — the sender-side
+	// Request and the receiver-side delivery — have released it. The
+	// payload slice is NOT pooled: Recv hands it to the application.
+	refs int32
+	req  Request
 }
 
 // Request is the handle of a nonblocking send.
 type Request struct {
 	m *message
+}
+
+// msgPool recycles message structs. At P=4096 every simulated step
+// issues thousands of sends; without the pool each one allocates a
+// message plus a Request and leaves them for the GC.
+var msgPool = sync.Pool{New: func() any { return new(message) }}
+
+// getMsg returns a reset message with refs owners and its embedded
+// Request wired up. Callers fill the remaining fields.
+func getMsg(refs int32) *message {
+	m := msgPool.Get().(*message)
+	*m = message{refs: refs}
+	m.req.m = m
+	return m
+}
+
+// release drops one ownership share; the last release recycles the
+// struct. The data slice is detached first — it may have escaped to
+// the application through Recv.
+func (m *message) release() {
+	if atomic.AddInt32(&m.refs, -1) == 0 {
+		m.data = nil
+		m.sender = nil
+		m.req.m = nil
+		msgPool.Put(m)
+	}
+}
+
+// releaseSender drops the sender-side share of a request whose handle
+// is being discarded without a Wait (SendLossy/SendControl).
+func (r *Request) releaseSender() {
+	if r.m != nil {
+		m := r.m
+		r.m = nil
+		m.release()
+	}
+}
+
+// msgQueue is one inbox FIFO. A head index instead of re-slicing keeps
+// the backing array alive across push/pop cycles, so a steady-state
+// exchange pattern reaches zero allocations per message.
+type msgQueue struct {
+	buf  []*message
+	head int
+}
+
+func (q *msgQueue) empty() bool     { return q.head == len(q.buf) }
+func (q *msgQueue) peek() *message  { return q.buf[q.head] }
+func (q *msgQueue) push(m *message) { q.buf = append(q.buf, m) }
+
+func (q *msgQueue) pop() *message {
+	m := q.buf[q.head]
+	q.buf[q.head] = nil // drop the reference; the pool may reuse m
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return m
 }
 
 // cluster is the shared simulator state. Node methods synchronize
@@ -207,12 +274,6 @@ type cluster struct {
 	egressFree  []float64
 	ingressFree []float64
 	bpFree      float64
-
-	// woken collects ranks unblocked since the last scheduler merge;
-	// appended only by the single running rank, drained only by the
-	// scheduler between handoffs. Serial scheduler only — the parallel
-	// scheduler's election scans rank states directly.
-	woken []int
 
 	// par is the parallel scheduler's state; nil under the serial
 	// scheduler, which also turns every lockPar/unlockPar into a no-op.
@@ -323,20 +384,44 @@ func RunWithFaults(p int, model *Model, inj Injector, body func(n *Node)) (wall,
 			P:      p,
 			net:    c,
 			resume: make(chan struct{}),
-			inbox:  map[msgKey][]*message{},
+			inbox:  map[msgKey]*msgQueue{},
 		}
 	}
+	kind, err := resolveScheduler(model, p)
+	if err != nil {
+		return nil, nil, err
+	}
 	var wg sync.WaitGroup
-	if resolveScheduler(model, p) {
-		// Parallel conservative scheduler: rank host code overlaps on
-		// real cores, shared-state events admitted in serial order.
+	if kind != kindSerial {
+		// Host-parallel schedulers: rank host code overlaps on real
+		// cores. The conservative scheduler admits shared-state events
+		// in serial order (bit-identical); the relaxed one admits
+		// within a bounded virtual-time window (relaxed.go).
 		c.par = &parSched{live: p}
 		c.par.cond = sync.NewCond(&c.par.mu)
+		if kind == kindRelaxed {
+			c.par.relaxed = true
+			w := model.RelaxWindowUS
+			if w == 0 {
+				w = defaultRelaxWindowUS
+			}
+			c.par.window = w * us
+			c.par.winEnd = c.par.window
+		}
+		// Seed the election heap before any rank can run: the first
+		// election must see every rank at key 0.
+		for i := 0; i < p; i++ {
+			c.pushElect(c.nodes[i])
+		}
 		for i := 0; i < p; i++ {
 			wg.Add(1)
 			go c.parRank(c.nodes[i], body, &wg)
 		}
-		c.parRun()
+		if kind == kindRelaxed {
+			c.relaxedRun()
+		} else {
+			c.parRun()
+		}
 		wg.Wait()
 		return c.collect(p)
 	}
@@ -367,44 +452,43 @@ func RunWithFaults(p int, model *Model, inj Injector, body func(n *Node)) (wall,
 		}()
 	}
 
-	// Scheduler loop.
+	// Scheduler loop. One pass per election over the rank states
+	// directly: a rank is a candidate when it is runnable (blockKind ==
+	// blockNone — parked at <-resume, woken, or freshly launched) at
+	// its clock, or blocked in RecvDeadline at its deadline. Scanning
+	// states in place replaces the old runnable-map bookkeeping (and
+	// its per-event map churn) with the identical candidate set: the
+	// elected minimum does not depend on visit order, and maybeStall
+	// only ever moves the visited rank's own clock. The serial
+	// scheduler stays O(P) per event by design — it is the bit-exact
+	// reference the parallel schedulers are differentially tested
+	// against; the O(log P) election lives in parsched.go.
 	schedDone := make(chan struct{})
 	go func() {
 		defer close(schedDone)
-		running := 0 // how many rank goroutines exist and are not done
-		c.mu.Lock()
-		running = p
-		c.mu.Unlock()
-		// Initially all ranks are runnable and paused at <-resume.
-		runnable := map[int]bool{}
-		for i := 0; i < p; i++ {
-			runnable[i] = true
-		}
+		running := p // rank goroutines not yet done
 		for running > 0 {
-			// Pick the candidate with the smallest virtual time (ties:
-			// lowest rank id, for determinism regardless of map order).
-			// Candidates are the runnable ranks (at their clock) and the
-			// ranks blocked in RecvDeadline (at their deadline).
 			pick := -1
 			pickTimeout := false
 			var pickClock float64
-			for id := range runnable {
-				n := c.nodes[id]
-				// Apply a pending rank-stall fault before electing a
-				// candidate: the freeze must reorder this rank against
-				// other ranks' deadlines, not fire after the rank has
-				// already been resumed at its pre-stall clock.
-				n.maybeStall()
-				if pick < 0 || n.clock < pickClock || (n.clock == pickClock && id < pick) {
-					pick, pickClock, pickTimeout = id, n.clock, false
-				}
-			}
 			for _, n := range c.nodes {
-				if n.done || n.blockKind != blockRecvDeadline {
+				if n.done {
 					continue
 				}
-				if pick < 0 || n.deadline < pickClock || (n.deadline == pickClock && n.Rank < pick) {
-					pick, pickClock, pickTimeout = n.Rank, n.deadline, true
+				switch n.blockKind {
+				case blockNone:
+					// Apply a pending rank-stall fault before electing a
+					// candidate: the freeze must reorder this rank against
+					// other ranks' deadlines, not fire after the rank has
+					// already been resumed at its pre-stall clock.
+					n.maybeStall()
+					if pick < 0 || n.clock < pickClock || (n.clock == pickClock && n.Rank < pick) {
+						pick, pickClock, pickTimeout = n.Rank, n.clock, false
+					}
+				case blockRecvDeadline:
+					if pick < 0 || n.deadline < pickClock || (n.deadline == pickClock && n.Rank < pick) {
+						pick, pickClock, pickTimeout = n.Rank, n.deadline, true
+					}
 				}
 			}
 			if pick < 0 {
@@ -429,27 +513,10 @@ func RunWithFaults(p int, model *Model, inj Injector, body func(n *Node)) (wall,
 				n.blockKind = blockNone
 				n.timedOut = true
 			}
-			delete(runnable, pick)
 			c.nodes[pick].resume <- struct{}{}
 			// Wait for that rank to yield back (or finish).
-			id := <-c.schedCh
-			if id == -1 {
+			if id := <-c.schedCh; id == -1 {
 				running--
-			}
-			// Merge the ranks this handoff unblocked, plus the yielder
-			// itself if it is still runnable.
-			for _, rid := range c.woken {
-				n := c.nodes[rid]
-				if !n.done && n.blockKind == blockNone {
-					runnable[rid] = true
-				}
-			}
-			c.woken = c.woken[:0]
-			if id >= 0 {
-				n := c.nodes[id]
-				if !n.done && n.blockKind == blockNone {
-					runnable[id] = true
-				}
 			}
 		}
 	}()
@@ -533,8 +600,12 @@ func (c *cluster) deadlockError(running int) error {
 
 // yield hands control back to the scheduler and waits to be resumed.
 func (n *Node) yield() {
-	if n.net.par != nil {
-		n.net.parYield(n)
+	if par := n.net.par; par != nil {
+		if par.relaxed {
+			n.net.relaxedYield(n)
+		} else {
+			n.net.parYield(n)
+		}
 		return
 	}
 	n.net.schedCh <- n.Rank
@@ -543,6 +614,17 @@ func (n *Node) yield() {
 		panic(poisonSignal{})
 	}
 	n.maybeCrash()
+}
+
+// sliceLock/sliceUnlock bracket a relaxed-mode shared-state slice that
+// does not start with begin() — Compute and Sleep mutate the rank's
+// clock, which other ranks read under the slice lock. No-ops under the
+// serial and conservative schedulers (exclusive admission covers
+// them). sliceLock's lock is consumed by the yield() ending the slice.
+func (c *cluster) sliceLock() {
+	if c.par != nil && c.par.relaxed {
+		c.par.big.Lock()
+	}
 }
 
 // maybeStall applies a pending rank-stall fault: the first time the
@@ -597,9 +679,10 @@ func (n *Node) maybeCrash() {
 			peer.blockKind = blockNone
 			if c.par != nil {
 				c.applyStallLocked(peer)
-			} else {
-				c.woken = append(c.woken, peer.Rank)
+				c.pushElect(peer)
 			}
+			// Serial: the election scan sees the cleared blockKind
+			// directly; nothing else to record.
 		}
 	}
 	c.unlockPar()
@@ -622,6 +705,7 @@ func (n *Node) Compute(dt float64) {
 		n.net.failOnce(fmt.Errorf("simnet: rank %d: negative compute time %g", n.Rank, dt))
 		panic(poisonSignal{})
 	}
+	n.net.sliceLock()
 	n.clock += dt
 	n.cpu += dt
 	n.yield()
@@ -635,6 +719,7 @@ func (n *Node) Sleep(dt float64) {
 		n.net.failOnce(fmt.Errorf("simnet: rank %d: negative sleep time %g", n.Rank, dt))
 		panic(poisonSignal{})
 	}
+	n.net.sliceLock()
 	n.clock += dt
 	n.yield()
 }
@@ -665,7 +750,8 @@ func (n *Node) Isend(dst, tag int, data []float64) *Request {
 // not be consulted by protocol code (a real sender cannot observe a
 // drop).
 func (n *Node) SendLossy(dst, tag int, data []float64) bool {
-	_, delivered := n.isend(dst, tag, data, true, true)
+	r, delivered := n.isend(dst, tag, data, true, true)
+	r.releaseSender() // handle discarded without a Wait
 	return delivered
 }
 
@@ -678,7 +764,8 @@ func (n *Node) SendLossy(dst, tag int, data []float64) bool {
 // lost final ack (the two-generals tail), so the loss model applies
 // to payload messages only.
 func (n *Node) SendControl(dst, tag int, data []float64) {
-	n.isend(dst, tag, data, true, false)
+	r, _ := n.isend(dst, tag, data, true, false)
+	r.releaseSender() // handle discarded without a Wait
 }
 
 func (n *Node) isend(dst, tag int, data []float64, forceEager, droppable bool) (*Request, bool) {
@@ -687,35 +774,44 @@ func (n *Node) isend(dst, tag int, data []float64, forceEager, droppable bool) (
 		// Self-send: buffer locally with no network cost.
 		cp := append([]float64(nil), data...)
 		key := msgKey{n.Rank, tag}
-		m := &message{key: key, dst: dst, data: cp, arrive: n.clock, ready: n.clock, xferDone: true, size: 8 * len(data), posted: n.clock}
-		n.inbox[key] = append(n.inbox[key], m)
+		m := getMsg(2) // sender Request + receiver delivery
+		m.key = key
+		m.dst = dst
+		m.data = cp
+		m.arrive = n.clock
+		m.ready = n.clock
+		m.xferDone = true
+		m.size = 8 * len(data)
+		m.posted = n.clock
+		n.queueFor(key).push(m)
 		n.yield()
-		return &Request{m: m}, true
+		return &m.req, true
 	}
 	c := n.net
 	link := c.model.link(n.Rank, dst)
 	size := n.timedSize(len(data))
 	cp := append([]float64(nil), data...)
+	rendezv := !forceEager && link.EagerLimit > 0 && size > link.EagerLimit
 
 	// Sender CPU overhead: fixed protocol cost plus per-byte stack
-	// copies (TCP); DMA-driven networks set CPUCopyMBs to 0.
+	// copies (TCP); DMA-driven networks set CPUCopyMBs to 0, and a
+	// kernel-bypass rendezvous (ZeroCopy) DMAs straight from the user
+	// buffer — only its eager messages pay the bounce-buffer copy.
 	o := link.OverheadUS * us
-	if link.CPUCopyMBs > 0 {
+	if link.CPUCopyMBs > 0 && !(rendezv && link.ZeroCopy) {
 		o += float64(size) / (link.CPUCopyMBs * mb)
 	}
 	n.clock += o
 	n.cpu += o
 
-	rendezv := !forceEager && link.EagerLimit > 0 && size > link.EagerLimit
-	m := &message{
-		key:     msgKey{n.Rank, tag},
-		dst:     dst,
-		data:    cp,
-		rendezv: rendezv,
-		sender:  n,
-		size:    size,
-		posted:  n.clock,
-	}
+	m := getMsg(2) // sender Request + receiver delivery (adjusted on drop)
+	m.key = msgKey{n.Rank, tag}
+	m.dst = dst
+	m.data = cp
+	m.rendezv = rendezv
+	m.sender = n
+	m.size = size
+	m.posted = n.clock
 	dstNode := c.nodes[dst]
 	if !rendezv {
 		// Eager transfers cross the wire immediately; the injector may
@@ -733,9 +829,11 @@ func (n *Node) isend(dst, tag int, data []float64, forceEager, droppable bool) (
 		m.xferDone = true
 		if !dropped {
 			n.deliver(dstNode, m)
+		} else {
+			m.release() // the receiver share: nothing was delivered
 		}
 		n.yield()
-		return &Request{m: m}, !dropped
+		return &m.req, !dropped
 	}
 	// Rendezvous: if the receiver is already waiting, transfer now;
 	// otherwise park until it posts the matching receive. The receiver's
@@ -752,13 +850,13 @@ func (n *Node) isend(dst, tag int, data []float64, forceEager, droppable bool) (
 		n.deliverLocked(dstNode, m)
 		c.unlockPar()
 		n.yield()
-		return &Request{m: m}, true
+		return &m.req, true
 	}
 	m.arrive = -1
 	n.deliverLocked(dstNode, m)
 	c.unlockPar()
 	n.yield()
-	return &Request{m: m}, true
+	return &m.req, true
 }
 
 // linkLatency returns the (possibly degraded) one-way latency of the
@@ -776,12 +874,17 @@ func (n *Node) linkLatency(link *LinkModel, dst int, t float64) float64 {
 
 // Wait blocks until the send completes (for rendezvous, until the
 // receiver has posted and the payload has left the sender's NIC).
+// Waiting releases the request: a Request must not be waited on twice.
 func (n *Node) Wait(r *Request) {
 	if r.m == nil {
 		return
 	}
-	if n.net.par != nil {
-		n.parWait(r)
+	if par := n.net.par; par != nil {
+		if par.relaxed {
+			n.relaxedWait(r)
+		} else {
+			n.parWait(r)
+		}
 		return
 	}
 	for !r.m.xferDone {
@@ -791,7 +894,9 @@ func (n *Node) Wait(r *Request) {
 		n.waitSend = nil
 	}
 	n.clock = max(n.clock, r.m.ready)
+	m := r.m
 	r.m = nil
+	m.release()
 }
 
 // matches reports whether a posted receive key (which may use
@@ -874,11 +979,21 @@ func (n *Node) deliver(dst *Node, m *message) {
 	n.net.unlockPar()
 }
 
+// queueFor returns (creating if needed) the inbox FIFO for a key.
+func (n *Node) queueFor(k msgKey) *msgQueue {
+	q := n.inbox[k]
+	if q == nil {
+		q = &msgQueue{}
+		n.inbox[k] = q
+	}
+	return q
+}
+
 // deliverLocked is deliver with the parallel scheduler's lock already
 // held (no-op lock under the serial scheduler).
 func (n *Node) deliverLocked(dst *Node, m *message) {
 	c := n.net
-	dst.inbox[m.key] = append(dst.inbox[m.key], m)
+	dst.queueFor(m.key).push(m)
 	if (dst.blockKind == blockRecv || dst.blockKind == blockRecvDeadline) &&
 		dst.waitKey != nil && matches(*dst.waitKey, m.key) {
 		dst.blockKind = blockNone
@@ -888,9 +1003,9 @@ func (n *Node) deliverLocked(dst *Node, m *message) {
 			// scheduler's election scan would apply a due stall before
 			// the rank could be picked; do it at the wake instant.
 			c.applyStallLocked(dst)
-		} else {
-			c.woken = append(c.woken, dst.Rank)
+			c.pushElect(dst)
 		}
+		// Serial: the election scan sees the cleared blockKind directly.
 	}
 }
 
@@ -1000,54 +1115,56 @@ func (n *Node) consume(m *message) []float64 {
 			m.sender.blockKind = blockNone
 			if c.par != nil {
 				c.applyStallLocked(m.sender)
-			} else {
-				c.woken = append(c.woken, m.sender.Rank)
+				c.pushElect(m.sender)
 			}
+			// Serial: the election scan sees the cleared blockKind.
 		}
 		c.unlockPar()
 	}
 	n.clock = max(n.clock, m.arrive)
 	if m.sender != nil {
 		link := n.net.model.link(m.sender.Rank, n.Rank)
-		if link.CPUCopyMBs > 0 {
+		// A kernel-bypass rendezvous (ZeroCopy) lands by DMA in the
+		// receive buffer; only eager/bounce-buffered messages pay the
+		// protocol copy.
+		if link.CPUCopyMBs > 0 && !(m.rendezv && link.ZeroCopy) {
 			o := float64(m.size) / (link.CPUCopyMBs * mb)
 			n.clock += o
 			n.cpu += o
 		}
 	}
 	n.yield()
-	return m.data
+	data := m.data
+	m.release() // receiver share: the payload has been handed over
+	return data
 }
 
 // takeMatch removes and returns the earliest matching message, or nil.
 func (n *Node) takeMatch(want msgKey) *message {
 	if want.src != AnySource && want.tag != AnyTag {
 		q := n.inbox[want]
-		if len(q) == 0 {
+		if q == nil || q.empty() {
 			return nil
 		}
-		m := q[0]
-		n.inbox[want] = q[1:]
-		return m
+		return q.pop()
 	}
 	// Wildcard: scan all queues, earliest posted first for fairness.
-	var best *message
+	var best *msgQueue
 	var bestKey msgKey
 	for k, q := range n.inbox {
-		if len(q) == 0 || !matches(want, k) {
+		if q.empty() || !matches(want, k) {
 			continue
 		}
-		if best == nil || q[0].posted < best.posted ||
-			(q[0].posted == best.posted && lessKey(k, bestKey)) {
-			best = q[0]
+		if best == nil || q.peek().posted < best.peek().posted ||
+			(q.peek().posted == best.peek().posted && lessKey(k, bestKey)) {
+			best = q
 			bestKey = k
 		}
 	}
 	if best == nil {
 		return nil
 	}
-	n.inbox[bestKey] = n.inbox[bestKey][1:]
-	return best
+	return best.pop()
 }
 
 // lessKey orders message keys deterministically (tie-break for
