@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: check build vet fmt test race bench-baseline bench-ckpt bench-simnet bench-adapt bench-farm race-ckpt race-simnet race-sched-single race-sched-multi race-policy race-farm
+.PHONY: check build vet fmt test race bench-baseline bench-ckpt bench-simnet bench-adapt bench-farm bench-spectral race-ckpt race-simnet race-sched-single race-sched-multi race-policy race-farm race-spectral
 
 build:
 	$(GO) build ./...
@@ -101,4 +101,20 @@ race-farm:
 	$(GO) test -race -count=1 ./internal/farm \
 		&& $(GO) test -race -count=1 ./internal/bench -run TestFarmbenchChaos
 
-check: build vet fmt race race-ckpt race-simnet race-policy race-farm
+# The pseudospectral solvers run per-thread flop recorders and the
+# distributed transpose inside rank goroutines; force the parallel
+# scheduler and put the package plus its transform substrate under the
+# race detector.
+race-spectral:
+	NEKTAR_SIMNET_SCHED=parallel $(GO) test -race -count=1 \
+		./internal/spectral ./internal/fft
+
+# Regenerate the committed serial-vs-slab spectral baseline
+# (BENCH_spectral.json at the repo root). Bit-identity between the
+# serial reference and both scheduler runs is enforced before any
+# number is written; a 1-core host is refused unless
+# BENCH_SPECTRAL_FORCE=1 is also set.
+bench-spectral:
+	BENCH_SPECTRAL=1 $(GO) test ./internal/bench -run TestWriteSpectralBaseline -count=1 -v -timeout 30m
+
+check: build vet fmt race race-ckpt race-simnet race-policy race-farm race-spectral

@@ -18,9 +18,11 @@ import (
 	"time"
 
 	"nektar/internal/bench"
+	"nektar/internal/cliutil"
 	"nektar/internal/engine"
 	"nektar/internal/farm"
 	"nektar/internal/report"
+	"nektar/internal/spectral"
 )
 
 // experiment is one runnable section of the reproduction.
@@ -222,6 +224,46 @@ var experiments = []experiment{
 			return err
 		}
 		tbl.Write(w)
+		return nil
+	}},
+	{"spectral", "pseudospectral turbulence: serial vs slab bit-identity + online spectra", func(w io.Writer, quick bool) error {
+		cfg := bench.PaperSpectral
+		if quick {
+			cfg = bench.QuickSpectral
+		}
+		if err := cliutil.SpectralFlags(cfg.N, 500, true, 3, 5); err != nil {
+			return err
+		}
+		_, tbl, err := bench.RunSpectralBench(cfg)
+		if err != nil {
+			return err
+		}
+		tbl.Write(w)
+		// A short forced run with the tracer on, to show the online
+		// spectrum/dissipation stream and its offline aggregation.
+		var buf bytes.Buffer
+		s, err := spectral.NewForced(spectral.Config{
+			N: cfg.N, Re: 500, Dt: 2e-3, Seed: 33, DiagEvery: 2,
+		}, nil, nil)
+		if err != nil {
+			return err
+		}
+		s.Trace = engine.NewTracer(&buf)
+		loop := engine.Loop{Solver: s, Steps: 8, Trace: s.Trace}
+		if _, err := loop.Run(); err != nil {
+			return err
+		}
+		evs, err := engine.ReadEvents(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(buf.Bytes()); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		report.TraceBreakdown(evs, fmt.Sprintf(
+			"Spectral trace: forced 2D turbulence event stream — N=%d, 8 steps, diag every 2 (%d events)",
+			cfg.N, len(evs))).Write(w)
 		return nil
 	}},
 	{"table3_fig15-16_nektarale", "Nektar-ALE flapping wing: Table 3 + Figures 15-16", func(w io.Writer, quick bool) error {

@@ -20,6 +20,11 @@ func WriteSimnetBaseline(path string, res *SimbenchResult, force bool) error {
 			"bench: refusing to overwrite %s from a 1-core host: the serial-vs-parallel speedups would be core-starved noise, not a baseline; re-run on a multi-core host, or pass -force to record anyway (the file stamps NumCPU=1 so readers can discount it)",
 			path)
 	}
+	return writeBaselineJSON(path, res)
+}
+
+// writeBaselineJSON renders a baseline schema to its committed file.
+func writeBaselineJSON(path string, res any) error {
 	buf, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
 		return err

@@ -1,0 +1,216 @@
+package bench
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"runtime"
+	"time"
+
+	"nektar/internal/machine"
+	"nektar/internal/mpi"
+	"nektar/internal/report"
+	"nektar/internal/simnet"
+	"nektar/internal/spectral"
+)
+
+// Spectral bench: the slab-decomposed pseudospectral solvers against
+// their serial selves. Each cell runs one variant three ways — a plain
+// one-rank host run (no simnet), the P-rank slab run under the serial
+// scheduler, and the same slab run under the host-parallel scheduler —
+// and requires the three trajectories to be bit-identical before any
+// number is recorded: the serial host run is the physics reference,
+// and the two scheduler runs are the clock contract. BENCH_spectral.json
+// carries GOMAXPROCS and the host core count next to the speedups for
+// the same reason BENCH_simnet.json does: a 1-core box's ~1x is a core
+// budget, not a regression.
+
+// SpectralBenchConfig parametrizes the sweep.
+type SpectralBenchConfig struct {
+	N     int   // grid size (power of two >= 8)
+	Steps int   // steps per run
+	Procs []int // slab rank counts (each must divide N)
+}
+
+// PaperSpectral is the committed-baseline configuration.
+var PaperSpectral = SpectralBenchConfig{N: 32, Steps: 4, Procs: []int{4, 8}}
+
+// QuickSpectral is the budget-limited variant.
+var QuickSpectral = SpectralBenchConfig{N: 16, Steps: 2, Procs: []int{4}}
+
+// SpectralCellResult is one variant x rank-count measurement.
+type SpectralCellResult struct {
+	Workload string
+	Procs    int
+
+	SerialHostS       float64 // one-rank reference run, real host seconds
+	SlabSerialHostS   float64 // P-rank slab run, serial scheduler
+	SlabParallelHostS float64 // P-rank slab run, parallel scheduler
+	Speedup           float64 // SlabSerialHostS / SlabParallelHostS
+
+	// VirtualWallS is the max per-rank virtual wall clock of the slab
+	// run — identical between the two schedulers by construction.
+	VirtualWallS float64
+}
+
+// SpectralBenchResult is the schema of BENCH_spectral.json.
+type SpectralBenchResult struct {
+	GoMaxProcs int
+	NumCPU     int
+	N          int
+	Steps      int
+	Cells      []SpectralCellResult
+}
+
+// spectralVariants names the two solver builds the bench sweeps.
+var spectralVariants = []struct {
+	name string
+	mk   func(cfg spectral.Config, comm *mpi.Comm, cpu *machine.CPU) (*spectral.Turb2D, error)
+}{
+	{"turb2d", spectral.NewTurb2D},
+	{"turbforce", spectral.NewForced},
+}
+
+// hashField canonicalizes a spectral state slab to its float bits.
+func hashField(w []complex128) string {
+	h := sha256.New()
+	var b [16]byte
+	for _, v := range w {
+		putBits(b[0:8], real(v))
+		putBits(b[8:16], imag(v))
+		h.Write(b[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func putBits(dst []byte, f float64) {
+	u := math.Float64bits(f)
+	for i := 0; i < 8; i++ {
+		dst[i] = byte(u >> (8 * i))
+	}
+}
+
+// runSpectralSlab runs one variant at p ranks under one scheduler and
+// returns per-rank slab hashes, the max virtual wall, and host seconds.
+func runSpectralSlab(cfg spectral.Config, mk func(spectral.Config, *mpi.Comm, *machine.CPU) (*spectral.Turb2D, error),
+	p, steps int, sched simnet.Scheduler) ([]string, float64, float64, error) {
+	mach := machine.Muses()
+	model := *mach.Net
+	model.Scheduler = sched
+	hashes := make([]string, p)
+	t0 := time.Now()
+	wall, _, err := simnet.Run(p, &model, func(n *simnet.Node) {
+		s, err := mk(cfg, mpi.World(n), &mach.CPU)
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i < steps; i++ {
+			s.Step()
+		}
+		hashes[n.Rank] = hashField(s.Field())
+	})
+	hostS := time.Since(t0).Seconds()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	var maxWall float64
+	for _, w := range wall {
+		maxWall = max(maxWall, w)
+	}
+	return hashes, maxWall, hostS, nil
+}
+
+// RunSpectralBench executes the sweep and renders the comparison table.
+func RunSpectralBench(cfg SpectralBenchConfig) (*SpectralBenchResult, *report.Table, error) {
+	res := &SpectralBenchResult{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		N:          cfg.N,
+		Steps:      cfg.Steps,
+	}
+	for _, v := range spectralVariants {
+		scfg := spectral.Config{N: cfg.N, Re: 500, Dt: 2e-3, Seed: 33}
+
+		// One-rank physics reference: per-slab hashes of the serial field,
+		// so the slab runs compare slab-for-slab.
+		ser, err := v.mk(scfg, nil, nil)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bench: spectral %s: %w", v.name, err)
+		}
+		t0 := time.Now()
+		for i := 0; i < cfg.Steps; i++ {
+			ser.Step()
+		}
+		serialS := time.Since(t0).Seconds()
+		field := ser.Field()
+
+		for _, p := range cfg.Procs {
+			if p < 1 || cfg.N%p != 0 {
+				return nil, nil, fmt.Errorf("bench: spectral: P=%d does not divide N=%d", p, cfg.N)
+			}
+			nloc := cfg.N / p
+			want := make([]string, p)
+			for r := 0; r < p; r++ {
+				want[r] = hashField(field[r*nloc*cfg.N : (r+1)*nloc*cfg.N])
+			}
+			hs, wallS, slabSerialS, err := runSpectralSlab(scfg, v.mk, p, cfg.Steps, simnet.SchedSerial)
+			if err != nil {
+				return nil, nil, fmt.Errorf("bench: spectral %s P=%d serial: %w", v.name, p, err)
+			}
+			hp, wallP, slabParS, err := runSpectralSlab(scfg, v.mk, p, cfg.Steps, simnet.SchedParallel)
+			if err != nil {
+				return nil, nil, fmt.Errorf("bench: spectral %s P=%d parallel: %w", v.name, p, err)
+			}
+			for r := 0; r < p; r++ {
+				if hs[r] != want[r] {
+					return nil, nil, fmt.Errorf(
+						"bench: spectral %s P=%d: slab trajectory diverged from the serial reference at rank %d", v.name, p, r)
+				}
+				if hs[r] != hp[r] {
+					return nil, nil, fmt.Errorf(
+						"bench: spectral %s P=%d: trajectories diverged between schedulers at rank %d", v.name, p, r)
+				}
+			}
+			if math.Float64bits(wallS) != math.Float64bits(wallP) {
+				return nil, nil, fmt.Errorf(
+					"bench: spectral %s P=%d: virtual wall diverged between schedulers (%v vs %v)", v.name, p, wallS, wallP)
+			}
+			res.Cells = append(res.Cells, SpectralCellResult{
+				Workload:          v.name,
+				Procs:             p,
+				SerialHostS:       serialS,
+				SlabSerialHostS:   slabSerialS,
+				SlabParallelHostS: slabParS,
+				Speedup:           slabSerialS / slabParS,
+				VirtualWallS:      wallS,
+			})
+		}
+	}
+
+	tbl := report.NewTable(
+		fmt.Sprintf("Spectral bench: serial vs slab-parallel pseudospectral solvers, bit-identity enforced (GOMAXPROCS=%d, host cores=%d, N=%d, %d steps)",
+			res.GoMaxProcs, res.NumCPU, res.N, res.Steps),
+		"workload", "P", "1-rank host s", "slab serial s", "slab parallel s", "speedup", "virtual wall s")
+	for _, c := range res.Cells {
+		tbl.AddRow(c.Workload, fmt.Sprintf("%d", c.Procs),
+			fmt.Sprintf("%.3f", c.SerialHostS), fmt.Sprintf("%.3f", c.SlabSerialHostS),
+			fmt.Sprintf("%.3f", c.SlabParallelHostS), fmt.Sprintf("%.2fx", c.Speedup),
+			fmt.Sprintf("%.4f", c.VirtualWallS))
+	}
+	return res, tbl, nil
+}
+
+// WriteSpectralBaseline records res as the committed BENCH_spectral.json
+// baseline, under the same 1-core honesty rule as WriteSimnetBaseline:
+// a single-core host cannot measure the parallel scheduler, so the
+// write is refused without force, and a forced write still stamps
+// GoMaxProcs/NumCPU so readers can discount it.
+func WriteSpectralBaseline(path string, res *SpectralBenchResult, force bool) error {
+	if runtime.NumCPU() == 1 && !force {
+		return fmt.Errorf(
+			"bench: refusing to overwrite %s from a 1-core host: the serial-vs-parallel speedups would be core-starved noise, not a baseline; re-run on a multi-core host, or pass -force to record anyway (the file stamps NumCPU=1 so readers can discount it)",
+			path)
+	}
+	return writeBaselineJSON(path, res)
+}

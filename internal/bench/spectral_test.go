@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestSpectralBenchQuick runs the budget-limited sweep on every test
+// pass: the bit-identity enforcement inside RunSpectralBench (serial
+// reference vs slab, serial vs parallel scheduler) is the assertion;
+// the numbers are incidental here.
+func TestSpectralBenchQuick(t *testing.T) {
+	res, tbl, err := RunSpectralBench(QuickSpectral)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 2 {
+		t.Fatalf("quick sweep produced %d cells, want 2 (turb2d + turbforce at P=4)", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if c.VirtualWallS <= 0 {
+			t.Errorf("%s P=%d: non-positive virtual wall %g", c.Workload, c.Procs, c.VirtualWallS)
+		}
+	}
+	var buf bytes.Buffer
+	tbl.Write(&buf)
+	if !strings.Contains(buf.String(), "turbforce") {
+		t.Fatalf("bench table missing turbforce row:\n%s", buf.String())
+	}
+}
+
+// TestWriteSpectralBaseline regenerates BENCH_spectral.json (the
+// committed serial-vs-slab baseline) when BENCH_SPECTRAL=1 is set;
+// `make bench-spectral` runs it. The write goes through
+// WriteSpectralBaseline, so a 1-core host is refused unless
+// BENCH_SPECTRAL_FORCE=1 deliberately overrides — the file stamps
+// GOMAXPROCS and the host core count next to the speedups.
+func TestWriteSpectralBaseline(t *testing.T) {
+	if os.Getenv("BENCH_SPECTRAL") == "" {
+		t.Skip("set BENCH_SPECTRAL=1 to regenerate BENCH_spectral.json")
+	}
+	res, _, err := RunSpectralBench(PaperSpectral)
+	if err != nil {
+		t.Fatal(err)
+	}
+	force := os.Getenv("BENCH_SPECTRAL_FORCE") != ""
+	if err := WriteSpectralBaseline("../../BENCH_spectral.json", res, force); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriteSpectralBaselineGuard: the writer must refuse a 1-core host
+// without force and leave the target untouched; force must always
+// write, and the file must round-trip through the JSON schema.
+func TestWriteSpectralBaselineGuard(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_spectral.json")
+	res := &SpectralBenchResult{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		N:          16, Steps: 2,
+		Cells: []SpectralCellResult{{Workload: "turb2d", Procs: 4, Speedup: 1}},
+	}
+	err := WriteSpectralBaseline(path, res, false)
+	if runtime.NumCPU() == 1 {
+		if err == nil {
+			t.Fatal("1-core write without force succeeded")
+		}
+		if _, statErr := os.Stat(path); !os.IsNotExist(statErr) {
+			t.Fatal("refused write left a file behind")
+		}
+	} else if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSpectralBaseline(path, res, true); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SpectralBenchResult
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.NumCPU != res.NumCPU || len(back.Cells) != 1 || back.Cells[0].Workload != "turb2d" {
+		t.Fatalf("baseline did not round-trip: %+v", back)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"nektar/internal/machine"
 	"nektar/internal/mesh"
 	"nektar/internal/mpi"
+	"nektar/internal/spectral"
 )
 
 // Workload is a named, demonstration-scale solver setup the engine can
@@ -70,6 +71,26 @@ var workloads = map[string]Workload{
 			}
 			ns.SetUniformInitial(1, 0, 0)
 			return ns, nil
+		},
+	},
+	"turb2d": {
+		Name:            "turb2d",
+		Description:     "decaying 2D pseudospectral turbulence (slab-parallel, de-aliased)",
+		PowerOfTwoRanks: true,
+		New: func(comm *mpi.Comm, cpu *machine.CPU) (engine.Solver, error) {
+			return spectral.NewTurb2D(spectral.Config{
+				N: 16, Re: 500, Dt: 2e-3, Seed: 20,
+			}, comm, cpu)
+		},
+	},
+	"turbforce": {
+		Name:            "turbforce",
+		Description:     "forced 2D pseudospectral turbulence (Basdevant form, banded white noise)",
+		PowerOfTwoRanks: true,
+		New: func(comm *mpi.Comm, cpu *machine.CPU) (engine.Solver, error) {
+			return spectral.NewForced(spectral.Config{
+				N: 16, Re: 500, Dt: 2e-3, Seed: 21,
+			}, comm, cpu)
 		},
 	},
 }

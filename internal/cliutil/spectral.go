@@ -1,0 +1,47 @@
+package cliutil
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// SpectralFlags validates the flag tuple the spectral front ends
+// (cmd/spectral, the repro "spectral" experiment) share: grid size,
+// Reynolds number, and — for the forced variant — the forcing shell
+// band. Like CheckpointFlags, every problem with the tuple is reported
+// in ONE error, and each message carries the menu of valid values
+// rather than a bare rejection, so a typo is answered with what would
+// have worked.
+func SpectralFlags(n int, re float64, forced bool, lo, hi int) error {
+	var problems []string
+	if n < 8 || n&(n-1) != 0 {
+		problems = append(problems, fmt.Sprintf(
+			"-n %d is not a power-of-two grid size >= 8 (valid: 8, 16, 32, 64, 128, ...)", n))
+	}
+	if !(re > 0) || math.IsInf(re, 0) || math.IsNaN(re) {
+		problems = append(problems, fmt.Sprintf(
+			"-re %g is not a Reynolds number (valid: any positive finite value, e.g. 100)", re))
+	}
+	if forced {
+		// The de-aliased band keeps shells 1..n/3; forcing outside it
+		// would inject energy straight into truncated modes.
+		kmax := n / 3
+		if lo < 1 || hi <= lo || (kmax >= 2 && hi > kmax) {
+			menu := fmt.Sprintf("1 <= lo < hi <= %d for -n %d", kmax, n)
+			if kmax < 2 {
+				menu = fmt.Sprintf("no band fits -n %d; use -n >= 8", n)
+			}
+			problems = append(problems, fmt.Sprintf(
+				"forcing band [%d, %d] is not a valid shell band (valid: %s)", lo, hi, menu))
+		}
+	}
+	switch len(problems) {
+	case 0:
+		return nil
+	case 1:
+		return fmt.Errorf("%s", problems[0])
+	default:
+		return fmt.Errorf("spectral flags: %s", strings.Join(problems, "; "))
+	}
+}

@@ -1,0 +1,68 @@
+package cliutil
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSpectralFlagsAccepts(t *testing.T) {
+	cases := []struct {
+		n      int
+		re     float64
+		forced bool
+		lo, hi int
+	}{
+		{8, 100, false, 0, 0},
+		{16, 1, false, 0, 0},
+		{64, 2500, true, 3, 5},
+		{16, 100, true, 1, 5},
+		{256, 1e4, true, 2, 80},
+	}
+	for _, c := range cases {
+		if err := SpectralFlags(c.n, c.re, c.forced, c.lo, c.hi); err != nil {
+			t.Errorf("SpectralFlags(%+v) = %v, want nil", c, err)
+		}
+	}
+}
+
+func TestSpectralFlagsRejectsWithMenu(t *testing.T) {
+	cases := []struct {
+		name   string
+		n      int
+		re     float64
+		forced bool
+		lo, hi int
+		want   string // substring the menu-style message must carry
+	}{
+		{"odd grid", 12, 100, false, 0, 0, "power-of-two"},
+		{"tiny grid", 4, 100, false, 0, 0, "8, 16, 32"},
+		{"zero Re", 16, 0, false, 0, 0, "positive finite"},
+		{"negative Re", 16, -5, false, 0, 0, "positive finite"},
+		{"inverted band", 16, 100, true, 5, 3, "1 <= lo < hi"},
+		{"band too high", 16, 100, true, 2, 9, "<= 5 for -n 16"},
+		{"zero lo", 16, 100, true, 0, 3, "1 <= lo"},
+	}
+	for _, c := range cases {
+		err := SpectralFlags(c.n, c.re, c.forced, c.lo, c.hi)
+		if err == nil {
+			t.Errorf("%s: SpectralFlags accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not show the menu %q", c.name, err, c.want)
+		}
+	}
+}
+
+// A tuple with several problems reports all of them at once.
+func TestSpectralFlagsReportsEveryProblem(t *testing.T) {
+	err := SpectralFlags(12, -1, true, 9, 2)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	for _, want := range []string{"power-of-two", "positive finite", "shell band"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("combined error %q missing %q", err, want)
+		}
+	}
+}

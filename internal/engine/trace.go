@@ -40,6 +40,15 @@ import (
 //	               rung: to is the action ("retry-dt", "rollback",
 //	               "convict"), dt_scale the time-step reduction in
 //	               force after the decision
+//
+// The spectral solvers (internal/spectral) add two online-diagnostic
+// events, emitted by rank 0 at the solver's DiagEvery cadence:
+//
+//	spectrum     the shell-summed energy spectrum at step: bins[i] is
+//	             the kinetic energy in integer shell round(|k|) = i,
+//	             energy the total over all modes
+//	dissipation  the scalar budget at step: energy, enstrophy, and the
+//	             dissipation rate 2*nu*enstrophy
 const (
 	EvStep         = "step"
 	EvStage        = "stage"
@@ -52,6 +61,8 @@ const (
 	EvDone         = "done"
 	EvPolicySwitch = "policy_switch"
 	EvEscalate     = "escalate"
+	EvSpectrum     = "spectrum"
+	EvDissipation  = "dissipation"
 )
 
 // Event is one trace record.
@@ -86,6 +97,13 @@ type Event struct {
 	DeltaS   float64 `json:"delta_s,omitempty"`
 	Interval int     `json:"interval,omitempty"`
 	DtScale  float64 `json:"dt_scale,omitempty"`
+
+	// Spectral-diagnostic fields (spectrum/dissipation,
+	// internal/spectral). Bins is the shell-summed energy spectrum.
+	Bins        []float64 `json:"bins,omitempty"`
+	Energy      float64   `json:"energy,omitempty"`
+	Enstrophy   float64   `json:"enstrophy,omitempty"`
+	Dissipation float64   `json:"dissipation,omitempty"`
 }
 
 // Tracer serializes events from concurrently stepping ranks onto one

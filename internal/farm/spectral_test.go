@@ -1,0 +1,38 @@
+package farm
+
+import "testing"
+
+// TestFarmSpectralWorkloads runs each spectral workload through the
+// daemon once, checks the result against an uninterrupted in-process
+// reference, and asserts an identical resubmission is answered from
+// the result cache instead of recomputed.
+func TestFarmSpectralWorkloads(t *testing.T) {
+	f, err := Open(Config{Dir: t.TempDir(), Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for _, wl := range []string{"turb2d", "turbforce"} {
+		spec := JobSpec{Workload: wl, Steps: 3, Seed: 17}
+		ref, err := RunSpec(spec)
+		if err != nil {
+			t.Fatalf("%s: reference: %v", wl, err)
+		}
+		st, cached, err := f.Submit(spec)
+		if err != nil || cached {
+			t.Fatalf("%s: Submit: cached=%v err=%v", wl, cached, err)
+		}
+		st = waitState(t, f, st.ID, StateDone)
+		if st.Result == nil || st.Result.Hash != ref.Hash {
+			t.Fatalf("%s: farm result %+v, reference %+v", wl, st.Result, ref)
+		}
+		st2, cached, err := f.Submit(spec)
+		if err != nil || !cached || st2.ID != st.ID {
+			t.Fatalf("%s: resubmit id=%s cached=%v err=%v, want cache hit on %s",
+				wl, st2.ID, cached, err, st.ID)
+		}
+		if st2.Result == nil || st2.Result.Hash != ref.Hash {
+			t.Fatalf("%s: cached result diverged: %+v", wl, st2.Result)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"nektar/internal/core"
 	"nektar/internal/engine"
 	"nektar/internal/mesh"
+	"nektar/internal/spectral"
 	"nektar/internal/timing"
 )
 
@@ -73,6 +74,30 @@ var farmWorkloads = map[string]farmWorkload{
 			return ns, nil
 		},
 	},
+	"turb2d": {
+		Description: "serial decaying 2D pseudospectral turbulence (Nt = grid size)",
+		New: func(spec JobSpec) (engine.Solver, error) {
+			return spectral.NewTurb2D(spectralCfg(spec), nil, nil)
+		},
+	},
+	"turbforce": {
+		Description: "serial forced 2D pseudospectral turbulence (Nt = grid size)",
+		New: func(spec JobSpec) (engine.Solver, error) {
+			return spectral.NewForced(spectralCfg(spec), nil, nil)
+		},
+	},
+}
+
+// spectralCfg maps a farm spec onto a spectral config: Nt doubles as
+// the grid size (0 = a 16^2 demonstration grid) and the seed picks the
+// PAO phases and the forcing noise, so equal specs are bit-identical
+// trajectories — the property the result cache keys on.
+func spectralCfg(spec JobSpec) spectral.Config {
+	n := spec.Nt
+	if n == 0 {
+		n = 16
+	}
+	return spectral.Config{N: n, Re: 500, Dt: 2e-3, Seed: uint64(spec.Seed)}
 }
 
 // FarmWorkloadNames lists the registered workloads, sorted.

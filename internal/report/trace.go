@@ -24,6 +24,9 @@ func TraceBreakdown(evs []engine.Event, title string) *Table {
 	var stepPriced, stepWall float64
 	var writes, storedBytes int
 	var writeHidden, writeExposed float64
+	var spectra int
+	var lastEnergy, lastDissipation float64
+	var haveDiss bool
 	for _, e := range evs {
 		switch e.Ev {
 		case engine.EvStage:
@@ -56,6 +59,13 @@ func TraceBreakdown(evs []engine.Event, title string) *Table {
 			halts++
 		case engine.EvDone:
 			dones++
+		case engine.EvSpectrum:
+			spectra++
+			lastEnergy = e.Energy
+		case engine.EvDissipation:
+			haveDiss = true
+			lastEnergy = e.Energy
+			lastDissipation = e.Dissipation
 		}
 	}
 	t := NewTable(title, "stage", "events", "priced (s)", "wall (s)")
@@ -72,6 +82,11 @@ func TraceBreakdown(evs []engine.Event, title string) *Table {
 		t.AddRow("[durable writes]", fmt.Sprintf("%d", writes),
 			fmt.Sprintf("%d bytes stored", storedBytes),
 			fmt.Sprintf("%.4g exposed + %.4g hidden", writeExposed, writeHidden))
+	}
+	if spectra > 0 || haveDiss {
+		t.AddRow("[spectra]", fmt.Sprintf("%d", spectra),
+			fmt.Sprintf("E=%.4g", lastEnergy),
+			fmt.Sprintf("eps=%.4g", lastDissipation))
 	}
 	t.AddRow("[rollbacks]", fmt.Sprintf("%d", rollbacks), "", "")
 	if trips > 0 {

@@ -1,0 +1,77 @@
+package spectral
+
+import (
+	"fmt"
+	"io"
+
+	"nektar/internal/engine"
+)
+
+// turbState is the serialized per-rank form of the solver state. The
+// complex slabs travel as interleaved re/im float64 pairs because
+// encoding/gob has no complex codec; the layout guards (rank, size,
+// grid, variant) reject a stream restored into the wrong slab.
+type turbState struct {
+	Step   int
+	Rank   int
+	Size   int
+	N      int
+	Forced bool
+	W      []float64
+	PrevN  []float64
+}
+
+func flatten(src []complex128) []float64 {
+	out := make([]float64, 2*len(src))
+	for i, v := range src {
+		out[2*i] = real(v)
+		out[2*i+1] = imag(v)
+	}
+	return out
+}
+
+func unflatten(src []float64, dst []complex128) {
+	for i := range dst {
+		dst[i] = complex(src[2*i], src[2*i+1])
+	}
+}
+
+// Checkpoint implements engine.Solver: the complete time-stepping state
+// (step counter, spectral vorticity, AB2 history). Every rank must save
+// at the same step for a parallel checkpoint to be consistent.
+func (s *Turb2D) Checkpoint(w io.Writer) error {
+	st := turbState{
+		Step: s.step, Rank: s.rank, Size: s.p,
+		N: s.Cfg.N, Forced: s.Cfg.Forced,
+		W:     flatten(s.w),
+		PrevN: flatten(s.prevN),
+	}
+	return engine.EncodeState(w, &st)
+}
+
+// Restore implements engine.Solver: loads a state written by Checkpoint
+// into a solver built with the same configuration and rank layout,
+// after which stepping resumes bit-identically (the AB2 history and the
+// step-keyed forcing both come along).
+func (s *Turb2D) Restore(r io.Reader) error {
+	var st turbState
+	if err := engine.DecodeState(r, &st); err != nil {
+		return err
+	}
+	if st.Rank != s.rank || st.Size != s.p {
+		return fmt.Errorf("spectral: checkpoint is for rank %d of %d, this solver is rank %d of %d",
+			st.Rank, st.Size, s.rank, s.p)
+	}
+	if st.N != s.Cfg.N || st.Forced != s.Cfg.Forced {
+		return fmt.Errorf("spectral: checkpoint is a %d-grid forced=%v run, this solver is %d-grid forced=%v",
+			st.N, st.Forced, s.Cfg.N, s.Cfg.Forced)
+	}
+	if len(st.W) != 2*len(s.w) || len(st.PrevN) != 2*len(s.prevN) {
+		return fmt.Errorf("spectral: checkpoint slab sizes (%d, %d) do not match solver (%d, %d)",
+			len(st.W), len(st.PrevN), 2*len(s.w), 2*len(s.prevN))
+	}
+	s.step = st.Step
+	unflatten(st.W, s.w)
+	unflatten(st.PrevN, s.prevN)
+	return nil
+}

@@ -1,0 +1,70 @@
+package spectral
+
+import (
+	"math"
+
+	"nektar/internal/engine"
+	"nektar/internal/mpi"
+)
+
+// Online diagnostics: shell-summed energy spectrum, total energy,
+// enstrophy, and dissipation, emitted as structured trace events so the
+// farm and report.TraceBreakdown can serve spectra from a recorded run
+// without touching solver state.
+//
+// With the unnormalized-DFT convention the physical Fourier coefficient
+// is what/N^2, so per-mode kinetic energy is |what|^2 / (2 k^2 N^4) and
+// enstrophy density is |what|^2 / (2 N^4). Bins cover integer shells
+// round(|k|) = 0..N/2; corner modes beyond the largest isotropic shell
+// still count toward the energy/enstrophy totals, just not the binned
+// spectrum.
+
+// diagnose runs at the DiagEvery cadence after the step counter has
+// advanced. The shell reduction is a collective Allreduce entered by
+// every rank at the same steps — tracer or not — so no rank can stall
+// the others; only rank 0 emits events.
+func (s *Turb2D) diagnose() {
+	if s.Cfg.DiagEvery <= 0 || s.step%s.Cfg.DiagEvery != 0 {
+		return
+	}
+	n := s.Cfg.N
+	nb := n/2 + 1
+	buf := s.diag
+	for i := range buf {
+		buf[i] = 0
+	}
+	norm := 1 / (float64(n) * float64(n) * float64(n) * float64(n))
+	for i := 0; i < s.nloc; i++ {
+		ky := kAt(s.rank*s.nloc+i, n)
+		for j := 0; j < n; j++ {
+			kx := kAt(j, n)
+			v := s.w[i*n+j]
+			w2 := (real(v)*real(v) + imag(v)*imag(v)) * norm
+			k2 := float64(kx*kx + ky*ky)
+			if k2 == 0 {
+				continue
+			}
+			e := w2 / (2 * k2)
+			buf[nb] += e        // total energy
+			buf[nb+1] += w2 / 2 // total enstrophy
+			if shell := int(math.Sqrt(k2) + 0.5); shell < nb {
+				buf[shell] += e
+			}
+		}
+	}
+	if s.Comm != nil {
+		buf = s.Comm.Allreduce(buf, mpi.Sum)
+	}
+	if s.Trace == nil || s.rank != 0 {
+		return
+	}
+	energy, enstrophy := buf[nb], buf[nb+1]
+	s.Trace.Emit(engine.Event{
+		Ev: engine.EvSpectrum, Rank: s.rank, Step: s.step,
+		Bins: buf[:nb], Energy: energy,
+	})
+	s.Trace.Emit(engine.Event{
+		Ev: engine.EvDissipation, Rank: s.rank, Step: s.step,
+		Energy: energy, Enstrophy: enstrophy, Dissipation: 2 * s.nu * enstrophy,
+	})
+}

@@ -1,0 +1,270 @@
+package spectral
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"math"
+	"strings"
+	"testing"
+
+	"nektar/internal/engine"
+	"nektar/internal/report"
+)
+
+// Golden determinism hashes: SHA-256 over the raw float bits of the
+// complete time-stepping state (step counter, spectral vorticity, AB2
+// history) after a fixed short run. Pinned at first implementation;
+// any refactor of the transform pipeline, the nonlinear forms, or the
+// update must reproduce every bit. Regenerate deliberately by setting
+// a constant to "PRINT" and reading the t.Logf output.
+const (
+	goldenTurb2D    = "dc07ba38bd732abea83e99ba61f77457b00bb8c8ab698db6d942113bfc9418bb"
+	goldenTurbForce = "4b0e89048878547e92bb268f06013ebd0fcb2b06f1298cabb8d907f69ca9a523"
+)
+
+func hashInt(h hash.Hash, v int) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(v))
+	h.Write(b[:])
+}
+
+func hashFloats(h hash.Hash, xs ...[]float64) {
+	var b [8]byte
+	for _, s := range xs {
+		hashInt(h, len(s))
+		for _, v := range s {
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+			h.Write(b[:])
+		}
+	}
+}
+
+func turbStateHash(s *Turb2D) string {
+	h := sha256.New()
+	hashInt(h, s.step)
+	hashFloats(h, flatten(s.w), flatten(s.prevN))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// goldenCfg is the pinned trajectory configuration: big enough to
+// exercise every shell of the de-aliased band, small enough for tier-1.
+func goldenCfg() Config {
+	return Config{N: 16, Re: 400, Dt: 2e-3, Seed: 77}
+}
+
+func TestGoldenTrajectories(t *testing.T) {
+	cases := []struct {
+		name   string
+		golden string
+		mk     func() (*Turb2D, error)
+	}{
+		{"turb2d", goldenTurb2D, func() (*Turb2D, error) { return NewTurb2D(goldenCfg(), nil, nil) }},
+		{"turbforce", goldenTurbForce, func() (*Turb2D, error) { return NewForced(goldenCfg(), nil, nil) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := tc.mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 6; i++ {
+				s.Step()
+			}
+			h := turbStateHash(s)
+			t.Logf("%s state hash: %s", tc.name, h)
+			if tc.golden != "PRINT" && h != tc.golden {
+				t.Fatalf("%s trajectory diverged from golden:\n got %s\nwant %s", tc.name, h, tc.golden)
+			}
+		})
+	}
+}
+
+// TestCrashRecoverBitIdentical injects a crash at step k of an
+// engine-driven run, restores the last checkpoint into a fresh solver,
+// resumes to the end, and requires the final state hash to equal the
+// uninterrupted run's — the property the farm and the supervisor both
+// stand on.
+func TestCrashRecoverBitIdentical(t *testing.T) {
+	const steps, ckptEvery, crashAt = 8, 2, 5
+	for _, forced := range []bool{false, true} {
+		name := "turb2d"
+		mk := NewTurb2D
+		if forced {
+			name, mk = "turbforce", NewForced
+		}
+		t.Run(name, func(t *testing.T) {
+			ref, err := mk(goldenCfg(), nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < steps; i++ {
+				ref.Step()
+			}
+			want := turbStateHash(ref)
+
+			// Crashing run: engine loop checkpoints every 2 steps; the
+			// "crash" is a Poll-ordered halt after step crashAt, dropping
+			// all state except the staged checkpoints.
+			crash, err := mk(goldenCfg(), nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var last []byte
+			var lastStep int
+			loop := engine.Loop{
+				Solver: crash, Steps: steps,
+				CheckpointEvery: ckptEvery,
+				OnCheckpoint:    func(step int, state []byte) { last, lastStep = state, step },
+				Poll:            func() bool { return crash.StepCount() >= crashAt },
+				Watchdog:        engine.Watchdog{Disabled: true},
+			}
+			if res, err := loop.Run(); err != nil || res.Outcome != engine.Halted {
+				t.Fatalf("crash leg: outcome=%v err=%v", res.Outcome, err)
+			}
+			if last == nil || lastStep != 4 {
+				t.Fatalf("no checkpoint staged before the crash (lastStep=%d)", lastStep)
+			}
+
+			// Recovery: a fresh solver restores the checkpoint and resumes.
+			rec, err := mk(goldenCfg(), nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := rec.Restore(bytes.NewReader(last)); err != nil {
+				t.Fatal(err)
+			}
+			if rec.StepCount() != lastStep {
+				t.Fatalf("restore landed at step %d, want %d", rec.StepCount(), lastStep)
+			}
+			resume := engine.Loop{Solver: rec, Steps: steps, Watchdog: engine.Watchdog{Disabled: true}}
+			if res, err := resume.Run(); err != nil || res.Outcome != engine.Completed {
+				t.Fatalf("resume leg: outcome=%v err=%v", res.Outcome, err)
+			}
+			if got := turbStateHash(rec); got != want {
+				t.Fatalf("recovered trajectory diverged:\n got %s\nwant %s", got, want)
+			}
+		})
+	}
+}
+
+// TestRestoreRejectsWrongRun: the layout guards refuse a checkpoint
+// from a different grid or variant instead of corrupting the slab.
+func TestRestoreRejectsWrongRun(t *testing.T) {
+	src, err := NewTurb2D(goldenCfg(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := src.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wrongGrid, err := NewTurb2D(Config{N: 32, Re: 400, Dt: 2e-3, Seed: 77}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wrongGrid.Restore(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("32-grid solver accepted a 16-grid checkpoint")
+	}
+	wrongVariant, err := NewForced(goldenCfg(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wrongVariant.Restore(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("forced solver accepted a decaying checkpoint")
+	}
+}
+
+// TestWatchdogTripsOnInjectedNaN: corrupting the slab mid-run must end
+// the engine loop with Tripped before the poison reaches a checkpoint.
+func TestWatchdogTripsOnInjectedNaN(t *testing.T) {
+	s, err := NewForced(goldenCfg(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	staged := 0
+	loop := engine.Loop{
+		Solver: s, Steps: 20,
+		CheckpointEvery: 1,
+		OnCheckpoint:    func(int, []byte) { staged++ },
+		OnStep: func(step int) {
+			if step == 3 {
+				s.w[1] = complex(math.NaN(), 0)
+			}
+		},
+		Watchdog: engine.Watchdog{Every: 1},
+	}
+	res, err := loop.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != engine.Tripped {
+		t.Fatalf("outcome = %v, want Tripped", res.Outcome)
+	}
+	if staged != 2 {
+		t.Fatalf("staged %d checkpoints, want 2 (steps 1-2; the poisoned step must not stage)", staged)
+	}
+}
+
+// TestDiagnosticsEvents: the online spectrum/dissipation stream is
+// well-formed JSONL the offline tooling can aggregate — bins cover
+// shells 0..N/2, parseval-consistent totals, and TraceBreakdown shows
+// the [spectra] row.
+func TestDiagnosticsEvents(t *testing.T) {
+	const n, steps, every = 16, 6, 2
+	var buf bytes.Buffer
+	s, err := NewForced(Config{N: n, Re: 400, Dt: 2e-3, Seed: 9, DiagEvery: every}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Trace = engine.NewTracer(&buf)
+	for i := 0; i < steps; i++ {
+		s.Step()
+	}
+	evs, err := engine.ReadEvents(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spectra, diss int
+	for _, ev := range evs {
+		switch ev.Ev {
+		case engine.EvSpectrum:
+			spectra++
+			if len(ev.Bins) != n/2+1 {
+				t.Fatalf("spectrum at step %d has %d bins, want %d", ev.Step, len(ev.Bins), n/2+1)
+			}
+			var sum float64
+			for _, b := range ev.Bins {
+				if b < 0 {
+					t.Fatalf("negative spectral density at step %d", ev.Step)
+				}
+				sum += b
+			}
+			if ev.Energy <= 0 || sum > ev.Energy*(1+1e-12) {
+				t.Fatalf("step %d: binned energy %g exceeds total %g", ev.Step, sum, ev.Energy)
+			}
+			if ev.Step%every != 0 {
+				t.Fatalf("spectrum emitted off-cadence at step %d", ev.Step)
+			}
+		case engine.EvDissipation:
+			diss++
+			if ev.Enstrophy <= 0 || ev.Dissipation <= 0 {
+				t.Fatalf("step %d: non-positive enstrophy/dissipation %g/%g", ev.Step, ev.Enstrophy, ev.Dissipation)
+			}
+			want := 2 * (1 / 400.0) * ev.Enstrophy
+			if math.Abs(ev.Dissipation-want) > 1e-15*want {
+				t.Fatalf("step %d: dissipation %g is not 2*nu*Z = %g", ev.Step, ev.Dissipation, want)
+			}
+		}
+	}
+	if want := steps / every; spectra != want || diss != want {
+		t.Fatalf("got %d spectrum + %d dissipation events, want %d each", spectra, diss, want)
+	}
+	var out bytes.Buffer
+	report.TraceBreakdown(evs, "spectral diag test").Write(&out)
+	if !strings.Contains(out.String(), "[spectra]") {
+		t.Fatalf("TraceBreakdown output missing [spectra] row:\n%s", out.String())
+	}
+}

@@ -1,0 +1,248 @@
+package spectral
+
+import (
+	"fmt"
+
+	"nektar/internal/fft"
+	"nektar/internal/mpi"
+)
+
+// Plan2D is a slab-decomposed 2D FFT on an N x N periodic grid. The
+// spectral representation holds unnormalized DFT coefficients
+// what[ky][kx] distributed by contiguous bands of ky rows; the physical
+// representation holds real samples w[x][y] distributed by bands of x
+// rows. A round trip Forward(Inverse(spec)) reproduces spec because the
+// inverse row transforms carry the 1/N normalization.
+//
+// The padded pipeline (InversePad/ForwardPad) implements 3/2-rule
+// de-aliasing by zero-extension: spectra are padded to an M x M grid
+// before going physical, so quadratic products formed there alias only
+// into modes the truncation back to N discards. The radix-2 transforms
+// only do power-of-two lengths, so M is the next power of two >= 3N/2 —
+// in practice M = 2N, which over-satisfies the 3/2 bound (on the 2N
+// grid a product of two N-band fields is resolved exactly, with no
+// aliasing at all). Both kx = N/2 and ky = N/2 Nyquist lines are
+// dropped by the pad and zeroed by the truncation; solvers keep them
+// identically zero, which removes the +-N/2 derivative ambiguity.
+type Plan2D struct {
+	N int // spectral grid size (power of two)
+	M int // de-aliasing grid size (0 when the padded pipeline is off)
+
+	// Begin/End bracket the local-computation phases of each transform
+	// for cost accounting (the solver wires its pricing hooks here).
+	// The distributed transposes run outside the brackets, so
+	// communication time is never charged as compute. Nil hooks are
+	// skipped.
+	Begin func()
+	End   func()
+
+	comm *mpi.Comm
+	p    int
+	nloc int // N/p: spectral ky rows and physical x rows per rank
+	mloc int // M/p: padded physical rows per rank
+
+	planN, planM *fft.Plan
+	tNN          *Transposer // N x N, both directions of the unpadded path
+	tNM          *Transposer // N ky-rows -> M padded-x rows
+	tMN          *Transposer // M padded-x rows -> N ky-rows
+
+	// Reused pipeline slabs (see Inverse/InversePad for the stations).
+	sa []complex128 // nloc x N
+	sb []complex128 // nloc x N / nloc x M (padded)
+	sc []complex128 // mloc x N
+	sd []complex128 // mloc x M
+}
+
+// NewPlan2D builds the plan for an n x n grid over comm (nil = serial).
+// padded additionally builds the de-aliasing pipeline on the M x M
+// grid. The rank count must divide n (and is a power of two in every
+// simnet configuration, so it divides M too).
+func NewPlan2D(n int, padded bool, comm *mpi.Comm) (*Plan2D, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("spectral: grid size %d is not a power of two", n)
+	}
+	pl := &Plan2D{N: n, comm: comm, p: 1}
+	if comm != nil {
+		pl.p = comm.Size()
+	}
+	if n%pl.p != 0 {
+		return nil, fmt.Errorf("spectral: grid size %d does not slab-decompose over %d ranks", n, pl.p)
+	}
+	pl.nloc = n / pl.p
+	var err error
+	if pl.planN, err = fft.NewPlan(n); err != nil {
+		return nil, err
+	}
+	if pl.tNN, err = NewTransposer(n, n, comm); err != nil {
+		return nil, err
+	}
+	pl.sa = make([]complex128, pl.nloc*n)
+	if !padded {
+		pl.sb = make([]complex128, pl.nloc*n)
+		return pl, nil
+	}
+	// Next power of two >= 3N/2 is always 2N for power-of-two N.
+	pl.M = 2 * n
+	pl.mloc = pl.M / pl.p
+	if pl.planM, err = fft.NewPlan(pl.M); err != nil {
+		return nil, err
+	}
+	if pl.tNM, err = NewTransposer(n, pl.M, comm); err != nil {
+		return nil, err
+	}
+	if pl.tMN, err = NewTransposer(pl.M, n, comm); err != nil {
+		return nil, err
+	}
+	pl.sb = make([]complex128, pl.nloc*pl.M)
+	pl.sc = make([]complex128, pl.mloc*n)
+	pl.sd = make([]complex128, pl.mloc*pl.M)
+	return pl, nil
+}
+
+// SlabRows returns the per-rank row count of the N-grid slabs (spectral
+// ky rows and unpadded physical x rows).
+func (pl *Plan2D) SlabRows() int { return pl.nloc }
+
+// PadRows returns the per-rank row count of the padded physical slab.
+func (pl *Plan2D) PadRows() int { return pl.mloc }
+
+func (pl *Plan2D) begin() {
+	if pl.Begin != nil {
+		pl.Begin()
+	}
+}
+
+func (pl *Plan2D) end() {
+	if pl.End != nil {
+		pl.End()
+	}
+}
+
+// padRow zero-extends a length-N spectral line to length M, preserving
+// wavenumber identity: modes k in [0, N/2) keep their index, negative
+// modes move to the tail, and the Nyquist line N/2 is dropped.
+func padRow(in, out []complex128, n, m int) {
+	for j := range out {
+		out[j] = 0
+	}
+	h := n / 2
+	copy(out[:h], in[:h])
+	copy(out[m-h+1:], in[h+1:])
+}
+
+// truncRow inverts padRow: it keeps the modes the N grid resolves and
+// zeroes the Nyquist line.
+func truncRow(in, out []complex128, n, m int) {
+	h := n / 2
+	copy(out[:h], in[:h])
+	out[h] = 0
+	copy(out[h+1:], in[m-h+1:])
+}
+
+// Inverse transforms a spectral slab (nloc x N, ky rows) to physical
+// samples (nloc x N, x rows): inverse row FFTs along kx, a distributed
+// transpose, inverse row FFTs along ky, then the real part. Solvers
+// evolve Hermitian-symmetric spectra, so the imaginary residue is
+// roundoff; discarding it is what keeps quadratic terms real.
+func (pl *Plan2D) Inverse(spec []complex128, phys []float64) {
+	n, nloc := pl.N, pl.nloc
+	sb := pl.sb[:nloc*n]
+	pl.begin()
+	copy(pl.sa, spec)
+	for i := 0; i < nloc; i++ {
+		pl.planN.Transform(pl.sa[i*n:(i+1)*n], true)
+	}
+	pl.end()
+	pl.tNN.Transpose(pl.sa, sb)
+	pl.begin()
+	for i := 0; i < nloc; i++ {
+		row := sb[i*n : (i+1)*n]
+		pl.planN.Transform(row, true)
+		for j, v := range row {
+			phys[i*n+j] = real(v)
+		}
+	}
+	pl.end()
+}
+
+// Forward transforms a physical slab (nloc x N, x rows) to spectral
+// coefficients (nloc x N, ky rows): forward row FFTs along y, a
+// distributed transpose, forward row FFTs along x.
+func (pl *Plan2D) Forward(phys []float64, spec []complex128) {
+	n, nloc := pl.N, pl.nloc
+	sb := pl.sb[:nloc*n]
+	pl.begin()
+	for i := 0; i < nloc; i++ {
+		row := sb[i*n : (i+1)*n]
+		for j := range row {
+			row[j] = complex(phys[i*n+j], 0)
+		}
+		pl.planN.Transform(row, false)
+	}
+	pl.end()
+	pl.tNN.Transpose(sb, pl.sa)
+	pl.begin()
+	for i := 0; i < nloc; i++ {
+		pl.planN.Transform(pl.sa[i*n:(i+1)*n], false)
+	}
+	copy(spec, pl.sa)
+	pl.end()
+}
+
+// InversePad is the de-aliasing half-transform: an nloc x N spectral
+// slab comes out as mloc x M physical samples of the same field on the
+// fine grid. The (M/N)^2 factor converts the N-grid DFT normalization
+// to the M-grid one, so phys holds true field values.
+func (pl *Plan2D) InversePad(spec []complex128, phys []float64) {
+	n, m, nloc, mloc := pl.N, pl.M, pl.nloc, pl.mloc
+	pl.begin()
+	for i := 0; i < nloc; i++ {
+		row := pl.sb[i*m : (i+1)*m]
+		padRow(spec[i*n:(i+1)*n], row, n, m)
+		pl.planM.Transform(row, true)
+	}
+	pl.end()
+	pl.tNM.Transpose(pl.sb, pl.sc)
+	scale := float64(m*m) / float64(n*n)
+	pl.begin()
+	for i := 0; i < mloc; i++ {
+		row := pl.sd[i*m : (i+1)*m]
+		padRow(pl.sc[i*n:(i+1)*n], row, n, m)
+		pl.planM.Transform(row, true)
+		for j, v := range row {
+			phys[i*m+j] = real(v) * scale
+		}
+	}
+	pl.end()
+}
+
+// ForwardPad closes the de-aliased product path: mloc x M physical
+// samples (typically a pointwise product of InversePad outputs) come
+// back as an nloc x N spectral slab, with everything beyond the N-grid
+// band truncated away and the normalization converted back by (N/M)^2.
+func (pl *Plan2D) ForwardPad(phys []float64, spec []complex128) {
+	n, m, nloc, mloc := pl.N, pl.M, pl.nloc, pl.mloc
+	pl.begin()
+	for i := 0; i < mloc; i++ {
+		row := pl.sd[i*m : (i+1)*m]
+		for j := range row {
+			row[j] = complex(phys[i*m+j], 0)
+		}
+		pl.planM.Transform(row, false)
+		truncRow(row, pl.sc[i*n:(i+1)*n], n, m)
+	}
+	pl.end()
+	pl.tMN.Transpose(pl.sc, pl.sb)
+	scale := complex(float64(n*n)/float64(m*m), 0)
+	pl.begin()
+	for i := 0; i < nloc; i++ {
+		row := pl.sb[i*m : (i+1)*m]
+		pl.planM.Transform(row, false)
+		out := spec[i*n : (i+1)*n]
+		truncRow(row, out, n, m)
+		for j := range out {
+			out[j] *= scale
+		}
+	}
+	pl.end()
+}

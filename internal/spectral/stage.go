@@ -1,0 +1,34 @@
+package spectral
+
+import "nektar/internal/timing"
+
+// stageClock mirrors the stage-transition accounting the core solvers
+// use: each mark charges the simulated wall clock elapsed since the
+// previous mark (communication and idle time included) to the previous
+// stage's Wall accumulator, and brackets the new stage for CPU pricing.
+// Marking -1 closes the step. Serial runs pass a zero clock, so only
+// the host/priced accumulators move.
+type stageClock struct {
+	st   *timing.Stages
+	now  func() float64 // the rank's simulated wall clock (Comm.Wtime)
+	last int
+	t    float64
+}
+
+func newStageClock(st *timing.Stages, now func() float64) stageClock {
+	return stageClock{st: st, now: now, last: -1}
+}
+
+func (c *stageClock) mark(i int) {
+	now := c.now()
+	if c.last >= 0 {
+		c.st.AddWall(c.last, now-c.t)
+	}
+	c.last = i
+	c.t = now
+	if i >= 0 {
+		c.st.Begin(i)
+	} else {
+		c.st.End()
+	}
+}
