@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: check build vet fmt test race bench-baseline bench-ckpt bench-simnet bench-adapt bench-farm bench-spectral race-ckpt race-simnet race-sched-single race-sched-multi race-policy race-farm race-spectral
+.PHONY: check build vet fmt test race bench-baseline bench-ckpt bench-simnet bench-adapt bench-farm bench-spectral bench-fft race-ckpt race-simnet race-sched-single race-sched-multi race-policy race-farm race-spectral
 
 build:
 	$(GO) build ./...
@@ -116,5 +116,12 @@ race-spectral:
 # BENCH_SPECTRAL_FORCE=1 is also set.
 bench-spectral:
 	BENCH_SPECTRAL=1 $(GO) test ./internal/bench -run TestWriteSpectralBaseline -count=1 -v -timeout 30m
+
+# Microbenchmark the FFT kernels: the legacy all-radix-2 ladder vs the
+# mixed-radix Stockham planner at matched lengths, and the 2N-vs-3N/2
+# de-aliasing row comparison behind the padded-pipeline speedup. Attach
+# a profile with ARGS="-cpuprofile fft.pprof".
+bench-fft:
+	$(GO) run ./cmd/fftbench $(ARGS)
 
 check: build vet fmt race race-ckpt race-simnet race-policy race-farm race-spectral

@@ -1,0 +1,122 @@
+// Command fftbench microbenchmarks the FFT kernels behind the spectral
+// hot path. The first table races the legacy all-radix-2 ladder against
+// the mixed-radix Stockham planner at matched power-of-two lengths —
+// same transform, same answer, different pass structure. The second
+// prices the de-aliasing change: the padded pipeline used to run rows
+// of length 2N because radix-2 could reach nothing between, and now
+// runs the exact 3/2-rule length 3N/2; the table shows the per-row cost
+// on each grid and the modeled padded half-transform reduction, which
+// combines the shorter rows with the (N+M)-row count of the pipeline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"nektar/internal/cliutil"
+	"nektar/internal/fft"
+	"nektar/internal/report"
+)
+
+// fill writes a deterministic bounded signal so every timing run
+// transforms identical data.
+func fill(x []complex128) {
+	for i := range x {
+		t := float64(i)
+		x[i] = complex(math.Sin(0.7*t+0.3), math.Cos(1.3*t))
+	}
+}
+
+// timePlan returns host seconds per single row transform: rows batched
+// rows per Many call, reps forward+inverse round trips (the round trip
+// keeps magnitudes bounded across reps).
+func timePlan(p *fft.Plan, rows, reps int) float64 {
+	x := make([]complex128, rows*p.N)
+	fill(x)
+	p.Many(x, rows, false)
+	p.Many(x, rows, true)
+	t0 := time.Now()
+	for r := 0; r < reps; r++ {
+		p.Many(x, rows, false)
+		p.Many(x, rows, true)
+	}
+	return time.Since(t0).Seconds() / float64(2*reps*rows)
+}
+
+func main() {
+	sizes := flag.String("sizes", "64,128,256,512,1024", "comma-separated power-of-two transform lengths")
+	rows := flag.Int("rows", 64, "rows per batched Many call")
+	reps := flag.Int("reps", 200, "forward+inverse round trips per measurement")
+	quick := flag.Bool("quick", false, "small sizes and few reps (CI smoke)")
+	prof := cliutil.ProfileFlags(flag.CommandLine)
+	flag.Parse()
+
+	if *quick {
+		*sizes, *rows, *reps = "16,32,64", 16, 20
+	}
+	var ns []int
+	for _, f := range strings.Split(*sizes, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 8 || n&(n-1) != 0 {
+			fmt.Fprintf(os.Stderr, "fftbench: -sizes entry %q is not a power of two >= 8 (the radix-2 leg needs one)\n", f)
+			os.Exit(2)
+		}
+		ns = append(ns, n)
+	}
+	if err := prof.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "fftbench: %v\n", err)
+		os.Exit(2)
+	}
+
+	kernel := report.NewTable(
+		fmt.Sprintf("FFT kernel: all-radix-2 ladder vs mixed-radix Stockham at matched lengths (%d rows/batch, %d round trips)",
+			*rows, *reps),
+		"n", "radix-2 ns/row", "mixed ns/row", "speedup")
+	for _, n := range ns {
+		r2, err := fft.NewRadix2Plan(n)
+		if err != nil {
+			log.Fatalf("fftbench: %v", err)
+		}
+		mx, err := fft.NewPlan(n)
+		if err != nil {
+			log.Fatalf("fftbench: %v", err)
+		}
+		t2, tm := timePlan(r2, *rows, *reps), timePlan(mx, *rows, *reps)
+		kernel.AddRow(fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.0f", t2*1e9), fmt.Sprintf("%.0f", tm*1e9),
+			fmt.Sprintf("%.2fx", t2/tm))
+	}
+	kernel.Write(os.Stdout)
+
+	fmt.Println()
+	padded := report.NewTable(
+		"De-aliasing rows: legacy 2N radix-2 vs exact 3N/2 mixed-radix (modeled half-transform = (N+M) rows of length M)",
+		"N", "2N ns/row", "3N/2 ns/row", "half-transform reduction")
+	for _, n := range ns {
+		legacy, err := fft.NewRadix2Plan(2 * n)
+		if err != nil {
+			log.Fatalf("fftbench: %v", err)
+		}
+		exact, err := fft.NewPlan(3 * n / 2)
+		if err != nil {
+			log.Fatalf("fftbench: %v", err)
+		}
+		tl, te := timePlan(legacy, *rows, *reps), timePlan(exact, *rows, *reps)
+		red := 1 - (float64(n+exact.N)*te)/(float64(n+legacy.N)*tl)
+		padded.AddRow(fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.0f", tl*1e9), fmt.Sprintf("%.0f", te*1e9),
+			fmt.Sprintf("%.1f%%", 100*red))
+	}
+	padded.Write(os.Stdout)
+
+	if err := prof.Stop(); err != nil {
+		fmt.Fprintf(os.Stderr, "fftbench: %v\n", err)
+		os.Exit(2)
+	}
+}

@@ -234,11 +234,15 @@ var experiments = []experiment{
 		if err := cliutil.SpectralFlags(cfg.N, 500, true, 3, 5); err != nil {
 			return err
 		}
-		_, tbl, err := bench.RunSpectralBench(cfg)
+		sres, tbl, err := bench.RunSpectralBench(cfg)
 		if err != nil {
 			return err
 		}
 		tbl.Write(w)
+		if sres.PadAB != nil {
+			fmt.Fprintln(w)
+			sres.PadAB.Table().Write(w)
+		}
 		// A short forced run with the tracer on, to show the online
 		// spectrum/dissipation stream and its offline aggregation.
 		var buf bytes.Buffer

@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	n := flag.Int("n", 32, "grid size per dimension (power of two >= 8)")
+	n := flag.Int("n", 32, "grid size per dimension (>= 8, divisible by 4, only prime factors 2/3/5: 8, 12, 16, 20, 24, 32, 36, ...)")
 	re := flag.Float64("re", 500, "Reynolds number (viscosity is 1/Re)")
 	dt := flag.Float64("dt", 2e-3, "time step")
 	steps := flag.Int("steps", 50, "steps to run")
@@ -45,8 +45,15 @@ func main() {
 		os.Exit(2)
 	}
 	if *procs < 1 || *n%*procs != 0 {
-		fmt.Fprintf(os.Stderr, "spectral: -procs %d must be a positive divisor of -n %d (valid: powers of two up to %d)\n",
-			*procs, *n, *n)
+		fmt.Fprintf(os.Stderr, "spectral: -procs %d must be a positive divisor of -n %d\n",
+			*procs, *n)
+		os.Exit(2)
+	}
+	// The decaying variant runs the exact-3/2 de-aliasing pipeline, whose
+	// padded grid also slab-decomposes over the ranks.
+	if m := 3 * *n / 2; !*forced && m%*procs != 0 {
+		fmt.Fprintf(os.Stderr, "spectral: -procs %d must also divide the de-aliasing grid M = 3n/2 = %d (the decaying solver's padded slabs)\n",
+			*procs, m)
 		os.Exit(2)
 	}
 

@@ -8,6 +8,7 @@ import (
 	"nektar/internal/mpi"
 	"nektar/internal/report"
 	"nektar/internal/simnet"
+	"nektar/internal/spectral"
 )
 
 // Scalebench: project the paper's weak/strong scaling tables past the
@@ -29,6 +30,22 @@ type ScalebenchConfig struct {
 	Machines []string
 	Procs    []int // ascending; the first entry is the efficiency baseline
 	Steps    int
+
+	// Workloads selects the cell bodies. "skeleton" is the synthetic
+	// halo+allreduce shape above; "turb2d" and "turbforce" run the real
+	// slab-decomposed pseudospectral solvers under the swept machine's
+	// CPU and network models. Empty means skeleton only.
+	Workloads []string
+	// SolverProcs is the rank-count list for the solver workloads; the
+	// skeleton keeps Procs. Solver cells size their grid from the rank
+	// count — weak scaling runs N = 2P (the paper's two-planes-per-
+	// processor setup: each rank owns two ky rows of a growing grid),
+	// strong scaling runs N = 2*max(SolverProcs) divided ever thinner.
+	// Every P here must divide both N and the padded grid 3N/2, which
+	// P = powers of two >= 4 satisfy for both sizings. Kept separate
+	// from Procs because a P=1024 live solver run is a host-memory
+	// wall the skeleton does not have.
+	SolverProcs []int
 
 	// HaloElems is the per-rank halo payload in float64 elements at the
 	// baseline rank count (weak: constant per rank; strong: scaled down
@@ -54,6 +71,10 @@ var PaperScalebench = ScalebenchConfig{
 	HaloElems: 4096, // 32 KB: rendezvous on both fabrics
 	ComputeS:  2e-4,
 	Scheduler: simnet.SchedRelaxed,
+	Workloads: []string{"skeleton", "turb2d", "turbforce"},
+	// 1024 live solver ranks is a host-memory wall (ROADMAP); the real
+	// solvers sweep to 256 and the skeleton carries the 1024 column.
+	SolverProcs: []int{64, 256},
 }
 
 // QuickScalebench is the test-sized variant.
@@ -66,11 +87,13 @@ var QuickScalebench = ScalebenchConfig{
 	Scheduler: simnet.SchedRelaxed,
 }
 
-// ScaleCellResult is one machine x P x mode measurement.
+// ScaleCellResult is one machine x workload x P x mode measurement.
 type ScaleCellResult struct {
-	Machine string
-	Procs   int
-	Mode    string // "weak" | "strong"
+	Machine  string
+	Workload string // "skeleton" | "turb2d" | "turbforce"
+	Procs    int
+	Mode     string // "weak" | "strong"
+	GridN    int    // solver grid size (0 for the skeleton)
 
 	StepVirtualS float64 // max per-rank virtual wall seconds per step
 	HostS        float64 // real host seconds for the whole run
@@ -112,29 +135,80 @@ func scaleBody(cfg *ScalebenchConfig, p int, weak bool) func(*simnet.Node) {
 	}
 }
 
-// runScaleCell runs one machine x P x mode cell.
-func runScaleCell(cfg *ScalebenchConfig, mach *machine.Machine, p int, weak bool) (stepVirtualS, hostS float64, err error) {
+// solverGridN sizes a real-solver cell's grid from the rank count:
+// weak scaling keeps two ky rows per rank (N = 2P); strong scaling
+// fixes N at two rows per rank of the sweep's largest count.
+func solverGridN(solverProcs []int, p int, weak bool) int {
+	if weak {
+		return 2 * p
+	}
+	maxP := 0
+	for _, q := range solverProcs {
+		maxP = max(maxP, q)
+	}
+	return 2 * maxP
+}
+
+// solverBody returns a live pseudospectral solver run for one cell:
+// the full slab pipeline — transforms, distributed transposes, priced
+// local compute — under the swept machine's CPU model.
+func solverBody(variant string, n, steps int, cpu *machine.CPU) func(*simnet.Node) {
+	mk := spectral.NewTurb2D
+	if variant == "turbforce" {
+		mk = spectral.NewForced
+	}
+	return func(nd *simnet.Node) {
+		cfg := spectral.Config{N: n, Re: 500, Dt: 1e-3, Seed: 11}
+		if variant == "turbforce" {
+			// The smallest weak-scaling grids cannot hold the default
+			// [3, 5] forcing band (hi must stay <= N/3), so force the
+			// largest band every swept grid admits.
+			cfg.ForceLo, cfg.ForceHi = 1, min(5, n/3)
+		}
+		s, err := mk(cfg, mpi.World(nd), cpu)
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i < steps; i++ {
+			s.Step()
+		}
+	}
+}
+
+// runScaleCell runs one machine x workload x P x mode cell and returns
+// the virtual step time, host seconds, and the solver grid (0 for the
+// skeleton).
+func runScaleCell(cfg *ScalebenchConfig, mach *machine.Machine, workload string, p int, weak bool) (stepVirtualS, hostS float64, gridN int, err error) {
 	if p > mach.MaxProcs {
-		return 0, 0, fmt.Errorf("bench: scalebench %s: P=%d exceeds MaxProcs=%d", mach.Name, p, mach.MaxProcs)
+		return 0, 0, 0, fmt.Errorf("bench: scalebench %s: P=%d exceeds MaxProcs=%d", mach.Name, p, mach.MaxProcs)
+	}
+	body := scaleBody(cfg, p, weak)
+	if workload != "skeleton" {
+		gridN = solverGridN(cfg.SolverProcs, p, weak)
+		body = solverBody(workload, gridN, cfg.Steps, &mach.CPU)
 	}
 	model := *mach.Net
 	model.Scheduler = cfg.Scheduler
 	t0 := time.Now()
-	wall, _, err := simnet.Run(p, &model, scaleBody(cfg, p, weak))
+	wall, _, err := simnet.Run(p, &model, body)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	var maxWall float64
 	for _, w := range wall {
 		maxWall = max(maxWall, w)
 	}
-	return maxWall / float64(cfg.Steps), time.Since(t0).Seconds(), nil
+	return maxWall / float64(cfg.Steps), time.Since(t0).Seconds(), gridN, nil
 }
 
 // RunScalebench executes the sweep and renders the weak/strong tables.
 func RunScalebench(cfg ScalebenchConfig) (*ScalebenchResult, *report.Table, error) {
 	if len(cfg.Procs) == 0 {
 		return nil, nil, fmt.Errorf("bench: scalebench: empty processor list")
+	}
+	workloads := cfg.Workloads
+	if len(workloads) == 0 {
+		workloads = []string{"skeleton"}
 	}
 	res := &ScalebenchResult{
 		Steps:     cfg.Steps,
@@ -145,34 +219,46 @@ func RunScalebench(cfg ScalebenchConfig) (*ScalebenchResult, *report.Table, erro
 		if err != nil {
 			return nil, nil, err
 		}
-		for _, mode := range []string{"weak", "strong"} {
-			weak := mode == "weak"
-			var baseStep float64
-			for i, p := range cfg.Procs {
-				stepS, hostS, err := runScaleCell(&cfg, mach, p, weak)
-				if err != nil {
-					return nil, nil, fmt.Errorf("bench: scalebench %s %s P=%d: %w", name, mode, p, err)
+		for _, workload := range workloads {
+			procs := cfg.Procs
+			if workload != "skeleton" {
+				if procs = cfg.SolverProcs; len(procs) == 0 {
+					return nil, nil, fmt.Errorf("bench: scalebench: workload %q needs SolverProcs", workload)
 				}
-				if i == 0 {
-					baseStep = stepS
+			}
+			for _, mode := range []string{"weak", "strong"} {
+				weak := mode == "weak"
+				var baseStep float64
+				for i, p := range procs {
+					stepS, hostS, gridN, err := runScaleCell(&cfg, mach, workload, p, weak)
+					if err != nil {
+						return nil, nil, fmt.Errorf("bench: scalebench %s %s %s P=%d: %w", name, workload, mode, p, err)
+					}
+					if i == 0 {
+						baseStep = stepS
+					}
+					eff := baseStep / stepS
+					if !weak {
+						eff *= float64(procs[0]) / float64(p)
+					}
+					res.Cells = append(res.Cells, ScaleCellResult{
+						Machine: name, Workload: workload, Procs: p, Mode: mode,
+						GridN: gridN, StepVirtualS: stepS, HostS: hostS, Efficiency: eff,
+					})
 				}
-				eff := baseStep / stepS
-				if !weak {
-					eff *= float64(cfg.Procs[0]) / float64(p)
-				}
-				res.Cells = append(res.Cells, ScaleCellResult{
-					Machine: name, Procs: p, Mode: mode,
-					StepVirtualS: stepS, HostS: hostS, Efficiency: eff,
-				})
 			}
 		}
 	}
 	tbl := report.NewTable(
-		fmt.Sprintf("Scalebench: halo+allreduce skeleton, virtual s/step (%s scheduler, %d steps)",
+		fmt.Sprintf("Scalebench: capacity sweep, virtual s/step (%s scheduler, %d steps)",
 			res.Scheduler, res.Steps),
-		"machine", "mode", "P", "virtual s/step", "efficiency", "host s")
+		"machine", "workload", "mode", "P", "grid N", "virtual s/step", "efficiency", "host s")
 	for _, c := range res.Cells {
-		tbl.AddRow(c.Machine, c.Mode, fmt.Sprintf("%d", c.Procs),
+		grid := "-"
+		if c.GridN > 0 {
+			grid = fmt.Sprintf("%d", c.GridN)
+		}
+		tbl.AddRow(c.Machine, c.Workload, c.Mode, fmt.Sprintf("%d", c.Procs), grid,
 			fmt.Sprintf("%.6f", c.StepVirtualS), fmt.Sprintf("%.2f", c.Efficiency),
 			fmt.Sprintf("%.3f", c.HostS))
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"fmt"
 	"testing"
 
 	"nektar/internal/simnet"
@@ -46,6 +47,74 @@ func TestScalebenchQuick(t *testing.T) {
 			t.Errorf("P=%d: Tanaka %.6fs/step not below PMS %.6fs/step",
 				p, perStep["Tanaka"][p], perStep["PMS"][p])
 		}
+	}
+}
+
+// TestScalebenchSolverWorkloads: the real solvers run as capacity-sweep
+// workloads — weak cells at N = 2P, strong cells at N = 2*maxP — and
+// the skeleton keeps its own rank list.
+func TestScalebenchSolverWorkloads(t *testing.T) {
+	t.Setenv(simnet.SchedulerEnv, "")
+	cfg := ScalebenchConfig{
+		Machines:    []string{"PMS"},
+		Procs:       []int{4, 8},
+		Steps:       2,
+		HaloElems:   512,
+		ComputeS:    1e-4,
+		Scheduler:   simnet.SchedRelaxed,
+		Workloads:   []string{"skeleton", "turb2d", "turbforce"},
+		SolverProcs: []int{4, 8},
+	}
+	res, tbl, err := RunScalebench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 workloads x 2 modes x 2 rank counts on one machine.
+	if len(res.Cells) != 12 {
+		t.Fatalf("got %d cells, want 12", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if c.StepVirtualS <= 0 || c.Efficiency <= 0 {
+			t.Errorf("%s %s %s P=%d: non-positive measurement: %+v", c.Machine, c.Workload, c.Mode, c.Procs, c)
+		}
+		switch {
+		case c.Workload == "skeleton":
+			if c.GridN != 0 {
+				t.Errorf("skeleton cell carries grid N=%d", c.GridN)
+			}
+		case c.Mode == "weak":
+			if c.GridN != 2*c.Procs {
+				t.Errorf("%s weak P=%d: grid N=%d, want %d", c.Workload, c.Procs, c.GridN, 2*c.Procs)
+			}
+		default: // solver strong scaling
+			if c.GridN != 16 {
+				t.Errorf("%s strong P=%d: grid N=%d, want 16", c.Workload, c.Procs, c.GridN)
+			}
+		}
+	}
+	// The solver workloads must cost more virtual time per step than the
+	// synthetic skeleton at the same rank count: they move whole N x M
+	// matrices through the transposes, not a fixed halo ring.
+	byKey := map[string]float64{}
+	for _, c := range res.Cells {
+		byKey[fmt.Sprintf("%s/%s/%d", c.Workload, c.Mode, c.Procs)] = c.StepVirtualS
+	}
+	if !(byKey["turb2d/weak/8"] > byKey["skeleton/weak/8"]) {
+		t.Errorf("turb2d weak P=8 (%.6fs/step) not above skeleton (%.6fs/step)",
+			byKey["turb2d/weak/8"], byKey["skeleton/weak/8"])
+	}
+	if tbl == nil {
+		t.Fatal("missing table")
+	}
+}
+
+// TestScalebenchSolverNeedsProcs: a solver workload without SolverProcs
+// is a config error, not a silent skeleton fallback.
+func TestScalebenchSolverNeedsProcs(t *testing.T) {
+	cfg := QuickScalebench
+	cfg.Workloads = []string{"turb2d"}
+	if _, _, err := RunScalebench(cfg); err == nil {
+		t.Fatal("expected SolverProcs rejection")
 	}
 }
 

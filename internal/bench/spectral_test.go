@@ -34,6 +34,42 @@ func TestSpectralBenchQuick(t *testing.T) {
 	}
 }
 
+// TestSpectralPadAB: the exact-3/2 vs power-of-two A/B cell. The byte
+// and flop reductions are analytic and exact (M shrinks 2N -> 3N/2, a
+// 25% cut in transpose payload); the host-time reduction is measured,
+// so the assertion is only that the exact grid is not slower — the
+// >= 25% target is checked against the recorded baseline, not a
+// CI-flaky wall-clock race.
+func TestSpectralPadAB(t *testing.T) {
+	ab, err := runPadAB(16, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ab.MExact != 24 || ab.MPow2 != 32 {
+		t.Fatalf("A/B grids M=%d/%d, want 24/32", ab.MExact, ab.MPow2)
+	}
+	if ab.ExactBytesPerEval*4 != ab.Pow2BytesPerEval*3 {
+		t.Fatalf("transpose payloads %d vs %d are not in the 3:4 ratio", ab.ExactBytesPerEval, ab.Pow2BytesPerEval)
+	}
+	if ab.ByteReduction != 0.25 {
+		t.Fatalf("byte reduction %g, want exactly 0.25", ab.ByteReduction)
+	}
+	if ab.ExactFlopsPerEval >= ab.Pow2FlopsPerEval {
+		t.Fatalf("exact grid models more transform flops (%d) than pow2 (%d)", ab.ExactFlopsPerEval, ab.Pow2FlopsPerEval)
+	}
+	if ab.HostReduction <= 0 {
+		t.Errorf("exact-3/2 leg was not faster: reduction %.3f (exact %.4fs, pow2 %.4fs)",
+			ab.HostReduction, ab.ExactHostS, ab.Pow2HostS)
+	}
+	var buf bytes.Buffer
+	ab.Table().Write(&buf)
+	for _, want := range []string{"exact 3N/2", "pow2 legacy", "reduction", "25.0%"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("A/B table missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
 // TestWriteSpectralBaseline regenerates BENCH_spectral.json (the
 // committed serial-vs-slab baseline) when BENCH_SPECTRAL=1 is set;
 // `make bench-spectral` runs it. The write goes through

@@ -4,7 +4,34 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"nektar/internal/fft"
 )
+
+// ValidSpectralN reports whether n is a grid size the solvers accept:
+// at least 8, divisible by 4 (so the exact-3/2 de-aliasing grid
+// M = 3N/2 stays even), and 5-smooth (so every transform in the padded
+// pipeline hits the planner's fast radix-2/3/4/5 butterflies, never the
+// generic-prime fallback).
+func ValidSpectralN(n int) bool {
+	return n >= 8 && n%4 == 0 && fft.Smooth5(n)
+}
+
+// nearestSpectralN returns the closest valid grid sizes below and above
+// n (0 when no valid size exists below).
+func nearestSpectralN(n int) (down, up int) {
+	for d := n - 1; d >= 8; d-- {
+		if ValidSpectralN(d) {
+			down = d
+			break
+		}
+	}
+	for u := max(n+1, 8); ; u++ {
+		if ValidSpectralN(u) {
+			return down, u
+		}
+	}
+}
 
 // SpectralFlags validates the flag tuple the spectral front ends
 // (cmd/spectral, the repro "spectral" experiment) share: grid size,
@@ -15,9 +42,14 @@ import (
 // have worked.
 func SpectralFlags(n int, re float64, forced bool, lo, hi int) error {
 	var problems []string
-	if n < 8 || n&(n-1) != 0 {
+	if !ValidSpectralN(n) {
+		down, up := nearestSpectralN(n)
+		menu := fmt.Sprintf("8, 12, 16, 20, 24, 32, 36, ...; nearest to %d: %d", n, up)
+		if down != 0 {
+			menu = fmt.Sprintf("8, 12, 16, 20, 24, 32, 36, ...; nearest to %d: %d and %d", n, down, up)
+		}
 		problems = append(problems, fmt.Sprintf(
-			"-n %d is not a power-of-two grid size >= 8 (valid: 8, 16, 32, 64, 128, ...)", n))
+			"-n %d is not a valid grid size: need >= 8, divisible by 4, with no prime factors beyond 2, 3, 5 (valid: %s)", n, menu))
 	}
 	if !(re > 0) || math.IsInf(re, 0) || math.IsNaN(re) {
 		problems = append(problems, fmt.Sprintf(

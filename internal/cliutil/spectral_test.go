@@ -14,6 +14,12 @@ func TestSpectralFlagsAccepts(t *testing.T) {
 	}{
 		{8, 100, false, 0, 0},
 		{16, 1, false, 0, 0},
+		{12, 100, false, 0, 0},
+		{20, 300, false, 0, 0},
+		{24, 100, true, 2, 8},
+		{36, 100, true, 3, 12},
+		{48, 700, false, 0, 0},
+		{60, 100, false, 0, 0},
 		{64, 2500, true, 3, 5},
 		{16, 100, true, 1, 5},
 		{256, 1e4, true, 2, 80},
@@ -34,8 +40,10 @@ func TestSpectralFlagsRejectsWithMenu(t *testing.T) {
 		lo, hi int
 		want   string // substring the menu-style message must carry
 	}{
-		{"odd grid", 12, 100, false, 0, 0, "power-of-two"},
-		{"tiny grid", 4, 100, false, 0, 0, "8, 16, 32"},
+		{"not divisible by 4", 14, 100, false, 0, 0, "nearest to 14: 12 and 16"},
+		{"7-smooth grid", 28, 100, false, 0, 0, "no prime factors beyond 2, 3, 5"},
+		{"odd grid", 15, 100, false, 0, 0, "divisible by 4"},
+		{"tiny grid", 4, 100, false, 0, 0, "nearest to 4: 8"},
 		{"zero Re", 16, 0, false, 0, 0, "positive finite"},
 		{"negative Re", 16, -5, false, 0, 0, "positive finite"},
 		{"inverted band", 16, 100, true, 5, 3, "1 <= lo < hi"},
@@ -56,11 +64,11 @@ func TestSpectralFlagsRejectsWithMenu(t *testing.T) {
 
 // A tuple with several problems reports all of them at once.
 func TestSpectralFlagsReportsEveryProblem(t *testing.T) {
-	err := SpectralFlags(12, -1, true, 9, 2)
+	err := SpectralFlags(14, -1, true, 9, 2)
 	if err == nil {
 		t.Fatal("want error")
 	}
-	for _, want := range []string{"power-of-two", "positive finite", "shell band"} {
+	for _, want := range []string{"valid grid size", "positive finite", "shell band"} {
 		if !strings.Contains(err.Error(), want) {
 			t.Errorf("combined error %q missing %q", err, want)
 		}

@@ -83,3 +83,41 @@ func TestPlansAreAllocationFree(t *testing.T) {
 		t.Errorf("RealPlan Forward+Inverse allocates %.1f objects per round trip, want 0", avg)
 	}
 }
+
+// TestBatchedTransformsAreAllocationFree: the Many/ManyReal slab walks
+// reuse the single plan workspace — zero allocations per batch after
+// plan construction, at a mixed-radix (non-power-of-two) length so the
+// radix-3/5 and radix-4 passes are all on the hook.
+func TestBatchedTransformsAreAllocationFree(t *testing.T) {
+	const n, rows = 48, 6 // 48 = 2^4 * 3: radix 4,4,3 passes
+	p, err := NewPlan(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]complex128, rows*n)
+	for i := range x {
+		x[i] = complex(float64(i%11), float64(i%7))
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		p.Many(x, rows, false)
+		p.Many(x, rows, true)
+	}); avg != 0 {
+		t.Errorf("Plan.Many allocates %.1f objects per batched round trip, want 0", avg)
+	}
+
+	rp, err := NewRealPlan(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xr := make([]float64, rows*n)
+	for i := range xr {
+		xr[i] = float64(i % 13)
+	}
+	spec := make([]complex128, rows*(n/2+1))
+	if avg := testing.AllocsPerRun(100, func() {
+		rp.ManyReal(xr, spec, rows, false)
+		rp.ManyReal(xr, spec, rows, true)
+	}); avg != 0 {
+		t.Errorf("RealPlan.ManyReal allocates %.1f objects per batched round trip, want 0", avg)
+	}
+}

@@ -29,17 +29,24 @@ func naiveDFT(x []complex128, inverse bool) []complex128 {
 	return out
 }
 
-func TestPlanRejectsNonPowerOfTwo(t *testing.T) {
-	for _, n := range []int{0, 3, 6, 12, -4} {
+func TestPlanRejectsNonPositiveLengths(t *testing.T) {
+	for _, n := range []int{0, -1, -4} {
 		if _, err := NewPlan(n); err == nil {
 			t.Fatalf("NewPlan(%d) should fail", n)
+		}
+	}
+	// The mixed-radix planner accepts every positive length, including
+	// the ones the radix-2-only planner used to reject.
+	for _, n := range []int{3, 6, 12, 15, 24, 360} {
+		if _, err := NewPlan(n); err != nil {
+			t.Fatalf("NewPlan(%d): %v", n, err)
 		}
 	}
 }
 
 func TestTransformMatchesNaiveDFT(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
-	for _, n := range []int{1, 2, 4, 8, 32, 128} {
+	for _, n := range []int{1, 2, 4, 8, 32, 128, 3, 5, 6, 12, 24, 45, 90, 7, 14, 49, 77} {
 		p, err := NewPlan(n)
 		if err != nil {
 			t.Fatal(err)
@@ -119,7 +126,7 @@ func TestTransformParseval(t *testing.T) {
 
 func TestRealForwardMatchesComplex(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
-	for _, n := range []int{2, 4, 8, 64} {
+	for _, n := range []int{2, 4, 8, 64, 6, 12, 24, 48, 90} {
 		rp, err := NewRealPlan(n)
 		if err != nil {
 			t.Fatal(err)
@@ -215,9 +222,14 @@ func TestSpectralDerivative(t *testing.T) {
 }
 
 func TestRealPlanRejectsBadLengths(t *testing.T) {
-	for _, n := range []int{0, 1, 3, 6} {
+	for _, n := range []int{0, 1, 3, 15, -6} {
 		if _, err := NewRealPlan(n); err == nil {
 			t.Fatalf("NewRealPlan(%d) should fail", n)
+		}
+	}
+	for _, n := range []int{2, 6, 12, 24, 30, 48} {
+		if _, err := NewRealPlan(n); err != nil {
+			t.Fatalf("NewRealPlan(%d): %v", n, err)
 		}
 	}
 }

@@ -20,9 +20,16 @@ import (
 // any refactor of the transform pipeline, the nonlinear forms, or the
 // update must reproduce every bit. Regenerate deliberately by setting
 // a constant to "PRINT" and reading the t.Logf output.
+// Re-pinned for PR 10 (mixed-radix FFT + exact-3/2 padding): the
+// Stockham mixed-radix kernel changes floating-point summation order
+// and the decaying pipeline moved from the 2N to the 3N/2 padded grid,
+// so both trajectories shifted in rounding. The physics pins that
+// justify the re-pin — Taylor-Green closed form at unchanged
+// tolerance, Basdevant-vs-convective agreement, serial-vs-slab and
+// scheduler bit-identity — all pass on the new pipeline.
 const (
-	goldenTurb2D    = "dc07ba38bd732abea83e99ba61f77457b00bb8c8ab698db6d942113bfc9418bb"
-	goldenTurbForce = "4b0e89048878547e92bb268f06013ebd0fcb2b06f1298cabb8d907f69ca9a523"
+	goldenTurb2D    = "5b4756e7b46d2d5f22c60fd924b041f69502596cf25749d0b41ef3dafee54858"
+	goldenTurbForce = "e5db2d806d9e2b21c6819489372a494b77303b8ed1ffec9cba0a82a1ee657398"
 )
 
 func hashInt(h hash.Hash, v int) {

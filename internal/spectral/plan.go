@@ -7,6 +7,23 @@ import (
 	"nektar/internal/mpi"
 )
 
+// PadMode selects the de-aliasing grid of a Plan2D.
+type PadMode int
+
+const (
+	// PadNone builds only the unpadded N x N pipeline.
+	PadNone PadMode = iota
+	// PadExact pads to M = 3N/2 — the exact 3/2-rule grid the
+	// mixed-radix transforms make reachable (N divisible by 4 keeps M
+	// even). This is what the solvers use.
+	PadExact
+	// PadPow2 pads to the next power of two >= 3N/2 (always 2N for
+	// power-of-two N) — the grid the radix-2-only planner forced.
+	// Kept so spectralbench can A/B the exact-3/2 pipeline against the
+	// legacy one on the same plan code.
+	PadPow2
+)
+
 // Plan2D is a slab-decomposed 2D FFT on an N x N periodic grid. The
 // spectral representation holds unnormalized DFT coefficients
 // what[ky][kx] distributed by contiguous bands of ky rows; the physical
@@ -17,15 +34,17 @@ import (
 // The padded pipeline (InversePad/ForwardPad) implements 3/2-rule
 // de-aliasing by zero-extension: spectra are padded to an M x M grid
 // before going physical, so quadratic products formed there alias only
-// into modes the truncation back to N discards. The radix-2 transforms
-// only do power-of-two lengths, so M is the next power of two >= 3N/2 —
-// in practice M = 2N, which over-satisfies the 3/2 bound (on the 2N
-// grid a product of two N-band fields is resolved exactly, with no
-// aliasing at all). Both kx = N/2 and ky = N/2 Nyquist lines are
-// dropped by the pad and zeroed by the truncation; solvers keep them
-// identically zero, which removes the +-N/2 derivative ambiguity.
+// into modes the truncation back to N discards. With the mixed-radix
+// planner the default grid is the exact bound M = 3N/2 (PadExact): for
+// retained modes |k| <= N/2 - 1 a product reaches |k| <= N - 2, and
+// wrapping by M sends it to k - M <= -N/2 - 2, outside the retained
+// band — no resolved mode is ever polluted, with a third less padded
+// work than the legacy power-of-two grid (PadPow2). Both kx = N/2 and
+// ky = N/2 Nyquist lines are dropped by the pad and zeroed by the
+// truncation; solvers keep them identically zero, which removes the
+// +-N/2 derivative ambiguity.
 type Plan2D struct {
-	N int // spectral grid size (power of two)
+	N int // spectral grid size (even; slab constraints below)
 	M int // de-aliasing grid size (0 when the padded pipeline is off)
 
 	// Begin/End bracket the local-computation phases of each transform
@@ -54,12 +73,23 @@ type Plan2D struct {
 }
 
 // NewPlan2D builds the plan for an n x n grid over comm (nil = serial).
-// padded additionally builds the de-aliasing pipeline on the M x M
-// grid. The rank count must divide n (and is a power of two in every
-// simnet configuration, so it divides M too).
+// padded selects the exact-3/2 de-aliasing pipeline (PadExact); use
+// NewPlan2DPad to pick another mode.
 func NewPlan2D(n int, padded bool, comm *mpi.Comm) (*Plan2D, error) {
-	if n < 2 || n&(n-1) != 0 {
-		return nil, fmt.Errorf("spectral: grid size %d is not a power of two", n)
+	mode := PadNone
+	if padded {
+		mode = PadExact
+	}
+	return NewPlan2DPad(n, mode, comm)
+}
+
+// NewPlan2DPad builds the plan with an explicit pad mode. n must be
+// even (the Nyquist pinning needs N/2 integral) and, for PadExact,
+// divisible by 4 so M = 3N/2 stays even. Both n and the padded grid M
+// must slab-decompose over the rank count.
+func NewPlan2DPad(n int, mode PadMode, comm *mpi.Comm) (*Plan2D, error) {
+	if n < 2 || n%2 != 0 {
+		return nil, fmt.Errorf("spectral: grid size %d must be even and >= 2", n)
 	}
 	pl := &Plan2D{N: n, comm: comm, p: 1}
 	if comm != nil {
@@ -77,12 +107,28 @@ func NewPlan2D(n int, padded bool, comm *mpi.Comm) (*Plan2D, error) {
 		return nil, err
 	}
 	pl.sa = make([]complex128, pl.nloc*n)
-	if !padded {
+	if mode == PadNone {
 		pl.sb = make([]complex128, pl.nloc*n)
 		return pl, nil
 	}
-	// Next power of two >= 3N/2 is always 2N for power-of-two N.
-	pl.M = 2 * n
+	switch mode {
+	case PadExact:
+		if n%4 != 0 {
+			return nil, fmt.Errorf("spectral: exact-3/2 padding needs a grid size divisible by 4, got %d", n)
+		}
+		pl.M = 3 * n / 2
+	case PadPow2:
+		pl.M = 1
+		for pl.M < 3*n/2 {
+			pl.M *= 2
+		}
+	default:
+		return nil, fmt.Errorf("spectral: unknown pad mode %d", mode)
+	}
+	if pl.M%pl.p != 0 {
+		return nil, fmt.Errorf("spectral: padded grid %d (from N=%d) does not slab-decompose over %d ranks (the rank count must divide both N and M)",
+			pl.M, n, pl.p)
+	}
 	pl.mloc = pl.M / pl.p
 	if pl.planM, err = fft.NewPlan(pl.M); err != nil {
 		return nil, err
@@ -106,6 +152,17 @@ func (pl *Plan2D) SlabRows() int { return pl.nloc }
 // PadRows returns the per-rank row count of the padded physical slab.
 func (pl *Plan2D) PadRows() int { return pl.mloc }
 
+// TransposeBytes returns the global Alltoall payload, in bytes, moved
+// by one unpadded transform (Inverse or Forward): the N x N complex
+// matrix crosses the wire once.
+func (pl *Plan2D) TransposeBytes() int64 { return 16 * int64(pl.N) * int64(pl.N) }
+
+// PadTransposeBytes returns the global Alltoall payload, in bytes,
+// moved by one padded half-transform (InversePad or ForwardPad): an
+// N x M complex matrix. Shrinking M from 2N to 3N/2 cuts this — and
+// the per-destination Transposer blocks behind it — by a quarter.
+func (pl *Plan2D) PadTransposeBytes() int64 { return 16 * int64(pl.N) * int64(pl.M) }
+
 func (pl *Plan2D) begin() {
 	if pl.Begin != nil {
 		pl.Begin()
@@ -120,7 +177,10 @@ func (pl *Plan2D) end() {
 
 // padRow zero-extends a length-N spectral line to length M, preserving
 // wavenumber identity: modes k in [0, N/2) keep their index, negative
-// modes move to the tail, and the Nyquist line N/2 is dropped.
+// modes k in (-N/2, 0) move to the tail slots M+k, and the Nyquist
+// line N/2 is dropped. The map needs only M >= N, so it covers the
+// exact M = 3N/2 grid and the legacy power-of-two one alike: out[h]
+// through out[M-h] (the fine grid's own high modes) stay zero.
 func padRow(in, out []complex128, n, m int) {
 	for j := range out {
 		out[j] = 0
@@ -130,8 +190,9 @@ func padRow(in, out []complex128, n, m int) {
 	copy(out[m-h+1:], in[h+1:])
 }
 
-// truncRow inverts padRow: it keeps the modes the N grid resolves and
-// zeroes the Nyquist line.
+// truncRow inverts padRow: it keeps the modes the N grid resolves —
+// in[:h] and the tail in[m-h+1:], which hold k in [0, h) and (-h, 0)
+// for any M >= N — and zeroes the Nyquist line.
 func truncRow(in, out []complex128, n, m int) {
 	h := n / 2
 	copy(out[:h], in[:h])
@@ -149,18 +210,13 @@ func (pl *Plan2D) Inverse(spec []complex128, phys []float64) {
 	sb := pl.sb[:nloc*n]
 	pl.begin()
 	copy(pl.sa, spec)
-	for i := 0; i < nloc; i++ {
-		pl.planN.Transform(pl.sa[i*n:(i+1)*n], true)
-	}
+	pl.planN.Many(pl.sa, nloc, true)
 	pl.end()
 	pl.tNN.Transpose(pl.sa, sb)
 	pl.begin()
-	for i := 0; i < nloc; i++ {
-		row := sb[i*n : (i+1)*n]
-		pl.planN.Transform(row, true)
-		for j, v := range row {
-			phys[i*n+j] = real(v)
-		}
+	pl.planN.Many(sb, nloc, true)
+	for i, v := range sb {
+		phys[i] = real(v)
 	}
 	pl.end()
 }
@@ -172,19 +228,14 @@ func (pl *Plan2D) Forward(phys []float64, spec []complex128) {
 	n, nloc := pl.N, pl.nloc
 	sb := pl.sb[:nloc*n]
 	pl.begin()
-	for i := 0; i < nloc; i++ {
-		row := sb[i*n : (i+1)*n]
-		for j := range row {
-			row[j] = complex(phys[i*n+j], 0)
-		}
-		pl.planN.Transform(row, false)
+	for i, v := range phys {
+		sb[i] = complex(v, 0)
 	}
+	pl.planN.Many(sb, nloc, false)
 	pl.end()
 	pl.tNN.Transpose(sb, pl.sa)
 	pl.begin()
-	for i := 0; i < nloc; i++ {
-		pl.planN.Transform(pl.sa[i*n:(i+1)*n], false)
-	}
+	pl.planN.Many(pl.sa, nloc, false)
 	copy(spec, pl.sa)
 	pl.end()
 }
@@ -197,21 +248,19 @@ func (pl *Plan2D) InversePad(spec []complex128, phys []float64) {
 	n, m, nloc, mloc := pl.N, pl.M, pl.nloc, pl.mloc
 	pl.begin()
 	for i := 0; i < nloc; i++ {
-		row := pl.sb[i*m : (i+1)*m]
-		padRow(spec[i*n:(i+1)*n], row, n, m)
-		pl.planM.Transform(row, true)
+		padRow(spec[i*n:(i+1)*n], pl.sb[i*m:(i+1)*m], n, m)
 	}
+	pl.planM.Many(pl.sb, nloc, true)
 	pl.end()
 	pl.tNM.Transpose(pl.sb, pl.sc)
 	scale := float64(m*m) / float64(n*n)
 	pl.begin()
 	for i := 0; i < mloc; i++ {
-		row := pl.sd[i*m : (i+1)*m]
-		padRow(pl.sc[i*n:(i+1)*n], row, n, m)
-		pl.planM.Transform(row, true)
-		for j, v := range row {
-			phys[i*m+j] = real(v) * scale
-		}
+		padRow(pl.sc[i*n:(i+1)*n], pl.sd[i*m:(i+1)*m], n, m)
+	}
+	pl.planM.Many(pl.sd, mloc, true)
+	for i, v := range pl.sd {
+		phys[i] = real(v) * scale
 	}
 	pl.end()
 }
@@ -223,21 +272,20 @@ func (pl *Plan2D) InversePad(spec []complex128, phys []float64) {
 func (pl *Plan2D) ForwardPad(phys []float64, spec []complex128) {
 	n, m, nloc, mloc := pl.N, pl.M, pl.nloc, pl.mloc
 	pl.begin()
+	for i, v := range phys {
+		pl.sd[i] = complex(v, 0)
+	}
+	pl.planM.Many(pl.sd, mloc, false)
 	for i := 0; i < mloc; i++ {
-		row := pl.sd[i*m : (i+1)*m]
-		for j := range row {
-			row[j] = complex(phys[i*m+j], 0)
-		}
-		pl.planM.Transform(row, false)
-		truncRow(row, pl.sc[i*n:(i+1)*n], n, m)
+		truncRow(pl.sd[i*m:(i+1)*m], pl.sc[i*n:(i+1)*n], n, m)
 	}
 	pl.end()
 	pl.tMN.Transpose(pl.sc, pl.sb)
 	scale := complex(float64(n*n)/float64(m*m), 0)
 	pl.begin()
+	pl.planM.Many(pl.sb, nloc, false)
 	for i := 0; i < nloc; i++ {
 		row := pl.sb[i*m : (i+1)*m]
-		pl.planM.Transform(row, false)
 		out := spec[i*n : (i+1)*n]
 		truncRow(row, out, n, m)
 		for j := range out {

@@ -78,6 +78,109 @@ func TestPlan2DPadRoundTrip(t *testing.T) {
 	}
 }
 
+// TestPlan2DExactPadGrid: the padded pipeline allocates the exact
+// 3/2-rule grid, not the legacy power-of-two round-up, and the two pad
+// modes agree on what de-aliasing means: padding a band-limited
+// spectrum out and truncating back is the identity on both grids, and
+// the de-aliased product of two band-limited fields matches between
+// M = 3N/2 and M = 2N to roundoff (both grids resolve every product
+// mode the truncation keeps).
+func TestPlan2DExactPadGrid(t *testing.T) {
+	const n = 16
+	exact, err := NewPlan2DPad(n, PadExact, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.M != 3*n/2 {
+		t.Fatalf("PadExact M = %d, want %d", exact.M, 3*n/2)
+	}
+	pow2, err := NewPlan2DPad(n, PadPow2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pow2.M != 2*n {
+		t.Fatalf("PadPow2 M = %d, want %d", pow2.M, 2*n)
+	}
+	if eb, pb := exact.PadTransposeBytes(), pow2.PadTransposeBytes(); eb*4 != pb*3 {
+		t.Fatalf("transpose payloads %d vs %d are not in the 3:4 ratio", eb, pb)
+	}
+
+	specA := bandLimitedSpec(t, n)
+	specB := make([]complex128, n*n)
+	// A second independent band-limited field: conjugate-symmetric
+	// scramble of the first via the solver with another seed.
+	s2, err := NewTurb2D(Config{N: n, Re: 80, Dt: 1e-3, Seed: 123}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(specB, s2.Field())
+
+	product := func(pl *Plan2D) []complex128 {
+		pa := make([]float64, pl.PadRows()*pl.M)
+		pb := make([]float64, pl.PadRows()*pl.M)
+		pl.InversePad(specA, pa)
+		pl.InversePad(specB, pb)
+		for i := range pa {
+			pa[i] *= pb[i]
+		}
+		out := make([]complex128, n*n)
+		pl.ForwardPad(pa, out)
+		return out
+	}
+	got := product(exact)
+	want := product(pow2)
+	maxAmp := 0.0
+	for _, v := range want {
+		if a := math.Hypot(real(v), imag(v)); a > maxAmp {
+			maxAmp = a
+		}
+	}
+	for i := range want {
+		d := got[i] - want[i]
+		if math.Abs(real(d)) > 1e-10*maxAmp || math.Abs(imag(d)) > 1e-10*maxAmp {
+			t.Fatalf("de-aliased product differs between exact-3/2 and pow2 grids at %d: %g (scale %g)", i, d, maxAmp)
+		}
+	}
+}
+
+// TestPlan2DMixedRadixGrids: the unpadded and padded pipelines work on
+// the non-power-of-two grid sizes the mixed-radix planner unlocks.
+func TestPlan2DMixedRadixGrids(t *testing.T) {
+	for _, n := range []int{12, 20, 24, 36, 40, 48} {
+		pl, err := NewPlan2D(n, true, nil)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if pl.M != 3*n/2 {
+			t.Fatalf("n=%d: M = %d, want %d", n, pl.M, 3*n/2)
+		}
+		phys := randPhys(n)
+		spec := make([]complex128, n*n)
+		back := make([]float64, n*n)
+		pl.Forward(phys, spec)
+		pl.Inverse(spec, back)
+		for i := range phys {
+			if math.Abs(back[i]-phys[i]) > 1e-11 {
+				t.Fatalf("n=%d round trip error %g at %d", n, back[i]-phys[i], i)
+			}
+		}
+	}
+}
+
+// TestPlan2DRejectsBadShapes: odd grids, exact-pad grids not divisible
+// by 4, and rank counts that divide N but not M all fail loudly.
+func TestPlan2DRejectsBadShapes(t *testing.T) {
+	if _, err := NewPlan2D(15, false, nil); err == nil {
+		t.Fatal("odd grid accepted")
+	}
+	if _, err := NewPlan2DPad(18, PadExact, nil); err == nil {
+		t.Fatal("exact-3/2 pad of an N % 4 != 0 grid accepted (M would be odd)")
+	}
+	if _, err := NewPlan2DPad(16, PadMode(99), nil); err == nil {
+		t.Fatal("unknown pad mode accepted")
+	}
+}
+
 // TestPlan2DParallelMatchesSerial: the slab-parallel pipelines must be
 // bit-identical to serial — same per-row transforms, transposes are
 // pure data movement.
@@ -118,10 +221,10 @@ func TestPlan2DParallelMatchesSerial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mloc := 2 * n / p
+	mloc := serU.M / p
 	for r := 0; r < p; r++ {
 		for i, v := range gotPad[r] {
-			if want := wantPad[r*mloc*2*n+i]; want != v {
+			if want := wantPad[r*mloc*serU.M+i]; want != v {
 				t.Fatalf("rank %d padded phys differs at %d: %g vs %g", r, i, v, want)
 			}
 		}

@@ -6,6 +6,7 @@ import (
 
 	"nektar/internal/blas"
 	"nektar/internal/engine"
+	"nektar/internal/fft"
 	"nektar/internal/machine"
 	"nektar/internal/mpi"
 	"nektar/internal/timing"
@@ -14,7 +15,7 @@ import (
 // Config describes a 2D homogeneous-turbulence run on the [0,2pi)^2
 // periodic box with integer wavenumbers and nu = 1/Re.
 type Config struct {
-	N    int     // grid size per direction (power of two, >= 8)
+	N    int     // grid size per direction (>= 8, divisible by 4, 5-smooth)
 	Re   float64 // Reynolds number; viscosity is 1/Re
 	Dt   float64 // time step
 	K0   float64 // PAO initial-spectrum peak wavenumber (default 6)
@@ -113,8 +114,11 @@ func NewForced(cfg Config, comm *mpi.Comm, cpu *machine.CPU) (*Turb2D, error) {
 }
 
 func newSolver(cfg Config, comm *mpi.Comm, cpu *machine.CPU) (*Turb2D, error) {
-	if cfg.N < 8 || cfg.N&(cfg.N-1) != 0 {
-		return nil, fmt.Errorf("spectral: grid size %d must be a power of two >= 8", cfg.N)
+	// The planner accepts any length, but the hot path should never hit
+	// its generic-prime fallback, and the exact-3/2 padded grid M = 3N/2
+	// must stay even — hence: divisible by 4 with only {2,3,5} factors.
+	if cfg.N < 8 || cfg.N%4 != 0 || !fft.Smooth5(cfg.N) {
+		return nil, fmt.Errorf("spectral: grid size %d must be >= 8, divisible by 4, and factor into powers of 2, 3, and 5 (e.g. 8, 12, 16, 20, 24, 32, 36, 40, 48, 60, 64)", cfg.N)
 	}
 	if cfg.Re <= 0 {
 		return nil, fmt.Errorf("spectral: Reynolds number %g must be positive", cfg.Re)
@@ -234,8 +238,7 @@ func phase01(h uint64) float64 { return float64(h>>11) / (1 << 53) }
 
 // inBand reports whether the mode survives this solver's de-aliasing
 // band: Nyquist lines are always out; the forced variant additionally
-// truncates by the 2/3 rule (|k| <= N/3 per direction, strict for
-// power-of-two N since N is never divisible by 3).
+// truncates by the 2/3 rule (|k| <= floor(N/3) per direction).
 func (s *Turb2D) inBand(kx, ky int) bool {
 	h := s.Cfg.N / 2
 	if kx == h || ky == h || kx == -h || ky == -h {
